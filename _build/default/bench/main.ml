@@ -1,0 +1,308 @@
+(* Benchmark harness: regenerates every table and figure in the paper's
+   evaluation (section 5), plus the ablations called out in DESIGN.md.
+
+     dune exec bench/main.exe              -- everything
+     dune exec bench/main.exe -- fig6 a1   -- selected sections
+
+   Times are simulated Connection Machine seconds from the cost model in
+   Cm.Cost (a 16K-PE CM-2 driven by a SUN-4); the sequential baselines use
+   the SUN-4 operation model in Seqc.Sun4.  The shapes - who wins, how the
+   curves grow, where the crossover falls - are the reproduction targets;
+   absolute times depend on the cost constants. *)
+
+let seed = 20260705
+
+let section id title =
+  Printf.printf "\n=== %s: %s ===\n\n" id title
+
+let run_uc ?options src =
+  let t = Uc.Compile.run_source ?options ~seed src in
+  Uc.Compile.elapsed_seconds t
+
+let run_cstar (prog, _field) =
+  let m = Cm.Machine.create ~seed prog in
+  Cm.Machine.run m;
+  Cm.Machine.elapsed_seconds m
+
+(* ---------------- figure 6 ---------------- *)
+
+let fig6 () =
+  section "F6" "Shortest path, O(N^2) parallelism: UC vs C* (elapsed seconds)";
+  Printf.printf "%6s %12s %12s %8s\n" "rows" "UC" "C*" "UC/C*";
+  List.iter
+    (fun n ->
+      let uc =
+        run_uc (Uc_programs.Programs.shortest_path_n2 ~deterministic:false ~n ())
+      in
+      let cs = run_cstar (Cstar.Programs.path_n2 ~deterministic:false ~n ()) in
+      Printf.printf "%6d %12.4f %12.4f %8.2f\n" n uc cs (uc /. cs))
+    [ 8; 16; 24; 32; 48; 64 ]
+
+(* ---------------- figure 7 ---------------- *)
+
+let fig7 () =
+  section "F7"
+    "Shortest path, O(N^3) parallelism: UC vs C* (elapsed seconds)";
+  Printf.printf
+    "%6s %12s %14s %16s\n" "rows" "UC" "C* (log iters)" "C* (appendix, N)";
+  List.iter
+    (fun n ->
+      let log_iters =
+        let rec go k p = if p >= n then max k 1 else go (k + 1) (p * 2) in
+        go 0 1
+      in
+      let uc =
+        run_uc (Uc_programs.Programs.shortest_path_n3 ~deterministic:false ~n ())
+      in
+      let cs_log =
+        run_cstar
+          (Cstar.Programs.path_n3 ~deterministic:false ~iters:log_iters ~n ())
+      in
+      let cs_full =
+        run_cstar (Cstar.Programs.path_n3 ~deterministic:false ~n ())
+      in
+      Printf.printf "%6d %12.4f %14.4f %16.4f\n" n uc cs_log cs_full)
+    [ 5; 10; 15; 20; 25 ]
+
+(* ---------------- figure 8 ---------------- *)
+
+let fig8 () =
+  section "F8"
+    "Shortest path with obstacle: sequential C vs optimized C vs UC on the CM";
+  Printf.printf "%6s %12s %12s %12s %8s\n" "rows" "seq C" "seq C -O" "UC (CM)"
+    "sweeps";
+  List.iter
+    (fun n ->
+      let plain = Seqc.Obstacle.run ~n () in
+      let opt = Seqc.Obstacle.run ~optimized:true ~n () in
+      let uc = run_uc (Uc_programs.Programs.obstacle_grid ~n) in
+      Printf.printf "%6d %12.3f %12.3f %12.3f %8d\n" n
+        plain.Seqc.Obstacle.elapsed_seconds opt.Seqc.Obstacle.elapsed_seconds
+        uc plain.Seqc.Obstacle.iterations)
+    [ 20; 40; 60; 80; 100; 120 ]
+
+(* ---------------- table: conciseness ---------------- *)
+
+let count_lines src =
+  String.split_on_char '\n' src
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.length
+
+let table_conciseness () =
+  section "T1" "Program conciseness: UC vs C* source lines (section 5)";
+  (* the C* line counts are those of the paper's appendix listings
+     (figures 9 and 10), counted from the published text *)
+  let uc_n2 = count_lines (Uc_programs.Programs.shortest_path_n2 ~n:32 ()) in
+  let uc_n3 = count_lines (Uc_programs.Programs.shortest_path_n3 ~n:32 ()) in
+  Printf.printf "%-28s %6s %14s\n" "program" "UC" "C* (appendix)";
+  Printf.printf "%-28s %6d %14d\n" "shortest path O(N^2)" uc_n2 21;
+  Printf.printf "%-28s %6d %14d\n" "shortest path O(N^3)" uc_n3 30;
+  print_newline ();
+  print_endline
+    "The two UC programs differ only in the inner statement; the two C*";
+  print_endline
+    "programs differ structurally (the O(N^3) version must declare and";
+  print_endline "initialise a separate three-dimensional XMED domain)."
+
+(* ---------------- ablation A1: data mappings ---------------- *)
+
+let a1_mapping () =
+  section "A1"
+    "Mapping ablation: stencil a[i] = a[i] + b[i+1] (section 4, ref [2])";
+  let n = 4096 and steps = 32 in
+  let run ~mapped ~news =
+    let options = { Uc.Codegen.default_options with news_opt = news } in
+    let t =
+      Uc.Compile.run_source ~options ~seed
+        (Uc_programs.Programs.stencil ~mapped ~n ~steps ())
+    in
+    (Uc.Compile.elapsed_seconds t, Uc.Compile.meter t)
+  in
+  let t_router, m_router = run ~mapped:false ~news:false in
+  let t_news, m_news = run ~mapped:false ~news:true in
+  let t_mapped, m_mapped = run ~mapped:true ~news:false in
+  Printf.printf "%-42s %10s %8s %8s\n" "configuration" "seconds" "router" "news";
+  let line label t (m : Cm.Cost.meter) =
+    Printf.printf "%-42s %10.4f %8d %8d\n" label t m.Cm.Cost.router_ops
+      m.Cm.Cost.news_ops
+  in
+  line "default mapping (router)" t_router m_router;
+  line "default mapping + NEWS optimization" t_news m_news;
+  line "permute (I) b[i+1] :- a[i]  (map section)" t_mapped m_mapped;
+  Printf.printf "\nmap-section speedup over the default: %.2fx\n"
+    (t_router /. t_mapped)
+
+(* ---------------- ablation A2: processor optimization ---------------- *)
+
+let a2_procopt () =
+  section "A2" "Processor optimization: digit-count histogram (section 4)";
+  let n = 2048 in
+  let src = Uc_programs.Programs.digit_count ~n in
+  let on = run_uc src in
+  let off =
+    run_uc ~options:{ Uc.Codegen.default_options with procopt = false } src
+  in
+  Printf.printf "%-44s %10s\n" "configuration" "seconds";
+  Printf.printf "%-44s %10.4f\n" "naive: 10 x N virtual processors" off;
+  Printf.printf "%-44s %10.4f\n" "optimized: N processors, combining send" on;
+  Printf.printf "\nspeedup: %.2fx\n" (off /. on)
+
+(* ---------------- ablation A3: *solve vs *par ---------------- *)
+
+let a3_solve () =
+  section "A3" "*solve convenience vs hand-refined *par (section 3.6)";
+  let n = 16 in
+  let t_solve =
+    run_uc (Uc_programs.Programs.shortest_path_solve ~deterministic:false ~n ())
+  in
+  let t_par =
+    run_uc (Uc_programs.Programs.shortest_path_n3 ~deterministic:false ~n ())
+  in
+  Printf.printf "%-44s %10s\n" "program" "seconds";
+  Printf.printf "%-44s %10.4f\n" "*solve (fixed point detected by compiler)"
+    t_solve;
+  Printf.printf "%-44s %10.4f\n" "seq/par refinement (figure 5)" t_par;
+  Printf.printf "\noverhead of *solve: %.2fx\n" (t_solve /. t_par)
+
+(* ---------------- ablation A4: common sub-expressions ---------------- *)
+
+let a4_cse () =
+  section "A4" "Code optimizations: common sub-expression detection (section 4)";
+  let n = 32 in
+  let src = Uc_programs.Programs.shortest_path_n2 ~deterministic:false ~n () in
+  let on = run_uc src in
+  let off = run_uc ~options:{ Uc.Codegen.default_options with cse = false } src in
+  Printf.printf "%-44s %10s\n" "configuration" "seconds";
+  Printf.printf "%-44s %10.4f\n" "without CSE" off;
+  Printf.printf "%-44s %10.4f\n" "with CSE" on;
+  Printf.printf "\nspeedup: %.2fx\n" (off /. on)
+
+(* ---------------- ablation A5: guarded stencils on the NEWS grid ------- *)
+
+let a5_news () =
+  section "A5"
+    "Communication optimization: guarded neighbour access via NEWS (section 4)";
+  let n = 60 in
+  let src = Uc_programs.Programs.obstacle_grid ~n in
+  let on = run_uc src in
+  let off = run_uc ~options:{ Uc.Codegen.default_options with news_opt = false } src in
+  Printf.printf "%-52s %10s\n" "configuration" "seconds";
+  Printf.printf "%-52s %10.4f\n" "router + masked evaluation of the guards" off;
+  Printf.printf "%-52s %10.4f\n"
+    "prefilled NEWS shifts, guards as flat selects" on;
+  Printf.printf "\nspeedup: %.2fx\n" (off /. on)
+
+(* ---------------- ablation A6: static solve scheduling ([14]) ---------- *)
+
+let a6_schedule () =
+  section "A6" "solve: static diagonal schedule vs fixed-point iteration ([14])";
+  let n = 24 in
+  let src = Uc_programs.Programs.wavefront ~n in
+  let run ~schedule =
+    let prog = Uc.Parser.parse_program src in
+    ignore (Uc.Sema.check prog);
+    let prog = Uc.Transform.apply ~schedule_solve:schedule prog in
+    let prog = Uc.Optimize.fold_program prog in
+    let compiled = Uc.Codegen.compile prog in
+    let m = Cm.Machine.create ~seed compiled.Uc.Codegen.prog in
+    Cm.Machine.run m;
+    Cm.Machine.elapsed_seconds m
+  in
+  let scheduled = run ~schedule:true in
+  let fixpoint = run ~schedule:false in
+  Printf.printf "%-52s %10s\n" "translation" "seconds";
+  Printf.printf "%-52s %10.4f\n"
+    "general method: guarded *par to a fixed point" fixpoint;
+  Printf.printf "%-52s %10.4f\n" "dependency order: seq over diagonals" scheduled;
+  Printf.printf "\nspeedup: %.2fx\n" (fixpoint /. scheduled)
+
+(* ---------------- bechamel: simulator wall-clock ---------------- *)
+
+let bechamel_bench () =
+  section "B0" "Bechamel: wall-clock cost of the simulator itself (per run)";
+  let open Bechamel in
+  let tests =
+    [
+      Test.make ~name:"fig6:uc-n2 N=16"
+        (Staged.stage (fun () ->
+             ignore
+               (run_uc
+                  (Uc_programs.Programs.shortest_path_n2 ~deterministic:false
+                     ~n:16 ()))));
+      Test.make ~name:"fig6:cstar-n2 N=16"
+        (Staged.stage (fun () ->
+             ignore
+               (run_cstar (Cstar.Programs.path_n2 ~deterministic:false ~n:16 ()))));
+      Test.make ~name:"fig7:uc-n3 N=10"
+        (Staged.stage (fun () ->
+             ignore
+               (run_uc
+                  (Uc_programs.Programs.shortest_path_n3 ~deterministic:false
+                     ~n:10 ()))));
+      Test.make ~name:"fig7:cstar-n3 N=10"
+        (Staged.stage (fun () ->
+             ignore
+               (run_cstar (Cstar.Programs.path_n3 ~deterministic:false ~n:10 ()))));
+      Test.make ~name:"fig8:uc-obstacle N=20"
+        (Staged.stage (fun () ->
+             ignore (run_uc (Uc_programs.Programs.obstacle_grid ~n:20))));
+      Test.make ~name:"fig8:seqc N=20"
+        (Staged.stage (fun () -> ignore (Seqc.Obstacle.run ~n:20 ())));
+      Test.make ~name:"a1:stencil-mapped"
+        (Staged.stage (fun () ->
+             ignore
+               (run_uc
+                  (Uc_programs.Programs.stencil ~mapped:true ~n:1024 ~steps:8 ()))));
+    ]
+  in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw =
+    Benchmark.all cfg
+      Toolkit.Instance.[ monotonic_clock ]
+      (Test.make_grouped ~name:"sim" ~fmt:"%s %s" tests)
+  in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name o acc -> (name, o) :: acc) results [] in
+  List.iter
+    (fun (name, o) ->
+      match Analyze.OLS.estimates o with
+      | Some (t :: _) -> Printf.printf "%-32s %12.3f ms/run\n" name (t /. 1e6)
+      | _ -> Printf.printf "%-32s %12s\n" name "n/a")
+    (List.sort compare rows)
+
+(* ---------------- driver ---------------- *)
+
+let sections =
+  [
+    ("fig6", fig6);
+    ("fig7", fig7);
+    ("fig8", fig8);
+    ("table-conciseness", table_conciseness);
+    ("a1", a1_mapping);
+    ("a2", a2_procopt);
+    ("a3", a3_solve);
+    ("a4", a4_cse);
+    ("a5", a5_news);
+    ("a6", a6_schedule);
+    ("bechamel", bechamel_bench);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst sections
+  in
+  print_endline "UC on the (simulated) Connection Machine: evaluation harness";
+  print_endline "(cf. Bagrodia, Chandy, Kwan, Supercomputing '90, section 5)";
+  List.iter
+    (fun name ->
+      match List.assoc_opt name sections with
+      | Some f -> f ()
+      | None ->
+          Printf.eprintf "unknown section %s (available: %s)\n" name
+            (String.concat ", " (List.map fst sections)))
+    requested

@@ -1,0 +1,264 @@
+(* ucc: the UC compiler driver.
+
+   Subcommands:
+     ucc check FILE        parse and type-check
+     ucc ast FILE          parse and pretty-print the AST
+     ucc paris FILE        dump the generated Paris IR
+     ucc run FILE          compile and execute on the simulated CM
+     ucc interp FILE       execute with the reference interpreter
+     ucc examples          list the built-in corpus programs
+     ucc show NAME         print a built-in corpus program *)
+
+open Cmdliner
+
+let read_source path =
+  try
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    Ok s
+  with Sys_error msg -> Error msg
+
+let with_source path f =
+  match read_source path with
+  | Error msg ->
+      Printf.eprintf "ucc: %s\n" msg;
+      1
+  | Ok src -> (
+      try f src with
+      | Uc.Loc.Error (loc, msg) ->
+          Printf.eprintf "%s:%s: error: %s\n" path
+            (Format.asprintf "%a" Uc.Loc.pp loc)
+            msg;
+          1
+      | Uc.Interp.Runtime_error msg ->
+          Printf.eprintf "%s: runtime error: %s\n" path msg;
+          1
+      | Cm.Machine.Error msg ->
+          Printf.eprintf "%s: machine error: %s\n" path msg;
+          1)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"UC source file")
+
+let seed_arg =
+  Arg.(value & opt int 12345 & info [ "seed" ] ~docv:"N" ~doc:"Seed for rand()")
+
+let options_args =
+  let no_news =
+    Arg.(value & flag & info [ "no-news" ] ~doc:"Disable the NEWS-grid optimization")
+  in
+  let no_procopt =
+    Arg.(value & flag & info [ "no-procopt" ] ~doc:"Disable the processor optimization")
+  in
+  let no_maps =
+    Arg.(value & flag & info [ "no-mappings" ] ~doc:"Ignore map sections")
+  in
+  let no_cse =
+    Arg.(value & flag & info [ "no-cse" ] ~doc:"Disable common sub-expression elimination")
+  in
+  let combine no_news no_procopt no_maps no_cse =
+    {
+      Uc.Codegen.news_opt = not no_news;
+      procopt = not no_procopt;
+      use_mappings = not no_maps;
+      cse = not no_cse;
+    }
+  in
+  Term.(const combine $ no_news $ no_procopt $ no_maps $ no_cse)
+
+let stats_arg =
+  Arg.(value & flag & info [ "stats" ] ~doc:"Print machine statistics")
+
+let profile_arg =
+  Arg.(
+    value & flag
+    & info [ "profile" ] ~doc:"Print simulated time attributed to source lines")
+
+let arrays_arg =
+  Arg.(
+    value
+    & opt (list string) []
+    & info [ "arrays" ] ~docv:"NAMES" ~doc:"Global arrays to print after the run")
+
+let scalars_arg =
+  Arg.(
+    value
+    & opt (list string) []
+    & info [ "scalars" ] ~docv:"NAMES" ~doc:"Global scalars to print after the run")
+
+(* ---- check ---- *)
+
+let check_cmd =
+  let run path =
+    with_source path (fun src ->
+        let prog = Uc.Parser.parse_program src in
+        let info = Uc.Sema.check prog in
+        Printf.printf "%s: ok (%d global arrays, %d index sets, %d functions)\n"
+          path
+          (List.length info.Uc.Sema.global_arrays)
+          (List.length info.Uc.Sema.global_sets)
+          (List.length info.Uc.Sema.funcs);
+        0)
+  in
+  Cmd.v (Cmd.info "check" ~doc:"Parse and type-check a UC program")
+    Term.(const run $ file_arg)
+
+(* ---- ast ---- *)
+
+let ast_cmd =
+  let run path =
+    with_source path (fun src ->
+        let prog = Uc.Parser.parse_program src in
+        ignore (Uc.Sema.check prog);
+        print_string (Uc.Pretty.program_to_string prog);
+        0)
+  in
+  Cmd.v (Cmd.info "ast" ~doc:"Pretty-print the parsed program")
+    Term.(const run $ file_arg)
+
+(* ---- paris ---- *)
+
+let paris_cmd =
+  let run path options =
+    with_source path (fun src ->
+        let compiled = Uc.Compile.compile_source ~options src in
+        Format.printf "%a@." Cm.Paris.pp_program compiled.Uc.Codegen.prog;
+        0)
+  in
+  Cmd.v (Cmd.info "paris" ~doc:"Dump the generated Paris IR")
+    Term.(const run $ file_arg $ options_args)
+
+(* ---- cstar ---- *)
+
+let cstar_cmd =
+  let run path =
+    with_source path (fun src ->
+        print_string (Uc.Cstar_emit.emit_source src);
+        0)
+  in
+  Cmd.v
+    (Cmd.info "cstar"
+       ~doc:"Translate to C* source (the 1990 compiler's target language)")
+    Term.(const run $ file_arg)
+
+(* ---- run ---- *)
+
+let print_int_array name dims a =
+  Printf.printf "%s =" name;
+  (match dims with
+  | [ _; cols ] ->
+      Array.iteri
+        (fun k v ->
+          if k mod cols = 0 then Printf.printf "\n  ";
+          Printf.printf "%6d" v)
+        a;
+      print_newline ()
+  | _ ->
+      Array.iter (Printf.printf " %d") a;
+      print_newline ())
+
+let run_cmd =
+  let run path options seed stats profile arrays scalars =
+    with_source path (fun src ->
+        let t = Uc.Compile.run_source ~options ~seed src in
+        List.iter print_endline (Uc.Compile.output t);
+        List.iter
+          (fun name ->
+            let meta = List.assoc name t.Uc.Compile.compiled.Uc.Codegen.carrays in
+            match meta.Uc.Codegen.aty with
+            | Uc.Ast.Tint ->
+                print_int_array name meta.Uc.Codegen.adims
+                  (Uc.Compile.int_array t name)
+            | Uc.Ast.Tfloat ->
+                Printf.printf "%s =" name;
+                Array.iter (Printf.printf " %g") (Uc.Compile.float_array t name);
+                print_newline ())
+          arrays;
+        List.iter
+          (fun name ->
+            match Uc.Compile.scalar t name with
+            | Cm.Paris.SInt i -> Printf.printf "%s = %d\n" name i
+            | Cm.Paris.SFloat f -> Printf.printf "%s = %g\n" name f)
+          scalars;
+        Printf.printf "simulated elapsed time: %.6f s\n"
+          (Uc.Compile.elapsed_seconds t);
+        if stats then
+          Format.printf "%a@." Cm.Cost.pp_meter (Uc.Compile.meter t);
+        if profile then begin
+          let total = Uc.Compile.elapsed_seconds t in
+          print_endline "profile (simulated seconds by source line):";
+          List.iter
+            (fun (region, secs) ->
+              Printf.printf "  %-16s %10.6f s  %5.1f%%\n" region secs
+                (100.0 *. secs /. total))
+            (Cm.Machine.regions t.Uc.Compile.machine)
+        end;
+        0)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Compile and execute on the simulated Connection Machine")
+    Term.(
+      const run $ file_arg $ options_args $ seed_arg $ stats_arg $ profile_arg
+      $ arrays_arg $ scalars_arg)
+
+(* ---- interp ---- *)
+
+let interp_cmd =
+  let run path seed arrays scalars =
+    with_source path (fun src ->
+        let prog = Uc.Parser.parse_program src in
+        ignore (Uc.Sema.check prog);
+        let r = Uc.Interp.run ~seed prog in
+        List.iter print_endline (Uc.Interp.output r);
+        List.iter
+          (fun name ->
+            print_int_array name [] (Uc.Interp.int_array r name))
+          arrays;
+        List.iter
+          (fun name ->
+            match Uc.Interp.scalar r name with
+            | Uc.Interp.Vint i -> Printf.printf "%s = %d\n" name i
+            | Uc.Interp.Vfloat f -> Printf.printf "%s = %g\n" name f)
+          scalars;
+        0)
+  in
+  Cmd.v
+    (Cmd.info "interp" ~doc:"Execute with the reference interpreter")
+    Term.(const run $ file_arg $ seed_arg $ arrays_arg $ scalars_arg)
+
+(* ---- corpus ---- *)
+
+let examples_cmd =
+  let run () =
+    List.iter
+      (fun (name, _) -> print_endline name)
+      Uc_programs.Programs.all_named;
+    0
+  in
+  Cmd.v
+    (Cmd.info "examples" ~doc:"List the built-in corpus programs from the paper")
+    Term.(const run $ const ())
+
+let show_cmd =
+  let name_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME")
+  in
+  let run name =
+    match List.assoc_opt name Uc_programs.Programs.all_named with
+    | Some src ->
+        print_string src;
+        0
+    | None ->
+        Printf.eprintf "ucc: unknown example %s (try 'ucc examples')\n" name;
+        1
+  in
+  Cmd.v (Cmd.info "show" ~doc:"Print a built-in corpus program")
+    Term.(const run $ name_arg)
+
+let () =
+  let doc = "UC compiler for the simulated Connection Machine" in
+  let info = Cmd.info "ucc" ~version:"1.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info
+    [ check_cmd; ast_cmd; paris_cmd; cstar_cmd; run_cmd; interp_cmd; examples_cmd; show_cmd ]))

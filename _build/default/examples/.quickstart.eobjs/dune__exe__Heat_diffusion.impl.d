@@ -1,0 +1,1 @@
+examples/heat_diffusion.ml: Array Cm Printf Uc Uc_programs

@@ -1,0 +1,1 @@
+examples/mapping_tuning.ml: Cm Printf Uc Uc_programs

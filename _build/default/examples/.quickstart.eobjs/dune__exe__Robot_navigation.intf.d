@@ -1,0 +1,1 @@
+examples/robot_navigation.mli:

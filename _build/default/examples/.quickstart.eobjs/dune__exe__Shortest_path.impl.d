@@ -1,0 +1,1 @@
+examples/shortest_path.ml: Array Cm Cstar Printf Uc Uc_programs

@@ -1,0 +1,39 @@
+(* Jacobi heat diffusion on the simulated CM: the numerical-workload
+   family the paper reports as "experiments in progress" (section 5).
+   Float fields, a 2-D five-point stencil, and the NEWS grid: the
+   interior index set {1..N-2} is statically in range after a unit
+   shift, so the compiler uses grid shifts instead of the router.
+
+     dune exec examples/heat_diffusion.exe *)
+
+let n = 16
+let steps = 60
+
+let () =
+  let src = Uc_programs.Programs.heat ~steps ~n () in
+  let t = Uc.Compile.run_source src in
+  let u = Uc.Compile.float_array t "u" in
+  Printf.printf
+    "heat diffusion, %dx%d grid, %d Jacobi sweeps (boundary held at x+y)\n\n" n n
+    steps;
+  let shades = [| ' '; '.'; ':'; '-'; '='; '+'; '*'; '#'; '%'; '@' |] in
+  let maxv = Array.fold_left max 0.0 u in
+  for x = 0 to n - 1 do
+    for y = 0 to n - 1 do
+      let v = u.((x * n) + y) in
+      let k =
+        min (Array.length shades - 1)
+          (int_of_float (v /. maxv *. float_of_int (Array.length shades - 1)))
+      in
+      print_char shades.(k);
+      print_char shades.(k)
+    done;
+    print_newline ()
+  done;
+  let m = Uc.Compile.meter t in
+  Printf.printf
+    "\nsimulated elapsed time: %.4f s  (NEWS shifts: %d, router ops: %d)\n"
+    (Uc.Compile.elapsed_seconds t)
+    m.Cm.Cost.news_ops m.Cm.Cost.router_ops;
+  assert (m.Cm.Cost.news_ops > 0);
+  print_endline "the five-point stencil ran on the NEWS grid"

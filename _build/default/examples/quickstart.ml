@@ -1,0 +1,37 @@
+(* Quickstart: compile and run a small UC program on the simulated
+   Connection Machine, and cross-check it against the reference
+   interpreter.
+
+     dune exec examples/quickstart.exe *)
+
+let source =
+  {|
+#define N 10
+index-set I:i = {0..N-1};
+int a[N], total, biggest;
+
+void main() {
+  par (I) a[i] = i * i;
+  total = $+(I; a[i]);
+  biggest = $>(I; a[i]);
+  print("sum of squares 0..9 = ", total);
+  print("largest square = ", biggest);
+}
+|}
+
+let () =
+  print_endline "== compiled on the simulated CM ==";
+  let t = Uc.Compile.run_source source in
+  List.iter print_endline (Uc.Compile.output t);
+  Printf.printf "simulated elapsed time: %.6f s\n\n" (Uc.Compile.elapsed_seconds t);
+
+  print_endline "== reference interpreter agrees ==";
+  let prog = Uc.Parser.parse_program source in
+  ignore (Uc.Sema.check prog);
+  let r = Uc.Interp.run prog in
+  List.iter print_endline (Uc.Interp.output r);
+
+  let machine_a = Uc.Compile.int_array t "a" in
+  let interp_a = Uc.Interp.int_array r "a" in
+  assert (machine_a = interp_a);
+  print_endline "\narray 'a' matches between machine and interpreter"

@@ -1,0 +1,15 @@
+
+#define N 10
+#define WALL (0 - 1)
+#define MIN4 min(min((i > 0 && d[i-1][j] != WALL) ? d[i-1][j] : INF, (i < N-1 && d[i+1][j] != WALL) ? d[i+1][j] : INF), min((j > 0 && d[i][j-1] != WALL) ? d[i][j-1] : INF, (j < N-1 && d[i][j+1] != WALL) ? d[i][j+1] : INF))
+index-set I:i = {0..N-1}, J:j = I;
+int d[N][N];
+
+void main() {
+  par (I, J)
+    st (i + j == N - 1 && abs(i - N/2) <= N/4) d[i][j] = WALL;
+    others d[i][j] = 0;
+  *par (I, J)
+    st (d[i][j] != WALL && !(i == 0 && j == 0) && d[i][j] != MIN4 + 1)
+      d[i][j] = MIN4 + 1;
+}

@@ -1,0 +1,12 @@
+
+#define N 10
+index-set I:i = {0..N-1};
+int a[N], total, biggest;
+
+void main() {
+  par (I) a[i] = i * i;
+  total = $+(I; a[i]);
+  biggest = $>(I; a[i]);
+  print("sum of squares 0..9 = ", total);
+  print("largest square = ", biggest);
+}

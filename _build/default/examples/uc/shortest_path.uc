@@ -1,0 +1,15 @@
+
+#define N 6
+#define LOGN 3
+index-set I:i = {0..N-1}, J:j = I, K:k = I;
+index-set L:l = {0..LOGN-1};
+int d[N][N];
+
+void main() {
+  par (I, J)
+    st (i == j) d[i][j] = 0;
+    others d[i][j] = (i * 7 + j * 13) % N + 1;
+  seq (L)
+    par (I, J)
+      d[i][j] = $<(K; d[i][k] + d[k][j]);
+}

@@ -1,0 +1,15 @@
+
+#define N 16
+#define STEPS 4
+index-set I:i = {0..N-2}, IB:ib = {0..N-1};
+int a[N], b[N];
+map (I) { permute (I) b[i+1] :- a[i]; }
+void main() {
+  int t;
+  par (IB) {
+    a[ib] = ib;
+    b[ib] = 2 * ib + 1;
+  }
+  for (t = 0; t < STEPS; t = t + 1)
+    par (I) a[i] = a[i] + b[i+1];
+}

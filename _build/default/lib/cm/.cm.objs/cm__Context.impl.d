@@ -1,0 +1,1 @@
+lib/cm/context.ml: Array List

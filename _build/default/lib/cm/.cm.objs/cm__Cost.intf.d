@@ -1,0 +1,1 @@
+lib/cm/cost.mli: Format

@@ -1,0 +1,1 @@
+lib/cm/geometry.ml: Array Format List String

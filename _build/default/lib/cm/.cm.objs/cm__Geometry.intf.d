@@ -1,0 +1,1 @@
+lib/cm/geometry.mli: Format

@@ -1,0 +1,1 @@
+lib/cm/machine.ml: Array Context Cost Float Format Geometry Hashtbl List News Paris Printf Router Scan

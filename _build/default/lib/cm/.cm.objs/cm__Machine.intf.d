@@ -1,0 +1,1 @@
+lib/cm/machine.mli: Cost Paris

@@ -1,0 +1,1 @@
+lib/cm/news.ml: Array Geometry

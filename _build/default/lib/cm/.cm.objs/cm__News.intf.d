@@ -1,0 +1,1 @@
+lib/cm/news.mli: Geometry

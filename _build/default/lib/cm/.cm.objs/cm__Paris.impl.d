@@ -1,0 +1,1 @@
+lib/cm/paris.ml: Array Format Geometry List

@@ -1,0 +1,1 @@
+lib/cm/paris.mli: Format Geometry

@@ -1,0 +1,1 @@
+lib/cm/scan.ml: Array Geometry

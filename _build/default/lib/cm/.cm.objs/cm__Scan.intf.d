@@ -1,0 +1,1 @@
+lib/cm/scan.mli: Geometry

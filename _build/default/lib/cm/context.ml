@@ -1,0 +1,35 @@
+type t = { n : int; mutable stack : bool array list }
+
+let create n =
+  if n < 0 then invalid_arg "Context.create: negative size";
+  { n; stack = [ Array.make n true ] }
+
+let size c = c.n
+
+let top c =
+  match c.stack with
+  | [] -> assert false
+  | flags :: _ -> flags
+
+let active c = top c
+let is_active c p = (top c).(p)
+
+let count_active c =
+  Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 (top c)
+
+let push c = c.stack <- Array.copy (top c) :: c.stack
+
+let land_mask c m =
+  if Array.length m <> c.n then invalid_arg "Context.land_mask: size mismatch";
+  let flags = top c in
+  for i = 0 to c.n - 1 do
+    flags.(i) <- flags.(i) && m.(i)
+  done
+
+let pop c =
+  match c.stack with
+  | [] | [ _ ] -> failwith "Context.pop: base context"
+  | _ :: rest -> c.stack <- rest
+
+let depth c = List.length c.stack
+let reset c = c.stack <- [ Array.make c.n true ]

@@ -1,0 +1,39 @@
+(** Per-VP-set activity context.
+
+    On the CM every processor carries a context flag; parallel instructions
+    only take effect on active processors.  UC's nested [st] predicates map
+    to a stack of flag vectors: entering a guarded construct pushes a copy
+    of the current flags and ANDs the predicate in, leaving pops. *)
+
+type t
+
+(** [create n] makes a context of [n] VPs, all active, stack depth 1. *)
+val create : int -> t
+
+val size : t -> int
+
+(** Current activity vector (not a copy; callers must not mutate). *)
+val active : t -> bool array
+
+(** [is_active c p] tests VP [p] under the current context. *)
+val is_active : t -> int -> bool
+
+(** Number of currently active VPs. *)
+val count_active : t -> int
+
+(** Push a copy of the current flags. *)
+val push : t -> unit
+
+(** [land_mask c m] ANDs [m] into the current flags.
+    @raise Invalid_argument on size mismatch. *)
+val land_mask : t -> bool array -> unit
+
+(** Pop the top flags, restoring the previous context.
+    @raise Failure if only the base context remains. *)
+val pop : t -> unit
+
+(** Depth of the stack (>= 1). *)
+val depth : t -> int
+
+(** Reset to a single all-active context. *)
+val reset : t -> unit

@@ -1,0 +1,112 @@
+type params = {
+  physical_procs : int;
+  issue_ns : float;
+  fe_op_ns : float;
+  pe_op_ns : float;
+  context_ns : float;
+  news_ns : float;
+  router_ns : float;
+  scan_ns : float;
+  fe_cm_ns : float;
+}
+
+let cm2_16k =
+  {
+    physical_procs = 16384;
+    issue_ns = 1.0e5;     (* 0.1 ms front-end dispatch per macro-instruction *)
+    fe_op_ns = 1.0e3;     (* 1 us scalar op on the SUN-4 front end *)
+    pe_op_ns = 5.0e4;     (* 50 us bit-serial 32-bit ALU sweep *)
+    context_ns = 2.0e4;
+    news_ns = 1.5e5;      (* 0.15 ms NEWS shift *)
+    router_ns = 1.2e6;    (* 1.2 ms general-router collective op *)
+    scan_ns = 8.0e5;      (* 0.8 ms scan / global reduce *)
+    fe_cm_ns = 1.0e5;     (* 0.1 ms single-element transfer *)
+  }
+
+type meter = {
+  params : params;
+  mutable elapsed_ns : float;
+  mutable fe_ops : int;
+  mutable pe_ops : int;
+  mutable context_ops : int;
+  mutable news_ops : int;
+  mutable router_ops : int;
+  mutable router_messages : int;
+  mutable reductions : int;
+  mutable scans : int;
+  mutable fe_cm_transfers : int;
+}
+
+let meter params =
+  {
+    params;
+    elapsed_ns = 0.0;
+    fe_ops = 0;
+    pe_ops = 0;
+    context_ops = 0;
+    news_ops = 0;
+    router_ops = 0;
+    router_messages = 0;
+    reductions = 0;
+    scans = 0;
+    fe_cm_transfers = 0;
+  }
+
+let vp_ratio p n =
+  if n <= 0 then 1 else max 1 ((n + p.physical_procs - 1) / p.physical_procs)
+
+let ratio m size = float_of_int (vp_ratio m.params size)
+
+let charge_fe m =
+  m.fe_ops <- m.fe_ops + 1;
+  m.elapsed_ns <- m.elapsed_ns +. m.params.fe_op_ns
+
+let charge_pe m ~size =
+  m.pe_ops <- m.pe_ops + 1;
+  m.elapsed_ns <-
+    m.elapsed_ns +. m.params.issue_ns +. (m.params.pe_op_ns *. ratio m size)
+
+let charge_context m ~size =
+  m.context_ops <- m.context_ops + 1;
+  m.elapsed_ns <-
+    m.elapsed_ns +. m.params.issue_ns +. (m.params.context_ns *. ratio m size)
+
+let charge_news m ~size =
+  m.news_ops <- m.news_ops + 1;
+  m.elapsed_ns <-
+    m.elapsed_ns +. m.params.issue_ns +. (m.params.news_ns *. ratio m size)
+
+let log2f x = if x <= 1 then 0.0 else log (float_of_int x) /. log 2.0
+
+let charge_router m ~size ~messages ~max_fanin =
+  m.router_ops <- m.router_ops + 1;
+  m.router_messages <- m.router_messages + messages;
+  let congestion = 1.0 +. log2f max_fanin in
+  m.elapsed_ns <-
+    m.elapsed_ns
+    +. m.params.issue_ns
+    +. (m.params.router_ns *. ratio m size *. congestion)
+
+let charge_reduce m ~size =
+  m.reductions <- m.reductions + 1;
+  m.elapsed_ns <-
+    m.elapsed_ns +. m.params.issue_ns +. (m.params.scan_ns *. ratio m size)
+
+let charge_scan m ~size =
+  m.scans <- m.scans + 1;
+  m.elapsed_ns <-
+    m.elapsed_ns +. m.params.issue_ns +. (m.params.scan_ns *. ratio m size)
+
+let charge_fe_cm m =
+  m.fe_cm_transfers <- m.fe_cm_transfers + 1;
+  m.elapsed_ns <- m.elapsed_ns +. m.params.fe_cm_ns
+
+let elapsed_seconds m = m.elapsed_ns /. 1.0e9
+
+let pp_meter fmt m =
+  Format.fprintf fmt
+    "@[<v>elapsed: %.6f s@ fe ops: %d@ pe ops: %d@ context ops: %d@ news \
+     ops: %d@ router ops: %d (messages: %d)@ reductions: %d@ scans: %d@ \
+     fe<->cm transfers: %d@]"
+    (elapsed_seconds m) m.fe_ops m.pe_ops m.context_ops m.news_ops
+    m.router_ops m.router_messages m.reductions m.scans m.fe_cm_transfers

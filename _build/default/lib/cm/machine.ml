@@ -1,0 +1,660 @@
+open Paris
+
+exception Error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+type fdata = FInt of int array | FFloat of float array
+
+type t = {
+  prog : program;
+  meter : Cost.meter;
+  regs : scalar array;
+  fields : fdata array;
+  contexts : Context.t array;
+  labels : int array;  (* label id -> code index *)
+  mutable cur : int;   (* current VP set, -1 before the first Cwith *)
+  mutable rand_state : int;
+  mutable fuel : int;
+  mutable output : string list;  (* reversed *)
+  mutable region : string;
+  regions : (string, float) Hashtbl.t;  (* region -> elapsed ns *)
+}
+
+let resolve_labels prog =
+  let labels = Array.make (max prog.nlabels 1) (-1) in
+  Array.iteri
+    (fun i instr ->
+      match instr with
+      | Label l ->
+          if l < 0 || l >= prog.nlabels then error "undeclared label L%d" l;
+          labels.(l) <- i
+      | _ -> ())
+    prog.code;
+  labels
+
+let create ?(cost = Cost.cm2_16k) ?(seed = 12345) ?(fuel = 50_000_000) prog =
+  let fields =
+    Array.map
+      (fun (vp, kind) ->
+        let n = Geometry.size prog.geoms.(vp) in
+        match kind with
+        | KInt -> FInt (Array.make n 0)
+        | KFloat -> FFloat (Array.make n 0.0))
+      prog.fields
+  in
+  let contexts =
+    Array.map (fun g -> Context.create (Geometry.size g)) prog.geoms
+  in
+  {
+    prog;
+    meter = Cost.meter cost;
+    regs = Array.make (max prog.nregs 1) (SInt 0);
+    fields;
+    contexts;
+    labels = resolve_labels prog;
+    cur = -1;
+    rand_state = seed land 0x3FFFFFFF;
+    fuel;
+    output = [];
+    region = "(startup)";
+    regions = Hashtbl.create 16;
+  }
+
+let output m = List.rev m.output
+
+let regions m =
+  Hashtbl.fold (fun name ns acc -> (name, ns /. 1.0e9) :: acc) m.regions []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let program m = m.prog
+let meter m = m.meter
+let elapsed_seconds m = Cost.elapsed_seconds m.meter
+
+(* ---- scalar helpers ---- *)
+
+let to_int = function
+  | SInt i -> i
+  | SFloat _ -> error "expected an int scalar, got a float"
+
+let to_float = function SInt i -> float_of_int i | SFloat f -> f
+let truthy = function SInt i -> i <> 0 | SFloat f -> f <> 0.0
+
+let lcg m =
+  m.rand_state <- ((m.rand_state * 1103515245) + 12345) land 0x3FFFFFFF;
+  m.rand_state
+
+let rand_mod m modulus =
+  if modulus <= 0 then error "rand: non-positive modulus %d" modulus;
+  lcg m mod modulus
+
+(* ---- operator tables ---- *)
+
+let int_binop = function
+  | Add -> ( + )
+  | Sub -> ( - )
+  | Mul -> ( * )
+  | Div -> fun a b -> if b = 0 then error "division by zero" else a / b
+  | Mod -> fun a b -> if b = 0 then error "modulo by zero" else a mod b
+  | Min -> min
+  | Max -> max
+  | Land -> fun a b -> if a <> 0 && b <> 0 then 1 else 0
+  | Lor -> fun a b -> if a <> 0 || b <> 0 then 1 else 0
+  | Band -> ( land )
+  | Bor -> ( lor )
+  | Bxor -> ( lxor )
+  | Shl -> ( lsl )
+  | Shr -> ( asr )
+  | Eq -> fun a b -> if a = b then 1 else 0
+  | Ne -> fun a b -> if a <> b then 1 else 0
+  | Lt -> fun a b -> if a < b then 1 else 0
+  | Le -> fun a b -> if a <= b then 1 else 0
+  | Gt -> fun a b -> if a > b then 1 else 0
+  | Ge -> fun a b -> if a >= b then 1 else 0
+  | Any -> error "'any' is only valid in reductions"
+
+let float_binop = function
+  | Add -> ( +. )
+  | Sub -> ( -. )
+  | Mul -> ( *. )
+  | Div -> ( /. )
+  | Mod -> Float.rem
+  | Min -> Float.min
+  | Max -> Float.max
+  | op -> error "operator %s is not valid on floats" (Paris.binop_name op)
+
+let is_cmp = function Eq | Ne | Lt | Le | Gt | Ge -> true | _ -> false
+
+let float_cmp = function
+  | Eq -> ( = )
+  | Ne -> ( <> )
+  | Lt -> ( < )
+  | Le -> ( <= )
+  | Gt -> ( > )
+  | Ge -> ( >= )
+  | _ -> assert false
+
+(* ---- front-end evaluation ---- *)
+
+let fe_val m = function
+  | Reg r -> m.regs.(r)
+  | Imm s -> s
+  | Fld f -> error "field f%d used as a front-end operand" f
+
+let fe_bin op a b =
+  if is_cmp op then SInt (if float_cmp op (to_float a) (to_float b) then 1 else 0)
+  else
+    match op with
+    | Land -> SInt (if truthy a && truthy b then 1 else 0)
+    | Lor -> SInt (if truthy a || truthy b then 1 else 0)
+    | Band | Bor | Bxor | Shl | Shr -> SInt (int_binop op (to_int a) (to_int b))
+    | Add | Sub | Mul | Div | Mod | Min | Max -> (
+        match a, b with
+        | SInt x, SInt y -> SInt (int_binop op x y)
+        | _ -> SFloat (float_binop op (to_float a) (to_float b)))
+    | Any -> error "'any' is only valid in reductions"
+    | Eq | Ne | Lt | Le | Gt | Ge -> assert false
+
+let fe_unop op a =
+  match op with
+  | Neg -> (match a with SInt i -> SInt (-i) | SFloat f -> SFloat (-.f))
+  | Lnot -> SInt (if truthy a then 0 else 1)
+  | Bnot -> SInt (lnot (to_int a))
+  | ToFloat -> SFloat (to_float a)
+  | ToInt -> (match a with SInt i -> SInt i | SFloat f -> SInt (int_of_float f))
+  | Abs -> (
+      match a with SInt i -> SInt (abs i) | SFloat f -> SFloat (Float.abs f))
+
+(* ---- field access ---- *)
+
+let field_data m f =
+  if f < 0 || f >= Array.length m.fields then error "unknown field f%d" f;
+  m.fields.(f)
+
+let field_vpset m f = fst m.prog.fields.(f)
+
+let field_ints m f =
+  match field_data m f with
+  | FInt a -> Array.copy a
+  | FFloat _ -> error "field f%d is a float field" f
+
+let field_floats m f =
+  match field_data m f with
+  | FFloat a -> Array.copy a
+  | FInt _ -> error "field f%d is an int field" f
+
+let set_field_ints m f data =
+  match field_data m f with
+  | FInt a ->
+      if Array.length data <> Array.length a then
+        error "set_field_ints: length mismatch on f%d" f;
+      Array.blit data 0 a 0 (Array.length a)
+  | FFloat _ -> error "field f%d is a float field" f
+
+let set_field_floats m f data =
+  match field_data m f with
+  | FFloat a ->
+      if Array.length data <> Array.length a then
+        error "set_field_floats: length mismatch on f%d" f;
+      Array.blit data 0 a 0 (Array.length a)
+  | FInt _ -> error "field f%d is an int field" f
+
+let reg m r = m.regs.(r)
+let reg_int m r = to_int m.regs.(r)
+let reg_float m r = to_float m.regs.(r)
+
+(* ---- parallel evaluation helpers ---- *)
+
+let cur_vp m = if m.cur < 0 then error "no VP set selected (missing Cwith)" else m.cur
+let cur_geom m = m.prog.geoms.(cur_vp m)
+let cur_size m = Geometry.size (cur_geom m)
+let cur_ctx m = m.contexts.(cur_vp m)
+
+let check_on_current m f what =
+  if field_vpset m f <> cur_vp m then
+    error "%s: field f%d is not on the current VP set vp%d" what f (cur_vp m)
+
+(* Elementwise int getter for a parallel operand on the current VP set. *)
+let geti m op : int -> int =
+  match op with
+  | Reg r ->
+      let v = to_int m.regs.(r) in
+      fun _ -> v
+  | Imm (SInt v) -> fun _ -> v
+  | Imm (SFloat _) -> error "float immediate in int parallel context"
+  | Fld f -> (
+      check_on_current m f "operand";
+      match field_data m f with
+      | FInt a -> Array.get a
+      | FFloat _ -> error "float field f%d in int parallel context" f)
+
+(* Elementwise float getter (ints are coerced). *)
+let getf m op : int -> float =
+  match op with
+  | Reg r ->
+      let v = to_float m.regs.(r) in
+      fun _ -> v
+  | Imm s ->
+      let v = to_float s in
+      fun _ -> v
+  | Fld f -> (
+      check_on_current m f "operand";
+      match field_data m f with
+      | FInt a -> fun p -> float_of_int a.(p)
+      | FFloat a -> Array.get a)
+
+(* Whether an operand is float-kinded (fields by declaration, scalars by
+   their runtime value). *)
+let operand_is_float m = function
+  | Reg r -> ( match m.regs.(r) with SFloat _ -> true | SInt _ -> false)
+  | Imm (SFloat _) -> true
+  | Imm (SInt _) -> false
+  | Fld f -> ( match field_data m f with FFloat _ -> true | FInt _ -> false)
+
+let exec_pmov m dst a =
+  check_on_current m dst "pmov";
+  let mask = Context.active (cur_ctx m) in
+  Cost.charge_pe m.meter ~size:(cur_size m);
+  match field_data m dst with
+  | FInt out ->
+      let g = geti m a in
+      Array.iteri (fun p act -> if act then out.(p) <- g p) mask
+  | FFloat out ->
+      let g = getf m a in
+      Array.iteri (fun p act -> if act then out.(p) <- g p) mask
+
+let exec_pbin m op dst a b =
+  check_on_current m dst "pbin";
+  let mask = Context.active (cur_ctx m) in
+  Cost.charge_pe m.meter ~size:(cur_size m);
+  match field_data m dst with
+  | FInt out ->
+      if is_cmp op && (operand_is_float m a || operand_is_float m b) then begin
+        let fa = getf m a and fb = getf m b in
+        let cmp = float_cmp op in
+        Array.iteri
+          (fun p act -> if act then out.(p) <- (if cmp (fa p) (fb p) then 1 else 0))
+          mask
+      end
+      else begin
+        let f = int_binop op in
+        let ia = geti m a and ib = geti m b in
+        Array.iteri (fun p act -> if act then out.(p) <- f (ia p) (ib p)) mask
+      end
+  | FFloat out ->
+      let f = float_binop op in
+      let fa = getf m a and fb = getf m b in
+      Array.iteri (fun p act -> if act then out.(p) <- f (fa p) (fb p)) mask
+
+let exec_punop m op dst a =
+  check_on_current m dst "punop";
+  let mask = Context.active (cur_ctx m) in
+  Cost.charge_pe m.meter ~size:(cur_size m);
+  match field_data m dst, op with
+  | FInt out, ToInt ->
+      let fa = getf m a in
+      Array.iteri
+        (fun p act -> if act then out.(p) <- int_of_float (fa p))
+        mask
+  | FInt out, _ ->
+      let ia = geti m a in
+      let f =
+        match op with
+        | Neg -> fun x -> -x
+        | Lnot -> fun x -> if x = 0 then 1 else 0
+        | Bnot -> lnot
+        | Abs -> abs
+        | ToInt -> assert false
+        | ToFloat -> error "tofloat into an int field"
+      in
+      Array.iteri (fun p act -> if act then out.(p) <- f (ia p)) mask
+  | FFloat out, _ ->
+      let fa = getf m a in
+      let f =
+        match op with
+        | Neg -> ( ~-. )
+        | Abs -> Float.abs
+        | ToFloat -> fun x -> x
+        | Lnot | Bnot | ToInt -> error "integer unop into a float field"
+      in
+      Array.iteri (fun p act -> if act then out.(p) <- f (fa p)) mask
+
+let exec_pcoord m dst axis =
+  check_on_current m dst "pcoord";
+  let g = cur_geom m in
+  if axis < 0 || axis >= Geometry.rank g then error "pcoord: bad axis %d" axis;
+  let stride = (Geometry.strides g).(axis) in
+  let extent = Geometry.dim g axis in
+  let mask = Context.active (cur_ctx m) in
+  Cost.charge_pe m.meter ~size:(cur_size m);
+  match field_data m dst with
+  | FInt out ->
+      Array.iteri
+        (fun p act -> if act then out.(p) <- p / stride mod extent)
+        mask
+  | FFloat _ -> error "pcoord into a float field"
+
+let exec_ptable m dst table =
+  (* compile-time constant data: loaded with the program, charged as one
+     elementwise move; written regardless of context *)
+  check_on_current m dst "ptable";
+  if Array.length table <> cur_size m then
+    error "ptable: table length does not match the VP set";
+  Cost.charge_pe m.meter ~size:(cur_size m);
+  match field_data m dst with
+  | FInt out -> Array.blit table 0 out 0 (Array.length out)
+  | FFloat _ -> error "ptable into a float field"
+
+let exec_prand m dst modulus =
+  check_on_current m dst "prand";
+  let modv = to_int (fe_val m modulus) in
+  let mask = Context.active (cur_ctx m) in
+  Cost.charge_pe m.meter ~size:(cur_size m);
+  match field_data m dst with
+  | FInt out ->
+      Array.iteri (fun p act -> if act then out.(p) <- rand_mod m modv) mask
+  | FFloat _ -> error "prand into a float field"
+
+let exec_psel m dst c a b =
+  check_on_current m dst "psel";
+  let mask = Context.active (cur_ctx m) in
+  Cost.charge_pe m.meter ~size:(cur_size m);
+  let fc = getf m c in
+  match field_data m dst with
+  | FInt out ->
+      let ia = geti m a and ib = geti m b in
+      Array.iteri
+        (fun p act -> if act then out.(p) <- (if fc p <> 0.0 then ia p else ib p))
+        mask
+  | FFloat out ->
+      let fa = getf m a and fb = getf m b in
+      Array.iteri
+        (fun p act -> if act then out.(p) <- (if fc p <> 0.0 then fa p else fb p))
+        mask
+
+let addr_array m f =
+  check_on_current m f "address";
+  match field_data m f with
+  | FInt a -> a
+  | FFloat _ -> error "address field f%d must be an int field" f
+
+let exec_pget m dst src addr =
+  check_on_current m dst "pget";
+  let mask = Context.active (cur_ctx m) in
+  let addr = addr_array m addr in
+  let stats =
+    try
+      match field_data m dst, field_data m src with
+      | FInt d, FInt s -> Router.get ~mask ~addr ~src:s ~dst:d
+      | FFloat d, FFloat s -> Router.get ~mask ~addr ~src:s ~dst:d
+      | _ -> error "pget: kind mismatch between f%d and f%d" dst src
+    with Invalid_argument msg -> error "pget: %s" msg
+  in
+  Cost.charge_router m.meter ~size:(cur_size m) ~messages:stats.messages
+    ~max_fanin:stats.max_fanin
+
+let int_combine = function
+  | Ccheck -> Router.Overwrite_check ( = )
+  | Cover -> Router.Combine (fun a _ -> a)
+  | Cadd -> Router.Combine ( + )
+  | Cmin -> Router.Combine min
+  | Cmax -> Router.Combine max
+  | Cor -> Router.Combine ( lor )
+  | Cand -> Router.Combine ( land )
+  | Cxor -> Router.Combine ( lxor )
+
+let float_combine = function
+  | Ccheck -> Router.Overwrite_check ( = )
+  | Cover -> Router.Combine (fun a _ -> a)
+  | Cadd -> Router.Combine ( +. )
+  | Cmin -> Router.Combine Float.min
+  | Cmax -> Router.Combine Float.max
+  | Cor | Cand | Cxor -> error "bitwise combine on a float field"
+
+let exec_psend m dst src addr combine =
+  check_on_current m src "psend";
+  let mask = Context.active (cur_ctx m) in
+  let addr = addr_array m addr in
+  let stats =
+    try
+      match field_data m dst, field_data m src with
+      | FInt d, FInt s ->
+          Router.send ~mask ~addr ~src:s ~dst:d ~combine:(int_combine combine)
+      | FFloat d, FFloat s ->
+          Router.send ~mask ~addr ~src:s ~dst:d ~combine:(float_combine combine)
+      | _ -> error "psend: kind mismatch between f%d and f%d" dst src
+    with
+    | Invalid_argument msg -> error "psend: %s" msg
+    | Router.Conflict a ->
+        error
+          "parallel assignment conflict: multiple distinct values sent to \
+           element %d of field f%d"
+          a dst
+  in
+  (* combining sends merge in the network, so they do not pay the
+     destination fan-in serialisation that plain sends do *)
+  let fanin = match combine with Ccheck -> stats.max_fanin | _ -> 1 in
+  Cost.charge_router m.meter ~size:(cur_size m) ~messages:stats.messages
+    ~max_fanin:fanin
+
+let exec_pnews m dst src axis delta =
+  check_on_current m dst "pnews";
+  check_on_current m src "pnews";
+  let g = cur_geom m in
+  let mask = Context.active (cur_ctx m) in
+  (try
+     match field_data m dst, field_data m src with
+     | FInt d, FInt s -> ignore (News.shift_masked g ~axis ~delta ~mask s d)
+     | FFloat d, FFloat s -> ignore (News.shift_masked g ~axis ~delta ~mask s d)
+     | _ -> error "pnews: kind mismatch between f%d and f%d" dst src
+   with Invalid_argument msg -> error "pnews: %s" msg);
+  Cost.charge_news m.meter ~size:(cur_size m)
+
+let reduce_any mask get_first n identity =
+  let rec go p = if p >= n then identity else if mask.(p) then get_first p else go (p + 1) in
+  go 0
+
+let exec_preduce m op r fld =
+  check_on_current m fld "preduce";
+  let mask = Context.active (cur_ctx m) in
+  Cost.charge_reduce m.meter ~size:(cur_size m);
+  let result =
+    match field_data m fld with
+    | FInt a ->
+        if op = Any then
+          SInt (reduce_any mask (Array.get a) (Array.length a) Paris.inf_int)
+        else
+          SInt
+            (Scan.masked_reduce (int_binop op)
+               (to_int (identity op KInt))
+               mask a)
+    | FFloat a ->
+        if op = Any then
+          SFloat (reduce_any mask (Array.get a) (Array.length a) infinity)
+        else
+          SFloat
+            (Scan.masked_reduce (float_binop op)
+               (to_float (identity op KFloat))
+               mask a)
+  in
+  m.regs.(r) <- result
+
+let exec_pcount m r =
+  Cost.charge_reduce m.meter ~size:(cur_size m);
+  m.regs.(r) <- SInt (Context.count_active (cur_ctx m))
+
+let exec_preduce_axis m op dst src =
+  check_on_current m src "preduce-axis";
+  let dst_vp = field_vpset m dst in
+  let outer = m.prog.geoms.(dst_vp) in
+  let whole = cur_geom m in
+  if not (Geometry.is_prefix_of outer whole) then
+    error "preduce-axis: geometry of f%d is not a prefix of the current set" dst;
+  let mask = Context.active (cur_ctx m) in
+  Cost.charge_reduce m.meter ~size:(cur_size m);
+  let outer_size = Geometry.size outer in
+  (try
+     match field_data m dst, field_data m src with
+     | FInt d, FInt s ->
+         let r =
+           Scan.reduce_trailing_axes whole ~outer_size (int_binop op)
+             (to_int (identity op KInt))
+             mask s
+         in
+         Array.blit r 0 d 0 outer_size
+     | FFloat d, FFloat s ->
+         let r =
+           Scan.reduce_trailing_axes whole ~outer_size (float_binop op)
+             (to_float (identity op KFloat))
+             mask s
+         in
+         Array.blit r 0 d 0 outer_size
+     | _ -> error "preduce-axis: kind mismatch between f%d and f%d" dst src
+   with Invalid_argument msg -> error "preduce-axis: %s" msg)
+
+let exec_pscan m op dst src axis =
+  check_on_current m dst "pscan";
+  check_on_current m src "pscan";
+  let g = cur_geom m in
+  Cost.charge_scan m.meter ~size:(cur_size m);
+  try
+    match field_data m dst, field_data m src with
+    | FInt d, FInt s ->
+        let r = Scan.scan_axis g axis (int_binop op) s in
+        Array.blit r 0 d 0 (Array.length d)
+    | FFloat d, FFloat s ->
+        let r = Scan.scan_axis g axis (float_binop op) s in
+        Array.blit r 0 d 0 (Array.length d)
+    | _ -> error "pscan: kind mismatch between f%d and f%d" dst src
+  with Invalid_argument msg -> error "pscan: %s" msg
+
+let exec_cand m fld =
+  check_on_current m fld "cand";
+  Cost.charge_context m.meter ~size:(cur_size m);
+  let mask =
+    match field_data m fld with
+    | FInt a -> Array.map (fun v -> v <> 0) a
+    | FFloat a -> Array.map (fun v -> v <> 0.0) a
+  in
+  Context.land_mask (cur_ctx m) mask
+
+(* ---- main loop ---- *)
+
+let run m =
+  let code = m.prog.code in
+  let n = Array.length code in
+  let pc = ref 0 in
+  let jump l =
+    let target = m.labels.(l) in
+    if target < 0 then error "jump to unplaced label L%d" l;
+    pc := target
+  in
+  while !pc < n do
+    if m.fuel <= 0 then error "fuel exhausted (non-terminating program?)";
+    m.fuel <- m.fuel - 1;
+    let i = !pc in
+    incr pc;
+    let t0 = m.meter.Cost.elapsed_ns in
+    (match code.(i) with
+    | Label _ | Comment _ -> ()
+    | Region r -> m.region <- r
+    | Fprint (s, a) ->
+        let line =
+          match a with
+          | None -> s
+          | Some op -> (
+              match fe_val m op with
+              | SInt i -> Printf.sprintf "%s%d" s i
+              | SFloat f -> Printf.sprintf "%s%g" s f)
+        in
+        m.output <- line :: m.output
+    | Halt -> pc := n
+    | Fmov (r, a) ->
+        Cost.charge_fe m.meter;
+        m.regs.(r) <- fe_val m a
+    | Fbin (op, r, a, b) ->
+        Cost.charge_fe m.meter;
+        m.regs.(r) <- fe_bin op (fe_val m a) (fe_val m b)
+    | Funop (op, r, a) ->
+        Cost.charge_fe m.meter;
+        m.regs.(r) <- fe_unop op (fe_val m a)
+    | Frand (r, a) ->
+        Cost.charge_fe m.meter;
+        m.regs.(r) <- SInt (rand_mod m (to_int (fe_val m a)))
+    | Fread (r, fld, a) ->
+        Cost.charge_fe_cm m.meter;
+        let addr = to_int (fe_val m a) in
+        (match field_data m fld with
+        | FInt arr ->
+            if addr < 0 || addr >= Array.length arr then
+              error "fread: address %d out of range on f%d" addr fld;
+            m.regs.(r) <- SInt arr.(addr)
+        | FFloat arr ->
+            if addr < 0 || addr >= Array.length arr then
+              error "fread: address %d out of range on f%d" addr fld;
+            m.regs.(r) <- SFloat arr.(addr))
+    | Fwrite (fld, a, v) ->
+        Cost.charge_fe_cm m.meter;
+        let addr = to_int (fe_val m a) in
+        let value = fe_val m v in
+        (match field_data m fld with
+        | FInt arr ->
+            if addr < 0 || addr >= Array.length arr then
+              error "fwrite: address %d out of range on f%d" addr fld;
+            arr.(addr) <- to_int value
+        | FFloat arr ->
+            if addr < 0 || addr >= Array.length arr then
+              error "fwrite: address %d out of range on f%d" addr fld;
+            arr.(addr) <- to_float value)
+    | Jmp l ->
+        Cost.charge_fe m.meter;
+        jump l
+    | Jz (a, l) ->
+        Cost.charge_fe m.meter;
+        if not (truthy (fe_val m a)) then jump l
+    | Jnz (a, l) ->
+        Cost.charge_fe m.meter;
+        if truthy (fe_val m a) then jump l
+    | Pmov (dst, a) -> exec_pmov m dst a
+    | Pbin (op, dst, a, b) -> exec_pbin m op dst a b
+    | Punop (op, dst, a) -> exec_punop m op dst a
+    | Pcoord (dst, axis) -> exec_pcoord m dst axis
+    | Ptable (dst, table) -> exec_ptable m dst table
+    | Prand (dst, modulus) -> exec_prand m dst modulus
+    | Psel (dst, c, a, b) -> exec_psel m dst c a b
+    | Pget (dst, src, addr) -> exec_pget m dst src addr
+    | Psend (dst, src, addr, combine) -> exec_psend m dst src addr combine
+    | Pnews (dst, src, axis, delta) -> exec_pnews m dst src axis delta
+    | Preduce (op, r, fld) -> exec_preduce m op r fld
+    | Pcount r -> exec_pcount m r
+    | Preduce_axis (op, dst, src) -> exec_preduce_axis m op dst src
+    | Pscan (op, dst, src, axis) -> exec_pscan m op dst src axis
+    | Cwith vp ->
+        if vp < 0 || vp >= Array.length m.prog.geoms then
+          error "cwith: unknown VP set vp%d" vp;
+        Cost.charge_fe m.meter;
+        m.cur <- vp
+    | Cpush ->
+        Cost.charge_context m.meter ~size:(cur_size m);
+        Context.push (cur_ctx m)
+    | Cand fld -> exec_cand m fld
+    | Cpop ->
+        Cost.charge_context m.meter ~size:(cur_size m);
+        (try Context.pop (cur_ctx m)
+         with Failure _ -> error "cpop: context stack underflow")
+    | Creset ->
+        Cost.charge_context m.meter ~size:(cur_size m);
+        Context.reset (cur_ctx m)
+    | Cread fld ->
+        check_on_current m fld "cread";
+        Cost.charge_context m.meter ~size:(cur_size m);
+        (match field_data m fld with
+        | FInt out ->
+            let mask = Context.active (cur_ctx m) in
+            Array.iteri (fun p act -> out.(p) <- (if act then 1 else 0)) mask
+        | FFloat _ -> error "cread into a float field"));
+    let dt = m.meter.Cost.elapsed_ns -. t0 in
+    if dt > 0.0 then
+      Hashtbl.replace m.regions m.region
+        (dt +. (try Hashtbl.find m.regions m.region with Not_found -> 0.0))
+  done

@@ -1,0 +1,50 @@
+(** Execution engine for {!Paris} programs.
+
+    A machine instance owns the storage for one program: front-end
+    registers, per-VP fields, per-VP-set activity contexts, a deterministic
+    random-number generator and a {!Cost.meter}.  Inputs may be loaded into
+    fields before {!run}; results are read back from fields or registers
+    afterwards. *)
+
+(** Raised on any dynamic error: kind mismatch, address out of range,
+    conflicting parallel assignment, missing [Cwith], division by zero,
+    or fuel exhaustion. *)
+exception Error of string
+
+type t
+
+(** [create ?cost ?seed ?fuel program] allocates storage for [program].
+    [fuel] bounds the number of executed instructions (default 50M);
+    [seed] initializes the deterministic LCG used by [rand]. *)
+val create :
+  ?cost:Cost.params -> ?seed:int -> ?fuel:int -> Paris.program -> t
+
+val program : t -> Paris.program
+
+(** Execute from the first instruction to [Halt] (or the end of code).
+    @raise Error on any dynamic fault. *)
+val run : t -> unit
+
+val reg : t -> int -> Paris.scalar
+val reg_int : t -> int -> int
+val reg_float : t -> int -> float
+
+(** Copy a field's contents out of the machine. *)
+val field_ints : t -> int -> int array
+val field_floats : t -> int -> float array
+
+(** Load data into a field (length must match the VP-set size). *)
+val set_field_ints : t -> int -> int array -> unit
+val set_field_floats : t -> int -> float array -> unit
+
+val meter : t -> Cost.meter
+
+(** Lines appended by [Fprint] instructions, in program order. *)
+val output : t -> string list
+
+(** Simulated seconds attributed to each [Region] marker, largest first.
+    Cost incurred before the first marker lands in ["(startup)"]. *)
+val regions : t -> (string * float) list
+
+(** Simulated elapsed seconds so far. *)
+val elapsed_seconds : t -> float

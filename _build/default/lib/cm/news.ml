@@ -1,0 +1,33 @@
+let check g ~axis src dst =
+  let total = Geometry.size g in
+  if Array.length src <> total || Array.length dst <> total then
+    invalid_arg "News.shift: field size mismatch";
+  if axis < 0 || axis >= Geometry.rank g then
+    invalid_arg "News.shift: axis out of range"
+
+let shift_gen g ~axis ~delta ~accept src dst =
+  check g ~axis src dst;
+  let strides = Geometry.strides g in
+  let stride = strides.(axis) in
+  let extent = Geometry.dim g axis in
+  let total = Geometry.size g in
+  let updated = ref 0 in
+  for p = 0 to total - 1 do
+    if accept p then begin
+      let c = p / stride mod extent in
+      let c' = c + delta in
+      if c' >= 0 && c' < extent then begin
+        dst.(p) <- src.(p + (delta * stride));
+        incr updated
+      end
+    end
+  done;
+  !updated
+
+let shift g ~axis ~delta src dst =
+  shift_gen g ~axis ~delta ~accept:(fun _ -> true) src dst
+
+let shift_masked g ~axis ~delta ~mask src dst =
+  if Array.length mask <> Geometry.size g then
+    invalid_arg "News.shift_masked: mask size mismatch";
+  shift_gen g ~axis ~delta ~accept:(fun p -> mask.(p)) src dst

@@ -1,0 +1,61 @@
+type stats = { messages : int; max_fanin : int }
+
+exception Conflict of int
+
+type 'a combine =
+  | Overwrite_check of ('a -> 'a -> bool)
+  | Combine of ('a -> 'a -> 'a)
+
+let check_lengths name mask addr src_or_dst_len =
+  ignore src_or_dst_len;
+  if Array.length mask <> Array.length addr then
+    invalid_arg (name ^ ": mask/addr length mismatch")
+
+let get ~mask ~addr ~src ~dst =
+  check_lengths "Router.get" mask addr (Array.length src);
+  if Array.length dst <> Array.length addr then
+    invalid_arg "Router.get: dst/addr length mismatch";
+  let messages = ref 0 in
+  let fanin = Hashtbl.create 64 in
+  let max_fanin = ref 0 in
+  Array.iteri
+    (fun p m ->
+      if m then begin
+        let a = addr.(p) in
+        if a < 0 || a >= Array.length src then
+          invalid_arg "Router.get: address out of range";
+        dst.(p) <- src.(a);
+        incr messages;
+        let f = (try Hashtbl.find fanin a with Not_found -> 0) + 1 in
+        Hashtbl.replace fanin a f;
+        if f > !max_fanin then max_fanin := f
+      end)
+    mask;
+  { messages = !messages; max_fanin = max !max_fanin 1 }
+
+let send ~mask ~addr ~src ~dst ~combine =
+  check_lengths "Router.send" mask addr (Array.length dst);
+  if Array.length src <> Array.length addr then
+    invalid_arg "Router.send: src/addr length mismatch";
+  let messages = ref 0 in
+  let seen = Hashtbl.create 64 in
+  let max_fanin = ref 0 in
+  Array.iteri
+    (fun p m ->
+      if m then begin
+        let a = addr.(p) in
+        if a < 0 || a >= Array.length dst then
+          invalid_arg "Router.send: address out of range";
+        let v = src.(p) in
+        incr messages;
+        let f = (try Hashtbl.find seen a with Not_found -> 0) + 1 in
+        Hashtbl.replace seen a f;
+        if f > !max_fanin then max_fanin := f;
+        (match combine with
+        | Overwrite_check eq ->
+            if f = 1 then dst.(a) <- v
+            else if not (eq dst.(a) v) then raise (Conflict a)
+        | Combine merge -> if f = 1 then dst.(a) <- v else dst.(a) <- merge dst.(a) v)
+      end)
+    mask;
+  { messages = !messages; max_fanin = max !max_fanin 1 }

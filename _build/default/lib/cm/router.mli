@@ -1,0 +1,39 @@
+(** General-router communication with combining.
+
+    Models the CM-2 hypercube router: every active VP may read from
+    ([get]) or write to ([send]) an arbitrary linear address of a target
+    field.  Sends to a common destination are combined; UC's parallel
+    assignment uses the checking combiner, which requires all values
+    delivered to one destination to be identical (paper section 3.4:
+    "each variable in a par statement may be assigned at most one value;
+    if multiple values are assigned, they must be identical"). *)
+
+(** Delivery statistics, used by the cost model for congestion. *)
+type stats = { messages : int; max_fanin : int }
+
+(** Raised by a checking send when two distinct values reach the same
+    destination address. *)
+exception Conflict of int
+
+(** How concurrent writes to one destination are merged. *)
+type 'a combine =
+  | Overwrite_check of ('a -> 'a -> bool)
+      (** all values must satisfy the given equality; raises {!Conflict} *)
+  | Combine of ('a -> 'a -> 'a)  (** associative-commutative combining *)
+
+(** [get ~mask ~addr ~src ~dst] performs [dst.(p) <- src.(addr.(p))] for
+    every [p] with [mask.(p)].
+    @raise Invalid_argument if an address is outside [src]. *)
+val get : mask:bool array -> addr:int array -> src:'a array -> dst:'a array -> stats
+
+(** [send ~mask ~addr ~src ~dst ~combine] delivers [src.(p)] to
+    [dst.(addr.(p))] for every active [p], merging per-destination values
+    with [combine].
+    @raise Invalid_argument if an address is outside [dst]. *)
+val send :
+  mask:bool array ->
+  addr:int array ->
+  src:'a array ->
+  dst:'a array ->
+  combine:'a combine ->
+  stats

@@ -1,0 +1,65 @@
+let inclusive op a =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n a.(0) in
+    for i = 1 to n - 1 do
+      out.(i) <- op out.(i - 1) a.(i)
+    done;
+    out
+  end
+
+let exclusive op identity a =
+  let n = Array.length a in
+  let out = Array.make n identity in
+  let acc = ref identity in
+  for i = 0 to n - 1 do
+    out.(i) <- !acc;
+    acc := op !acc a.(i)
+  done;
+  out
+
+let reduce op identity a = Array.fold_left op identity a
+
+let masked_reduce op identity mask a =
+  if Array.length mask <> Array.length a then
+    invalid_arg "Scan.masked_reduce: length mismatch";
+  let acc = ref identity in
+  Array.iteri (fun i x -> if mask.(i) then acc := op !acc x) a;
+  !acc
+
+let reduce_trailing_axes g ~outer_size op identity mask a =
+  let total = Geometry.size g in
+  if Array.length a <> total then
+    invalid_arg "Scan.reduce_trailing_axes: field size mismatch";
+  if outer_size <= 0 || total mod outer_size <> 0 then
+    invalid_arg "Scan.reduce_trailing_axes: outer size does not divide";
+  let inner = total / outer_size in
+  Array.init outer_size (fun o ->
+      let acc = ref identity in
+      for k = 0 to inner - 1 do
+        let idx = (o * inner) + k in
+        if mask.(idx) then acc := op !acc a.(idx)
+      done;
+      !acc)
+
+let scan_axis g axis op a =
+  let total = Geometry.size g in
+  if Array.length a <> total then invalid_arg "Scan.scan_axis: field size mismatch";
+  if axis < 0 || axis >= Geometry.rank g then
+    invalid_arg "Scan.scan_axis: axis out of range";
+  let strides = Geometry.strides g in
+  let stride = strides.(axis) in
+  let extent = Geometry.dim g axis in
+  let out = Array.copy a in
+  (* Walk every 1-D lane along [axis]: a lane is identified by a base
+     address whose coordinate on [axis] is zero. *)
+  for base = 0 to total - 1 do
+    let coord = base / stride mod extent in
+    if coord = 0 then
+      for k = 1 to extent - 1 do
+        let idx = base + (k * stride) in
+        out.(idx) <- op out.(idx - stride) a.(idx)
+      done
+  done;
+  out

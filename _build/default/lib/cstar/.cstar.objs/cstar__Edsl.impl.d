@@ -1,0 +1,1 @@
+lib/cstar/edsl.ml: Cm List

@@ -1,0 +1,1 @@
+lib/cstar/programs.ml: Cm Edsl

@@ -1,0 +1,1 @@
+lib/cstar/programs.mli: Cm

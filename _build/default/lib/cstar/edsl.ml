@@ -1,0 +1,151 @@
+module P = Cm.Paris
+
+type domain = { dvp : int; ddims : int list }
+type field = { fid : int; fdom : domain }
+
+type t = {
+  b : P.Builder.t;
+  mutable cur : domain option;
+  mutable cur_with : int;
+}
+
+(* a parallel expression emits code on demand and yields an operand *)
+type pexp = t -> P.operand
+
+let create name = { b = P.Builder.create name; cur = None; cur_with = -1 }
+
+let domain t ~name ~dims =
+  ignore name;
+  let dvp = P.Builder.vpset t.b (Cm.Geometry.create dims) in
+  { dvp; ddims = dims }
+
+let member t d _name kind = { fid = P.Builder.field t.b ~vpset:d.dvp kind; fdom = d }
+
+let emit t i = P.Builder.emit t.b i
+
+let ensure_with t vp =
+  if t.cur_with <> vp then begin
+    emit t (P.Cwith vp);
+    t.cur_with <- vp
+  end
+
+let cur t =
+  match t.cur with
+  | Some d -> d
+  | None -> failwith "Cstar: parallel code outside an activate block"
+
+let temp ?(kind = P.KInt) t = P.Builder.field t.b ~vpset:(cur t).dvp kind
+
+let activate t d f =
+  let saved = t.cur in
+  t.cur <- Some d;
+  ensure_with t d.dvp;
+  emit t P.Creset;
+  f ();
+  t.cur <- saved;
+  match saved with Some d' -> ensure_with t d'.dvp | None -> ()
+
+let finish t =
+  emit t P.Halt;
+  P.Builder.finish t.b
+
+(* ---- expressions ---- *)
+
+let int_ i _t = P.Imm (P.SInt i)
+let inf _t = P.Imm (P.SInt P.inf_int)
+let fld _t f t = ignore _t; P.Fld f.fid
+
+let coord _t d axis t =
+  ignore _t;
+  if d.dvp <> (cur t).dvp then failwith "Cstar.coord: wrong domain";
+  let f = temp t in
+  emit t (P.Pcoord (f, axis));
+  P.Fld f
+
+let rand _t ~modulus t =
+  ignore _t;
+  let f = temp t in
+  emit t (P.Prand (f, P.Imm (P.SInt modulus)));
+  P.Fld f
+
+let binop op (a : pexp) (b : pexp) : pexp =
+ fun t ->
+  let va = a t in
+  let vb = b t in
+  let f = temp t in
+  emit t (P.Pbin (op, f, va, vb));
+  P.Fld f
+
+let ( +% ) = binop P.Add
+let ( -% ) = binop P.Sub
+let ( *% ) = binop P.Mul
+let ( /% ) = binop P.Div
+let ( %% ) = binop P.Mod
+let ( ==% ) = binop P.Eq
+let ( <% ) = binop P.Lt
+
+let address t (fdom : domain) (indices : pexp list) : int =
+  let addr = temp t in
+  emit t (P.Pmov (addr, P.Imm (P.SInt 0)));
+  List.iter2
+    (fun d ix ->
+      let v = ix t in
+      emit t (P.Pbin (P.Mul, addr, P.Fld addr, P.Imm (P.SInt d)));
+      emit t (P.Pbin (P.Add, addr, P.Fld addr, v)))
+    fdom.ddims indices;
+  addr
+
+let get _t f indices t =
+  ignore _t;
+  let addr = address t f.fdom indices in
+  let dst = temp t ~kind:(snd (P.Builder.field_info t.b f.fid)) in
+  emit t (P.Pget (dst, f.fid, addr));
+  P.Fld dst
+
+(* ---- statements ---- *)
+
+let assign t f e =
+  let v = e t in
+  emit t (P.Pmov (f.fid, v))
+
+let min_assign t f e =
+  let v = e t in
+  emit t (P.Pbin (P.Min, f.fid, P.Fld f.fid, v))
+
+let send_min t f indices e =
+  let v = e t in
+  let src = temp t ~kind:(snd (P.Builder.field_info t.b f.fid)) in
+  emit t (P.Pmov (src, v));
+  let addr = address t f.fdom indices in
+  emit t (P.Psend (f.fid, src, addr, P.Cmin))
+
+let where t cond f =
+  let v = cond t in
+  let mask =
+    match v with
+    | P.Fld fl -> fl
+    | _ ->
+        let m = temp t in
+        emit t (P.Pmov (m, v));
+        m
+  in
+  emit t P.Cpush;
+  emit t (P.Cand mask);
+  f ();
+  emit t P.Cpop
+
+let for_ t lo hi f =
+  let r = P.Builder.reg t.b in
+  emit t (P.Fmov (r, P.Imm (P.SInt lo)));
+  let top = P.Builder.label t.b in
+  let out = P.Builder.label t.b in
+  P.Builder.place t.b top;
+  let c = P.Builder.reg t.b in
+  emit t (P.Fbin (P.Ge, c, P.Reg r, P.Imm (P.SInt hi)));
+  emit t (P.Jnz (P.Reg c, out));
+  f (fun _ -> P.Reg r);
+  emit t (P.Fbin (P.Add, r, P.Reg r, P.Imm (P.SInt 1)));
+  emit t (P.Jmp top);
+  P.Builder.place t.b out
+
+let field_id f = f.fid

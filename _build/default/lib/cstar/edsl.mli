@@ -1,0 +1,91 @@
+(** A miniature C* (Rose & Steele 1987) as an embedded DSL.
+
+    C* is the baseline the paper measures UC against: the appendix
+    programs declare a [domain] (a record type with one instance per data
+    processor), activate all instances with [\[domain D\].{...}] and use
+    combining assignments like [<?=] (min into a possibly remote
+    location).  This module reproduces those constructs as OCaml
+    combinators that emit {!Cm.Paris} code directly — the moral
+    equivalent of the hand-written C* the paper's authors compiled with
+    Thinking Machines' compiler.  Because it is hand-scheduled, the
+    generated code carries none of the UC compiler's bookkeeping
+    (activity expansion, element-value materialisation, checking sends),
+    which is exactly the gap figures 6 and 7 quantify. *)
+
+type t
+(** An open program under construction. *)
+
+type domain
+(** A domain: a named shape with per-instance member fields. *)
+
+type field
+(** A member field of a domain. *)
+
+type pexp
+(** A parallel expression, evaluated per active instance. *)
+
+(** [create name] starts a program. *)
+val create : string -> t
+
+(** [domain t ~name ~dims] declares a domain of instances arranged in
+    [dims]. *)
+val domain : t -> name:string -> dims:int list -> domain
+
+(** [member t d name kind] adds a member field to [d]. *)
+val member : t -> domain -> string -> Cm.Paris.kind -> field
+
+(** [activate t d f] compiles [f ()] with all instances of [d] active
+    (the C* [\[domain D\].{...}] block). *)
+val activate : t -> domain -> (unit -> unit) -> unit
+
+(** [finish t] closes the program. *)
+val finish : t -> Cm.Paris.program
+
+(* ---- parallel expressions (within activate) ---- *)
+
+val int_ : int -> pexp
+val inf : pexp
+
+(** Value of a member of this instance. *)
+val fld : t -> field -> pexp
+
+(** [coord t d axis] is this instance's coordinate. *)
+val coord : t -> domain -> int -> pexp
+
+(** [rand t ~modulus] draws from the machine's LCG per active instance. *)
+val rand : t -> modulus:int -> pexp
+
+val ( +% ) : pexp -> pexp -> pexp
+val ( -% ) : pexp -> pexp -> pexp
+val ( *% ) : pexp -> pexp -> pexp
+val ( /% ) : pexp -> pexp -> pexp
+val ( %% ) : pexp -> pexp -> pexp
+val ( ==% ) : pexp -> pexp -> pexp
+val ( <% ) : pexp -> pexp -> pexp
+
+(** [get t fld indices] reads [fld] of the instance at [indices] through
+    the router (C* left-indexing: [path\[i\]\[k\].len]). *)
+val get : t -> field -> pexp list -> pexp
+
+(* ---- statements ---- *)
+
+(** [assign t fld e] sets this instance's member. *)
+val assign : t -> field -> pexp -> unit
+
+(** [min_assign t fld e] is C* [fld <?= e] on this instance. *)
+val min_assign : t -> field -> pexp -> unit
+
+(** [send_min t fld indices e] is C* [D\[i\]\[j\].fld <?= e]: a combining
+    minimum send to a remote instance. *)
+val send_min : t -> field -> pexp list -> pexp -> unit
+
+(** [where t cond f] narrows the context to instances where [cond] is
+    non-zero (the C* [where] statement). *)
+val where : t -> pexp -> (unit -> unit) -> unit
+
+(** [for_ t lo hi f] emits a front-end loop; [f] receives the counter
+    operand (usable via {!reg}). *)
+val for_ : t -> int -> int -> (pexp -> unit) -> unit
+
+(** Read back a member field after execution (instance order). *)
+val field_id : field -> int

@@ -1,0 +1,44 @@
+open Edsl
+
+(* 0 on the diagonal; deterministic or random small weights elsewhere,
+   matching the UC corpus programs so results are comparable. *)
+let init_path t path_dom len n ~deterministic =
+  activate t path_dom (fun () ->
+      let i = coord t path_dom 0 in
+      let j = coord t path_dom 1 in
+      let offdiag = int_ 1 -% (i ==% j) in
+      where t offdiag (fun () ->
+          if deterministic then
+            assign t len
+              ((((i *% int_ 7) +% (j *% int_ 13)) %% int_ n) +% int_ 1)
+          else assign t len (rand t ~modulus:n +% int_ 1));
+      where t (i ==% j) (fun () -> assign t len (int_ 0)))
+
+let path_n2 ?(deterministic = true) ~n () =
+  let t = create "cstar-path-n2" in
+  let path = domain t ~name:"PATH" ~dims:[ n; n ] in
+  let len = member t path "len" Cm.Paris.KInt in
+  init_path t path len n ~deterministic;
+  activate t path (fun () ->
+      for_ t 0 n (fun k ->
+          let i = coord t path 0 in
+          let j = coord t path 1 in
+          let via_k = get t len [ i; k ] +% get t len [ k; j ] in
+          min_assign t len via_k));
+  (finish t, field_id len)
+
+let path_n3 ?(deterministic = true) ?iters ~n () =
+  let iters = match iters with Some k -> k | None -> n in
+  let t = create "cstar-path-n3" in
+  let path = domain t ~name:"PATH" ~dims:[ n; n ] in
+  let len = member t path "len" Cm.Paris.KInt in
+  let xmed = domain t ~name:"XMED" ~dims:[ n; n; n ] in
+  init_path t path len n ~deterministic;
+  activate t xmed (fun () ->
+      for_ t 0 iters (fun _cnt ->
+          let i = coord t xmed 0 in
+          let j = coord t xmed 1 in
+          let k = coord t xmed 2 in
+          let via_k = get t len [ i; k ] +% get t len [ k; j ] in
+          send_min t len [ i; j ] via_k));
+  (finish t, field_id len)

@@ -1,0 +1,25 @@
+(** The paper's appendix C* programs (figures 9 and 10), built with the
+    {!Edsl}.
+
+    Both return the finished Paris program and the field id of the
+    distance member [len], to be read back after {!Cm.Machine.run}.  The
+    initialisation follows the paper's UC programs (0 on the diagonal,
+    small random weights elsewhere) so that, given the same machine seed,
+    the C* baseline computes exactly the same distance matrix as the
+    compiled UC program — the comparison in figures 6 and 7 is then
+    work-for-work. *)
+
+(** Figure 9: O(N^2)-parallelism shortest path.  The front end loops k
+    from 0 to N-1; each (i,j) instance fetches [path[i][k].len] and
+    [path[k][j].len] and min-assigns. *)
+val path_n2 :
+  ?deterministic:bool -> n:int -> unit -> Cm.Paris.program * int
+
+(** Figure 10: O(N^3)-parallelism shortest path.  An XMED domain holds
+    one instance per (i,j,k); each iteration sends
+    [path[i][k].len + path[k][j].len] to [path[i][j].len] with the
+    min-combining router.  [iters] defaults to [n] as in the appendix
+    (the paper's C* code iterates N times; UC's log-squaring needs only
+    ceil(log2 N)). *)
+val path_n3 :
+  ?deterministic:bool -> ?iters:int -> n:int -> unit -> Cm.Paris.program * int

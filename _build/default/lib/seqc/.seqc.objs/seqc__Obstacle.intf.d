@@ -1,0 +1,1 @@
+lib/seqc/obstacle.mli:

@@ -1,0 +1,1 @@
+lib/seqc/sun4.ml:

@@ -1,0 +1,22 @@
+(** Sequential C implementation of the grid-shortest-path-with-obstacle
+    benchmark (paper figures 8 and 11), with the SUN-4 cost model.
+
+    The algorithm is the one the paper describes: every non-wall,
+    non-goal cell repeatedly replaces its distance by 1 + the minimum of
+    its four neighbours' distances until nothing changes.  The wall is
+    the V-shaped obstacle of figure 11: the cells on the anti-diagonal
+    within N/4 of the column centre. *)
+
+type result = {
+  dist : int array;        (** row-major; -1 marks wall cells *)
+  iterations : int;
+  ops : int;
+  elapsed_seconds : float;
+}
+
+(** [run ~n ()] executes the plain-C variant; [optimized:true] models the
+    [-O] build (fewer operations per cell visit, same result). *)
+val run : ?optimized:bool -> n:int -> unit -> result
+
+(** True when the cell is part of the obstacle. *)
+val is_wall : n:int -> int -> int -> bool

@@ -1,0 +1,6 @@
+type t = { op_ns : float; mutable count : int }
+
+let create ?(op_ns = 380.0) () = { op_ns; count = 0 }
+let charge t n = t.count <- t.count + n
+let ops t = t.count
+let elapsed_seconds t = float_of_int t.count *. t.op_ns /. 1.0e9

@@ -1,0 +1,21 @@
+(** Operation-level cost model for the SUN-4 front end.
+
+    The paper's figure 8 runs the sequential C program on the SUN-4
+    workstation that also serves as the CM front end, once compiled
+    plainly and once with [-O].  We count abstract C operations
+    (arithmetic, comparisons, loads/stores, branches) and charge a fixed
+    time per operation; the [-O] variant charges fewer operations per
+    step (registers instead of reloads, strength-reduced indexing), the
+    classic constant-factor effect of the optimizer. *)
+
+type t
+
+(** [create ()] makes a meter.  [op_ns] defaults to 380ns/operation,
+    roughly a late-80s SUN-4 executing compiled C. *)
+val create : ?op_ns:float -> unit -> t
+
+(** [charge t n] records [n] abstract operations. *)
+val charge : t -> int -> unit
+
+val ops : t -> int
+val elapsed_seconds : t -> float

@@ -1,0 +1,1 @@
+lib/uc/ast.ml: Loc

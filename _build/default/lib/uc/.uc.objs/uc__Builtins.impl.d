@@ -1,0 +1,1 @@
+lib/uc/builtins.ml: List

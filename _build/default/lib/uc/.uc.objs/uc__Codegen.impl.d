@@ -1,0 +1,1 @@
+lib/uc/codegen.ml: Array Ast Cm Fun Hashtbl List Loc Mapping Option Printf Sema

@@ -1,0 +1,1 @@
+lib/uc/codegen.mli: Ast Cm Mapping

@@ -1,0 +1,1 @@
+lib/uc/compile.ml: Array Cm Codegen List Mapping Optimize Parser Sema Transform

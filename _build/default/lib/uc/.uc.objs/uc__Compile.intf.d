@@ -1,0 +1,1 @@
+lib/uc/compile.mli: Cm Codegen

@@ -1,0 +1,1 @@
+lib/uc/cstar_emit.ml: Array Ast Buffer Format Fun List Parser Pretty Printf Sema String Transform

@@ -1,0 +1,1 @@
+lib/uc/cstar_emit.mli: Ast

@@ -1,0 +1,1 @@
+lib/uc/interp.ml: Array Ast Buffer Cm Float Format Hashtbl List Printf Sema

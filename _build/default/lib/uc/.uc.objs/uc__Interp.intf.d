@@ -1,0 +1,1 @@
+lib/uc/interp.mli: Ast

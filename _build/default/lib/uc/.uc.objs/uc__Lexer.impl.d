@@ -1,0 +1,1 @@
+lib/uc/lexer.ml: Array Ast Buffer Hashtbl List Loc String Token

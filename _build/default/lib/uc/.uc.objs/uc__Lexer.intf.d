@@ -1,0 +1,1 @@
+lib/uc/lexer.mli: Loc Token

@@ -1,0 +1,1 @@
+lib/uc/loc.ml: Format Printexc

@@ -1,0 +1,1 @@
+lib/uc/mapping.ml: Array Ast List Loc Sema

@@ -1,0 +1,1 @@
+lib/uc/mapping.mli: Ast

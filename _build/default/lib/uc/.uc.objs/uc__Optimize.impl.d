@@ -1,0 +1,1 @@
+lib/uc/optimize.ml: Ast List Option

@@ -1,0 +1,1 @@
+lib/uc/optimize.mli: Ast

@@ -1,0 +1,1 @@
+lib/uc/parser.ml: Array Ast Lexer List Loc Token

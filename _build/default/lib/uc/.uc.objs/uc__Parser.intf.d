@@ -1,0 +1,1 @@
+lib/uc/parser.mli: Ast

@@ -1,0 +1,1 @@
+lib/uc/pretty.ml: Ast Format List String

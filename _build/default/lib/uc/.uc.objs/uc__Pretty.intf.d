@@ -1,0 +1,1 @@
+lib/uc/pretty.mli: Ast Format

@@ -1,0 +1,1 @@
+lib/uc/sema.ml: Array Ast Builtins Cm List Loc

@@ -1,0 +1,1 @@
+lib/uc/sema.mli: Ast

@@ -1,0 +1,1 @@
+lib/uc/token.ml: Ast Printf

@@ -1,0 +1,1 @@
+lib/uc/transform.ml: Array Ast List Loc Option Printf Sema

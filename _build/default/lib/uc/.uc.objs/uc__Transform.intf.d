@@ -1,0 +1,1 @@
+lib/uc/transform.mli: Ast

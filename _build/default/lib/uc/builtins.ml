@@ -1,0 +1,28 @@
+(** Builtin functions of the UC implementation.
+
+    [power2], [abs], [min], [max] and [rand] appear in the paper's
+    programs; [tofloat]/[toint] stand in for C casts; [swap] is the
+    exchange procedure used by the odd-even transposition sort example;
+    [print] is a front-end output facility for examples and the CLI. *)
+
+type kind =
+  | Pure of int            (* arity; usable in any context *)
+  | Rand                   (* rand(): no args, impure but deterministic LCG *)
+  | Swap                   (* statement-level, two lvalue arguments *)
+  | Print                  (* front-end only, variadic *)
+
+let table : (string * kind) list =
+  [
+    ("power2", Pure 1);
+    ("abs", Pure 1);
+    ("min", Pure 2);
+    ("max", Pure 2);
+    ("tofloat", Pure 1);
+    ("toint", Pure 1);
+    ("rand", Rand);
+    ("swap", Swap);
+    ("print", Print);
+  ]
+
+let lookup name = List.assoc_opt name table
+let is_builtin name = lookup name <> None

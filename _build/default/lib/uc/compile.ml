@@ -1,0 +1,48 @@
+type t = {
+  compiled : Codegen.compiled;
+  machine : Cm.Machine.t;
+}
+
+let compile_source ?options src =
+  let prog = Parser.parse_program src in
+  ignore (Sema.check prog);
+  let prog = Transform.apply prog in
+  let prog = Optimize.fold_program prog in
+  Codegen.compile ?options prog
+
+let run_source ?options ?cost ?seed ?fuel src =
+  let compiled = compile_source ?options src in
+  let machine = Cm.Machine.create ?cost ?seed ?fuel compiled.Codegen.prog in
+  Cm.Machine.run machine;
+  { compiled; machine }
+
+let meta t name =
+  match List.assoc_opt name t.compiled.Codegen.carrays with
+  | Some m -> m
+  | None -> failwith ("no global array named " ^ name)
+
+(* read a field back in logical element order *)
+let unscramble (m : Codegen.array_meta) (raw : 'a array) : 'a array =
+  let dims = m.Codegen.adims in
+  let total = List.fold_left ( * ) 1 dims in
+  let g = Cm.Geometry.create dims in
+  Array.init total (fun logical ->
+      let coords = Array.to_list (Cm.Geometry.coords g logical) in
+      raw.(Mapping.physical_index m.Codegen.alayout dims coords))
+
+let int_array t name =
+  let m = meta t name in
+  unscramble m (Cm.Machine.field_ints t.machine m.Codegen.afield)
+
+let float_array t name =
+  let m = meta t name in
+  unscramble m (Cm.Machine.field_floats t.machine m.Codegen.afield)
+
+let scalar t name =
+  match List.assoc_opt name t.compiled.Codegen.cscalars with
+  | Some m -> Cm.Machine.reg t.machine m.Codegen.sreg
+  | None -> failwith ("no global scalar named " ^ name)
+
+let output t = Cm.Machine.output t.machine
+let elapsed_seconds t = Cm.Machine.elapsed_seconds t.machine
+let meter t = Cm.Machine.meter t.machine

@@ -1,0 +1,41 @@
+(** Compiler driver: source text to results on the simulated CM.
+
+    Pipeline: {!Parser} -> {!Sema} -> {!Transform} (inlining, solve
+    lowering) -> {!Codegen} -> {!Cm.Machine}.  Results are read back in
+    logical order regardless of the data mapping in effect. *)
+
+type t = {
+  compiled : Codegen.compiled;
+  machine : Cm.Machine.t;
+}
+
+(** Parse, check, transform and lower a program without running it. *)
+val compile_source : ?options:Codegen.options -> string -> Codegen.compiled
+
+(** [run_source src] compiles and executes a program.
+    @raise Loc.Error on front-end errors, [Cm.Machine.Error] on dynamic
+    faults. *)
+val run_source :
+  ?options:Codegen.options ->
+  ?cost:Cm.Cost.params ->
+  ?seed:int ->
+  ?fuel:int ->
+  string ->
+  t
+
+(** Final contents of a global array, flattened row-major in logical
+    element order (layouts are inverted). *)
+val int_array : t -> string -> int array
+
+val float_array : t -> string -> float array
+
+(** Final value of a global scalar. *)
+val scalar : t -> string -> Cm.Paris.scalar
+
+(** Lines produced by [print]. *)
+val output : t -> string list
+
+(** Simulated elapsed seconds. *)
+val elapsed_seconds : t -> float
+
+val meter : t -> Cm.Cost.meter

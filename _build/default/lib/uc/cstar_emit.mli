@@ -1,0 +1,20 @@
+(** C* source emission.
+
+    The paper's prototype compiler translated UC to C* and handed the
+    result to Thinking Machines' compiler (section 5).  This module
+    reproduces that surface: it renders a checked, transformed UC program
+    as C*-style source — domains derived from the program's array shapes,
+    [\[domain D\].{...}] activation blocks with [where] statements for the
+    [st] predicates, combining assignments for remote updates, and
+    front-end C for the sequential parts.
+
+    The output documents the compilation strategy (it is what the 1990
+    tool chain would have consumed); it is not fed back into the
+    simulator, which consumes {!Cm.Paris} directly. *)
+
+(** [emit_program program] renders C* text for a program that has already
+    passed {!Sema.check} and {!Transform.apply}. *)
+val emit_program : Ast.program -> string
+
+(** Convenience: parse, check, transform, emit. *)
+val emit_source : string -> string

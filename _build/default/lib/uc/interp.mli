@@ -1,0 +1,42 @@
+(** Reference interpreter for UC.
+
+    Implements the paper's synchronous semantics directly:
+    - a [par] statement executes each constituent statement in two phases
+      (all enabled elements evaluate their right-hand sides, then all
+      assignments commit), detecting the "at most one value per variable"
+      rule dynamically;
+    - [seq] iterates elements in index-set order;
+    - [oneof] executes one enabled branch (deterministically the first, or
+      round-robin under [`Rotate]);
+    - [solve] (and [*solve]) iterates its assignments to a fixed point,
+      which computes the solution of any proper set of equations;
+    - [*]-prefixed constructs repeat while any predicate holds.
+
+    The interpreter is the oracle for differential tests against the
+    compiled Paris code: both use the same deterministic LCG for [rand],
+    so results must match exactly. *)
+
+type value = Vint of int | Vfloat of float
+
+(** Raised on dynamic errors: assignment conflicts, subscripts out of
+    range, division by zero, non-termination (fuel), etc. *)
+exception Runtime_error of string
+
+type result
+
+(** [run program] type-checks nothing (callers should run {!Sema.check}
+    first) and executes [main].  [fuel] bounds loop iterations of
+    iterative constructs; [choice] selects the [oneof] strategy. *)
+val run :
+  ?seed:int -> ?fuel:int -> ?choice:[ `First | `Rotate ] -> Ast.program -> result
+
+(** Lines produced by [print], in order. *)
+val output : result -> string list
+
+(** Final contents of a global array, flattened row-major. *)
+val int_array : result -> string -> int array
+
+val float_array : result -> string -> float array
+
+(** Final value of a global scalar. *)
+val scalar : result -> string -> value

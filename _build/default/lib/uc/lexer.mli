@@ -1,0 +1,13 @@
+(** Hand-written lexer for UC.
+
+    Handles C-style comments ([/* */] and [//]) and a minimal
+    object-like-macro preprocessor: lines of the form
+    [#define NAME token...] define a macro that is substituted (with
+    recursive expansion up to a fixed depth) wherever [NAME] later
+    appears.  The paper's programs use this for the conventional
+    [#define N 32] array-size constants. *)
+
+(** [tokenize src] lexes a whole compilation unit.  The result always ends
+    with [EOF].
+    @raise Loc.Error on invalid input. *)
+val tokenize : string -> (Token.t * Loc.t) array

@@ -1,0 +1,79 @@
+open Ast
+
+type layout =
+  | Default
+  | Shifted of int array
+  | Folded of int
+  | Copied of int
+
+(* pull the affine offset out of a permute target subscript: i, i+c, i-c *)
+let affine_offset e =
+  match e.e with
+  | Evar _ -> 0
+  | Ebin (Add, { e = Evar _; _ }, c) -> Sema.const_eval c
+  | Ebin (Sub, { e = Evar _; _ }, c) -> -Sema.const_eval c
+  | _ -> Loc.error e.eloc "permute subscripts must be affine (i, i + c, i - c)"
+
+let of_program prog =
+  let table = ref [] in
+  let add name loc layout =
+    if List.mem_assoc name !table then
+      Loc.error loc "array %s already has a mapping" name;
+    table := (name, layout) :: !table
+  in
+  List.iter
+    (function
+      | Tmap m ->
+          List.iter
+            (fun mapping ->
+              match mapping with
+              | Mpermute pm ->
+                  let offs =
+                    Array.of_list (List.map affine_offset pm.ptsubs)
+                  in
+                  if Array.exists (fun c -> c <> 0) offs then
+                    add pm.ptarget pm.mloc (Shifted offs)
+                  (* a zero-offset permute is the default layout *)
+              | Mfold (name, factor, loc) -> add name loc (Folded factor)
+              | Mcopy (name, n, loc) -> add name loc (Copied (Sema.const_eval n)))
+            m.mmappings
+      | Tdecl _ | Tfunc _ -> ())
+    prog;
+  !table
+
+let physical_dims layout dims =
+  match layout, dims with
+  | Default, _ | Shifted _, _ -> dims
+  | Folded f, d0 :: rest ->
+      if d0 mod f <> 0 then invalid_arg "Mapping.physical_dims: fold factor";
+      (d0 / f) :: f :: rest
+  | Folded _, [] -> invalid_arg "Mapping.physical_dims: fold of a scalar"
+  | Copied m, _ -> m :: dims
+
+let pos_mod x n = ((x mod n) + n) mod n
+
+let physical_index layout dims coords =
+  let linear dims coords =
+    List.fold_left2 (fun acc d c -> (acc * d) + c) 0 dims coords
+  in
+  match layout with
+  | Default -> linear dims coords
+  | Shifted offs ->
+      let shifted =
+        List.mapi (fun k c -> pos_mod (c - offs.(k)) (List.nth dims k)) coords
+      in
+      linear dims shifted
+  | Folded f -> (
+      match dims, coords with
+      | d0 :: drest, c0 :: crest ->
+          let h = d0 / f in
+          linear ((h :: f :: drest)) ((c0 mod h) :: (c0 / h) :: crest)
+      | _ -> invalid_arg "Mapping.physical_index: fold rank")
+  | Copied _ ->
+      (* copy 0 *)
+      linear dims coords
+
+let axis_offset layout axis =
+  match layout with
+  | Shifted offs when axis < Array.length offs -> offs.(axis)
+  | _ -> 0

@@ -1,0 +1,41 @@
+(** Data-mapping analysis (paper section 4).
+
+    The map section declares how arrays are laid out on the machine
+    without touching program logic.  This module turns the declarations
+    into per-array {!layout} values; {!Codegen} consults them when
+    computing element addresses, and result extraction uses
+    {!physical_index} to unscramble stored data.
+
+    - [Shifted offs]: from [permute (I) b[i+c] :- a[i]]; element [x] of
+      the target lives in slot [(x - c) mod n] (cyclic), so an access
+      [b[i+c]] lands on the same processor as [a[i]].
+    - [Folded f]: the leading axis is folded by [f]: element [x0] lives
+      at physical coordinates [(x0 mod h, x0 / h)] with [h = n0 / f], so
+      [a[i]] and [a[i + h]] become grid neighbours (the paper co-locates
+      them on one processor; the simulator's nearest equivalent is
+      adjacency on the NEWS grid).
+    - [Copied m]: the array is replicated along a new leading axis of
+      extent [m]; reads are spread across copies to reduce router
+      congestion and writes update every copy. *)
+
+type layout =
+  | Default
+  | Shifted of int array
+  | Folded of int
+  | Copied of int
+
+(** Per-array layouts implied by the program's map sections.  Arrays not
+    mentioned get no entry (treat as [Default]).
+    @raise Loc.Error on conflicting mappings for one array. *)
+val of_program : Ast.program -> (string * layout) list
+
+(** Physical geometry of an array with the given logical dims. *)
+val physical_dims : layout -> int list -> int list
+
+(** [physical_index layout dims coords] maps logical coordinates to the
+    flat physical index (for [Copied], the index of copy 0). *)
+val physical_index : layout -> int list -> int list -> int
+
+(** [axis_offset layout axis] is the cyclic shift applied on [axis]
+    ([Shifted] only; 0 otherwise). *)
+val axis_offset : layout -> int -> int

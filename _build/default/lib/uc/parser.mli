@@ -1,0 +1,16 @@
+(** Recursive-descent parser for UC.
+
+    The grammar is the C statement/expression subset the paper retains
+    (no [goto]; pointers only as array parameters) extended with index-set
+    declarations, [$op] reductions, the [par]/[seq]/[solve]/[oneof]
+    constructs and the [map] section.  See {!Ast} for the shapes
+    produced. *)
+
+(** [parse_program src] parses a whole compilation unit.
+    @raise Loc.Error with a source position on any syntax error. *)
+val parse_program : string -> Ast.program
+
+(** [parse_expr src] parses a single expression (used by tests and the
+    expression-level property tests).
+    @raise Loc.Error on syntax errors or trailing input. *)
+val parse_expr : string -> Ast.expr

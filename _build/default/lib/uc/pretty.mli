@@ -1,0 +1,14 @@
+(** Pretty-printer for UC abstract syntax.
+
+    The output is valid UC: [print_program] followed by
+    {!Parser.parse_program} round-trips (the printed form of the reparse
+    equals the original printed form), which the test suite checks with
+    property tests. *)
+
+val pp_expr : Format.formatter -> Ast.expr -> unit
+val pp_stmt : Format.formatter -> Ast.stmt -> unit
+val pp_decl : Format.formatter -> Ast.decl -> unit
+val pp_program : Format.formatter -> Ast.program -> unit
+
+val expr_to_string : Ast.expr -> string
+val program_to_string : Ast.program -> string

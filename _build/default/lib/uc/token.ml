@@ -1,0 +1,68 @@
+(** Lexical tokens of UC. *)
+
+type t =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string                 (* only valid as a print argument *)
+  | RED of Ast.redop                 (* $+ $& $> $< $* $| $^ $, *)
+  (* keywords *)
+  | KW_INT | KW_FLOAT | KW_VOID | KW_INDEXSET
+  | KW_ST | KW_OTHERS
+  | KW_PAR | KW_SEQ | KW_SOLVE | KW_ONEOF
+  | KW_MAP | KW_PERMUTE | KW_FOLD | KW_COPY | KW_BY | KW_ALONG
+  | KW_IF | KW_ELSE | KW_WHILE | KW_FOR | KW_RETURN | KW_BREAK | KW_CONTINUE
+  | KW_INF
+  | KW_GOTO                          (* recognized only to be rejected *)
+  (* operators and punctuation *)
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | ASSIGN | PLUSEQ | MINUSEQ | STAREQ | SLASHEQ | PERCENTEQ
+  | MINASSIGN | MAXASSIGN            (* <?= and >?= *)
+  | EQ | NE | LT | LE | GT | GE
+  | ANDAND | OROR | NOT
+  | AMP | PIPE | CARET | TILDE | SHL | SHR
+  | QUESTION | COLON | SEMI | COMMA
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | DOTDOT
+  | EOF
+
+let to_string = function
+  | IDENT s -> s
+  | INT i -> string_of_int i
+  | FLOAT f -> string_of_float f
+  | STRING s -> Printf.sprintf "%S" s
+  | RED r -> Ast.redop_name r
+  | KW_INT -> "int" | KW_FLOAT -> "float" | KW_VOID -> "void"
+  | KW_INDEXSET -> "index-set"
+  | KW_ST -> "st" | KW_OTHERS -> "others"
+  | KW_PAR -> "par" | KW_SEQ -> "seq" | KW_SOLVE -> "solve" | KW_ONEOF -> "oneof"
+  | KW_MAP -> "map" | KW_PERMUTE -> "permute" | KW_FOLD -> "fold"
+  | KW_COPY -> "copy" | KW_BY -> "by" | KW_ALONG -> "along"
+  | KW_IF -> "if" | KW_ELSE -> "else" | KW_WHILE -> "while" | KW_FOR -> "for"
+  | KW_RETURN -> "return" | KW_BREAK -> "break" | KW_CONTINUE -> "continue"
+  | KW_INF -> "INF" | KW_GOTO -> "goto"
+  | PLUS -> "+" | MINUS -> "-" | STAR -> "*" | SLASH -> "/" | PERCENT -> "%"
+  | ASSIGN -> "=" | PLUSEQ -> "+=" | MINUSEQ -> "-=" | STAREQ -> "*="
+  | SLASHEQ -> "/=" | PERCENTEQ -> "%="
+  | MINASSIGN -> "<?=" | MAXASSIGN -> ">?="
+  | EQ -> "==" | NE -> "!=" | LT -> "<" | LE -> "<=" | GT -> ">" | GE -> ">="
+  | ANDAND -> "&&" | OROR -> "||" | NOT -> "!"
+  | AMP -> "&" | PIPE -> "|" | CARET -> "^" | TILDE -> "~"
+  | SHL -> "<<" | SHR -> ">>"
+  | QUESTION -> "?" | COLON -> ":" | SEMI -> ";" | COMMA -> ","
+  | LPAREN -> "(" | RPAREN -> ")" | LBRACE -> "{" | RBRACE -> "}"
+  | LBRACKET -> "[" | RBRACKET -> "]"
+  | DOTDOT -> ".."
+  | EOF -> "<eof>"
+
+let keyword_table : (string * t) list =
+  [
+    ("int", KW_INT); ("float", KW_FLOAT); ("void", KW_VOID);
+    ("st", KW_ST); ("others", KW_OTHERS);
+    ("par", KW_PAR); ("seq", KW_SEQ); ("solve", KW_SOLVE); ("oneof", KW_ONEOF);
+    ("map", KW_MAP); ("permute", KW_PERMUTE); ("fold", KW_FOLD);
+    ("copy", KW_COPY); ("by", KW_BY); ("along", KW_ALONG);
+    ("if", KW_IF); ("else", KW_ELSE); ("while", KW_WHILE); ("for", KW_FOR);
+    ("return", KW_RETURN); ("break", KW_BREAK); ("continue", KW_CONTINUE);
+    ("INF", KW_INF); ("goto", KW_GOTO);
+  ]

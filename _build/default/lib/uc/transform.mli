@@ -1,0 +1,23 @@
+(** Source-to-source transformations run before code generation.
+
+    - {b Function inlining}: the simulated CM front end has no call
+      mechanism, and functions used inside parallel constructs must run
+      on the data processors, so every user-function call is inlined
+      (the paper's compiler achieved the same through C* code cloning).
+      Function bodies must keep [return] in tail position.
+    - {b solve lowering}: [solve] and [*solve] are translated to an
+      iterative [*par] whose branch predicates add a change-detection
+      guard [lhs != rhs], the paper's "general method" (section 3.6):
+      execution stops at the fixed point of the proper set of
+      assignments. *)
+
+(** [apply program] returns an equivalent program containing no user
+    function other than [main], and no [solve] construct.  Plain [solve]
+    statements of the restricted wavefront form (a single assignment whose
+    self-dependencies strictly decrease the diagonal sum) are scheduled
+    statically as a [seq] over diagonals ([14], section 3.6) unless
+    [schedule_solve:false]; everything else uses the general guarded-[*par]
+    fixed point.
+    @raise Loc.Error on constructs that cannot be inlined (e.g. an early
+    return). *)
+val apply : ?schedule_solve:bool -> Ast.program -> Ast.program

@@ -1,0 +1,1 @@
+lib/uc_programs/programs.ml: Printf

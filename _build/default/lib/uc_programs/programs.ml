@@ -1,0 +1,446 @@
+(** The paper's UC programs, as a single source of truth for tests,
+    examples and benchmarks.
+
+    Each program is a complete compilation unit (the paper shows most of
+    them as fragments; we wrap them in [main]).  Programs that the paper
+    seeds with [rand()] take a [~deterministic] flag so tests can compute
+    reference results; benchmarks use the random variant, which is still
+    reproducible because [rand] is a fixed LCG. *)
+
+let log2_ceil n =
+  let rec go k p = if p >= n then k else go (k + 1) (p * 2) in
+  go 0 1
+
+(* ---- section 3.2: reductions (figure 1, reconstructed) ---- *)
+
+let reductions ~n =
+  Printf.sprintf
+    {|
+#define N %d
+index-set I:i = {0..N-1}, J:j = I;
+int s, mn, first, arb, last, a[N];
+float avg;
+
+void main() {
+  par (I) a[i] = (i * 3 + 7) %% N;
+  s = $+(I; i);
+  avg = tofloat($+(I; a[i])) / tofloat(N);
+  mn = $<(I; a[i]);
+  first = $<(I st (a[i] == mn) i);
+  arb = $,(I st (a[i] == mn) i);
+  last = $>(I st (a[i] == $>(J; a[j])) i);
+}
+|}
+    n
+
+(* ---- section 3.2: sum of absolute values with others ---- *)
+
+let abs_sum ~n =
+  Printf.sprintf
+    {|
+#define N %d
+index-set I:i = {0..N-1};
+int a[N], abs_sum;
+
+void main() {
+  par (I) a[i] = (i %% 3 == 0) ? -i : i;
+  abs_sum = $+(I st (a[i] > 0) a[i] others -a[i]);
+}
+|}
+    n
+
+(* ---- section 3.4: matrix product via nested reduction ---- *)
+
+let matmul ~n =
+  Printf.sprintf
+    {|
+#define N %d
+index-set I:i = {0..N-1}, J:j = I, K:k = I;
+int a[N][N], b[N][N], c[N][N];
+
+void main() {
+  par (I, J) {
+    a[i][j] = i + 2 * j;
+    b[i][j] = (i == j) ? 1 : 0;
+  }
+  par (I, J)
+    c[i][j] = $+(K; a[i][k] * b[k][j]);
+}
+|}
+    n
+
+(* ---- section 3.4: reciprocal of non-zero elements ---- *)
+
+let reciprocal ~n =
+  Printf.sprintf
+    {|
+#define N %d
+index-set I:i = {0..N-1};
+float a[N];
+
+void main() {
+  par (I) a[i] = tofloat(i - N / 2);
+  par (I) st (a[i] != 0) a[i] = 1.0 / a[i];
+}
+|}
+    n
+
+(* ---- section 3.4: set odd elements to 0 and others to 1 ---- *)
+
+let odd_even_flags ~n =
+  Printf.sprintf
+    {|
+#define N %d
+index-set I:i = {0..N-1};
+int a[N];
+
+void main() {
+  par (I)
+    st (i %% 2 == 1) a[i] = 0;
+    others a[i] = 1;
+}
+|}
+    n
+
+(* ---- section 3.4: ranksort (all values distinct) ---- *)
+
+let ranksort ~n =
+  if n >= 61 then invalid_arg "ranksort: n must be < 61 for distinct keys";
+  Printf.sprintf
+    {|
+#define N %d
+index-set I:i = {0..N-1}, J:j = I;
+int a[N];
+
+void main() {
+  par (I) a[i] = (i * 7 + 3) %% 61;
+  par (I) {
+    int rank;
+    rank = $+(J st (a[j] < a[i]) 1);
+    a[rank] = a[i];
+  }
+}
+|}
+    n
+
+(* ---- figure 2: prefix sums with *par ---- *)
+
+let prefix_sums ~n =
+  Printf.sprintf
+    {|
+#define N %d
+index-set I:i = {0..N-1};
+int a[N], cnt[N];
+
+void main() {
+  par (I) {
+    a[i] = i;
+    cnt[i] = 0;
+  }
+  *par (I) st (i >= power2(cnt[i]))
+  {
+    a[i] = a[i] + a[i - power2(cnt[i])];
+    cnt[i] = cnt[i] + 1;
+  }
+}
+|}
+    n
+
+(* ---- figure 3: partial sums with seq nested in par ---- *)
+
+let partial_sums_seq ~n =
+  Printf.sprintf
+    {|
+#define N %d
+#define LOGN %d
+index-set I:i = {0..N-1}, J:j = {0..LOGN-1};
+int a[N];
+
+void main() {
+  par (I) {
+    a[i] = i;
+    seq (J) st (i - power2(j) >= 0)
+      a[i] = a[i] + a[i - power2(j)];
+  }
+}
+|}
+    n (log2_ceil n)
+
+(* ---- shortest-path initialisation shared by figures 4, 5 and *solve ---- *)
+
+let sp_init ~deterministic =
+  if deterministic then "(i * 7 + j * 13) % N + 1" else "rand() % N + 1"
+
+(* ---- figure 4: all-pairs shortest path, O(N^2) parallelism ---- *)
+
+let shortest_path_n2 ?(deterministic = true) ~n () =
+  Printf.sprintf
+    {|
+#define N %d
+index-set I:i = {0..N-1}, J:j = I, K:k = I;
+int d[N][N];
+
+void main() {
+  par (I, J)
+    st (i == j) d[i][j] = 0;
+    others d[i][j] = %s;
+  seq (K)
+    par (I, J)
+      st (d[i][k] + d[k][j] < d[i][j])
+        d[i][j] = d[i][k] + d[k][j];
+}
+|}
+    n (sp_init ~deterministic)
+
+(* ---- figure 5: all-pairs shortest path, O(N^3) parallelism ---- *)
+
+let shortest_path_n3 ?(deterministic = true) ~n () =
+  Printf.sprintf
+    {|
+#define N %d
+#define LOGN %d
+index-set I:i = {0..N-1}, J:j = I, K:k = I;
+index-set L:l = {0..LOGN-1};
+int d[N][N];
+
+void main() {
+  par (I, J)
+    st (i == j) d[i][j] = 0;
+    others d[i][j] = %s;
+  seq (L)
+    par (I, J)
+      d[i][j] = $<(K; d[i][k] + d[k][j]);
+}
+|}
+    n
+    (max 1 (log2_ceil n))
+    (sp_init ~deterministic)
+
+(* ---- section 3.6: all-pairs shortest path with *solve ---- *)
+
+let shortest_path_solve ?(deterministic = true) ~n () =
+  Printf.sprintf
+    {|
+#define N %d
+index-set I:i = {0..N-1}, J:j = I, K:k = I;
+int d[N][N];
+
+void main() {
+  par (I, J)
+    st (i == j) d[i][j] = 0;
+    others d[i][j] = %s;
+  *solve (I, J)
+    d[i][j] = $<(K; d[i][k] + d[k][j]);
+}
+|}
+    n (sp_init ~deterministic)
+
+(* ---- section 3.6: the wavefront problem with solve ---- *)
+
+let wavefront ~n =
+  Printf.sprintf
+    {|
+#define N %d
+index-set I:i = {0..N-1}, J:j = I;
+int a[N][N];
+
+void main() {
+  solve (I, J)
+    a[i][j] = (i == 0 || j == 0) ? 1
+            : a[i-1][j] + a[i-1][j-1] + a[i][j-1];
+}
+|}
+    n
+
+(* ---- section 3.7: odd-even transposition sort with *oneof ---- *)
+
+let odd_even_sort ~n =
+  Printf.sprintf
+    {|
+#define N %d
+index-set I:i = {0..N-1};
+int x[N];
+
+void main() {
+  par (I) x[i] = (i * 11 + 5) %% 31;
+  *oneof (I)
+    st (i %% 2 == 0 && i + 1 < N && x[i] > x[i+1]) swap(x[i], x[i+1]);
+    st (i %% 2 != 0 && i + 1 < N && x[i] > x[i+1]) swap(x[i], x[i+1]);
+}
+|}
+    n
+
+(* ---- section 4: digit-count histogram (processor optimization) ---- *)
+
+let digit_count ~n =
+  Printf.sprintf
+    {|
+#define N %d
+index-set I:i = {0..N-1}, J:j = {0..9};
+int samples[N];
+int count[10];
+
+void main() {
+  par (I) samples[i] = rand() %% 10;
+  par (J)
+    count[j] = $+(I st (samples[i] == j) 1);
+}
+|}
+    n
+
+(* ---- figure 11 / figure 8: grid shortest path with an obstacle ---- *)
+
+let obstacle_grid ~n =
+  Printf.sprintf
+    {|
+#define N %d
+#define WALL (0 - 1)
+#define MIN4 min(min((i > 0 && d[i-1][j] != WALL) ? d[i-1][j] : INF, (i < N-1 && d[i+1][j] != WALL) ? d[i+1][j] : INF), min((j > 0 && d[i][j-1] != WALL) ? d[i][j-1] : INF, (j < N-1 && d[i][j+1] != WALL) ? d[i][j+1] : INF))
+index-set I:i = {0..N-1}, J:j = I;
+int d[N][N];
+
+void main() {
+  par (I, J)
+    st (i + j == N - 1 && abs(i - N/2) <= N/4) d[i][j] = WALL;
+    others d[i][j] = 0;
+  *par (I, J)
+    st (d[i][j] != WALL && !(i == 0 && j == 0) && d[i][j] != MIN4 + 1)
+      d[i][j] = MIN4 + 1;
+}
+|}
+    n
+
+(* ---- section 4: stencil used for the mapping ablation ---- *)
+
+let stencil ?(mapped = false) ~n ~steps () =
+  Printf.sprintf
+    {|
+#define N %d
+#define STEPS %d
+index-set I:i = {0..N-2}, IB:ib = {0..N-1};
+int a[N], b[N];
+%s
+void main() {
+  int t;
+  par (IB) {
+    a[ib] = ib;
+    b[ib] = 2 * ib + 1;
+  }
+  for (t = 0; t < STEPS; t = t + 1)
+    par (I) a[i] = a[i] + b[i+1];
+}
+|}
+    n steps
+    (if mapped then "map (I) { permute (I) b[i+1] :- a[i]; }" else "")
+
+(* ---- a small quickstart used by the examples ---- *)
+
+let quickstart =
+  {|
+#define N 10
+index-set I:i = {0..N-1};
+int a[N], total, biggest;
+
+void main() {
+  par (I) a[i] = i * i;
+  total = $+(I; a[i]);
+  biggest = $>(I; a[i]);
+  print("sum of squares 0..9 = ", total);
+  print("largest square = ", biggest);
+}
+|}
+
+(* ---- fold mapping: co-access of a[i] and a[i + N/2] (section 4) ---- *)
+
+let folded_pairs ?(folded = false) ~n () =
+  Printf.sprintf
+    {|
+#define N %d
+index-set I:i = {0..N-1};
+int a[N], b[N];
+%s
+void main() {
+  par (I) a[i] = i * 3 + 1;
+  par (I) b[i] = a[i] + a[(i + N/2) %% N];
+  a[3] = 99;
+}
+|}
+    n
+    (if folded then "map (I) { fold a by 2; }" else "")
+
+(* ---- copy mapping: replication cuts broadcast congestion ---- *)
+
+let copied_broadcast ?(copied = false) ?(steps = 2) ~n ~copies () =
+  Printf.sprintf
+    {|
+#define N %d
+#define STEPS %d
+index-set I:i = {0..N-1};
+int a[N], b[N];
+%s
+void main() {
+  int t;
+  par (I) a[i] = i + 10;
+  a[2] = 55;
+  for (t = 0; t < STEPS; t = t + 1)
+    par (I) b[i] = b[i] + a[i %% 4] + t;
+}
+|}
+    n steps
+    (if copied then Printf.sprintf "map (I) { copy a along %d; }" copies else "")
+
+(* ---- numerical workload: Jacobi heat diffusion (the paper reports
+   CFD / numerical experiments in progress, section 5) ---- *)
+
+let heat ?(steps = 10) ~n () =
+  Printf.sprintf
+    {|
+#define N %d
+#define STEPS %d
+index-set X:x = {0..N-1}, Y:y = X;
+index-set I:i = {1..N-2}, J:j = I;
+float u[N][N], unew[N][N];
+
+void main() {
+  int t;
+  par (X, Y)
+    st (x == 0 || y == 0 || x == N-1 || y == N-1) u[x][y] = tofloat(x + y);
+    others u[x][y] = 0.0;
+  par (X, Y) unew[x][y] = u[x][y];
+  for (t = 0; t < STEPS; t = t + 1) {
+    par (I, J)
+      unew[i][j] = 0.25 * (u[i-1][j] + u[i+1][j] + u[i][j-1] + u[i][j+1]);
+    par (X, Y) u[x][y] = unew[x][y];
+  }
+}
+|}
+    n steps
+
+(* ---- everything, for whole-corpus tests ---- *)
+
+let all_named : (string * string) list =
+  [
+    ("reductions", reductions ~n:10);
+    ("abs_sum", abs_sum ~n:8);
+    ("matmul", matmul ~n:6);
+    ("reciprocal", reciprocal ~n:8);
+    ("odd_even_flags", odd_even_flags ~n:9);
+    ("ranksort", ranksort ~n:16);
+    ("prefix_sums", prefix_sums ~n:16);
+    ("partial_sums_seq", partial_sums_seq ~n:16);
+    ("shortest_path_n2", shortest_path_n2 ~n:6 ());
+    ("shortest_path_n3", shortest_path_n3 ~n:6 ());
+    ("shortest_path_solve", shortest_path_solve ~n:5 ());
+    ("wavefront", wavefront ~n:7);
+    ("odd_even_sort", odd_even_sort ~n:12);
+    ("digit_count", digit_count ~n:24);
+    ("obstacle_grid", obstacle_grid ~n:10);
+    ("stencil", stencil ~n:16 ~steps:4 ());
+    ("stencil_mapped", stencil ~mapped:true ~n:16 ~steps:4 ());
+    ("folded_pairs", folded_pairs ~n:16 ());
+    ("folded_pairs_mapped", folded_pairs ~folded:true ~n:16 ());
+    ("copied_broadcast", copied_broadcast ~n:16 ~copies:4 ());
+    ("copied_broadcast_mapped", copied_broadcast ~copied:true ~n:16 ~copies:4 ());
+    ("heat", heat ~n:12 ());
+    ("quickstart", quickstart);
+  ]

@@ -1,0 +1,1 @@
+test/test_cm.ml: Alcotest Array Builder Cm Format QCheck2 QCheck_alcotest String

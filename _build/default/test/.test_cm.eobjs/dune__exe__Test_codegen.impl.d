@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Array Cm Format List Printf String Uc Uc_programs

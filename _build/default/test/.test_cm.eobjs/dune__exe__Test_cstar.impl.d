@@ -1,0 +1,1 @@
+test/test_cstar.ml: Alcotest Array Cm Cstar Printf Uc Uc_programs

@@ -1,0 +1,1 @@
+test/test_emit.ml: Alcotest List String Uc Uc_programs

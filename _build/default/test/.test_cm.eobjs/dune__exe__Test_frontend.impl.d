@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Array List String Uc Uc_programs

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Buffer Cm Printf QCheck2 QCheck_alcotest String Uc

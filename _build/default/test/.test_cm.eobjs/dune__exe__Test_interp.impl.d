@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Array Cm List Printf Queue String Uc Uc_programs

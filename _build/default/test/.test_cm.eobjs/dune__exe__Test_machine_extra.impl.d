@@ -1,0 +1,1 @@
+test/test_machine_extra.ml: Alcotest Array Builder Cm Format String

@@ -1,0 +1,1 @@
+test/test_mapping.ml: Alcotest Array List Printf String Uc Uc_programs

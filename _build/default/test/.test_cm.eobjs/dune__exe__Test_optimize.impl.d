@@ -1,0 +1,1 @@
+test/test_optimize.ml: Alcotest Cm List Printf QCheck2 QCheck_alcotest String Uc Uc_programs

@@ -1,0 +1,1 @@
+test/test_seqc.ml: Alcotest Array Printf Seqc Uc Uc_programs

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# CLI smoke test: exercises every ucc subcommand on the example programs.
+set -eu
+
+UCC=../bin/ucc.exe
+
+out=$($UCC run ../examples/uc/quickstart.uc)
+echo "$out" | grep -q "sum of squares 0..9 = 285"
+echo "$out" | grep -q "simulated elapsed time"
+
+$UCC check ../examples/uc/shortest_path.uc | grep -q "ok"
+$UCC ast ../examples/uc/quickstart.uc | grep -q 'par (I)'
+$UCC paris ../examples/uc/quickstart.uc | grep -q "preduce-add"
+$UCC cstar ../examples/uc/shortest_path.uc | grep -q "domain SHAPE_6x6"
+$UCC interp ../examples/uc/quickstart.uc | grep -q "largest square = 81"
+$UCC examples | grep -q "obstacle_grid"
+$UCC show wavefront | grep -q "solve (I, J)"
+
+# optimization flags are accepted and keep results stable
+a=$($UCC run ../examples/uc/stencil_mapped.uc --arrays a | head -1)
+b=$($UCC run ../examples/uc/stencil_mapped.uc --arrays a --no-news --no-cse --no-mappings --no-procopt | head -1)
+[ "$a" = "$b" ]
+
+# the profiler attributes time to source lines
+$UCC run ../examples/uc/obstacle_grid.uc --profile | grep -q "line 12"
+
+# errors are reported with a location and a non-zero exit
+if $UCC check /dev/null 2>/dev/null; then exit 1; fi
+echo "int x" > bad.uc
+if $UCC check bad.uc 2>err.txt; then exit 1; fi
+grep -q "error" err.txt
+
+echo "cli ok"

@@ -1,0 +1,148 @@
+(* The C* baseline: correctness against the UC implementations and the
+   reference Floyd-Warshall, plus the efficiency relationships the paper's
+   figures rely on. *)
+
+let check = Alcotest.check
+let ints = Alcotest.array Alcotest.int
+
+let run_cstar ?seed (prog, len_field) =
+  let m = Cm.Machine.create ?seed prog in
+  Cm.Machine.run m;
+  (Cm.Machine.field_ints m len_field, Cm.Machine.elapsed_seconds m, Cm.Machine.meter m)
+
+let floyd_warshall n init =
+  let d = Array.init n (fun i -> Array.init n (fun j -> init i j)) in
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if d.(i).(k) + d.(k).(j) < d.(i).(j) then
+          d.(i).(j) <- d.(i).(k) + d.(k).(j)
+      done
+    done
+  done;
+  Array.init (n * n) (fun p -> d.(p / n).(p mod n))
+
+let det_init n i j = if i = j then 0 else (((i * 7) + (j * 13)) mod n) + 1
+
+let test_n2_matches_reference () =
+  let n = 8 in
+  let d, _, _ = run_cstar (Cstar.Programs.path_n2 ~n ()) in
+  check ints "Floyd-Warshall" (floyd_warshall n (det_init n)) d
+
+let test_n3_matches_reference () =
+  let n = 8 in
+  let d, _, _ = run_cstar (Cstar.Programs.path_n3 ~n ()) in
+  check ints "Floyd-Warshall" (floyd_warshall n (det_init n)) d
+
+let test_n3_log_iterations_suffice () =
+  let n = 8 in
+  let d, _, _ = run_cstar (Cstar.Programs.path_n3 ~iters:3 ~n ()) in
+  check ints "3 squarings reach the fixpoint at n=8"
+    (floyd_warshall n (det_init n)) d
+
+let test_cstar_matches_uc_random_init () =
+  (* same machine seed => same weight matrix => same distances *)
+  let n = 8 in
+  let seed = 99 in
+  let d_cstar, _, _ =
+    run_cstar ~seed (Cstar.Programs.path_n2 ~deterministic:false ~n ())
+  in
+  let uc =
+    Uc.Compile.run_source ~seed
+      (Uc_programs.Programs.shortest_path_n2 ~deterministic:false ~n ())
+  in
+  check ints "identical distance matrices" (Uc.Compile.int_array uc "d") d_cstar
+
+let test_cstar_n3_matches_uc_random_init () =
+  let n = 6 in
+  let seed = 7 in
+  let d_cstar, _, _ =
+    run_cstar ~seed (Cstar.Programs.path_n3 ~deterministic:false ~n ())
+  in
+  let uc =
+    Uc.Compile.run_source ~seed
+      (Uc_programs.Programs.shortest_path_n3 ~deterministic:false ~n ())
+  in
+  check ints "identical distance matrices" (Uc.Compile.int_array uc "d") d_cstar
+
+let test_hand_cstar_leaner_than_uc_n2 () =
+  (* figure 6's comparison: hand C* carries less bookkeeping, so per-N it
+     should not be slower than compiled UC by more than a small factor,
+     and both should grow with N *)
+  let time_uc n =
+    Uc.Compile.elapsed_seconds
+      (Uc.Compile.run_source (Uc_programs.Programs.shortest_path_n2 ~n ()))
+  in
+  let time_cstar n =
+    let _, t, _ = run_cstar (Cstar.Programs.path_n2 ~n ()) in
+    t
+  in
+  let n = 16 in
+  let tu = time_uc n and tc = time_cstar n in
+  check Alcotest.bool
+    (Printf.sprintf "same ballpark (uc %.4f vs cstar %.4f)" tu tc)
+    true
+    (tu /. tc < 3.0 && tc /. tu < 3.0);
+  check Alcotest.bool "uc grows with N" true (time_uc 24 > tu);
+  check Alcotest.bool "cstar grows with N" true (time_cstar 24 > tc)
+
+let test_n3_uses_more_processors_than_n2 () =
+  let n = 8 in
+  let _, _, m2 = run_cstar (Cstar.Programs.path_n2 ~n ()) in
+  let _, _, m3 = run_cstar (Cstar.Programs.path_n3 ~n ()) in
+  (* the N^3 version moves far more messages *)
+  check Alcotest.bool "more router messages" true
+    (m3.Cm.Cost.router_messages > m2.Cm.Cost.router_messages)
+
+let test_where_masks () =
+  let open Cstar.Edsl in
+  let t = create "where-test" in
+  let d = domain t ~name:"D" ~dims:[ 8 ] in
+  let f = member t d "v" Cm.Paris.KInt in
+  activate t d (fun () ->
+      let i = coord t d 0 in
+      assign t f (int_ 5);
+      where t (i <% int_ 3) (fun () -> assign t f (int_ 1)));
+  let prog = finish t in
+  let m = Cm.Machine.create prog in
+  Cm.Machine.run m;
+  check ints "first three masked" [| 1; 1; 1; 5; 5; 5; 5; 5 |]
+    (Cm.Machine.field_ints m (field_id f))
+
+let test_for_loop () =
+  let open Cstar.Edsl in
+  let t = create "for-test" in
+  let d = domain t ~name:"D" ~dims:[ 4 ] in
+  let f = member t d "v" Cm.Paris.KInt in
+  activate t d (fun () ->
+      for_ t 0 5 (fun k -> assign t f (fld t f +% k)))
+  ;
+  let prog = finish t in
+  let m = Cm.Machine.create prog in
+  Cm.Machine.run m;
+  (* 0+1+2+3+4 = 10 *)
+  check ints "sum of counters" [| 10; 10; 10; 10 |]
+    (Cm.Machine.field_ints m (field_id f))
+
+let () =
+  Alcotest.run "cstar"
+    [
+      ( "appendix programs",
+        [
+          Alcotest.test_case "n2 reference" `Quick test_n2_matches_reference;
+          Alcotest.test_case "n3 reference" `Quick test_n3_matches_reference;
+          Alcotest.test_case "n3 log iters" `Quick test_n3_log_iterations_suffice;
+          Alcotest.test_case "n2 matches UC" `Quick test_cstar_matches_uc_random_init;
+          Alcotest.test_case "n3 matches UC" `Quick test_cstar_n3_matches_uc_random_init;
+        ] );
+      ( "performance relations",
+        [
+          Alcotest.test_case "hand C* vs UC ballpark" `Quick test_hand_cstar_leaner_than_uc_n2;
+          Alcotest.test_case "n3 moves more data" `Quick test_n3_uses_more_processors_than_n2;
+        ] );
+      ( "edsl",
+        [
+          Alcotest.test_case "where masks" `Quick test_where_masks;
+          Alcotest.test_case "front-end loop" `Quick test_for_loop;
+        ] );
+    ]

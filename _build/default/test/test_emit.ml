@@ -1,0 +1,78 @@
+(* The C* emitter: the textual target the 1990 compiler generated.  We
+   check structural properties of the output, not byte equality. *)
+
+let check = Alcotest.check
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let emit name = Uc.Cstar_emit.emit_source (List.assoc name Uc_programs.Programs.all_named)
+
+let test_domains_from_shapes () =
+  let out = emit "matmul" in
+  check Alcotest.bool "declares a 6x6 domain" true (contains out "domain SHAPE_6x6");
+  check Alcotest.bool "members share the domain" true
+    (contains out "int a;" && contains out "int b;" && contains out "int c;");
+  check Alcotest.bool "activation block" true (contains out "[domain SHAPE_6x6].{")
+
+let test_coordinates_from_this () =
+  let out = emit "matmul" in
+  check Alcotest.bool "offset from this" true (contains out "this - &shape_6x6_d[0][0]");
+  check Alcotest.bool "row coordinate" true (contains out "/ 6");
+  check Alcotest.bool "column coordinate" true (contains out "% 6")
+
+let test_where_for_predicates () =
+  let out = emit "odd_even_flags" in
+  check Alcotest.bool "where" true (contains out "where (((i % 2) == 1))");
+  check Alcotest.bool "others negated" true (contains out "/* others */")
+
+let test_reduction_combining () =
+  let out = emit "shortest_path_n3" in
+  check Alcotest.bool "min-combining" true (contains out "<?=");
+  check Alcotest.bool "remote left-indexing" true
+    (contains out "shape_6x6_d[i][k].d")
+
+let test_solve_lowered_before_emission () =
+  let out = emit "wavefront" in
+  (* the wavefront solve reaches the emitter as its diagonal schedule *)
+  check Alcotest.bool "no solve in output" false (contains out "solve");
+  check Alcotest.bool "diagonal loop" true (contains out "for (int __d");
+  (* *solve still reaches it as a fixed-point iteration *)
+  let out = emit "shortest_path_solve" in
+  check Alcotest.bool "no solve in output" false (contains out "solve");
+  check Alcotest.bool "iterates" true (contains out "iterate")
+
+let test_seq_becomes_for () =
+  let out = emit "shortest_path_n2" in
+  check Alcotest.bool "front-end for loop" true (contains out "for (int k = 0; k <= 5; k++)")
+
+let test_map_section_comment () =
+  let out = emit "stencil_mapped" in
+  check Alcotest.bool "mapping recorded" true
+    (contains out "/* map: permute b relative to a */")
+
+let test_all_corpus_emits () =
+  List.iter
+    (fun (name, src) ->
+      let out = Uc.Cstar_emit.emit_source src in
+      if not (contains out "void main()") then
+        Alcotest.failf "%s: no main in emitted C*" name)
+    Uc_programs.Programs.all_named
+
+let () =
+  Alcotest.run "cstar-emit"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "domains from shapes" `Quick test_domains_from_shapes;
+          Alcotest.test_case "coordinates from this" `Quick test_coordinates_from_this;
+          Alcotest.test_case "where for predicates" `Quick test_where_for_predicates;
+          Alcotest.test_case "combining reductions" `Quick test_reduction_combining;
+          Alcotest.test_case "solve lowered first" `Quick test_solve_lowered_before_emission;
+          Alcotest.test_case "seq becomes for" `Quick test_seq_becomes_for;
+          Alcotest.test_case "map section comment" `Quick test_map_section_comment;
+          Alcotest.test_case "whole corpus emits" `Quick test_all_corpus_emits;
+        ] );
+    ]

@@ -1,0 +1,241 @@
+(* Construct-level fuzzing: random UC programs built from the language's
+   parallel constructs, executed by both the interpreter and the compiled
+   Paris code.  Generated programs are guaranteed to terminate (iterative
+   constructs count down a fuel array) and to respect the one-value rule
+   (assignment targets are permutations of the index space). *)
+
+let qtest ?(count = 120) ?print name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ?print ~name gen prop)
+
+let n = 8 (* index space size; arrays are a[N], b[N], d[N][N] *)
+
+open QCheck2.Gen
+
+(* ---------------- expressions ---------------- *)
+
+(* a reduction-free int expression over element i and arrays a, b; sizes
+   are capped because statements use several of these *)
+let base_expr =
+  sized_size (int_bound 5)
+  @@ fix (fun self depth ->
+         if depth <= 0 then
+           oneofl [ "i"; "a[i]"; "b[i]"; "1"; "2"; "5"; "rand() % 9" ]
+         else
+           let sub = self (depth / 2) in
+           oneof
+             [
+               oneofl [ "i"; "a[i]"; "b[i]"; "3" ];
+               (let* x = sub and* y = sub in
+                let* op = oneofl [ "+"; "-"; "*" ] in
+                return (Printf.sprintf "(%s %s %s)" x op y));
+               (let* x = sub and* y = sub in
+                let* op = oneofl [ "<"; "=="; "<=" ] in
+                return (Printf.sprintf "(%s %s %s)" x op y));
+               (let* x = sub in
+                (* C's %% is negative for negative operands: keep it safe *)
+                return (Printf.sprintf "a[abs(%s + 1) %% %d]" x n));
+               (let* x = sub and* y = sub in
+                return (Printf.sprintf "min(%s, %s)" x y));
+               (let* x = sub and* y = sub in
+                return (Printf.sprintf "(%s ? %s : %s)" x x y));
+               (let* x = sub in
+                return (Printf.sprintf "abs(%s)" x));
+             ])
+
+(* expressions may contain one level of reduction: nesting reductions
+   multiplies the activity space by |J| per level, which is not a codegen
+   bug but an exponential workload *)
+let expr1 =
+  frequency
+    [
+      (4, base_expr);
+      ( 1,
+        let* p = base_expr and* e = base_expr in
+        return
+          (Printf.sprintf "($+(J st ((j %% 3 == 0) && (%s > 0)) (j + %s)) + %s)"
+             p e e) );
+    ]
+
+let pred1 =
+  oneof
+    [
+      (let* e = expr1 in
+       return (Printf.sprintf "(%s) %% 2 == 0" e));
+      oneofl
+        [
+          "i % 2 == 0"; "i > 2"; "a[i] > b[i]"; "a[i] % 3 != 1";
+          "i + 1 < 8 && a[i+1] > a[i]";
+        ];
+    ]
+
+(* ---------------- statements ---------------- *)
+
+(* assignment target: a permutation of the index space (no conflicts) *)
+let target1 =
+  oneofl [ "a[i]"; "b[i]"; Printf.sprintf "a[(i + 3) %% %d]" n;
+           Printf.sprintf "b[(i + 5) %% %d]" n ]
+
+let par_stmt =
+  let* t = target1 and* e = expr1 in
+  let* guarded = bool in
+  if guarded then
+    let* p = pred1 in
+    let* with_others = bool in
+    if with_others then
+      let* t2 = oneofl [ "a[i]"; "b[i]" ] and* e2 = expr1 in
+      return
+        (Printf.sprintf "  par (I)\n    st (%s) %s = %s;\n    others %s = %s;" p t
+           e t2 e2)
+    else return (Printf.sprintf "  par (I) st (%s) %s = %s;" p t e)
+  else return (Printf.sprintf "  par (I) %s = %s;" t e)
+
+let par_block_stmt =
+  let* e1 = expr1 and* e2 = expr1 and* p = pred1 in
+  return
+    (Printf.sprintf
+       "  par (I) st (%s) {\n    int t_;\n    t_ = %s;\n    a[i] = t_ + 1;\n    b[i] = %s;\n  }"
+       p e1 e2)
+
+let starpar_stmt =
+  (* terminates: each element runs at most `lim' rounds *)
+  let* e = expr1 and* lim = int_range 1 3 in
+  return
+    (Printf.sprintf
+       "  par (I) fuel[i] = %d;\n  *par (I) st (fuel[i] > 0) {\n    a[i] = a[i] + (%s) %% 5;\n    fuel[i] = fuel[i] - 1;\n  }"
+       lim e)
+
+let seq_par_stmt =
+  let* p = pred1 and* e = expr1 in
+  return
+    (Printf.sprintf "  seq (K)\n    par (I) st ((i + k) %% 2 == 0 && (%s)) a[i] = %s;"
+       p e)
+
+let reduce_stmt =
+  let* op = oneofl [ "$+"; "$<"; "$>"; "$|"; "$&" ] and* p = pred1 and* e = expr1 in
+  return (Printf.sprintf "  s = %s(I st (%s) %s);" op p e)
+
+let two_d_stmt =
+  let* e = expr1 in
+  (* i/j both in scope; reuse e with i only plus j terms *)
+  return
+    (Printf.sprintf
+       "  par (I, J)\n    st (i != j) d[i][j] = (%s) + j;\n    others d[i][j] = 0;" e)
+
+let fe_wrap stmt =
+  let* k = int_range 1 3 in
+  return
+    (Printf.sprintf "  for (t = 0; t < %d; t = t + 1) {\n  %s\n  }" k
+       (String.concat "\n  " (String.split_on_char '\n' stmt)))
+
+(* A statement may contain at most one textual rand() site: with several
+   sites the per-element interleaving of the LCG differs between the
+   sequential interpreter and the vectorized machine (each site is one
+   Prand over all enabled elements).  UC leaves rand order unspecified;
+   the differential tests therefore stay within one site per statement,
+   where the streams provably coincide. *)
+let limit_rand s =
+  let needle = "rand() % 9" in
+  let nn = String.length needle in
+  let buf = Buffer.create (String.length s) in
+  let seen = ref false in
+  let i = ref 0 in
+  while !i < String.length s do
+    if
+      !i + nn <= String.length s
+      && String.sub s !i nn = needle
+    then begin
+      Buffer.add_string buf (if !seen then "4" else needle);
+      seen := true;
+      i := !i + nn
+    end
+    else begin
+      Buffer.add_char buf s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+let statement =
+  let* base =
+    frequency
+      [
+        (4, par_stmt);
+        (2, par_block_stmt);
+        (2, starpar_stmt);
+        (2, seq_par_stmt);
+        (2, reduce_stmt);
+        (1, two_d_stmt);
+      ]
+  in
+  let* wrapped = frequency [ (3, return base); (1, fe_wrap base) ] in
+  return (limit_rand wrapped)
+
+let program =
+  let* stmts = list_size (int_range 2 6) statement in
+  return
+    (Printf.sprintf
+       {|
+#define N %d
+index-set I:i = {0..N-1}, J:j = I, K:k = {0..2};
+int a[N], b[N], fuel[N], d[N][N], s, t;
+
+void main() {
+%s
+}
+|}
+       n
+       (String.concat "\n" stmts))
+
+(* ---------------- the property ---------------- *)
+
+let agree src =
+  let prog = Uc.Parser.parse_program src in
+  ignore (Uc.Sema.check prog);
+  let ir = Uc.Interp.run prog in
+  let mr = Uc.Compile.run_source src in
+  Uc.Interp.int_array ir "a" = Uc.Compile.int_array mr "a"
+  && Uc.Interp.int_array ir "b" = Uc.Compile.int_array mr "b"
+  && Uc.Interp.int_array ir "d" = Uc.Compile.int_array mr "d"
+  && Uc.Interp.scalar ir "s"
+     = (match Uc.Compile.scalar mr "s" with
+       | Cm.Paris.SInt v -> Uc.Interp.Vint v
+       | Cm.Paris.SFloat f -> Uc.Interp.Vfloat f)
+
+let fuzz_differential =
+  qtest ~print:(fun s -> s)
+    "fuzz: random construct programs, interpreter = machine" program agree
+
+let fuzz_options =
+  qtest ~count:60 ~print:fst "fuzz: optimizations never change results"
+    (QCheck2.Gen.pair program
+       (QCheck2.Gen.oneofl
+          [
+            { Uc.Codegen.default_options with news_opt = false };
+            { Uc.Codegen.default_options with cse = false };
+            { Uc.Codegen.default_options with procopt = false };
+          ]))
+    (fun (src, options) ->
+      let prog = Uc.Parser.parse_program src in
+      ignore (Uc.Sema.check prog);
+      let m1 = Uc.Compile.run_source src in
+      let m2 = Uc.Compile.run_source ~options src in
+      Uc.Compile.int_array m1 "a" = Uc.Compile.int_array m2 "a"
+      && Uc.Compile.int_array m1 "b" = Uc.Compile.int_array m2 "b"
+      && Uc.Compile.int_array m1 "d" = Uc.Compile.int_array m2 "d")
+
+let fuzz_pretty_roundtrip =
+  qtest ~count:120 ~print:(fun s -> s)
+    "fuzz: pretty-print/reparse is a fixpoint" program
+    (fun src ->
+      let p1 = Uc.Parser.parse_program src in
+      let s1 = Uc.Pretty.program_to_string p1 in
+      let s2 = Uc.Pretty.program_to_string (Uc.Parser.parse_program s1) in
+      s1 = s2)
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ("differential", [ fuzz_differential ]);
+      ("options", [ fuzz_options ]);
+      ("pretty", [ fuzz_pretty_roundtrip ]);
+    ]

@@ -1,0 +1,515 @@
+(* Semantic tests: the UC reference interpreter against independently
+   computed results for every paper program. *)
+
+let check = Alcotest.check
+
+let run ?choice src =
+  let prog = Uc.Parser.parse_program src in
+  ignore (Uc.Sema.check prog);
+  Uc.Interp.run ?choice prog
+
+let ints = Alcotest.array Alcotest.int
+
+(* ---------------- reductions (figure 1) ---------------- *)
+
+let test_reductions () =
+  let r = run (Uc_programs.Programs.reductions ~n:10) in
+  (* a[i] = (3i + 7) mod 10 = [7;0;3;6;9;2;5;8;1;4] *)
+  check ints "a" [| 7; 0; 3; 6; 9; 2; 5; 8; 1; 4 |] (Uc.Interp.int_array r "a");
+  check Alcotest.bool "s = 45" true (Uc.Interp.scalar r "s" = Uc.Interp.Vint 45);
+  check Alcotest.bool "avg = 4.5" true
+    (Uc.Interp.scalar r "avg" = Uc.Interp.Vfloat 4.5);
+  check Alcotest.bool "mn = 0" true (Uc.Interp.scalar r "mn" = Uc.Interp.Vint 0);
+  check Alcotest.bool "first = 1" true
+    (Uc.Interp.scalar r "first" = Uc.Interp.Vint 1);
+  check Alcotest.bool "arb = 1" true
+    (Uc.Interp.scalar r "arb" = Uc.Interp.Vint 1);
+  (* the maximum 9 occurs only at i = 4 *)
+  check Alcotest.bool "last = 4" true
+    (Uc.Interp.scalar r "last" = Uc.Interp.Vint 4)
+
+let test_abs_sum () =
+  let r = run (Uc_programs.Programs.abs_sum ~n:8) in
+  (* a = [0;1;2;-3;4;5;-6;7]: positives 1+2+4+5+7=19, others -(0)-(−3)-(−6)=9 *)
+  check Alcotest.bool "abs_sum = 28" true
+    (Uc.Interp.scalar r "abs_sum" = Uc.Interp.Vint 28)
+
+(* ---------------- par (section 3.4) ---------------- *)
+
+let test_matmul_identity () =
+  let n = 6 in
+  let r = run (Uc_programs.Programs.matmul ~n) in
+  let c = Uc.Interp.int_array r "c" in
+  let expected =
+    Array.init (n * n) (fun p ->
+        let i = p / n and j = p mod n in
+        i + (2 * j))
+  in
+  check ints "c = a (b is the identity)" expected c
+
+let test_reciprocal () =
+  let r = run (Uc_programs.Programs.reciprocal ~n:8) in
+  let a = Uc.Interp.float_array r "a" in
+  let expected = [| -0.25; -1.0 /. 3.0; -0.5; -1.0; 0.0; 1.0; 0.5; 1.0 /. 3.0 |] in
+  Array.iteri
+    (fun i v -> check (Alcotest.float 1e-12) (Printf.sprintf "a[%d]" i) expected.(i) v)
+    a
+
+let test_odd_even_flags () =
+  let r = run (Uc_programs.Programs.odd_even_flags ~n:9) in
+  check ints "flags" [| 1; 0; 1; 0; 1; 0; 1; 0; 1 |] (Uc.Interp.int_array r "a")
+
+let test_ranksort () =
+  let n = 16 in
+  let r = run (Uc_programs.Programs.ranksort ~n) in
+  let keys = List.init n (fun i -> ((i * 7) + 3) mod 61) in
+  let expected = Array.of_list (List.sort compare keys) in
+  check ints "sorted" expected (Uc.Interp.int_array r "a")
+
+let test_multiple_assignment_conflict () =
+  (* the paper's illegal example: par (I, J) a[i] = b[j] *)
+  let src =
+    {|
+index-set I:i = {0..3}, J:j = I;
+int a[4], b[4];
+void main() {
+  par (J) b[j] = j;
+  par (I, J) a[i] = b[j];
+}
+|}
+  in
+  try
+    ignore (run src);
+    Alcotest.fail "expected a conflict"
+  with Uc.Interp.Runtime_error msg ->
+    check Alcotest.bool "mentions conflict" true
+      (String.length msg >= 28 && String.sub msg 0 28 = "parallel assignment conflict")
+
+let test_identical_values_no_conflict () =
+  (* assigning the same value from many elements is legal *)
+  let src =
+    {|
+index-set I:i = {0..3}, J:j = I;
+int a[4];
+void main() {
+  par (I, J) a[i] = 7;
+}
+|}
+  in
+  let r = run src in
+  check ints "broadcast" [| 7; 7; 7; 7 |] (Uc.Interp.int_array r "a")
+
+let test_two_phase_semantics () =
+  (* a[i] = a[N-1-i]: reversal must read all values before writing *)
+  let src =
+    {|
+index-set I:i = {0..5};
+int a[6];
+void main() {
+  par (I) a[i] = i * 10;
+  par (I) a[i] = a[5 - i];
+}
+|}
+  in
+  let r = run src in
+  check ints "reversed" [| 50; 40; 30; 20; 10; 0 |] (Uc.Interp.int_array r "a")
+
+(* ---------------- iterative constructs ---------------- *)
+
+let test_prefix_sums () =
+  let n = 16 in
+  let r = run (Uc_programs.Programs.prefix_sums ~n) in
+  let expected = Array.init n (fun i -> i * (i + 1) / 2) in
+  check ints "prefix sums" expected (Uc.Interp.int_array r "a")
+
+let test_partial_sums_seq () =
+  let n = 16 in
+  let r = run (Uc_programs.Programs.partial_sums_seq ~n) in
+  let expected = Array.init n (fun i -> i * (i + 1) / 2) in
+  check ints "partial sums" expected (Uc.Interp.int_array r "a")
+
+(* ---------------- shortest paths ---------------- *)
+
+let floyd_warshall n init =
+  let d = Array.init n (fun i -> Array.init n (fun j -> init i j)) in
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if d.(i).(k) + d.(k).(j) < d.(i).(j) then
+          d.(i).(j) <- d.(i).(k) + d.(k).(j)
+      done
+    done
+  done;
+  Array.init (n * n) (fun p -> d.(p / n).(p mod n))
+
+let det_init n i j = if i = j then 0 else (((i * 7) + (j * 13)) mod n) + 1
+
+let test_shortest_path_n2 () =
+  let n = 6 in
+  let r = run (Uc_programs.Programs.shortest_path_n2 ~n ()) in
+  check ints "matches Floyd-Warshall" (floyd_warshall n (det_init n))
+    (Uc.Interp.int_array r "d")
+
+let test_shortest_path_n3 () =
+  let n = 6 in
+  let r = run (Uc_programs.Programs.shortest_path_n3 ~n ()) in
+  check ints "matches Floyd-Warshall" (floyd_warshall n (det_init n))
+    (Uc.Interp.int_array r "d")
+
+let test_shortest_path_solve () =
+  let n = 5 in
+  let r = run (Uc_programs.Programs.shortest_path_solve ~n ()) in
+  check ints "matches Floyd-Warshall" (floyd_warshall n (det_init n))
+    (Uc.Interp.int_array r "d")
+
+(* ---------------- solve: wavefront ---------------- *)
+
+let test_wavefront () =
+  let n = 7 in
+  let r = run (Uc_programs.Programs.wavefront ~n) in
+  let a = Array.make_matrix n n 0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      a.(i).(j) <-
+        (if i = 0 || j = 0 then 1
+         else a.(i - 1).(j) + a.(i - 1).(j - 1) + a.(i).(j - 1))
+    done
+  done;
+  let expected = Array.init (n * n) (fun p -> a.(p / n).(p mod n)) in
+  check ints "wavefront recurrence" expected (Uc.Interp.int_array r "a")
+
+(* ---------------- oneof: odd-even transposition sort ---------------- *)
+
+let test_odd_even_sort () =
+  let n = 12 in
+  let expected =
+    Array.of_list (List.sort compare (List.init n (fun i -> ((i * 11) + 5) mod 31)))
+  in
+  let r = run (Uc_programs.Programs.odd_even_sort ~n) in
+  check ints "sorted (first)" expected (Uc.Interp.int_array r "x");
+  let r = run ~choice:`Rotate (Uc_programs.Programs.odd_even_sort ~n) in
+  check ints "sorted (rotate)" expected (Uc.Interp.int_array r "x")
+
+(* ---------------- digit count ---------------- *)
+
+let test_digit_count () =
+  let r = run (Uc_programs.Programs.digit_count ~n:24) in
+  let samples = Uc.Interp.int_array r "samples" in
+  let expected = Array.make 10 0 in
+  Array.iter (fun s -> expected.(s) <- expected.(s) + 1) samples;
+  check ints "histogram" expected (Uc.Interp.int_array r "count");
+  check Alcotest.int "counts sum to N" 24
+    (Array.fold_left ( + ) 0 (Uc.Interp.int_array r "count"))
+
+(* ---------------- obstacle grid (figures 8 and 11) ---------------- *)
+
+let obstacle_reference n =
+  (* BFS from (0,0) on the grid minus the V-shaped wall *)
+  let wall i j = i + j = n - 1 && abs (i - (n / 2)) <= n / 4 in
+  let dist = Array.make_matrix n n Cm.Paris.inf_int in
+  let q = Queue.create () in
+  dist.(0).(0) <- 0;
+  Queue.add (0, 0) q;
+  while not (Queue.is_empty q) do
+    let i, j = Queue.pop q in
+    List.iter
+      (fun (i', j') ->
+        if
+          i' >= 0 && i' < n && j' >= 0 && j' < n
+          && (not (wall i' j'))
+          && dist.(i').(j') > dist.(i).(j) + 1
+        then begin
+          dist.(i').(j') <- dist.(i).(j) + 1;
+          Queue.add (i', j') q
+        end)
+      [ (i - 1, j); (i + 1, j); (i, j - 1); (i, j + 1) ]
+  done;
+  Array.init (n * n) (fun p ->
+      let i = p / n and j = p mod n in
+      if wall i j then -1 else dist.(i).(j))
+
+let test_obstacle_grid () =
+  let n = 10 in
+  let r = run (Uc_programs.Programs.obstacle_grid ~n) in
+  check ints "distances route around the wall" (obstacle_reference n)
+    (Uc.Interp.int_array r "d")
+
+(* ---------------- stencil (mapping ablation workload) ---------------- *)
+
+let test_stencil () =
+  let n = 16 and steps = 4 in
+  let expected =
+    Array.init n (fun i ->
+        if i < n - 1 then i + (steps * ((2 * (i + 1)) + 1)) else i)
+  in
+  let r = run (Uc_programs.Programs.stencil ~n ~steps ()) in
+  check ints "unmapped" expected (Uc.Interp.int_array r "a");
+  (* the map section must not change results *)
+  let r = run (Uc_programs.Programs.stencil ~mapped:true ~n ~steps ()) in
+  check ints "mapped" expected (Uc.Interp.int_array r "a")
+
+(* ---------------- front-end features ---------------- *)
+
+let test_quickstart_output () =
+  let r = run Uc_programs.Programs.quickstart in
+  check
+    (Alcotest.list Alcotest.string)
+    "print output"
+    [ "sum of squares 0..9 = 285"; "largest square = 81" ]
+    (Uc.Interp.output r)
+
+let test_functions_and_loops () =
+  let src =
+    {|
+int square(int x) { return x * x; }
+int sum_to(int n) {
+  int s; int k;
+  s = 0;
+  for (k = 1; k <= n; k = k + 1) {
+    if (k == 3) continue;
+    if (k > 5) break;
+    s = s + k;
+  }
+  return s;
+}
+int a, b;
+void main() {
+  a = square(7);
+  b = sum_to(100);
+}
+|}
+  in
+  let r = run src in
+  check Alcotest.bool "square" true (Uc.Interp.scalar r "a" = Uc.Interp.Vint 49);
+  (* 1 + 2 + 4 + 5 = 12 *)
+  check Alcotest.bool "loop with break/continue" true
+    (Uc.Interp.scalar r "b" = Uc.Interp.Vint 12)
+
+let test_array_params_by_reference () =
+  let src =
+    {|
+void fill(int v[], int n) {
+  int k;
+  for (k = 0; k < n; k = k + 1) v[k] = k * 3;
+}
+int a[5];
+void main() { fill(a, 5); }
+|}
+  in
+  let r = run src in
+  check ints "filled through the parameter" [| 0; 3; 6; 9; 12 |]
+    (Uc.Interp.int_array r "a")
+
+let test_inlined_function_in_par () =
+  let src =
+    {|
+index-set I:i = {0..5};
+int a[6];
+int step(int x) { int t; t = x * 2; return t + 1; }
+void main() { par (I) a[i] = step(i); }
+|}
+  in
+  let r = run src in
+  check ints "per-element call" [| 1; 3; 5; 7; 9; 11 |] (Uc.Interp.int_array r "a")
+
+let test_explicit_index_set () =
+  let src =
+    {|
+index-set S:s = {4, 2, 9};
+int a[10], order[10];
+int c;
+void main() {
+  c = 0;
+  par (S) a[s] = 1;
+  seq (S) { order[c] = s; c = c + 1; }
+}
+|}
+  in
+  let r = run src in
+  check ints "explicit membership" [| 0; 0; 1; 0; 1; 0; 0; 0; 0; 1 |]
+    (Uc.Interp.int_array r "a");
+  let order = Uc.Interp.int_array r "order" in
+  check ints "seq follows declaration order" [| 4; 2; 9 |]
+    (Array.sub order 0 3)
+
+let test_reduction_empty_identities () =
+  let src =
+    {|
+index-set I:i = {0..3};
+int s, p, mx, mn, la, lo, xo, ar;
+void main() {
+  s = $+(I st (i > 99) i);
+  p = $*(I st (i > 99) i);
+  mx = $>(I st (i > 99) i);
+  mn = $<(I st (i > 99) i);
+  la = $&(I st (i > 99) i);
+  lo = $|(I st (i > 99) i);
+  xo = $^(I st (i > 99) i);
+  ar = $,(I st (i > 99) i);
+}
+|}
+  in
+  let r = run src in
+  let v name = Uc.Interp.scalar r name in
+  check Alcotest.bool "sum 0" true (v "s" = Uc.Interp.Vint 0);
+  check Alcotest.bool "prod 1" true (v "p" = Uc.Interp.Vint 1);
+  check Alcotest.bool "max -INF" true (v "mx" = Uc.Interp.Vint (-Cm.Paris.inf_int));
+  check Alcotest.bool "min INF" true (v "mn" = Uc.Interp.Vint Cm.Paris.inf_int);
+  check Alcotest.bool "and 1" true (v "la" = Uc.Interp.Vint 1);
+  check Alcotest.bool "or 0" true (v "lo" = Uc.Interp.Vint 0);
+  check Alcotest.bool "xor 0" true (v "xo" = Uc.Interp.Vint 0);
+  check Alcotest.bool "arb INF" true (v "ar" = Uc.Interp.Vint Cm.Paris.inf_int)
+
+let test_multi_branch_reduction_overlap () =
+  (* an element enabled for several st branches contributes once per branch *)
+  let src =
+    {|
+index-set I:i = {0..3};
+int s;
+void main() {
+  s = $+(I st (i >= 0) 1 st (i >= 2) 10);
+}
+|}
+  in
+  let r = run src in
+  check Alcotest.bool "4*1 + 2*10" true (Uc.Interp.scalar r "s" = Uc.Interp.Vint 24)
+
+let test_index_set_shadowing () =
+  (* the outer predicate does not restrict the inner reduction *)
+  let src =
+    {|
+index-set I:i = {0..9};
+int a[10];
+void main() {
+  par (I)
+    st (i % 2 == 0) a[i] = $+(I; i);
+}
+|}
+  in
+  let r = run src in
+  let a = Uc.Interp.int_array r "a" in
+  check Alcotest.int "even gets full sum" 45 a.(0);
+  check Alcotest.int "odd untouched" 0 a.(1);
+  check Alcotest.int "even gets full sum" 45 a.(8)
+
+let test_while_in_par () =
+  (* per-element iteration counts differ; SIMD-style masked while *)
+  let src =
+    {|
+index-set I:i = {0..5};
+int a[6];
+void main() {
+  par (I) {
+    int v;
+    v = i;
+    while (v > 0) {
+      a[i] = a[i] + 1;
+      v = v - 1;
+    }
+  }
+}
+|}
+  in
+  let r = run src in
+  check ints "a[i] = i" [| 0; 1; 2; 3; 4; 5 |] (Uc.Interp.int_array r "a")
+
+let test_nonterminating_fuel () =
+  let src =
+    {|
+index-set I:i = {0..3};
+int a[4];
+void main() {
+  *par (I) st (1) a[i] = a[i] + 1;
+}
+|}
+  in
+  let prog = Uc.Parser.parse_program src in
+  ignore (Uc.Sema.check prog);
+  try
+    ignore (Uc.Interp.run ~fuel:1000 prog);
+    Alcotest.fail "expected fuel exhaustion"
+  with Uc.Interp.Runtime_error msg ->
+    check Alcotest.bool "mentions iteration limit" true
+      (String.length msg >= 9 && String.sub msg 0 9 = "iteration")
+
+let test_subscript_bounds () =
+  let src =
+    {|
+index-set I:i = {0..3};
+int a[4];
+void main() { par (I) a[i + 1] = 0; }
+|}
+  in
+  try
+    ignore (run src);
+    Alcotest.fail "expected bounds error"
+  with Uc.Interp.Runtime_error msg ->
+    check Alcotest.bool "mentions subscript" true
+      (String.length msg >= 9 && String.sub msg 0 9 = "subscript")
+
+let test_deterministic_seeds () =
+  let src = Uc_programs.Programs.digit_count ~n:16 in
+  let prog = Uc.Parser.parse_program src in
+  ignore (Uc.Sema.check prog);
+  let r1 = Uc.Interp.run ~seed:5 prog in
+  let r2 = Uc.Interp.run ~seed:5 prog in
+  let r3 = Uc.Interp.run ~seed:6 prog in
+  check ints "same seed" (Uc.Interp.int_array r1 "samples")
+    (Uc.Interp.int_array r2 "samples");
+  check Alcotest.bool "different seed" true
+    (Uc.Interp.int_array r1 "samples" <> Uc.Interp.int_array r3 "samples")
+
+let () =
+  Alcotest.run "interp"
+    [
+      ( "reductions",
+        [
+          Alcotest.test_case "figure 1" `Quick test_reductions;
+          Alcotest.test_case "abs_sum with others" `Quick test_abs_sum;
+          Alcotest.test_case "empty identities" `Quick test_reduction_empty_identities;
+          Alcotest.test_case "multi-branch overlap" `Quick test_multi_branch_reduction_overlap;
+          Alcotest.test_case "index-set shadowing" `Quick test_index_set_shadowing;
+        ] );
+      ( "par",
+        [
+          Alcotest.test_case "matmul" `Quick test_matmul_identity;
+          Alcotest.test_case "reciprocal" `Quick test_reciprocal;
+          Alcotest.test_case "odd/even flags" `Quick test_odd_even_flags;
+          Alcotest.test_case "ranksort" `Quick test_ranksort;
+          Alcotest.test_case "conflict detected" `Quick test_multiple_assignment_conflict;
+          Alcotest.test_case "identical ok" `Quick test_identical_values_no_conflict;
+          Alcotest.test_case "two-phase" `Quick test_two_phase_semantics;
+          Alcotest.test_case "while in par" `Quick test_while_in_par;
+        ] );
+      ( "iterative",
+        [
+          Alcotest.test_case "prefix sums (*par)" `Quick test_prefix_sums;
+          Alcotest.test_case "partial sums (seq in par)" `Quick test_partial_sums_seq;
+          Alcotest.test_case "fuel" `Quick test_nonterminating_fuel;
+        ] );
+      ( "shortest-path",
+        [
+          Alcotest.test_case "O(N^2)" `Quick test_shortest_path_n2;
+          Alcotest.test_case "O(N^3)" `Quick test_shortest_path_n3;
+          Alcotest.test_case "*solve" `Quick test_shortest_path_solve;
+          Alcotest.test_case "obstacle grid" `Quick test_obstacle_grid;
+        ] );
+      ( "solve",
+        [ Alcotest.test_case "wavefront" `Quick test_wavefront ] );
+      ( "oneof",
+        [ Alcotest.test_case "odd-even sort" `Quick test_odd_even_sort ] );
+      ( "histogram",
+        [ Alcotest.test_case "digit count" `Quick test_digit_count ] );
+      ( "stencil",
+        [ Alcotest.test_case "mapping preserves results" `Quick test_stencil ] );
+      ( "front-end",
+        [
+          Alcotest.test_case "quickstart output" `Quick test_quickstart_output;
+          Alcotest.test_case "functions and loops" `Quick test_functions_and_loops;
+          Alcotest.test_case "array params by reference" `Quick test_array_params_by_reference;
+          Alcotest.test_case "inlined function in par" `Quick test_inlined_function_in_par;
+          Alcotest.test_case "explicit index set" `Quick test_explicit_index_set;
+          Alcotest.test_case "subscript bounds" `Quick test_subscript_bounds;
+          Alcotest.test_case "deterministic seeds" `Quick test_deterministic_seeds;
+        ] );
+    ]

@@ -1,0 +1,281 @@
+(* Further machine coverage: combining sends, Ptable/Cread, float router
+   traffic, and dynamic error paths. *)
+
+let check = Alcotest.check
+let ints = Alcotest.array Alcotest.int
+
+open Cm.Paris
+
+let build f =
+  let b = Builder.create "extra" in
+  let r = f b in
+  (Builder.finish b, r)
+
+let run_prog ?seed prog =
+  let m = Cm.Machine.create ?seed prog in
+  Cm.Machine.run m;
+  m
+
+let expect_error prog frag =
+  let m = Cm.Machine.create prog in
+  try
+    Cm.Machine.run m;
+    Alcotest.failf "expected error mentioning %S" frag
+  with Cm.Machine.Error msg ->
+    let contains hay needle =
+      let nh = String.length hay and nn = String.length needle in
+      let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+      go 0
+    in
+    if not (contains msg frag) then
+      Alcotest.failf "error %S does not mention %S" msg frag
+
+(* all elements send their coordinate to cell 0 with a combining rule *)
+let combine_prog combine =
+  build (fun b ->
+      let vp = Builder.vpset b (Cm.Geometry.create [ 6 ]) in
+      let src = Builder.field b ~vpset:vp KInt in
+      let addr = Builder.field b ~vpset:vp KInt in
+      let dst = Builder.field b ~vpset:vp KInt in
+      Builder.emit b (Cwith vp);
+      Builder.emit b (Pcoord (src, 0));
+      Builder.emit b (Pbin (Add, src, Fld src, Imm (SInt 1)));
+      Builder.emit b (Pmov (addr, Imm (SInt 0)));
+      Builder.emit b (Psend (dst, src, addr, combine));
+      dst)
+
+let test_send_combines () =
+  let value combine =
+    let prog, dst = combine_prog combine in
+    (Cm.Machine.field_ints (run_prog prog) dst).(0)
+  in
+  (* sources are 1..6 *)
+  check Alcotest.int "add" 21 (value Cadd);
+  check Alcotest.int "min" 1 (value Cmin);
+  check Alcotest.int "max" 6 (value Cmax);
+  check Alcotest.int "or" 7 (value Cor);
+  check Alcotest.int "and" 0 (value Cand);
+  check Alcotest.int "xor" 7 (value Cxor);
+  (* Cover: an arbitrary winner, but deterministically one of the values *)
+  let v = value Cover in
+  check Alcotest.bool "over picks a value" true (v >= 1 && v <= 6)
+
+let test_float_send_combine () =
+  let prog, (src, dst) =
+    build (fun b ->
+        let vp = Builder.vpset b (Cm.Geometry.create [ 4 ]) in
+        let c = Builder.field b ~vpset:vp KInt in
+        let src = Builder.field b ~vpset:vp KFloat in
+        let addr = Builder.field b ~vpset:vp KInt in
+        let dst = Builder.field b ~vpset:vp KFloat in
+        Builder.emit b (Cwith vp);
+        Builder.emit b (Pcoord (c, 0));
+        Builder.emit b (Punop (ToFloat, src, Fld c));
+        Builder.emit b (Pbin (Add, src, Fld src, Imm (SFloat 0.5)));
+        Builder.emit b (Pmov (addr, Imm (SInt 2)));
+        Builder.emit b (Psend (dst, src, addr, Cadd));
+        (src, dst))
+  in
+  ignore src;
+  let m = run_prog prog in
+  (* 0.5 + 1.5 + 2.5 + 3.5 = 8 delivered to cell 2 *)
+  check (Alcotest.float 1e-9) "sum" 8.0 (Cm.Machine.field_floats m dst).(2)
+
+let test_ptable_and_cread () =
+  let prog, (tbl, flags) =
+    build (fun b ->
+        let vp = Builder.vpset b (Cm.Geometry.create [ 5 ]) in
+        let tbl = Builder.field b ~vpset:vp KInt in
+        let flags = Builder.field b ~vpset:vp KInt in
+        Builder.emit b (Cwith vp);
+        Builder.emit b (Ptable (tbl, [| 9; 0; 7; 0; 5 |]));
+        Builder.emit b Cpush;
+        Builder.emit b (Cand tbl);
+        Builder.emit b (Cread flags);
+        Builder.emit b Cpop;
+        (tbl, flags))
+  in
+  let m = run_prog prog in
+  check ints "table loaded" [| 9; 0; 7; 0; 5 |] (Cm.Machine.field_ints m tbl);
+  check ints "context read back" [| 1; 0; 1; 0; 1 |]
+    (Cm.Machine.field_ints m flags)
+
+let test_ptable_length_checked () =
+  let prog, _ =
+    build (fun b ->
+        let vp = Builder.vpset b (Cm.Geometry.create [ 4 ]) in
+        let f = Builder.field b ~vpset:vp KInt in
+        Builder.emit b (Cwith vp);
+        Builder.emit b (Ptable (f, [| 1; 2 |]));
+        ())
+  in
+  expect_error prog "ptable"
+
+let test_pget_out_of_range () =
+  let prog, _ =
+    build (fun b ->
+        let vp = Builder.vpset b (Cm.Geometry.create [ 3 ]) in
+        let src = Builder.field b ~vpset:vp KInt in
+        let addr = Builder.field b ~vpset:vp KInt in
+        let dst = Builder.field b ~vpset:vp KInt in
+        Builder.emit b (Cwith vp);
+        Builder.emit b (Pmov (addr, Imm (SInt 7)));
+        Builder.emit b (Pget (dst, src, addr));
+        ())
+  in
+  expect_error prog "address out of range"
+
+let test_kind_mismatch_errors () =
+  let prog, _ =
+    build (fun b ->
+        let vp = Builder.vpset b (Cm.Geometry.create [ 2 ]) in
+        let i = Builder.field b ~vpset:vp KInt in
+        let f = Builder.field b ~vpset:vp KFloat in
+        let addr = Builder.field b ~vpset:vp KInt in
+        Builder.emit b (Cwith vp);
+        Builder.emit b (Pget (i, f, addr));
+        ())
+  in
+  expect_error prog "kind mismatch"
+
+let test_reduce_axis_geometry_checked () =
+  let prog, _ =
+    build (fun b ->
+        let outer = Builder.vpset b (Cm.Geometry.create [ 4 ]) in
+        let whole = Builder.vpset b (Cm.Geometry.create [ 3; 4 ]) in
+        let src = Builder.field b ~vpset:whole KInt in
+        let dst = Builder.field b ~vpset:outer KInt in
+        Builder.emit b (Cwith whole);
+        Builder.emit b (Preduce_axis (Add, dst, src));
+        ())
+  in
+  (* [4] is not a prefix of [3; 4] *)
+  expect_error prog "prefix"
+
+let test_operand_wrong_vpset () =
+  let prog, _ =
+    build (fun b ->
+        let vp1 = Builder.vpset b (Cm.Geometry.create [ 4 ]) in
+        let vp2 = Builder.vpset b (Cm.Geometry.create [ 8 ]) in
+        let a = Builder.field b ~vpset:vp1 KInt in
+        let c = Builder.field b ~vpset:vp2 KInt in
+        Builder.emit b (Cwith vp1);
+        Builder.emit b (Pbin (Add, a, Fld c, Imm (SInt 1)));
+        ())
+  in
+  expect_error prog "not on the current VP set"
+
+let test_cross_vpset_send () =
+  (* histogram shape: a large set sends into a small one *)
+  let prog, count =
+    build (fun b ->
+        let big = Builder.vpset b (Cm.Geometry.create [ 12 ]) in
+        let small = Builder.vpset b (Cm.Geometry.create [ 3 ]) in
+        let key = Builder.field b ~vpset:big KInt in
+        let one = Builder.field b ~vpset:big KInt in
+        let count = Builder.field b ~vpset:small KInt in
+        Builder.emit b (Cwith big);
+        Builder.emit b (Pcoord (key, 0));
+        Builder.emit b (Pbin (Mod, key, Fld key, Imm (SInt 3)));
+        Builder.emit b (Pmov (one, Imm (SInt 1)));
+        Builder.emit b (Psend (count, one, key, Cadd));
+        count)
+  in
+  let m = run_prog prog in
+  check ints "4 each" [| 4; 4; 4 |] (Cm.Machine.field_ints m count)
+
+let test_pscan_2d () =
+  let prog, (src, dst) =
+    build (fun b ->
+        let vp = Builder.vpset b (Cm.Geometry.create [ 2; 4 ]) in
+        let src = Builder.field b ~vpset:vp KInt in
+        let dst = Builder.field b ~vpset:vp KInt in
+        Builder.emit b (Cwith vp);
+        Builder.emit b (Pcoord (src, 1));
+        Builder.emit b (Pscan (Add, dst, src, 1));
+        (src, dst))
+  in
+  ignore src;
+  let m = run_prog prog in
+  check ints "row scans" [| 0; 1; 3; 6; 0; 1; 3; 6 |]
+    (Cm.Machine.field_ints m dst)
+
+let test_unplaced_label () =
+  let prog, _ =
+    build (fun b ->
+        let l = Builder.label b in
+        Builder.emit b (Jmp l);
+        ())
+  in
+  expect_error prog "unplaced label"
+
+let test_pp_every_instruction () =
+  (* the printer must render every instruction form without raising *)
+  let prog, _ =
+    build (fun b ->
+        let vp = Builder.vpset b (Cm.Geometry.create [ 2; 2 ]) in
+        let f = Builder.field b ~vpset:vp KInt in
+        let g = Builder.field b ~vpset:vp KFloat in
+        let r = Builder.reg b in
+        let l = Builder.label b in
+        Builder.emit b (Cwith vp);
+        Builder.emit b (Fmov (r, Imm (SInt 1)));
+        Builder.emit b (Fbin (Add, r, Reg r, Imm (SInt 2)));
+        Builder.emit b (Funop (Neg, r, Reg r));
+        Builder.emit b (Frand (r, Imm (SInt 10)));
+        Builder.emit b (Fread (r, f, Imm (SInt 0)));
+        Builder.emit b (Fwrite (f, Imm (SInt 0), Reg r));
+        Builder.emit b (Fprint ("x = ", Some (Reg r)));
+        Builder.emit b (Pmov (f, Imm (SInt 0)));
+        Builder.emit b (Pbin (Mul, f, Fld f, Imm (SInt 3)));
+        Builder.emit b (Punop (Abs, f, Fld f));
+        Builder.emit b (Pcoord (f, 0));
+        Builder.emit b (Ptable (f, [| 1; 2; 3; 4 |]));
+        Builder.emit b (Prand (f, Imm (SInt 9)));
+        Builder.emit b (Psel (f, Fld f, Imm (SInt 1), Imm (SInt 2)));
+        Builder.emit b (Pget (f, f, f));
+        Builder.emit b (Psend (f, f, f, Ccheck));
+        Builder.emit b (Pnews (f, f, 0, 1));
+        Builder.emit b (Preduce (Add, r, f));
+        Builder.emit b (Pcount r);
+        Builder.emit b (Pscan (Add, f, f, 0));
+        Builder.emit b (Punop (ToFloat, g, Fld f));
+        Builder.emit b Cpush;
+        Builder.emit b (Cand f);
+        Builder.emit b (Cread f);
+        Builder.emit b Cpop;
+        Builder.emit b Creset;
+        Builder.emit b (Comment "done");
+        Builder.place b l;
+        Builder.emit b (Jz (Reg r, l));
+        Builder.emit b Halt;
+        ())
+  in
+  let s = Format.asprintf "%a" Cm.Paris.pp_program prog in
+  check Alcotest.bool "prints" true (String.length s > 400)
+
+let () =
+  Alcotest.run "machine-extra"
+    [
+      ( "combining",
+        [
+          Alcotest.test_case "send combines" `Quick test_send_combines;
+          Alcotest.test_case "float combine" `Quick test_float_send_combine;
+          Alcotest.test_case "cross-vpset histogram" `Quick test_cross_vpset_send;
+        ] );
+      ( "instructions",
+        [
+          Alcotest.test_case "ptable + cread" `Quick test_ptable_and_cread;
+          Alcotest.test_case "2d scan" `Quick test_pscan_2d;
+          Alcotest.test_case "pp all forms" `Quick test_pp_every_instruction;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "ptable length" `Quick test_ptable_length_checked;
+          Alcotest.test_case "pget range" `Quick test_pget_out_of_range;
+          Alcotest.test_case "kind mismatch" `Quick test_kind_mismatch_errors;
+          Alcotest.test_case "reduce-axis geometry" `Quick test_reduce_axis_geometry_checked;
+          Alcotest.test_case "wrong vpset" `Quick test_operand_wrong_vpset;
+          Alcotest.test_case "unplaced label" `Quick test_unplaced_label;
+        ] );
+    ]

@@ -1,0 +1,161 @@
+(* Data mappings (paper section 4): permute, fold and copy must never
+   change results, only communication behaviour, and reading data back
+   must invert the layouts. *)
+
+let check = Alcotest.check
+let ints = Alcotest.array Alcotest.int
+
+let interp_run src =
+  let prog = Uc.Parser.parse_program src in
+  ignore (Uc.Sema.check prog);
+  Uc.Interp.run prog
+
+let differential name src =
+  let ir = interp_run src in
+  let mr = Uc.Compile.run_source src in
+  List.iter
+    (fun arr ->
+      check ints (name ^ "." ^ arr) (Uc.Interp.int_array ir arr)
+        (Uc.Compile.int_array mr arr))
+    [ "a"; "b" ]
+
+(* ---------------- layout arithmetic ---------------- *)
+
+let test_layout_shifted () =
+  let l = Uc.Mapping.Shifted [| 1 |] in
+  check (Alcotest.list Alcotest.int) "dims unchanged" [ 8 ]
+    (Uc.Mapping.physical_dims l [ 8 ]);
+  (* element x lives in slot (x - 1) mod 8 *)
+  check Alcotest.int "x=1 at slot 0" 0 (Uc.Mapping.physical_index l [ 8 ] [ 1 ]);
+  check Alcotest.int "x=0 wraps to slot 7" 7 (Uc.Mapping.physical_index l [ 8 ] [ 0 ]);
+  check Alcotest.int "offset" 1 (Uc.Mapping.axis_offset l 0)
+
+let test_layout_folded () =
+  let l = Uc.Mapping.Folded 2 in
+  check (Alcotest.list Alcotest.int) "dims" [ 4; 2 ]
+    (Uc.Mapping.physical_dims l [ 8 ]);
+  (* x -> (x mod 4, x / 4) *)
+  check Alcotest.int "x=0" 0 (Uc.Mapping.physical_index l [ 8 ] [ 0 ]);
+  check Alcotest.int "x=4 shares VP row with x=0" 1
+    (Uc.Mapping.physical_index l [ 8 ] [ 4 ]);
+  check Alcotest.int "x=1" 2 (Uc.Mapping.physical_index l [ 8 ] [ 1 ]);
+  check Alcotest.int "x=7" 7 (Uc.Mapping.physical_index l [ 8 ] [ 7 ])
+
+let test_layout_copied () =
+  let l = Uc.Mapping.Copied 3 in
+  check (Alcotest.list Alcotest.int) "dims" [ 3; 8 ]
+    (Uc.Mapping.physical_dims l [ 8 ]);
+  check Alcotest.int "copy 0" 5 (Uc.Mapping.physical_index l [ 8 ] [ 5 ])
+
+let test_of_program () =
+  let src =
+    {|
+index-set I:i = {0..7};
+int a[8], b[8], c[8];
+map (I) { permute (I) b[i+1] :- a[i]; fold a by 2; copy c along 3; }
+void main() { ; }
+|}
+  in
+  let prog = Uc.Parser.parse_program src in
+  ignore (Uc.Sema.check prog);
+  let layouts = Uc.Mapping.of_program prog in
+  check Alcotest.bool "b shifted" true
+    (List.assoc "b" layouts = Uc.Mapping.Shifted [| 1 |]);
+  check Alcotest.bool "a folded" true
+    (List.assoc "a" layouts = Uc.Mapping.Folded 2);
+  check Alcotest.bool "c copied" true
+    (List.assoc "c" layouts = Uc.Mapping.Copied 3)
+
+let test_conflicting_mappings () =
+  let src =
+    {|
+index-set I:i = {0..7};
+int a[8];
+map (I) { fold a by 2; copy a along 3; }
+void main() { ; }
+|}
+  in
+  let prog = Uc.Parser.parse_program src in
+  ignore (Uc.Sema.check prog);
+  try
+    ignore (Uc.Mapping.of_program prog);
+    Alcotest.fail "expected conflict"
+  with Uc.Loc.Error (_, msg) ->
+    check Alcotest.bool "mentions mapping" true
+      (String.length msg > 0)
+
+(* ---------------- end-to-end: fold ---------------- *)
+
+let test_fold_differential () =
+  differential "folded" (Uc_programs.Programs.folded_pairs ~folded:true ~n:16 ());
+  differential "unfolded" (Uc_programs.Programs.folded_pairs ~n:16 ())
+
+let test_fold_same_results_as_unfolded () =
+  let m1 = Uc.Compile.run_source (Uc_programs.Programs.folded_pairs ~n:16 ()) in
+  let m2 =
+    Uc.Compile.run_source (Uc_programs.Programs.folded_pairs ~folded:true ~n:16 ())
+  in
+  check ints "a" (Uc.Compile.int_array m1 "a") (Uc.Compile.int_array m2 "a");
+  check ints "b" (Uc.Compile.int_array m1 "b") (Uc.Compile.int_array m2 "b")
+
+(* ---------------- end-to-end: copy ---------------- *)
+
+let test_copy_differential () =
+  differential "copied"
+    (Uc_programs.Programs.copied_broadcast ~copied:true ~n:16 ~copies:4 ());
+  differential "uncopied" (Uc_programs.Programs.copied_broadcast ~n:16 ~copies:4 ())
+
+let test_copy_reduces_congestion () =
+  (* reading a[i % 4] concentrates fan-in on four elements; replication
+     spreads it across the copies *)
+  let n = 4096 in
+  let time src =
+    let t = Uc.Compile.run_source src in
+    Uc.Compile.elapsed_seconds t
+  in
+  let plain =
+    time (Uc_programs.Programs.copied_broadcast ~steps:16 ~n ~copies:8 ())
+  in
+  let copied =
+    time
+      (Uc_programs.Programs.copied_broadcast ~copied:true ~steps:16 ~n ~copies:8 ())
+  in
+  check Alcotest.bool
+    (Printf.sprintf "copied %.4f < plain %.4f" copied plain)
+    true (copied < plain)
+
+let test_copy_write_updates_all_copies () =
+  (* after a[2] = 55 on the front end, a later parallel read of a[2] must
+     see 55 whichever copy serves it; the second par in the program reads
+     after the write, so the differential above already covers it; here we
+     additionally check the unscrambled array *)
+  let m =
+    Uc.Compile.run_source
+      (Uc_programs.Programs.copied_broadcast ~copied:true ~n:16 ~copies:4 ())
+  in
+  check Alcotest.int "a[2] updated" 55 (Uc.Compile.int_array m "a").(2)
+
+let () =
+  Alcotest.run "mapping"
+    [
+      ( "layout arithmetic",
+        [
+          Alcotest.test_case "shifted" `Quick test_layout_shifted;
+          Alcotest.test_case "folded" `Quick test_layout_folded;
+          Alcotest.test_case "copied" `Quick test_layout_copied;
+          Alcotest.test_case "of_program" `Quick test_of_program;
+          Alcotest.test_case "conflicts" `Quick test_conflicting_mappings;
+        ] );
+      ( "fold",
+        [
+          Alcotest.test_case "differential" `Quick test_fold_differential;
+          Alcotest.test_case "same as unfolded" `Quick test_fold_same_results_as_unfolded;
+        ] );
+      ( "copy",
+        [
+          Alcotest.test_case "differential" `Quick test_copy_differential;
+          Alcotest.test_case "less congestion" `Quick test_copy_reduces_congestion;
+          Alcotest.test_case "writes update all copies" `Quick
+            test_copy_write_updates_all_copies;
+        ] );
+    ]

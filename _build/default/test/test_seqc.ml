@@ -1,0 +1,89 @@
+(* The sequential SUN-4 baseline used by figure 8. *)
+
+let check = Alcotest.check
+let ints = Alcotest.array Alcotest.int
+
+let test_matches_uc_program () =
+  (* the sequential C program computes the same distances as the UC one *)
+  let n = 10 in
+  let seq = Seqc.Obstacle.run ~n () in
+  let uc = Uc.Compile.run_source (Uc_programs.Programs.obstacle_grid ~n) in
+  check ints "distances" (Uc.Compile.int_array uc "d") seq.Seqc.Obstacle.dist
+
+let test_optimized_same_result () =
+  let n = 14 in
+  let plain = Seqc.Obstacle.run ~n () in
+  let opt = Seqc.Obstacle.run ~optimized:true ~n () in
+  check ints "same distances" plain.Seqc.Obstacle.dist opt.Seqc.Obstacle.dist;
+  check Alcotest.int "same iterations" plain.Seqc.Obstacle.iterations
+    opt.Seqc.Obstacle.iterations;
+  check Alcotest.bool "-O is faster" true
+    (opt.Seqc.Obstacle.elapsed_seconds < plain.Seqc.Obstacle.elapsed_seconds);
+  let ratio =
+    plain.Seqc.Obstacle.elapsed_seconds /. opt.Seqc.Obstacle.elapsed_seconds
+  in
+  check Alcotest.bool
+    (Printf.sprintf "speedup %.2f in [1.5, 5]" ratio)
+    true
+    (ratio > 1.5 && ratio < 5.0)
+
+let test_goal_and_wall () =
+  let n = 12 in
+  let r = Seqc.Obstacle.run ~n () in
+  check Alcotest.int "goal at zero" 0 r.Seqc.Obstacle.dist.(0);
+  let wall_count = ref 0 in
+  Array.iteri
+    (fun p v ->
+      if Seqc.Obstacle.is_wall ~n (p / n) (p mod n) then begin
+        incr wall_count;
+        check Alcotest.int "wall marked" (-1) v
+      end
+      else check Alcotest.bool "reachable" true (v >= 0))
+    r.Seqc.Obstacle.dist;
+  check Alcotest.bool "wall exists" true (!wall_count > 0)
+
+let test_detour_around_wall () =
+  (* a cell just behind the wall centre must pay a detour: its distance
+     exceeds the Manhattan distance *)
+  let n = 16 in
+  let r = Seqc.Obstacle.run ~n () in
+  let i = n / 2 and j = n / 2 in
+  (* (n/2, n/2-1) sits on the anti-diagonal: i + j = n - 1; take the cell
+     one step past it *)
+  let behind = ((i + 1) * n) + j in
+  let manhattan = i + 1 + j in
+  check Alcotest.bool "detour" true (r.Seqc.Obstacle.dist.(behind) > manhattan)
+
+let test_cost_grows_cubically () =
+  (* sweeps ~ O(n), cells ~ O(n^2): ops should grow roughly as n^3 *)
+  let ops n = float_of_int (Seqc.Obstacle.run ~n ()).Seqc.Obstacle.ops in
+  let r = ops 40 /. ops 20 in
+  check Alcotest.bool (Printf.sprintf "ops(40)/ops(20) = %.1f in [6, 10]" r)
+    true
+    (r > 6.0 && r < 10.0)
+
+let test_parallel_beats_sequential_at_scale () =
+  (* figure 8's crossover: by ~60 rows the CM wins over the SUN-4 *)
+  let n = 60 in
+  let seq = Seqc.Obstacle.run ~n () in
+  let uc = Uc.Compile.run_source (Uc_programs.Programs.obstacle_grid ~n) in
+  check Alcotest.bool
+    (Printf.sprintf "uc %.3fs < seq %.3fs" (Uc.Compile.elapsed_seconds uc)
+       seq.Seqc.Obstacle.elapsed_seconds)
+    true
+    (Uc.Compile.elapsed_seconds uc < seq.Seqc.Obstacle.elapsed_seconds)
+
+let () =
+  Alcotest.run "seqc"
+    [
+      ( "obstacle",
+        [
+          Alcotest.test_case "matches UC program" `Quick test_matches_uc_program;
+          Alcotest.test_case "-O same result" `Quick test_optimized_same_result;
+          Alcotest.test_case "goal and wall" `Quick test_goal_and_wall;
+          Alcotest.test_case "detour around wall" `Quick test_detour_around_wall;
+          Alcotest.test_case "cubic cost growth" `Quick test_cost_grows_cubically;
+          Alcotest.test_case "parallel wins at scale" `Quick
+            test_parallel_beats_sequential_at_scale;
+        ] );
+    ]
