@@ -1,0 +1,29 @@
+# Development entry points.  `make ci` is the gate every change must
+# pass: full build, full test suite, and a CLI sanity check; it stops
+# loudly at the first failing step.
+
+.PHONY: all build test ci bench batch clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+ci:
+	dune build
+	dune runtest
+	dune exec bin/ucc.exe -- examples
+
+bench:
+	dune exec bench/main.exe
+
+# the full corpus through the batch service, parallel, with the on-disk cache
+batch:
+	dune exec bin/ucc.exe -- batch --jobs 4 --stats
+
+clean:
+	dune clean
+	rm -rf _ucd_cache

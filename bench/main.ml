@@ -1,21 +1,47 @@
 (* Benchmark harness: regenerates every table and figure in the paper's
    evaluation (section 5), plus the ablations called out in DESIGN.md.
 
-     dune exec bench/main.exe              -- everything
-     dune exec bench/main.exe -- fig6 a1   -- selected sections
+     dune exec bench/main.exe                    -- everything
+     dune exec bench/main.exe -- fig6 a1         -- selected sections
+     dune exec bench/main.exe -- -j 4            -- warm the figure sweeps
+                                                    on a 4-domain Ucd pool
+     dune exec bench/main.exe -- --json out.json -- also write per-figure
+                                                    rows as JSON
 
    Times are simulated Connection Machine seconds from the cost model in
    Cm.Cost (a 16K-PE CM-2 driven by a SUN-4); the sequential baselines use
    the SUN-4 operation model in Seqc.Sun4.  The shapes - who wins, how the
    curves grow, where the crossover falls - are the reproduction targets;
-   absolute times depend on the cost constants. *)
+   absolute times depend on the cost constants.
+
+   With [-j N], every UC execution a figure needs is first submitted to a
+   Ucd domain pool sharing one content-addressed cache; the sections then
+   print their tables from cache hits, so the sweep is parallel while the
+   output stays in order. *)
 
 let seed = 20260705
 
 let section id title =
   Printf.printf "\n=== %s: %s ===\n\n" id title
 
+(* ---------------- Ucd-backed execution ---------------- *)
+
+let cache = Ucd.Cache.create ()
+
+let job_of ?options src =
+  Ucd.Job.make ?options ~seed ~name:"bench" ~source:src ()
+
+(* cached: identical (options, source, seed) pairs are simulated once *)
 let run_uc ?options src =
+  let r = Ucd.Runner.run_job ~cache (job_of ?options src) in
+  match r.Ucd.Report.status with
+  | Ucd.Report.Done -> r.Ucd.Report.simulated_seconds
+  | Ucd.Report.Failed msg -> failwith ("bench job failed: " ^ msg)
+  | Ucd.Report.Timeout _ -> failwith "bench job timed out"
+
+(* uncached: for meter readings and for bechamel, which measures the
+   simulator's own wall-clock and must not be served memoized results *)
+let run_uc_direct ?options src =
   let t = Uc.Compile.run_source ?options ~seed src in
   Uc.Compile.elapsed_seconds t
 
@@ -24,7 +50,19 @@ let run_cstar (prog, _field) =
   Cm.Machine.run m;
   Cm.Machine.elapsed_seconds m
 
+(* ---------------- JSON row collection ---------------- *)
+
+let json_rows : Ucd.Jsonu.t list ref = ref []
+
+let emit_row sec fields =
+  json_rows :=
+    Ucd.Jsonu.Obj (("section", Ucd.Jsonu.Str sec) :: fields) :: !json_rows
+
+let collected_rows () = List.rev !json_rows
+
 (* ---------------- figure 6 ---------------- *)
+
+let fig6_ns = [ 8; 16; 24; 32; 48; 64 ]
 
 let fig6 () =
   section "F6" "Shortest path, O(N^2) parallelism: UC vs C* (elapsed seconds)";
@@ -35,10 +73,18 @@ let fig6 () =
         run_uc (Uc_programs.Programs.shortest_path_n2 ~deterministic:false ~n ())
       in
       let cs = run_cstar (Cstar.Programs.path_n2 ~deterministic:false ~n ()) in
-      Printf.printf "%6d %12.4f %12.4f %8.2f\n" n uc cs (uc /. cs))
-    [ 8; 16; 24; 32; 48; 64 ]
+      Printf.printf "%6d %12.4f %12.4f %8.2f\n" n uc cs (uc /. cs);
+      emit_row "fig6"
+        [
+          ("n", Ucd.Jsonu.Int n);
+          ("uc", Ucd.Jsonu.Float uc);
+          ("cstar", Ucd.Jsonu.Float cs);
+        ])
+    fig6_ns
 
 (* ---------------- figure 7 ---------------- *)
+
+let fig7_ns = [ 5; 10; 15; 20; 25 ]
 
 let fig7 () =
   section "F7"
@@ -61,10 +107,19 @@ let fig7 () =
       let cs_full =
         run_cstar (Cstar.Programs.path_n3 ~deterministic:false ~n ())
       in
-      Printf.printf "%6d %12.4f %14.4f %16.4f\n" n uc cs_log cs_full)
-    [ 5; 10; 15; 20; 25 ]
+      Printf.printf "%6d %12.4f %14.4f %16.4f\n" n uc cs_log cs_full;
+      emit_row "fig7"
+        [
+          ("n", Ucd.Jsonu.Int n);
+          ("uc", Ucd.Jsonu.Float uc);
+          ("cstar_log", Ucd.Jsonu.Float cs_log);
+          ("cstar_full", Ucd.Jsonu.Float cs_full);
+        ])
+    fig7_ns
 
 (* ---------------- figure 8 ---------------- *)
+
+let fig8_ns = [ 20; 40; 60; 80; 100; 120 ]
 
 let fig8 () =
   section "F8"
@@ -78,8 +133,16 @@ let fig8 () =
       let uc = run_uc (Uc_programs.Programs.obstacle_grid ~n) in
       Printf.printf "%6d %12.3f %12.3f %12.3f %8d\n" n
         plain.Seqc.Obstacle.elapsed_seconds opt.Seqc.Obstacle.elapsed_seconds
-        uc plain.Seqc.Obstacle.iterations)
-    [ 20; 40; 60; 80; 100; 120 ]
+        uc plain.Seqc.Obstacle.iterations;
+      emit_row "fig8"
+        [
+          ("n", Ucd.Jsonu.Int n);
+          ("seqc", Ucd.Jsonu.Float plain.Seqc.Obstacle.elapsed_seconds);
+          ("seqc_opt", Ucd.Jsonu.Float opt.Seqc.Obstacle.elapsed_seconds);
+          ("uc", Ucd.Jsonu.Float uc);
+          ("sweeps", Ucd.Jsonu.Int plain.Seqc.Obstacle.iterations);
+        ])
+    fig8_ns
 
 (* ---------------- table: conciseness ---------------- *)
 
@@ -97,6 +160,18 @@ let table_conciseness () =
   Printf.printf "%-28s %6s %14s\n" "program" "UC" "C* (appendix)";
   Printf.printf "%-28s %6d %14d\n" "shortest path O(N^2)" uc_n2 21;
   Printf.printf "%-28s %6d %14d\n" "shortest path O(N^3)" uc_n3 30;
+  emit_row "conciseness"
+    [
+      ("program", Ucd.Jsonu.Str "shortest_path_n2");
+      ("uc_lines", Ucd.Jsonu.Int uc_n2);
+      ("cstar_lines", Ucd.Jsonu.Int 21);
+    ];
+  emit_row "conciseness"
+    [
+      ("program", Ucd.Jsonu.Str "shortest_path_n3");
+      ("uc_lines", Ucd.Jsonu.Int uc_n3);
+      ("cstar_lines", Ucd.Jsonu.Int 30);
+    ];
   print_newline ();
   print_endline
     "The two UC programs differ only in the inner statement; the two C*";
@@ -124,7 +199,14 @@ let a1_mapping () =
   Printf.printf "%-42s %10s %8s %8s\n" "configuration" "seconds" "router" "news";
   let line label t (m : Cm.Cost.meter) =
     Printf.printf "%-42s %10.4f %8d %8d\n" label t m.Cm.Cost.router_ops
-      m.Cm.Cost.news_ops
+      m.Cm.Cost.news_ops;
+    emit_row "a1"
+      [
+        ("configuration", Ucd.Jsonu.Str label);
+        ("seconds", Ucd.Jsonu.Float t);
+        ("router_ops", Ucd.Jsonu.Int m.Cm.Cost.router_ops);
+        ("news_ops", Ucd.Jsonu.Int m.Cm.Cost.news_ops);
+      ]
   in
   line "default mapping (router)" t_router m_router;
   line "default mapping + NEWS optimization" t_news m_news;
@@ -134,63 +216,96 @@ let a1_mapping () =
 
 (* ---------------- ablation A2: processor optimization ---------------- *)
 
+let a2_n = 2048
+let no_procopt = { Uc.Codegen.default_options with procopt = false }
+
 let a2_procopt () =
   section "A2" "Processor optimization: digit-count histogram (section 4)";
-  let n = 2048 in
-  let src = Uc_programs.Programs.digit_count ~n in
+  let src = Uc_programs.Programs.digit_count ~n:a2_n in
   let on = run_uc src in
-  let off =
-    run_uc ~options:{ Uc.Codegen.default_options with procopt = false } src
-  in
+  let off = run_uc ~options:no_procopt src in
   Printf.printf "%-44s %10s\n" "configuration" "seconds";
   Printf.printf "%-44s %10.4f\n" "naive: 10 x N virtual processors" off;
   Printf.printf "%-44s %10.4f\n" "optimized: N processors, combining send" on;
-  Printf.printf "\nspeedup: %.2fx\n" (off /. on)
+  Printf.printf "\nspeedup: %.2fx\n" (off /. on);
+  emit_row "a2"
+    [
+      ("off", Ucd.Jsonu.Float off);
+      ("on", Ucd.Jsonu.Float on);
+      ("speedup", Ucd.Jsonu.Float (off /. on));
+    ]
 
 (* ---------------- ablation A3: *solve vs *par ---------------- *)
 
+let a3_n = 16
+
 let a3_solve () =
   section "A3" "*solve convenience vs hand-refined *par (section 3.6)";
-  let n = 16 in
   let t_solve =
-    run_uc (Uc_programs.Programs.shortest_path_solve ~deterministic:false ~n ())
+    run_uc
+      (Uc_programs.Programs.shortest_path_solve ~deterministic:false ~n:a3_n ())
   in
   let t_par =
-    run_uc (Uc_programs.Programs.shortest_path_n3 ~deterministic:false ~n ())
+    run_uc
+      (Uc_programs.Programs.shortest_path_n3 ~deterministic:false ~n:a3_n ())
   in
   Printf.printf "%-44s %10s\n" "program" "seconds";
   Printf.printf "%-44s %10.4f\n" "*solve (fixed point detected by compiler)"
     t_solve;
   Printf.printf "%-44s %10.4f\n" "seq/par refinement (figure 5)" t_par;
-  Printf.printf "\noverhead of *solve: %.2fx\n" (t_solve /. t_par)
+  Printf.printf "\noverhead of *solve: %.2fx\n" (t_solve /. t_par);
+  emit_row "a3"
+    [
+      ("solve", Ucd.Jsonu.Float t_solve);
+      ("par", Ucd.Jsonu.Float t_par);
+      ("overhead", Ucd.Jsonu.Float (t_solve /. t_par));
+    ]
 
 (* ---------------- ablation A4: common sub-expressions ---------------- *)
 
+let a4_n = 32
+let no_cse = { Uc.Codegen.default_options with cse = false }
+
 let a4_cse () =
   section "A4" "Code optimizations: common sub-expression detection (section 4)";
-  let n = 32 in
-  let src = Uc_programs.Programs.shortest_path_n2 ~deterministic:false ~n () in
+  let src =
+    Uc_programs.Programs.shortest_path_n2 ~deterministic:false ~n:a4_n ()
+  in
   let on = run_uc src in
-  let off = run_uc ~options:{ Uc.Codegen.default_options with cse = false } src in
+  let off = run_uc ~options:no_cse src in
   Printf.printf "%-44s %10s\n" "configuration" "seconds";
   Printf.printf "%-44s %10.4f\n" "without CSE" off;
   Printf.printf "%-44s %10.4f\n" "with CSE" on;
-  Printf.printf "\nspeedup: %.2fx\n" (off /. on)
+  Printf.printf "\nspeedup: %.2fx\n" (off /. on);
+  emit_row "a4"
+    [
+      ("off", Ucd.Jsonu.Float off);
+      ("on", Ucd.Jsonu.Float on);
+      ("speedup", Ucd.Jsonu.Float (off /. on));
+    ]
 
 (* ---------------- ablation A5: guarded stencils on the NEWS grid ------- *)
+
+let a5_n = 60
+let no_news = { Uc.Codegen.default_options with news_opt = false }
 
 let a5_news () =
   section "A5"
     "Communication optimization: guarded neighbour access via NEWS (section 4)";
-  let n = 60 in
-  let src = Uc_programs.Programs.obstacle_grid ~n in
+  let src = Uc_programs.Programs.obstacle_grid ~n:a5_n in
   let on = run_uc src in
-  let off = run_uc ~options:{ Uc.Codegen.default_options with news_opt = false } src in
+  let off = run_uc ~options:no_news src in
   Printf.printf "%-52s %10s\n" "configuration" "seconds";
   Printf.printf "%-52s %10.4f\n" "router + masked evaluation of the guards" off;
   Printf.printf "%-52s %10.4f\n"
     "prefilled NEWS shifts, guards as flat selects" on;
-  Printf.printf "\nspeedup: %.2fx\n" (off /. on)
+  Printf.printf "\nspeedup: %.2fx\n" (off /. on);
+  emit_row "a5"
+    [
+      ("off", Ucd.Jsonu.Float off);
+      ("on", Ucd.Jsonu.Float on);
+      ("speedup", Ucd.Jsonu.Float (off /. on));
+    ]
 
 (* ---------------- ablation A6: static solve scheduling ([14]) ---------- *)
 
@@ -214,7 +329,13 @@ let a6_schedule () =
   Printf.printf "%-52s %10.4f\n"
     "general method: guarded *par to a fixed point" fixpoint;
   Printf.printf "%-52s %10.4f\n" "dependency order: seq over diagonals" scheduled;
-  Printf.printf "\nspeedup: %.2fx\n" (fixpoint /. scheduled)
+  Printf.printf "\nspeedup: %.2fx\n" (fixpoint /. scheduled);
+  emit_row "a6"
+    [
+      ("fixpoint", Ucd.Jsonu.Float fixpoint);
+      ("scheduled", Ucd.Jsonu.Float scheduled);
+      ("speedup", Ucd.Jsonu.Float (fixpoint /. scheduled));
+    ]
 
 (* ---------------- bechamel: simulator wall-clock ---------------- *)
 
@@ -226,7 +347,7 @@ let bechamel_bench () =
       Test.make ~name:"fig6:uc-n2 N=16"
         (Staged.stage (fun () ->
              ignore
-               (run_uc
+               (run_uc_direct
                   (Uc_programs.Programs.shortest_path_n2 ~deterministic:false
                      ~n:16 ()))));
       Test.make ~name:"fig6:cstar-n2 N=16"
@@ -236,7 +357,7 @@ let bechamel_bench () =
       Test.make ~name:"fig7:uc-n3 N=10"
         (Staged.stage (fun () ->
              ignore
-               (run_uc
+               (run_uc_direct
                   (Uc_programs.Programs.shortest_path_n3 ~deterministic:false
                      ~n:10 ()))));
       Test.make ~name:"fig7:cstar-n3 N=10"
@@ -245,13 +366,13 @@ let bechamel_bench () =
                (run_cstar (Cstar.Programs.path_n3 ~deterministic:false ~n:10 ()))));
       Test.make ~name:"fig8:uc-obstacle N=20"
         (Staged.stage (fun () ->
-             ignore (run_uc (Uc_programs.Programs.obstacle_grid ~n:20))));
+             ignore (run_uc_direct (Uc_programs.Programs.obstacle_grid ~n:20))));
       Test.make ~name:"fig8:seqc N=20"
         (Staged.stage (fun () -> ignore (Seqc.Obstacle.run ~n:20 ())));
       Test.make ~name:"a1:stencil-mapped"
         (Staged.stage (fun () ->
              ignore
-               (run_uc
+               (run_uc_direct
                   (Uc_programs.Programs.stencil ~mapped:true ~n:1024 ~steps:8 ()))));
     ]
   in
@@ -269,9 +390,56 @@ let bechamel_bench () =
   List.iter
     (fun (name, o) ->
       match Analyze.OLS.estimates o with
-      | Some (t :: _) -> Printf.printf "%-32s %12.3f ms/run\n" name (t /. 1e6)
+      | Some (t :: _) ->
+          Printf.printf "%-32s %12.3f ms/run\n" name (t /. 1e6);
+          emit_row "bechamel"
+            [
+              ("test", Ucd.Jsonu.Str name);
+              ("ms_per_run", Ucd.Jsonu.Float (t /. 1e6));
+            ]
       | _ -> Printf.printf "%-32s %12s\n" name "n/a")
     (List.sort compare rows)
+
+(* ---------------- parallel prefetch ---------------- *)
+
+(* Every UC execution the cached sections will request, as Ucd jobs with
+   the exact same (options, source, seed), so the pool populates the
+   cache the tables are then printed from. *)
+let uc_jobs_of_section name =
+  let open Uc_programs.Programs in
+  let j ?options src = job_of ?options src in
+  match name with
+  | "fig6" ->
+      List.map (fun n -> j (shortest_path_n2 ~deterministic:false ~n ())) fig6_ns
+  | "fig7" ->
+      List.map (fun n -> j (shortest_path_n3 ~deterministic:false ~n ())) fig7_ns
+  | "fig8" -> List.map (fun n -> j (obstacle_grid ~n)) fig8_ns
+  | "a2" ->
+      let src = digit_count ~n:a2_n in
+      [ j src; j ~options:no_procopt src ]
+  | "a3" ->
+      [
+        j (shortest_path_solve ~deterministic:false ~n:a3_n ());
+        j (shortest_path_n3 ~deterministic:false ~n:a3_n ());
+      ]
+  | "a4" ->
+      let src = shortest_path_n2 ~deterministic:false ~n:a4_n () in
+      [ j src; j ~options:no_cse src ]
+  | "a5" ->
+      let src = obstacle_grid ~n:a5_n in
+      [ j src; j ~options:no_news src ]
+  | _ -> []
+
+let prefetch ~domains names =
+  let jobs = List.concat_map uc_jobs_of_section names in
+  if jobs <> [] then begin
+    let t0 = Unix.gettimeofday () in
+    let results = Ucd.Runner.run_jobs ~domains ~cache jobs in
+    let s =
+      Ucd.Report.summarize ~elapsed:(Unix.gettimeofday () -. t0) results
+    in
+    Format.printf "prefetch (%d domains): %a@." domains Ucd.Report.pp_summary s
+  end
 
 (* ---------------- driver ---------------- *)
 
@@ -291,13 +459,25 @@ let sections =
   ]
 
 let () =
+  let argv = Array.to_list Sys.argv in
+  let rec parse (jobs, json_file, names) = function
+    | [] -> (jobs, json_file, List.rev names)
+    | ("-j" | "--jobs") :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some n -> parse (n, json_file, names) rest
+        | None ->
+            Printf.eprintf "bad -j value %s\n" v;
+            exit 2)
+    | "--json" :: path :: rest -> parse (jobs, Some path, names) rest
+    | name :: rest -> parse (jobs, json_file, name :: names) rest
+  in
+  let jobs, json_file, requested = parse (1, None, []) (List.tl argv) in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst sections
+    if requested = [] then List.map fst sections else requested
   in
   print_endline "UC on the (simulated) Connection Machine: evaluation harness";
   print_endline "(cf. Bagrodia, Chandy, Kwan, Supercomputing '90, section 5)";
+  if jobs > 1 then prefetch ~domains:jobs requested;
   List.iter
     (fun name ->
       match List.assoc_opt name sections with
@@ -305,4 +485,21 @@ let () =
       | None ->
           Printf.eprintf "unknown section %s (available: %s)\n" name
             (String.concat ", " (List.map fst sections)))
-    requested
+    requested;
+  let rows = collected_rows () in
+  if rows <> [] then begin
+    print_newline ();
+    print_endline "=== JSON summary (per-figure rows) ===";
+    List.iter (fun r -> print_endline (Ucd.Jsonu.to_string r)) rows
+  end;
+  match json_file with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          List.iter
+            (fun r -> output_string oc (Ucd.Jsonu.to_string r ^ "\n"))
+            rows);
+      Printf.printf "wrote %d JSON rows to %s\n" (List.length rows) path

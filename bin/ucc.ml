@@ -37,6 +37,12 @@ let with_source path f =
           1
       | Cm.Machine.Error msg ->
           Printf.eprintf "%s: machine error: %s\n" path msg;
+          1
+      | Failure msg ->
+          Printf.eprintf "%s: error: %s\n" path msg;
+          1
+      | Not_found ->
+          Printf.eprintf "%s: error: no such array or scalar\n" path;
           1)
 
 let file_arg =
@@ -95,12 +101,18 @@ let check_cmd =
     with_source path (fun src ->
         let prog = Uc.Parser.parse_program src in
         let info = Uc.Sema.check prog in
-        Printf.printf "%s: ok (%d global arrays, %d index sets, %d functions)\n"
-          path
-          (List.length info.Uc.Sema.global_arrays)
-          (List.length info.Uc.Sema.global_sets)
-          (List.length info.Uc.Sema.funcs);
-        0)
+        if not info.Uc.Sema.has_main then begin
+          Printf.eprintf "%s: error: program has no main function\n" path;
+          1
+        end
+        else begin
+          Printf.printf
+            "%s: ok (%d global arrays, %d index sets, %d functions)\n" path
+            (List.length info.Uc.Sema.global_arrays)
+            (List.length info.Uc.Sema.global_sets)
+            (List.length info.Uc.Sema.funcs);
+          0
+        end)
   in
   Cmd.v (Cmd.info "check" ~doc:"Parse and type-check a UC program")
     Term.(const run $ file_arg)
@@ -257,8 +269,182 @@ let show_cmd =
   Cmd.v (Cmd.info "show" ~doc:"Print a built-in corpus program")
     Term.(const run $ name_arg)
 
+(* ---- batch ---- *)
+
+(* Manifest format, one job per line (# starts a comment):
+
+     <corpus-name-or-path.uc> [seed=N] [fuel=N] [deadline=SECS]
+                              [no-news] [no-procopt] [no-mappings] [no-cse]
+
+   A bare name is looked up in the built-in corpus; anything containing
+   a '/' or ending in .uc is read as a file. *)
+
+let parse_manifest_line ~defaults lineno line =
+  match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+  | [] -> None
+  | target :: opts ->
+      if String.length target > 0 && target.[0] = '#' then None
+      else
+        let seed, fuel, deadline, options = defaults in
+        let seed = ref seed
+        and fuel = ref fuel
+        and deadline = ref deadline
+        and options = ref options in
+        List.iter
+          (fun tok ->
+            let intval key v =
+              match int_of_string_opt v with
+              | Some n -> n
+              | None ->
+                  failwith
+                    (Printf.sprintf "manifest line %d: bad %s value %S" lineno
+                       key v)
+            in
+            match String.index_opt tok '=' with
+            | Some i -> (
+                let key = String.sub tok 0 i
+                and v = String.sub tok (i + 1) (String.length tok - i - 1) in
+                match key with
+                | "seed" -> seed := intval "seed" v
+                | "fuel" -> fuel := Some (intval "fuel" v)
+                | "deadline" -> (
+                    match float_of_string_opt v with
+                    | Some f -> deadline := Some f
+                    | None ->
+                        failwith
+                          (Printf.sprintf
+                             "manifest line %d: bad deadline value %S" lineno v))
+                | _ ->
+                    failwith
+                      (Printf.sprintf "manifest line %d: unknown key %S" lineno
+                         key))
+            | None -> (
+                match tok with
+                | "no-news" -> options := { !options with Uc.Codegen.news_opt = false }
+                | "no-procopt" -> options := { !options with Uc.Codegen.procopt = false }
+                | "no-mappings" ->
+                    options := { !options with Uc.Codegen.use_mappings = false }
+                | "no-cse" -> options := { !options with Uc.Codegen.cse = false }
+                | _ ->
+                    failwith
+                      (Printf.sprintf "manifest line %d: unknown flag %S" lineno
+                         tok)))
+          opts;
+        let source =
+          match List.assoc_opt target Uc_programs.Programs.all_named with
+          | Some src -> src
+          | None -> (
+              match read_source target with
+              | Ok src -> src
+              | Error msg ->
+                  failwith
+                    (Printf.sprintf
+                       "manifest line %d: %s is neither a corpus program nor a \
+                        readable file (%s)"
+                       lineno target msg))
+        in
+        Some
+          (Ucd.Job.make ~options:!options ~seed:!seed ?fuel:!fuel
+             ?deadline:!deadline ~name:target ~source ())
+
+let batch_cmd =
+  let manifest_arg =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"MANIFEST"
+          ~doc:"Job manifest (one job per line); the whole built-in corpus \
+                when omitted")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N" ~doc:"Number of worker domains")
+  in
+  let cache_dir_arg =
+    Arg.(
+      value
+      & opt string "_ucd_cache"
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:"On-disk artifact cache ('none' disables persistence)")
+  in
+  let fuel_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fuel" ] ~docv:"N" ~doc:"Default instruction bound per job")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECS"
+          ~doc:"Default wall-clock deadline per job")
+  in
+  let report_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "report" ] ~docv:"FILE"
+          ~doc:"Write the JSON-lines report here instead of stdout")
+  in
+  let run manifest jobs cache_dir options seed fuel deadline report stats =
+    let defaults = (seed, fuel, deadline, options) in
+    try
+      let job_list =
+        match manifest with
+        | None ->
+            Ucd.Runner.corpus_jobs ~options ~seed ?fuel ?deadline ()
+        | Some path -> (
+            match read_source path with
+            | Error msg -> failwith msg
+            | Ok text ->
+                String.split_on_char '\n' text
+                |> List.mapi (fun i l -> (i + 1, String.trim l))
+                |> List.filter_map (fun (i, l) ->
+                       parse_manifest_line ~defaults i l))
+      in
+      let cache =
+        if cache_dir = "none" then Ucd.Cache.create ()
+        else Ucd.Cache.create ~dir:cache_dir ()
+      in
+      let t0 = Unix.gettimeofday () in
+      let results = Ucd.Runner.run_jobs ~domains:jobs ~cache job_list in
+      let elapsed = Unix.gettimeofday () -. t0 in
+      let emit oc =
+        List.iter
+          (fun r -> output_string oc (Ucd.Report.json_line r ^ "\n"))
+          results;
+        output_string oc (Ucd.Report.json_of_summary
+                            (Ucd.Report.summarize ~elapsed results) ^ "\n")
+      in
+      (match report with
+      | None -> emit stdout
+      | Some path ->
+          let oc = open_out path in
+          Fun.protect ~finally:(fun () -> close_out oc) (fun () -> emit oc));
+      let summary = Ucd.Report.summarize ~elapsed results in
+      Format.eprintf "batch: %a@." Ucd.Report.pp_summary summary;
+      if stats then
+        Format.eprintf "batch: %a@." Ucd.Cache.pp_stats (Ucd.Cache.stats cache);
+      if summary.Ucd.Report.failed > 0 || summary.Ucd.Report.timeout > 0 then 2
+      else 0
+    with Failure msg ->
+      Printf.eprintf "ucc batch: error: %s\n" msg;
+      1
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Run many compile/run jobs concurrently with a content-addressed \
+          artifact cache")
+    Term.(
+      const run $ manifest_arg $ jobs_arg $ cache_dir_arg $ options_args
+      $ seed_arg $ fuel_arg $ deadline_arg $ report_arg $ stats_arg)
+
 let () =
   let doc = "UC compiler for the simulated Connection Machine" in
   let info = Cmd.info "ucc" ~version:"1.0" ~doc in
   exit (Cmd.eval' (Cmd.group info
-    [ check_cmd; ast_cmd; paris_cmd; cstar_cmd; run_cmd; interp_cmd; examples_cmd; show_cmd ]))
+    [ check_cmd; ast_cmd; paris_cmd; cstar_cmd; run_cmd; interp_cmd;
+      examples_cmd; show_cmd; batch_cmd ]))

@@ -3,18 +3,29 @@ type t = {
   machine : Cm.Machine.t;
 }
 
-let compile_source ?options src =
+(* The pipeline is exposed in re-enterable stages so callers (Ucd.Cache)
+   can memoize intermediate artifacts: parse once, lower once per option
+   set, run once per (options, seed, fuel). *)
+
+let parse_source src =
   let prog = Parser.parse_program src in
   ignore (Sema.check prog);
+  prog
+
+let lower ?options prog =
   let prog = Transform.apply prog in
   let prog = Optimize.fold_program prog in
   Codegen.compile ?options prog
 
-let run_source ?options ?cost ?seed ?fuel src =
-  let compiled = compile_source ?options src in
+let compile_source ?options src = lower ?options (parse_source src)
+
+let run_compiled ?cost ?seed ?fuel compiled =
   let machine = Cm.Machine.create ?cost ?seed ?fuel compiled.Codegen.prog in
   Cm.Machine.run machine;
   { compiled; machine }
+
+let run_source ?options ?cost ?seed ?fuel src =
+  run_compiled ?cost ?seed ?fuel (compile_source ?options src)
 
 let meta t name =
   match List.assoc_opt name t.compiled.Codegen.carrays with

@@ -9,8 +9,20 @@ type t = {
   machine : Cm.Machine.t;
 }
 
-(** Parse, check, transform and lower a program without running it. *)
+(** Parse and type-check only (the first re-enterable stage; the result
+    may be lowered many times under different option sets). *)
+val parse_source : string -> Ast.program
+
+(** Transform, fold and lower an already-checked program. *)
+val lower : ?options:Codegen.options -> Ast.program -> Codegen.compiled
+
+(** Parse, check, transform and lower a program without running it.
+    Equivalent to [lower ?options (parse_source src)]. *)
 val compile_source : ?options:Codegen.options -> string -> Codegen.compiled
+
+(** Execute an already-lowered program on a fresh machine. *)
+val run_compiled :
+  ?cost:Cm.Cost.params -> ?seed:int -> ?fuel:int -> Codegen.compiled -> t
 
 (** [run_source src] compiles and executes a program.
     @raise Loc.Error on front-end errors, [Cm.Machine.Error] on dynamic

@@ -1,10 +1,10 @@
 open Ast
 
-let counter = ref 0
+(* atomic so concurrent compiles (Ucd domain pool) never mint the same name *)
+let counter = Atomic.make 0
 
 let fresh base =
-  incr counter;
-  Printf.sprintf "__%s_%d" base !counter
+  Printf.sprintf "__%s_%d" base (Atomic.fetch_and_add counter 1 + 1)
 
 (* ---------------- substitution ---------------- *)
 

@@ -1,0 +1,160 @@
+type stats = {
+  ast_hits : int;
+  ast_misses : int;
+  ir_hits : int;
+  ir_misses : int;
+  run_hits : int;
+  run_misses : int;
+}
+
+type counters = {
+  mutable c_ast_hits : int;
+  mutable c_ast_misses : int;
+  mutable c_ir_hits : int;
+  mutable c_ir_misses : int;
+  mutable c_run_hits : int;
+  mutable c_run_misses : int;
+}
+
+type t = {
+  lock : Mutex.t;
+  asts : (string, Uc.Ast.program) Hashtbl.t;
+  irs : (string * string, Uc.Codegen.compiled) Hashtbl.t;
+  runs : (string, Report.result) Hashtbl.t;
+  dir : string option;
+  counters : counters;
+}
+
+(* bump when Report.result changes shape: stale artifacts then read as
+   misses instead of Marshal segfault fodder *)
+let artifact_version = 1
+
+let create ?dir () =
+  (match dir with
+  | Some d when not (Sys.file_exists d) -> (
+      try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+  | _ -> ());
+  {
+    lock = Mutex.create ();
+    asts = Hashtbl.create 64;
+    irs = Hashtbl.create 64;
+    runs = Hashtbl.create 256;
+    dir;
+    counters =
+      {
+        c_ast_hits = 0;
+        c_ast_misses = 0;
+        c_ir_hits = 0;
+        c_ir_misses = 0;
+        c_run_hits = 0;
+        c_run_misses = 0;
+      };
+  }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* the compute [f] runs outside the lock: two domains may race to build
+   the same artifact (both results are identical), but no domain ever
+   blocks the cache while compiling *)
+let memo ~table ~hit ~miss t key f =
+  let cached = with_lock t (fun () -> Hashtbl.find_opt table key) in
+  match cached with
+  | Some v ->
+      with_lock t (fun () -> hit t.counters);
+      v
+  | None ->
+      let v = f () in
+      with_lock t (fun () ->
+          miss t.counters;
+          if not (Hashtbl.mem table key) then Hashtbl.replace table key v);
+      v
+
+let memo_ast t ~source_digest f =
+  memo ~table:t.asts
+    ~hit:(fun c -> c.c_ast_hits <- c.c_ast_hits + 1)
+    ~miss:(fun c -> c.c_ast_misses <- c.c_ast_misses + 1)
+    t source_digest f
+
+let memo_ir t ~source_digest ~options_key f =
+  memo ~table:t.irs
+    ~hit:(fun c -> c.c_ir_hits <- c.c_ir_hits + 1)
+    ~miss:(fun c -> c.c_ir_misses <- c.c_ir_misses + 1)
+    t (source_digest, options_key) f
+
+let artifact_path dir digest = Filename.concat dir (digest ^ ".ucd")
+
+let read_artifact path : Report.result option =
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let v : int = Marshal.from_channel ic in
+        if v <> artifact_version then None
+        else Some (Marshal.from_channel ic : Report.result))
+  with _ -> None
+
+let write_artifact path (r : Report.result) =
+  try
+    (* write-then-rename so concurrent readers never see a torn file *)
+    let tmp = path ^ ".tmp." ^ string_of_int (Unix.getpid ()) in
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        Marshal.to_channel oc artifact_version [];
+        Marshal.to_channel oc r []);
+    Sys.rename tmp path
+  with _ -> ()
+
+let find_run t digest =
+  let mem = with_lock t (fun () -> Hashtbl.find_opt t.runs digest) in
+  let found =
+    match mem with
+    | Some _ -> mem
+    | None -> (
+        match t.dir with
+        | None -> None
+        | Some dir -> (
+            match read_artifact (artifact_path dir digest) with
+            | Some r ->
+                with_lock t (fun () -> Hashtbl.replace t.runs digest r);
+                Some r
+            | None -> None))
+  in
+  with_lock t (fun () ->
+      let c = t.counters in
+      match found with
+      | Some _ -> c.c_run_hits <- c.c_run_hits + 1
+      | None -> c.c_run_misses <- c.c_run_misses + 1);
+  found
+
+let store_run t digest r =
+  with_lock t (fun () -> Hashtbl.replace t.runs digest r);
+  match t.dir with
+  | Some dir -> write_artifact (artifact_path dir digest) r
+  | None -> ()
+
+let stats t =
+  with_lock t (fun () ->
+      let c = t.counters in
+      {
+        ast_hits = c.c_ast_hits;
+        ast_misses = c.c_ast_misses;
+        ir_hits = c.c_ir_hits;
+        ir_misses = c.c_ir_misses;
+        run_hits = c.c_run_hits;
+        run_misses = c.c_run_misses;
+      })
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "cache: ast %d/%d hit, ir %d/%d hit, run %d/%d hit"
+    s.ast_hits
+    (s.ast_hits + s.ast_misses)
+    s.ir_hits
+    (s.ir_hits + s.ir_misses)
+    s.run_hits
+    (s.run_hits + s.run_misses)

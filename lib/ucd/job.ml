@@ -1,0 +1,54 @@
+type t = {
+  name : string;
+  source : string;
+  options : Uc.Codegen.options;
+  seed : int;
+  fuel : int option;
+  deadline : float option;
+}
+
+let make ?(options = Uc.Codegen.default_options) ?(seed = 12345) ?fuel ?deadline
+    ~name ~source () =
+  { name; source; options; seed; fuel; deadline }
+
+let options_summary (o : Uc.Codegen.options) =
+  String.concat " "
+    (List.filter_map
+       (fun (on, label) -> if on then Some label else None)
+       [
+         (o.Uc.Codegen.news_opt, "news");
+         (o.Uc.Codegen.procopt, "procopt");
+         (o.Uc.Codegen.use_mappings, "maps");
+         (o.Uc.Codegen.cse, "cse");
+       ])
+
+let fields t =
+  [
+    ("source", Digest.to_hex (Digest.string t.source));
+    ("news", string_of_bool t.options.Uc.Codegen.news_opt);
+    ("procopt", string_of_bool t.options.Uc.Codegen.procopt);
+    ("maps", string_of_bool t.options.Uc.Codegen.use_mappings);
+    ("cse", string_of_bool t.options.Uc.Codegen.cse);
+    ("seed", string_of_int t.seed);
+    ("fuel", match t.fuel with None -> "default" | Some n -> string_of_int n);
+  ]
+
+let digest_of_fields kvs =
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) kvs in
+  (* length-prefix each component so distinct field lists can't collide
+     by concatenation *)
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string buf (string_of_int (String.length k));
+      Buffer.add_char buf ':';
+      Buffer.add_string buf k;
+      Buffer.add_char buf '=';
+      Buffer.add_string buf (string_of_int (String.length v));
+      Buffer.add_char buf ':';
+      Buffer.add_string buf v;
+      Buffer.add_char buf ';')
+    sorted;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let digest t = digest_of_fields (fields t)

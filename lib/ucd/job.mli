@@ -1,0 +1,43 @@
+(** The unit of work for the batch service: one UC source program plus
+    everything that determines its observable result.
+
+    A job's {!digest} is content-addressed: it depends only on the source
+    text, the compile options, the seed and the fuel bound — the inputs
+    that determine the simulation outcome.  The wall-clock [deadline] is
+    an execution policy, not content, so it does not participate in the
+    digest (and timed-out results are never cached). *)
+
+type t = {
+  name : string;  (** display name; not part of the digest *)
+  source : string;  (** complete UC source text *)
+  options : Uc.Codegen.options;
+  seed : int;
+  fuel : int option;  (** instruction bound; [None] = machine default *)
+  deadline : float option;  (** wall-clock seconds allowed for the run *)
+}
+
+val make :
+  ?options:Uc.Codegen.options ->
+  ?seed:int ->
+  ?fuel:int ->
+  ?deadline:float ->
+  name:string ->
+  source:string ->
+  unit ->
+  t
+
+(** The canonical field list the digest is computed from.  Keys are
+    sorted before hashing, so the digest is independent of the order in
+    which fields are assembled. *)
+val fields : t -> (string * string) list
+
+(** [digest_of_fields kvs] hashes a canonical rendering of [kvs] sorted
+    by key; permutations of the same bindings give the same digest. *)
+val digest_of_fields : (string * string) list -> string
+
+(** Hex digest identifying the job's content. *)
+val digest : t -> string
+
+(** Render the option record as stable one-token-per-flag text
+    (["news procopt maps cse"] subset), used in digests and reports. *)
+val options_summary : Uc.Codegen.options -> string

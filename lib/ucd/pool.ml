@@ -1,0 +1,97 @@
+let default_domains () = max 1 (Domain.recommended_domain_count () - 1)
+
+(* ---- bounded blocking queue ---- *)
+
+type 'a queue = {
+  lock : Mutex.t;
+  not_empty : Condition.t;
+  not_full : Condition.t;
+  buf : 'a Queue.t;
+  bound : int;
+  mutable closed : bool;
+}
+
+let q_create bound =
+  {
+    lock = Mutex.create ();
+    not_empty = Condition.create ();
+    not_full = Condition.create ();
+    buf = Queue.create ();
+    bound;
+    closed = false;
+  }
+
+let q_push q x =
+  Mutex.lock q.lock;
+  while Queue.length q.buf >= q.bound do
+    Condition.wait q.not_full q.lock
+  done;
+  Queue.push x q.buf;
+  Condition.signal q.not_empty;
+  Mutex.unlock q.lock
+
+let q_close q =
+  Mutex.lock q.lock;
+  q.closed <- true;
+  Condition.broadcast q.not_empty;
+  Mutex.unlock q.lock
+
+(* None once the queue is closed and drained *)
+let q_pop q =
+  Mutex.lock q.lock;
+  let rec wait () =
+    match Queue.take_opt q.buf with
+    | Some x ->
+        Condition.signal q.not_full;
+        Mutex.unlock q.lock;
+        Some x
+    | None ->
+        if q.closed then begin
+          Mutex.unlock q.lock;
+          None
+        end
+        else begin
+          Condition.wait q.not_empty q.lock;
+          wait ()
+        end
+  in
+  wait ()
+
+(* ---- the pool ---- *)
+
+let map ?domains ?queue_bound f items =
+  let n = List.length items in
+  let domains =
+    match domains with Some d -> max 1 d | None -> default_domains ()
+  in
+  if n = 0 then []
+  else if domains = 1 then
+    (* degenerate case: no domains spawned, same isolation contract *)
+    List.map (fun x -> try Ok (f x) with exn -> Error exn) items
+  else begin
+    let queue = q_create (match queue_bound with
+      | Some b -> max 1 b
+      | None -> 4 * domains)
+    in
+    let results =
+      Array.make n (Error (Failure "ucd: job never ran") : ('b, exn) result)
+    in
+    let worker () =
+      let rec loop () =
+        match q_pop queue with
+        | None -> ()
+        | Some (i, x) ->
+            (* results slots are disjoint per index: no lock needed *)
+            results.(i) <- (try Ok (f x) with exn -> Error exn);
+            loop ()
+      in
+      loop ()
+    in
+    let workers =
+      List.init (min domains n) (fun _ -> Domain.spawn worker)
+    in
+    List.iteri (fun i x -> q_push queue (i, x)) items;
+    q_close queue;
+    List.iter Domain.join workers;
+    Array.to_list results
+  end

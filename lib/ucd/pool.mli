@@ -1,0 +1,19 @@
+(** A fixed-size domain pool fed through a bounded work queue.
+
+    [map ~domains f items] applies [f] to every item, running up to
+    [domains] applications concurrently on OCaml 5 domains, and returns
+    the results in submission order.  An [f] that raises is isolated to
+    its own slot ([Error exn]); it never takes the pool down.
+
+    The queue is bounded ([queue_bound], default [4 * domains]): the
+    submitting thread blocks when the workers fall behind, so a huge
+    batch never materializes entirely in memory. *)
+
+val default_domains : unit -> int
+
+val map :
+  ?domains:int ->
+  ?queue_bound:int ->
+  ('a -> 'b) ->
+  'a list ->
+  ('b, exn) Stdlib.result list

@@ -1,0 +1,107 @@
+type status = Done | Failed of string | Timeout of float
+
+type result = {
+  job_name : string;
+  digest : string;
+  options : string;
+  seed : int;
+  status : status;
+  simulated_seconds : float;
+  output : string list;
+  wall_seconds : float;
+  from_cache : bool;
+}
+
+let status_fields = function
+  | Done -> [ ("status", Jsonu.Str "ok") ]
+  | Failed msg -> [ ("status", Jsonu.Str "failed"); ("error", Jsonu.Str msg) ]
+  | Timeout limit ->
+      [ ("status", Jsonu.Str "timeout"); ("deadline", Jsonu.Float limit) ]
+
+let canonical_obj r =
+  [
+    ("job", Jsonu.Str r.job_name);
+    ("digest", Jsonu.Str r.digest);
+    ("options", Jsonu.Str r.options);
+    ("seed", Jsonu.Int r.seed);
+  ]
+  @ status_fields r.status
+  @ [
+      ("simulated_seconds", Jsonu.Float r.simulated_seconds);
+      ("output", Jsonu.List (List.map (fun l -> Jsonu.Str l) r.output));
+    ]
+
+let canonical_json r = Jsonu.to_string (Jsonu.Obj (canonical_obj r))
+
+let json_line r =
+  Jsonu.to_string
+    (Jsonu.Obj
+       (canonical_obj r
+       @ [
+           ("wall_seconds", Jsonu.Float r.wall_seconds);
+           ("cache", Jsonu.Str (if r.from_cache then "hit" else "miss"));
+         ]))
+
+type summary = {
+  total : int;
+  ok : int;
+  failed : int;
+  timeout : int;
+  cache_hits : int;
+  simulated_total : float;
+  wall_total : float;
+  elapsed : float;
+}
+
+let summarize ~elapsed results =
+  List.fold_left
+    (fun s r ->
+      {
+        s with
+        total = s.total + 1;
+        ok = (s.ok + match r.status with Done -> 1 | _ -> 0);
+        failed = (s.failed + match r.status with Failed _ -> 1 | _ -> 0);
+        timeout = (s.timeout + match r.status with Timeout _ -> 1 | _ -> 0);
+        cache_hits = (s.cache_hits + if r.from_cache then 1 else 0);
+        simulated_total = s.simulated_total +. r.simulated_seconds;
+        wall_total = s.wall_total +. r.wall_seconds;
+      })
+    {
+      total = 0;
+      ok = 0;
+      failed = 0;
+      timeout = 0;
+      cache_hits = 0;
+      simulated_total = 0.;
+      wall_total = 0.;
+      elapsed;
+    }
+    results
+
+let json_of_summary s =
+  Jsonu.to_string
+    (Jsonu.Obj
+       [
+         ("summary", Jsonu.Bool true);
+         ("total", Jsonu.Int s.total);
+         ("ok", Jsonu.Int s.ok);
+         ("failed", Jsonu.Int s.failed);
+         ("timeout", Jsonu.Int s.timeout);
+         ("cache_hits", Jsonu.Int s.cache_hits);
+         ("simulated_seconds", Jsonu.Float s.simulated_total);
+         ("job_wall_seconds", Jsonu.Float s.wall_total);
+         ("elapsed_seconds", Jsonu.Float s.elapsed);
+         ( "jobs_per_second",
+           Jsonu.Float
+             (if s.elapsed > 0. then float_of_int s.total /. s.elapsed else 0.)
+         );
+       ])
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "%d jobs: %d ok, %d failed, %d timeout; %d cache hit%s; %.3f simulated s; \
+     %.3f s elapsed (%.1f jobs/s)"
+    s.total s.ok s.failed s.timeout s.cache_hits
+    (if s.cache_hits = 1 then "" else "s")
+    s.simulated_total s.elapsed
+    (if s.elapsed > 0. then float_of_int s.total /. s.elapsed else 0.)

@@ -1,0 +1,42 @@
+(** Structured results and telemetry for batch jobs. *)
+
+type status =
+  | Done  (** compiled and ran to [Halt] *)
+  | Failed of string  (** front-end or machine fault, fuel exhaustion … *)
+  | Timeout of float  (** wall-clock deadline exceeded (seconds allowed) *)
+
+type result = {
+  job_name : string;
+  digest : string;
+  options : string;  (** {!Job.options_summary} of the job's options *)
+  seed : int;
+  status : status;
+  simulated_seconds : float;  (** 0 when the job did not finish *)
+  output : string list;  (** lines produced by [print] *)
+  wall_seconds : float;  (** time to produce this result in this process *)
+  from_cache : bool;
+}
+
+(** Deterministic identity of a result: everything except the wall time
+    and cache provenance.  Byte-identical for a given job digest whether
+    the result was recomputed or served from the cache. *)
+val canonical_json : result -> string
+
+(** One JSON line of telemetry: the canonical fields plus [wall_seconds]
+    and [cache] provenance. *)
+val json_line : result -> string
+
+type summary = {
+  total : int;
+  ok : int;
+  failed : int;
+  timeout : int;
+  cache_hits : int;
+  simulated_total : float;
+  wall_total : float;  (** sum of per-job wall times (cpu-ish seconds) *)
+  elapsed : float;  (** batch wall-clock, set by the caller *)
+}
+
+val summarize : elapsed:float -> result list -> summary
+val json_of_summary : summary -> string
+val pp_summary : Format.formatter -> summary -> unit

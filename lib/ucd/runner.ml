@@ -1,0 +1,90 @@
+let now () = Unix.gettimeofday ()
+
+let compute cache (job : Job.t) digest =
+  let source_digest = Digest.to_hex (Digest.string job.Job.source) in
+  let options_key = Job.options_summary job.Job.options in
+  let finish status simulated output =
+    {
+      Report.job_name = job.Job.name;
+      digest;
+      options = options_key;
+      seed = job.Job.seed;
+      status;
+      simulated_seconds = simulated;
+      output;
+      wall_seconds = 0.;
+      from_cache = false;
+    }
+  in
+  try
+    let ast =
+      Cache.memo_ast cache ~source_digest (fun () ->
+          Uc.Compile.parse_source job.Job.source)
+    in
+    let compiled =
+      Cache.memo_ir cache ~source_digest ~options_key (fun () ->
+          Uc.Compile.lower ~options:job.Job.options ast)
+    in
+    let t =
+      Uc.Compile.run_compiled ~seed:job.Job.seed ?fuel:job.Job.fuel compiled
+    in
+    finish Report.Done
+      (Uc.Compile.elapsed_seconds t)
+      (Uc.Compile.output t)
+  with
+  | Uc.Loc.Error (loc, msg) ->
+      finish
+        (Report.Failed (Format.asprintf "%a: %s" Uc.Loc.pp loc msg))
+        0. []
+  | Cm.Machine.Error msg -> finish (Report.Failed ("machine: " ^ msg)) 0. []
+  | Uc.Interp.Runtime_error msg ->
+      finish (Report.Failed ("runtime: " ^ msg)) 0. []
+  | Failure msg -> finish (Report.Failed msg) 0. []
+  | Not_found -> finish (Report.Failed "internal lookup failure") 0. []
+
+let run_job ~cache (job : Job.t) =
+  let t0 = now () in
+  let digest = Job.digest job in
+  match Cache.find_run cache digest with
+  | Some r -> { r with Report.from_cache = true; wall_seconds = now () -. t0 }
+  | None ->
+      let r = compute cache job digest in
+      let wall = now () -. t0 in
+      let r =
+        match job.Job.deadline with
+        | Some limit when wall > limit ->
+            (* wall-clock verdicts are not content: report, don't cache *)
+            { r with Report.status = Report.Timeout limit; wall_seconds = wall }
+        | _ ->
+            Cache.store_run cache digest r;
+            { r with Report.wall_seconds = wall }
+      in
+      r
+
+let run_jobs ?domains ?queue_bound ~cache jobs =
+  List.map2
+    (fun (job : Job.t) outcome ->
+      match outcome with
+      | Ok r -> r
+      | Error exn ->
+          (* a worker-level surprise (Out_of_memory, Stack_overflow …)
+             still yields a result instead of killing the batch *)
+          {
+            Report.job_name = job.Job.name;
+            digest = Job.digest job;
+            options = Job.options_summary job.Job.options;
+            seed = job.Job.seed;
+            status = Report.Failed (Printexc.to_string exn);
+            simulated_seconds = 0.;
+            output = [];
+            wall_seconds = 0.;
+            from_cache = false;
+          })
+    jobs
+    (Pool.map ?domains ?queue_bound (run_job ~cache) jobs)
+
+let corpus_jobs ?options ?seed ?fuel ?deadline () =
+  List.map
+    (fun (name, source) ->
+      Job.make ?options ?seed ?fuel ?deadline ~name ~source ())
+    Uc_programs.Programs.all_named

@@ -1,0 +1,23 @@
+(** Executes jobs against a shared cache, one result per job.
+
+    Fault isolation: a job whose front end raises [Uc.Loc.Error], whose
+    machine raises [Cm.Machine.Error] (including fuel exhaustion), or
+    that fails in any other way is reported as [Report.Failed]; the
+    exception never escapes.  A job that finishes after its wall-clock
+    deadline is reported as [Report.Timeout] and is not cached. *)
+
+(** Run one job: cache lookup, else compile (via the staged
+    {!Uc.Compile} API, memoizing AST and IR) and execute. *)
+val run_job : cache:Cache.t -> Job.t -> Report.result
+
+(** Run a batch on a domain pool ({!Pool.map}); results are returned in
+    submission order. *)
+val run_jobs :
+  ?domains:int -> ?queue_bound:int -> cache:Cache.t -> Job.t list ->
+  Report.result list
+
+(** The whole built-in corpus ({!Uc_programs.Programs.all_named}) as
+    jobs. *)
+val corpus_jobs :
+  ?options:Uc.Codegen.options -> ?seed:int -> ?fuel:int -> ?deadline:float ->
+  unit -> Job.t list

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # CLI smoke test: exercises every ucc subcommand on the example programs.
-set -eu
+# Any non-zero step aborts the run and names the failing line.
+set -euo pipefail
+trap 'echo "cli_test.sh: FAILED at line $LINENO: $BASH_COMMAND" >&2' ERR
 
 UCC=../bin/ucc.exe
 
@@ -8,26 +10,77 @@ out=$($UCC run ../examples/uc/quickstart.uc)
 echo "$out" | grep -q "sum of squares 0..9 = 285"
 echo "$out" | grep -q "simulated elapsed time"
 
-$UCC check ../examples/uc/shortest_path.uc | grep -q "ok"
-$UCC ast ../examples/uc/quickstart.uc | grep -q 'par (I)'
-$UCC paris ../examples/uc/quickstart.uc | grep -q "preduce-add"
-$UCC cstar ../examples/uc/shortest_path.uc | grep -q "domain SHAPE_6x6"
-$UCC interp ../examples/uc/quickstart.uc | grep -q "largest square = 81"
-$UCC examples | grep -q "obstacle_grid"
-$UCC show wavefront | grep -q "solve (I, J)"
+# capture-then-grep (a bare `| grep -q` would SIGPIPE ucc under pipefail)
+$UCC check ../examples/uc/shortest_path.uc > out.txt; grep -q "ok" out.txt
+$UCC ast ../examples/uc/quickstart.uc > out.txt; grep -q 'par (I)' out.txt
+$UCC paris ../examples/uc/quickstart.uc > out.txt; grep -q "preduce-add" out.txt
+$UCC cstar ../examples/uc/shortest_path.uc > out.txt; grep -q "domain SHAPE_6x6" out.txt
+$UCC interp ../examples/uc/quickstart.uc > out.txt; grep -q "largest square = 81" out.txt
+$UCC examples > out.txt; grep -q "obstacle_grid" out.txt
+$UCC show wavefront > out.txt; grep -q "solve (I, J)" out.txt
 
 # optimization flags are accepted and keep results stable
-a=$($UCC run ../examples/uc/stencil_mapped.uc --arrays a | head -1)
-b=$($UCC run ../examples/uc/stencil_mapped.uc --arrays a --no-news --no-cse --no-mappings --no-procopt | head -1)
+# (sed, not head: head would SIGPIPE the compiler under pipefail)
+a=$($UCC run ../examples/uc/stencil_mapped.uc --arrays a | sed -n 1p)
+b=$($UCC run ../examples/uc/stencil_mapped.uc --arrays a --no-news --no-cse --no-mappings --no-procopt | sed -n 1p)
 [ "$a" = "$b" ]
 
 # the profiler attributes time to source lines
-$UCC run ../examples/uc/obstacle_grid.uc --profile | grep -q "line 12"
+$UCC run ../examples/uc/obstacle_grid.uc --profile > out.txt; grep -q "line 12" out.txt
 
 # errors are reported with a location and a non-zero exit
 if $UCC check /dev/null 2>/dev/null; then exit 1; fi
 echo "int x" > bad.uc
 if $UCC check bad.uc 2>err.txt; then exit 1; fi
 grep -q "error" err.txt
+
+# corpus-invalid input to run/interp: one-line error:, non-zero exit,
+# never an uncaught exception backtrace
+if $UCC run bad.uc 2>err.txt; then exit 1; fi
+grep -q "error" err.txt
+if grep -q "uncaught exception" err.txt; then exit 1; fi
+if $UCC interp bad.uc 2>err.txt; then exit 1; fi
+grep -q "error" err.txt
+echo "void f() {}" > nomain.uc
+if $UCC run nomain.uc 2>err.txt; then exit 1; fi
+grep -q "error" err.txt
+if grep -q "uncaught exception" err.txt; then exit 1; fi
+if $UCC run ../examples/uc/quickstart.uc --arrays nosuch 2>err.txt; then exit 1; fi
+grep -q "error" err.txt
+if grep -q "uncaught exception" err.txt; then exit 1; fi
+
+# batch service: whole corpus on 2 domains, JSON-lines report; a second
+# pass over the same cache is served entirely from it with identical
+# simulated seconds
+rm -rf batch_cache
+$UCC batch --jobs 2 --cache-dir batch_cache > pass1.jsonl 2> batch1.log
+$UCC batch --jobs 2 --cache-dir batch_cache > pass2.jsonl 2> batch2.log
+jobs_total=$(grep -c '"job":' pass1.jsonl)
+[ "$jobs_total" -gt 0 ]
+grep -q '"summary":true' pass1.jsonl
+[ "$(grep -c '"cache":"hit"' pass2.jsonl)" = "$jobs_total" ]
+strip() { sed 's/,"wall_seconds":[^,]*,"cache":"[a-z]*"}/}/' "$1" | grep '"job":'; }
+[ "$(strip pass1.jsonl)" = "$(strip pass2.jsonl)" ]
+
+# a manifest mixing corpus names, files and per-job settings
+cat > manifest.txt <<'EOF'
+# corpus name with default settings
+quickstart
+# a file path, a reseeded job, and an option-ablated job
+../examples/uc/quickstart.uc
+reductions seed=777
+stencil no-news no-cse
+EOF
+$UCC batch manifest.txt --cache-dir none > manifest.jsonl 2>/dev/null
+[ "$(grep -c '"job":' manifest.jsonl)" = 4 ]
+
+# a manifest job that exhausts its fuel is a failed row, exit code 2
+echo "shortest_path_n2 fuel=5" > manifest_fuel.txt
+if $UCC batch manifest_fuel.txt --cache-dir none > fuel.jsonl 2>/dev/null; then
+  exit 1
+else
+  [ "$?" = 2 ]
+fi
+grep -q '"status":"failed"' fuel.jsonl
 
 echo "cli ok"

@@ -1,0 +1,214 @@
+(* The Ucd batch service: digest stability, cache determinism, pool
+   stress with fault isolation. *)
+
+let corpus name = List.assoc name Uc_programs.Programs.all_named
+
+let mk ?options ?seed ?fuel ?deadline name =
+  Ucd.Job.make ?options ?seed ?fuel ?deadline ~name ~source:(corpus name) ()
+
+(* ---- job digests ---- *)
+
+let test_digest_identity () =
+  let j = mk "quickstart" in
+  Alcotest.(check string) "digest is stable" (Ucd.Job.digest j) (Ucd.Job.digest j);
+  let j2 = mk ~seed:999 "quickstart" in
+  Alcotest.(check bool) "seed changes digest" false
+    (Ucd.Job.digest j = Ucd.Job.digest j2);
+  let j3 = mk ~fuel:1000 "quickstart" in
+  Alcotest.(check bool) "fuel changes digest" false
+    (Ucd.Job.digest j = Ucd.Job.digest j3);
+  let j4 =
+    mk ~options:{ Uc.Codegen.default_options with cse = false } "quickstart"
+  in
+  Alcotest.(check bool) "options change digest" false
+    (Ucd.Job.digest j = Ucd.Job.digest j4);
+  (* the display name is not content *)
+  let j5 = { j with Ucd.Job.name = "renamed" } in
+  Alcotest.(check string) "name does not change digest" (Ucd.Job.digest j)
+    (Ucd.Job.digest j5);
+  (* deadline is execution policy, not content *)
+  let j6 = { j with Ucd.Job.deadline = Some 60. } in
+  Alcotest.(check string) "deadline does not change digest" (Ucd.Job.digest j)
+    (Ucd.Job.digest j6)
+
+(* QCheck: digest_of_fields is invariant under reordering of the field
+   list (the option record can be assembled in any order). *)
+let qcheck_digest_permutation =
+  let open QCheck in
+  let field = pair (string_of_size Gen.(1 -- 8)) small_printable_string in
+  let gen = list_of_size Gen.(1 -- 10) field in
+  Test.make ~count:200 ~name:"digest stable under field reordering" gen
+    (fun fields ->
+      let shuffled =
+        (* deterministic permutation: reverse + sort by value *)
+        List.sort (fun (_, a) (_, b) -> compare a b) (List.rev fields)
+      in
+      Ucd.Job.digest_of_fields fields = Ucd.Job.digest_of_fields shuffled)
+
+(* ---- cache determinism ---- *)
+
+let run_one cache job = Ucd.Runner.run_job ~cache job
+
+let test_memory_cache_determinism () =
+  let cache = Ucd.Cache.create () in
+  let job = mk "quickstart" in
+  let r1 = run_one cache job in
+  let r2 = run_one cache job in
+  Alcotest.(check bool) "first is a miss" false r1.Ucd.Report.from_cache;
+  Alcotest.(check bool) "second is a hit" true r2.Ucd.Report.from_cache;
+  Alcotest.(check string) "byte-identical canonical report"
+    (Ucd.Report.canonical_json r1)
+    (Ucd.Report.canonical_json r2);
+  Alcotest.(check bool) "quickstart printed something" true
+    (r1.Ucd.Report.output <> [])
+
+let test_disk_cache_determinism () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ucd_test_%d" (Unix.getpid ()))
+  in
+  let job = mk "reductions" in
+  (* two independent cache instances: the second can only hit via disk *)
+  let r1 = run_one (Ucd.Cache.create ~dir ()) job in
+  let fresh = Ucd.Cache.create ~dir () in
+  let r2 = run_one fresh job in
+  Alcotest.(check bool) "cold run is a miss" false r1.Ucd.Report.from_cache;
+  Alcotest.(check bool) "second process-equivalent run hits disk" true
+    r2.Ucd.Report.from_cache;
+  Alcotest.(check string) "byte-identical canonical report across processes"
+    (Ucd.Report.canonical_json r1)
+    (Ucd.Report.canonical_json r2);
+  let stats = Ucd.Cache.stats fresh in
+  Alcotest.(check int) "fresh cache recorded the hit" 1 stats.Ucd.Cache.run_hits
+
+let test_timeout_not_cached () =
+  let cache = Ucd.Cache.create () in
+  let job = mk ~deadline:0. "matmul" in
+  let r1 = run_one cache job in
+  (match r1.Ucd.Report.status with
+  | Ucd.Report.Timeout _ -> ()
+  | _ -> Alcotest.fail "expected a timeout with a 0-second deadline");
+  let r2 = run_one cache job in
+  Alcotest.(check bool) "timed-out result was not served from cache" false
+    r2.Ucd.Report.from_cache
+
+(* ---- pool ---- *)
+
+let test_pool_map_order () =
+  let results =
+    Ucd.Pool.map ~domains:3 ~queue_bound:2 (fun x -> x * x)
+      [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
+  in
+  Alcotest.(check (list int)) "order preserved, all computed"
+    [ 1; 4; 9; 16; 25; 36; 49; 64; 81; 100 ]
+    (List.map (function Ok n -> n | Error _ -> -1) results)
+
+let test_pool_isolates_exceptions () =
+  let boom = Failure "boom" in
+  let results =
+    Ucd.Pool.map ~domains:2
+      (fun i -> if i = 3 then raise boom else i + 1)
+      [ 1; 2; 3; 4 ]
+  in
+  Alcotest.(check int) "all slots reported" 4 (List.length results);
+  (match List.nth results 2 with
+  | Error (Failure "boom") -> ()
+  | _ -> Alcotest.fail "job 3 should have failed with its own exception");
+  Alcotest.(check (list int)) "other jobs unaffected" [ 2; 3; 5 ]
+    (List.filter_map (function Ok n -> Some n | Error _ -> None) results)
+
+let test_pool_stress () =
+  (* more jobs than domains, including one that exhausts its fuel and
+     one whose source does not parse: both must come back as Failed
+     results without disturbing their neighbours *)
+  let good =
+    [ "quickstart"; "reductions"; "abs_sum"; "matmul"; "prefix_sums";
+      "ranksort"; "stencil"; "wavefront"; "odd_even_sort"; "heat" ]
+  in
+  let jobs =
+    List.map mk good
+    @ [
+        mk ~fuel:5 "shortest_path_n2";
+        Ucd.Job.make ~name:"unparsable" ~source:"int x" ();
+      ]
+  in
+  let cache = Ucd.Cache.create () in
+  let results =
+    Ucd.Runner.run_jobs ~domains:3 ~queue_bound:2 ~cache jobs
+  in
+  Alcotest.(check int) "one result per job" (List.length jobs)
+    (List.length results);
+  List.iteri
+    (fun i (r : Ucd.Report.result) ->
+      Alcotest.(check string)
+        (Printf.sprintf "result %d in submission order" i)
+        (List.nth jobs i).Ucd.Job.name r.Ucd.Report.job_name)
+    results;
+  List.iteri
+    (fun i (r : Ucd.Report.result) ->
+      if i < List.length good then
+        match r.Ucd.Report.status with
+        | Ucd.Report.Done -> ()
+        | Ucd.Report.Failed m ->
+            Alcotest.fail (Printf.sprintf "%s failed: %s" r.Ucd.Report.job_name m)
+        | Ucd.Report.Timeout _ ->
+            Alcotest.fail (r.Ucd.Report.job_name ^ " timed out"))
+    results;
+  (match (List.nth results (List.length good)).Ucd.Report.status with
+  | Ucd.Report.Failed msg ->
+      Alcotest.(check bool)
+        ("fuel failure mentions fuel: " ^ msg)
+        true
+        (Astring.String.is_infix ~affix:"fuel" msg)
+  | _ -> Alcotest.fail "fuel-starved job should fail");
+  (match (List.nth results (List.length good + 1)).Ucd.Report.status with
+  | Ucd.Report.Failed _ -> ()
+  | _ -> Alcotest.fail "unparsable job should fail");
+  (* and the batch as a whole still summarizes *)
+  let s = Ucd.Report.summarize ~elapsed:1. results in
+  Alcotest.(check int) "ok count" (List.length good) s.Ucd.Report.ok;
+  Alcotest.(check int) "failed count" 2 s.Ucd.Report.failed
+
+(* ---- report JSON ---- *)
+
+let test_json_shapes () =
+  let cache = Ucd.Cache.create () in
+  let r = run_one cache (mk "quickstart") in
+  let line = Ucd.Report.json_line r in
+  Alcotest.(check bool) "json line has cache provenance" true
+    (Astring.String.is_infix ~affix:"\"cache\":\"miss\"" line);
+  Alcotest.(check bool) "canonical json omits wall time" false
+    (Astring.String.is_infix ~affix:"wall_seconds"
+       (Ucd.Report.canonical_json r));
+  let s = Ucd.Report.summarize ~elapsed:0.5 [ r ] in
+  Alcotest.(check bool) "summary json marks itself" true
+    (Astring.String.is_infix ~affix:"\"summary\":true"
+       (Ucd.Report.json_of_summary s))
+
+let () =
+  Alcotest.run "ucd"
+    [
+      ( "job",
+        [
+          Alcotest.test_case "digest identity" `Quick test_digest_identity;
+          QCheck_alcotest.to_alcotest qcheck_digest_permutation;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "memory determinism" `Quick
+            test_memory_cache_determinism;
+          Alcotest.test_case "disk determinism" `Quick
+            test_disk_cache_determinism;
+          Alcotest.test_case "timeouts are not cached" `Quick
+            test_timeout_not_cached;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "map preserves order" `Quick test_pool_map_order;
+          Alcotest.test_case "exception isolation" `Quick
+            test_pool_isolates_exceptions;
+          Alcotest.test_case "stress with faults" `Quick test_pool_stress;
+        ] );
+      ( "report",
+        [ Alcotest.test_case "json shapes" `Quick test_json_shapes ] );
+    ]
