@@ -1,8 +1,8 @@
 # Development entry points.  `make ci` is the gate every change must
-# pass: full build, full test suite, and a CLI sanity check; it stops
-# loudly at the first failing step.
+# pass: full build, engine-equivalence corpus check, full test suite,
+# and a CLI sanity check; it stops loudly at the first failing step.
 
-.PHONY: all build test ci bench batch clean
+.PHONY: all build test ci bench bench-compare batch clean
 
 all: build
 
@@ -14,11 +14,17 @@ test:
 
 ci:
 	dune build
+	dune exec test/test_engine.exe -- test corpus
 	dune runtest
 	dune exec bin/ucc.exe -- examples
 
 bench:
 	dune exec bench/main.exe
+
+# diff two bench --json snapshots: asserts the simulated rows are
+# identical and prints wall-clock speedups for the bechamel rows
+bench-compare:
+	dune exec bench/compare.exe -- BENCH_PR1.json BENCH_PR2.json
 
 # the full corpus through the batch service, parallel, with the on-disk cache
 batch:

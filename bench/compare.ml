@@ -1,0 +1,135 @@
+(* Compare two `bench --json` snapshots.
+
+   Usage: compare OLD.json NEW.json
+
+   The snapshot is a file of JSON lines in two flavours:
+
+   - simulated-time rows (fig6/fig7/fig8/appendix sections): these are
+     produced by the cost model and must be deterministic — the tool
+     asserts they are byte-for-byte identical between the two files and
+     exits nonzero otherwise.  This is how BENCH_PR*.json files prove
+     that a performance change did not perturb simulated results.
+
+   - bechamel rows (wall-clock ms per run): these move with the host
+     and the implementation; the tool prints an old/new/speedup table.
+     Rows present in only one file (e.g. a benchmark added alongside an
+     optimization) are listed but do not fail the comparison. *)
+
+let usage () =
+  prerr_endline "usage: compare OLD.json NEW.json";
+  exit 2
+
+let read_lines path =
+  let ic =
+    try open_in path
+    with Sys_error msg ->
+      Printf.eprintf "compare: %s\n" msg;
+      exit 2
+  in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (if String.trim line = "" then acc else line :: acc)
+    | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+  in
+  go []
+
+let is_bechamel line =
+  (* section is always the first key the bench writer emits *)
+  let prefix = {|{"section":"bechamel"|} in
+  String.length line >= String.length prefix
+  && String.sub line 0 (String.length prefix) = prefix
+
+(* minimal extraction: the bench writer emits flat objects with string
+   keys, no escapes inside the values we care about *)
+let find_sub line pat =
+  let n = String.length line and m = String.length pat in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub line i m = pat then Some (i + m)
+    else go (i + 1)
+  in
+  go 0
+
+let field_string line key =
+  match find_sub line (Printf.sprintf {|"%s":"|} key) with
+  | None -> None
+  | Some start -> (
+      match String.index_from_opt line start '"' with
+      | None -> None
+      | Some stop -> Some (String.sub line start (stop - start)))
+
+let field_float line key =
+  match find_sub line (Printf.sprintf {|"%s":|} key) with
+  | None -> None
+  | Some start ->
+      let stop = ref start in
+      let n = String.length line in
+      while !stop < n && line.[!stop] <> ',' && line.[!stop] <> '}' do
+        incr stop
+      done;
+      float_of_string_opt (String.sub line start (!stop - start))
+
+let () =
+  let old_path, new_path =
+    match Sys.argv with [| _; a; b |] -> (a, b) | _ -> usage ()
+  in
+  let old_lines = read_lines old_path and new_lines = read_lines new_path in
+  let split lines = List.partition (fun l -> not (is_bechamel l)) lines in
+  let old_sim, old_bch = split old_lines in
+  let new_sim, new_bch = split new_lines in
+
+  (* ---- simulated rows: must be identical ---- *)
+  let diffs = ref 0 in
+  let rec walk i a b =
+    match (a, b) with
+    | [], [] -> ()
+    | x :: a', y :: b' ->
+        if not (String.equal x y) then begin
+          incr diffs;
+          Printf.printf "simulated row %d differs:\n  - %s\n  + %s\n" i x y
+        end;
+        walk (i + 1) a' b'
+    | x :: a', [] ->
+        incr diffs;
+        Printf.printf "simulated row %d only in %s:\n  - %s\n" i old_path x;
+        walk (i + 1) a' []
+    | [], y :: b' ->
+        incr diffs;
+        Printf.printf "simulated row %d only in %s:\n  + %s\n" i new_path y;
+        walk (i + 1) [] b'
+  in
+  walk 0 old_sim new_sim;
+  if !diffs = 0 then
+    Printf.printf "simulated results: %d rows identical\n" (List.length old_sim)
+  else Printf.printf "simulated results: %d row(s) DIFFER\n" !diffs;
+
+  (* ---- bechamel rows: report speedups ---- *)
+  let table lines =
+    List.filter_map
+      (fun l ->
+        match (field_string l "test", field_float l "ms_per_run") with
+        | Some t, Some ms -> Some (t, ms)
+        | _ -> None)
+      lines
+  in
+  let old_t = table old_bch and new_t = table new_bch in
+  if old_t <> [] || new_t <> [] then begin
+    Printf.printf "\n%-40s %12s %12s %9s\n" "wall-clock benchmark" "old ms/run"
+      "new ms/run" "speedup";
+    List.iter
+      (fun (name, old_ms) ->
+        match List.assoc_opt name new_t with
+        | Some new_ms ->
+            Printf.printf "%-40s %12.4f %12.4f %8.2fx\n" name old_ms new_ms
+              (old_ms /. new_ms)
+        | None -> Printf.printf "%-40s %12.4f %12s\n" name old_ms "(removed)")
+      old_t;
+    List.iter
+      (fun (name, new_ms) ->
+        if not (List.mem_assoc name old_t) then
+          Printf.printf "%-40s %12s %12.4f\n" name "(new)" new_ms)
+      new_t
+  end;
+  exit (if !diffs = 0 then 0 else 1)

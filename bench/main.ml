@@ -41,8 +41,8 @@ let run_uc ?options src =
 
 (* uncached: for meter readings and for bechamel, which measures the
    simulator's own wall-clock and must not be served memoized results *)
-let run_uc_direct ?options src =
-  let t = Uc.Compile.run_source ?options ~seed src in
+let run_uc_direct ?options ?engine src =
+  let t = Uc.Compile.run_source ?options ?engine ~seed src in
   Uc.Compile.elapsed_seconds t
 
 let run_cstar (prog, _field) =
@@ -367,6 +367,13 @@ let bechamel_bench () =
       Test.make ~name:"fig8:uc-obstacle N=20"
         (Staged.stage (fun () ->
              ignore (run_uc_direct (Uc_programs.Programs.obstacle_grid ~n:20))));
+      (* same program through the reference interpreter: the gap between
+         this row and the previous one is the pre-decoded engine's win *)
+      Test.make ~name:"fig8:uc-obstacle-refengine N=20"
+        (Staged.stage (fun () ->
+             ignore
+               (run_uc_direct ~engine:`Reference
+                  (Uc_programs.Programs.obstacle_grid ~n:20))));
       Test.make ~name:"fig8:seqc N=20"
         (Staged.stage (fun () -> ignore (Seqc.Obstacle.run ~n:20 ())));
       Test.make ~name:"a1:stencil-mapped"

@@ -80,7 +80,21 @@ let stats_arg =
 let profile_arg =
   Arg.(
     value & flag
-    & info [ "profile" ] ~doc:"Print simulated time attributed to source lines")
+    & info [ "profile" ]
+        ~doc:
+          "Print simulated time per region (the compiler emits one region \
+           marker per source line)")
+
+let engine_arg =
+  Arg.(
+    value
+    & opt (enum [ ("fast", `Fast); ("reference", `Reference) ]) `Fast
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Execution engine: $(b,fast) (pre-decoded instruction kernels, the \
+           default) or $(b,reference) (the tree-walking interpreter). Both \
+           produce bit-identical results, statistics and simulated time; \
+           only wall-clock speed differs.")
 
 let arrays_arg =
   Arg.(
@@ -172,9 +186,9 @@ let print_int_array name dims a =
       print_newline ())
 
 let run_cmd =
-  let run path options seed stats profile arrays scalars =
+  let run path options seed stats profile engine arrays scalars =
     with_source path (fun src ->
-        let t = Uc.Compile.run_source ~options ~seed src in
+        let t = Uc.Compile.run_source ~options ~seed ~engine src in
         List.iter print_endline (Uc.Compile.output t);
         List.iter
           (fun name ->
@@ -200,7 +214,7 @@ let run_cmd =
           Format.printf "%a@." Cm.Cost.pp_meter (Uc.Compile.meter t);
         if profile then begin
           let total = Uc.Compile.elapsed_seconds t in
-          print_endline "profile (simulated seconds by source line):";
+          print_endline "profile (simulated seconds by region; one per source line):";
           List.iter
             (fun (region, secs) ->
               Printf.printf "  %-16s %10.6f s  %5.1f%%\n" region secs
@@ -213,7 +227,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Compile and execute on the simulated Connection Machine")
     Term.(
       const run $ file_arg $ options_args $ seed_arg $ stats_arg $ profile_arg
-      $ arrays_arg $ scalars_arg)
+      $ engine_arg $ arrays_arg $ scalars_arg)
 
 (* ---- interp ---- *)
 

@@ -1,35 +1,80 @@
-type t = { n : int; mutable stack : bool array list }
+(* Each stack frame caches its active count so [count_active], [depth]
+   and the [all_active] fast-path test are O(1); the count is maintained
+   for free inside the O(n) mask updates, which already touch every
+   flag. *)
+
+type frame = { flags : bool array; mutable count : int }
+
+type t = { n : int; mutable stack : frame list; mutable depth : int }
+
+let base_frame n = { flags = Array.make n true; count = n }
 
 let create n =
   if n < 0 then invalid_arg "Context.create: negative size";
-  { n; stack = [ Array.make n true ] }
+  { n; stack = [ base_frame n ]; depth = 1 }
 
 let size c = c.n
 
 let top c =
   match c.stack with
   | [] -> assert false
-  | flags :: _ -> flags
+  | frame :: _ -> frame
 
-let active c = top c
-let is_active c p = (top c).(p)
+let active c = (top c).flags
+let is_active c p = (top c).flags.(p)
+let count_active c = (top c).count
+let all_active c = (top c).count = c.n
 
-let count_active c =
-  Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 (top c)
-
-let push c = c.stack <- Array.copy (top c) :: c.stack
+let push c =
+  let f = top c in
+  c.stack <- { flags = Array.copy f.flags; count = f.count } :: c.stack;
+  c.depth <- c.depth + 1
 
 let land_mask c m =
   if Array.length m <> c.n then invalid_arg "Context.land_mask: size mismatch";
-  let flags = top c in
+  let f = top c in
+  let flags = f.flags in
+  let count = ref 0 in
   for i = 0 to c.n - 1 do
-    flags.(i) <- flags.(i) && m.(i)
-  done
+    let v = flags.(i) && m.(i) in
+    flags.(i) <- v;
+    if v then incr count
+  done;
+  f.count <- !count
+
+let land_ints c a =
+  if Array.length a <> c.n then invalid_arg "Context.land_ints: size mismatch";
+  let f = top c in
+  let flags = f.flags in
+  let count = ref 0 in
+  for i = 0 to c.n - 1 do
+    let v = flags.(i) && a.(i) <> 0 in
+    flags.(i) <- v;
+    if v then incr count
+  done;
+  f.count <- !count
+
+let land_floats c a =
+  if Array.length a <> c.n then invalid_arg "Context.land_floats: size mismatch";
+  let f = top c in
+  let flags = f.flags in
+  let count = ref 0 in
+  for i = 0 to c.n - 1 do
+    let v = flags.(i) && a.(i) <> 0.0 in
+    flags.(i) <- v;
+    if v then incr count
+  done;
+  f.count <- !count
 
 let pop c =
   match c.stack with
   | [] | [ _ ] -> failwith "Context.pop: base context"
-  | _ :: rest -> c.stack <- rest
+  | _ :: rest ->
+      c.stack <- rest;
+      c.depth <- c.depth - 1
 
-let depth c = List.length c.stack
-let reset c = c.stack <- [ Array.make c.n true ]
+let depth c = c.depth
+
+let reset c =
+  c.stack <- [ base_frame c.n ];
+  c.depth <- 1

@@ -3,7 +3,11 @@
     On the CM every processor carries a context flag; parallel instructions
     only take effect on active processors.  UC's nested [st] predicates map
     to a stack of flag vectors: entering a guarded construct pushes a copy
-    of the current flags and ANDs the predicate in, leaving pops. *)
+    of the current flags and ANDs the predicate in, leaving pops.
+
+    Each frame caches its active count, so {!count_active}, {!depth} and
+    {!all_active} are O(1): execution engines use [all_active] to select
+    branch-free loops over fully-active VP sets. *)
 
 type t
 
@@ -18,8 +22,11 @@ val active : t -> bool array
 (** [is_active c p] tests VP [p] under the current context. *)
 val is_active : t -> int -> bool
 
-(** Number of currently active VPs. *)
+(** Number of currently active VPs.  O(1): maintained incrementally. *)
 val count_active : t -> int
+
+(** [all_active c] is [count_active c = size c].  O(1). *)
+val all_active : t -> bool
 
 (** Push a copy of the current flags. *)
 val push : t -> unit
@@ -28,11 +35,21 @@ val push : t -> unit
     @raise Invalid_argument on size mismatch. *)
 val land_mask : t -> bool array -> unit
 
+(** [land_ints c a] ANDs the truth of an int field ([a.(i) <> 0]) into the
+    current flags without allocating an intermediate mask.
+    @raise Invalid_argument on size mismatch. *)
+val land_ints : t -> int array -> unit
+
+(** [land_floats c a] ANDs the truth of a float field ([a.(i) <> 0.0])
+    into the current flags without allocating an intermediate mask.
+    @raise Invalid_argument on size mismatch. *)
+val land_floats : t -> float array -> unit
+
 (** Pop the top flags, restoring the previous context.
     @raise Failure if only the base context remains. *)
 val pop : t -> unit
 
-(** Depth of the stack (>= 1). *)
+(** Depth of the stack (>= 1).  O(1). *)
 val depth : t -> int
 
 (** Reset to a single all-active context. *)

@@ -6,6 +6,8 @@ let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
 
 type fdata = FInt of int array | FFloat of float array
 
+type engine = [ `Fast | `Reference ]
+
 type t = {
   prog : program;
   meter : Cost.meter;
@@ -13,12 +15,20 @@ type t = {
   fields : fdata array;
   contexts : Context.t array;
   labels : int array;  (* label id -> code index *)
+  engine : engine;
+  scratch : Router.scratch;  (* shared fan-in counters, both engines *)
   mutable cur : int;   (* current VP set, -1 before the first Cwith *)
   mutable rand_state : int;
   mutable fuel : int;
   mutable output : string list;  (* reversed *)
-  mutable region : string;
-  regions : (string, float) Hashtbl.t;  (* region -> elapsed ns *)
+  mutable pc : int;
+  (* Simulated time is attributed to the current region by accumulating
+     into the region's own ref; a [Region] marker just swaps which ref
+     [region_acc] points at, so the steady state never touches the
+     hashtable. *)
+  mutable region_acc : float ref;
+  regions : (string, float ref) Hashtbl.t;  (* region -> elapsed ns *)
+  mutable kernels : (unit -> unit) array option;  (* fast engine, lazy *)
 }
 
 let resolve_labels prog =
@@ -33,7 +43,8 @@ let resolve_labels prog =
     prog.code;
   labels
 
-let create ?(cost = Cost.cm2_16k) ?(seed = 12345) ?(fuel = 50_000_000) prog =
+let create ?(cost = Cost.cm2_16k) ?(seed = 12345) ?(fuel = 50_000_000)
+    ?(engine = `Fast) prog =
   let fields =
     Array.map
       (fun (vp, kind) ->
@@ -46,6 +57,9 @@ let create ?(cost = Cost.cm2_16k) ?(seed = 12345) ?(fuel = 50_000_000) prog =
   let contexts =
     Array.map (fun g -> Context.create (Geometry.size g)) prog.geoms
   in
+  let regions = Hashtbl.create 16 in
+  let region_acc = ref 0.0 in
+  Hashtbl.add regions "(startup)" region_acc;
   {
     prog;
     meter = Cost.meter cost;
@@ -53,18 +67,34 @@ let create ?(cost = Cost.cm2_16k) ?(seed = 12345) ?(fuel = 50_000_000) prog =
     fields;
     contexts;
     labels = resolve_labels prog;
+    engine;
+    scratch = Router.scratch ();
     cur = -1;
     rand_state = seed land 0x3FFFFFFF;
     fuel;
     output = [];
-    region = "(startup)";
-    regions = Hashtbl.create 16;
+    pc = 0;
+    region_acc;
+    regions;
+    kernels = None;
   }
 
+let engine m = m.engine
 let output m = List.rev m.output
 
+let set_region m name =
+  match Hashtbl.find_opt m.regions name with
+  | Some acc -> m.region_acc <- acc
+  | None ->
+      let acc = ref 0.0 in
+      Hashtbl.add m.regions name acc;
+      m.region_acc <- acc
+
 let regions m =
-  Hashtbl.fold (fun name ns acc -> (name, ns /. 1.0e9) :: acc) m.regions []
+  Hashtbl.fold
+    (fun name ns acc ->
+      if !ns <> 0.0 then (name, !ns /. 1.0e9) :: acc else acc)
+    m.regions []
   |> List.sort (fun (_, a) (_, b) -> compare b a)
 
 let program m = m.prog
@@ -90,6 +120,18 @@ let rand_mod m modulus =
 
 (* ---- operator tables ---- *)
 
+(* OCaml leaves [lsl]/[asr] unspecified for shift amounts outside
+   [0, Sys.int_size - 1]; make those a proper machine fault. *)
+let checked_shl a b =
+  if b < 0 || b >= Sys.int_size then
+    error "shift amount %d is out of range (0..%d)" b (Sys.int_size - 1)
+  else a lsl b
+
+let checked_shr a b =
+  if b < 0 || b >= Sys.int_size then
+    error "shift amount %d is out of range (0..%d)" b (Sys.int_size - 1)
+  else a asr b
+
 let int_binop = function
   | Add -> ( + )
   | Sub -> ( - )
@@ -103,8 +145,8 @@ let int_binop = function
   | Band -> ( land )
   | Bor -> ( lor )
   | Bxor -> ( lxor )
-  | Shl -> ( lsl )
-  | Shr -> ( asr )
+  | Shl -> checked_shl
+  | Shr -> checked_shr
   | Eq -> fun a b -> if a = b then 1 else 0
   | Ne -> fun a b -> if a <> b then 1 else 0
   | Lt -> fun a b -> if a < b then 1 else 0
@@ -251,6 +293,8 @@ let operand_is_float m = function
   | Imm (SInt _) -> false
   | Fld f -> ( match field_data m f with FFloat _ -> true | FInt _ -> false)
 
+(* ---- reference engine: per-instruction tree walking ---- *)
+
 let exec_pmov m dst a =
   check_on_current m dst "pmov";
   let mask = Context.active (cur_ctx m) in
@@ -385,8 +429,10 @@ let exec_pget m dst src addr =
   let stats =
     try
       match field_data m dst, field_data m src with
-      | FInt d, FInt s -> Router.get ~mask ~addr ~src:s ~dst:d
-      | FFloat d, FFloat s -> Router.get ~mask ~addr ~src:s ~dst:d
+      | FInt d, FInt s ->
+          Router.get ~scratch:m.scratch ~mask ~addr ~src:s ~dst:d ()
+      | FFloat d, FFloat s ->
+          Router.get ~scratch:m.scratch ~mask ~addr ~src:s ~dst:d ()
       | _ -> error "pget: kind mismatch between f%d and f%d" dst src
     with Invalid_argument msg -> error "pget: %s" msg
   in
@@ -419,9 +465,11 @@ let exec_psend m dst src addr combine =
     try
       match field_data m dst, field_data m src with
       | FInt d, FInt s ->
-          Router.send ~mask ~addr ~src:s ~dst:d ~combine:(int_combine combine)
+          Router.send ~scratch:m.scratch ~mask ~addr ~src:s ~dst:d
+            ~combine:(int_combine combine) ()
       | FFloat d, FFloat s ->
-          Router.send ~mask ~addr ~src:s ~dst:d ~combine:(float_combine combine)
+          Router.send ~scratch:m.scratch ~mask ~addr ~src:s ~dst:d
+            ~combine:(float_combine combine) ()
       | _ -> error "psend: kind mismatch between f%d and f%d" dst src
     with
     | Invalid_argument msg -> error "psend: %s" msg
@@ -538,26 +586,24 @@ let exec_cand m fld =
   in
   Context.land_mask (cur_ctx m) mask
 
-(* ---- main loop ---- *)
-
-let run m =
+let run_reference m =
   let code = m.prog.code in
   let n = Array.length code in
-  let pc = ref 0 in
+  m.pc <- 0;
   let jump l =
     let target = m.labels.(l) in
     if target < 0 then error "jump to unplaced label L%d" l;
-    pc := target
+    m.pc <- target
   in
-  while !pc < n do
+  while m.pc < n do
     if m.fuel <= 0 then error "fuel exhausted (non-terminating program?)";
     m.fuel <- m.fuel - 1;
-    let i = !pc in
-    incr pc;
+    let i = m.pc in
+    m.pc <- m.pc + 1;
     let t0 = m.meter.Cost.elapsed_ns in
     (match code.(i) with
     | Label _ | Comment _ -> ()
-    | Region r -> m.region <- r
+    | Region r -> set_region m r
     | Fprint (s, a) ->
         let line =
           match a with
@@ -568,7 +614,7 @@ let run m =
               | SFloat f -> Printf.sprintf "%s%g" s f)
         in
         m.output <- line :: m.output
-    | Halt -> pc := n
+    | Halt -> m.pc <- n
     | Fmov (r, a) ->
         Cost.charge_fe m.meter;
         m.regs.(r) <- fe_val m a
@@ -654,7 +700,858 @@ let run m =
             Array.iteri (fun p act -> out.(p) <- (if act then 1 else 0)) mask
         | FFloat _ -> error "cread into a float field"));
     let dt = m.meter.Cost.elapsed_ns -. t0 in
-    if dt > 0.0 then
-      Hashtbl.replace m.regions m.region
-        (dt +. (try Hashtbl.find m.regions m.region with Not_found -> 0.0))
+    if dt > 0.0 then m.region_acc := !(m.region_acc) +. dt
   done
+
+(* ---- fast engine: pre-decoded instruction kernels ---- *)
+
+(* [compile] translates the program once into an array of closures, one
+   per instruction, with operand shapes, field kinds, VP-set ids, label
+   targets and geometry constants resolved at decode time.  The run loop
+   is then [kernels.(pc) ()] over monomorphic int/float array loops.
+
+   The invariant (enforced by test/test_engine.ml) is bit-identical
+   observable behaviour with [run_reference]: same register, field and
+   output contents, same statistics and simulated nanoseconds, same
+   error messages, same LCG stream, including the exact order of
+   per-element effects (router deliveries, rand draws, partial writes
+   before a mid-loop fault).  Errors the reference discovers while
+   executing (bad operator for a kind, operand kind mismatch, ...) are
+   deferred here into lazy values forced at the same point of the
+   kernel, after the same checks and charges. *)
+
+(* A parallel operand resolves once per execution (registers are read at
+   execution time) to one of these shapes; the loops specialize on them. *)
+type ires = IArr of int array | IVal of int
+type fres = FArr of float array | FIArr of int array | FVal of float
+
+let iget r p = match r with IArr a -> Array.unsafe_get a p | IVal v -> v
+
+let fget r p =
+  match r with
+  | FArr a -> Array.unsafe_get a p
+  | FIArr a -> float_of_int (Array.unsafe_get a p)
+  | FVal v -> v
+
+(* Index safety: every loop below runs p over [0, nv) where nv is the
+   VP-set size, and decode only admits field arrays of exactly that
+   length, so the unsafe accesses are in bounds by construction. *)
+
+let mov_int ctx nv (out : int array) r =
+  if Context.all_active ctx then
+    match r with
+    | IArr a -> Array.blit a 0 out 0 nv
+    | IVal v -> Array.fill out 0 nv v
+  else
+    let mask = Context.active ctx in
+    match r with
+    | IArr a ->
+        for p = 0 to nv - 1 do
+          if Array.unsafe_get mask p then
+            Array.unsafe_set out p (Array.unsafe_get a p)
+        done
+    | IVal v ->
+        for p = 0 to nv - 1 do
+          if Array.unsafe_get mask p then Array.unsafe_set out p v
+        done
+
+let mov_float ctx nv (out : float array) r =
+  if Context.all_active ctx then
+    match r with
+    | FArr a -> Array.blit a 0 out 0 nv
+    | FVal v -> Array.fill out 0 nv v
+    | FIArr a ->
+        for p = 0 to nv - 1 do
+          Array.unsafe_set out p (float_of_int (Array.unsafe_get a p))
+        done
+  else
+    let mask = Context.active ctx in
+    for p = 0 to nv - 1 do
+      if Array.unsafe_get mask p then Array.unsafe_set out p (fget r p)
+    done
+
+let bin_int ctx nv (out : int array) (f : int -> int -> int) ra rb =
+  if Context.all_active ctx then
+    match ra, rb with
+    | IArr a, IArr b ->
+        for p = 0 to nv - 1 do
+          Array.unsafe_set out p
+            (f (Array.unsafe_get a p) (Array.unsafe_get b p))
+        done
+    | IArr a, IVal k ->
+        for p = 0 to nv - 1 do
+          Array.unsafe_set out p (f (Array.unsafe_get a p) k)
+        done
+    | IVal k, IArr b ->
+        for p = 0 to nv - 1 do
+          Array.unsafe_set out p (f k (Array.unsafe_get b p))
+        done
+    | IVal x, IVal y ->
+        for p = 0 to nv - 1 do Array.unsafe_set out p (f x y) done
+  else
+    let mask = Context.active ctx in
+    for p = 0 to nv - 1 do
+      if Array.unsafe_get mask p then
+        Array.unsafe_set out p (f (iget ra p) (iget rb p))
+    done
+
+let bin_float ctx nv (out : float array) (f : float -> float -> float) ra rb =
+  if Context.all_active ctx then
+    match ra, rb with
+    | FArr a, FArr b ->
+        for p = 0 to nv - 1 do
+          Array.unsafe_set out p
+            (f (Array.unsafe_get a p) (Array.unsafe_get b p))
+        done
+    | _ -> for p = 0 to nv - 1 do Array.unsafe_set out p (f (fget ra p) (fget rb p)) done
+  else
+    let mask = Context.active ctx in
+    for p = 0 to nv - 1 do
+      if Array.unsafe_get mask p then
+        Array.unsafe_set out p (f (fget ra p) (fget rb p))
+    done
+
+let cmp_float ctx nv (out : int array) (cmp : float -> float -> bool) ra rb =
+  if Context.all_active ctx then
+    for p = 0 to nv - 1 do
+      Array.unsafe_set out p (if cmp (fget ra p) (fget rb p) then 1 else 0)
+    done
+  else
+    let mask = Context.active ctx in
+    for p = 0 to nv - 1 do
+      if Array.unsafe_get mask p then
+        Array.unsafe_set out p (if cmp (fget ra p) (fget rb p) then 1 else 0)
+    done
+
+let un_int ctx nv (out : int array) (f : int -> int) r =
+  if Context.all_active ctx then
+    match r with
+    | IArr a ->
+        for p = 0 to nv - 1 do
+          Array.unsafe_set out p (f (Array.unsafe_get a p))
+        done
+    | IVal v -> for p = 0 to nv - 1 do Array.unsafe_set out p (f v) done
+  else
+    let mask = Context.active ctx in
+    for p = 0 to nv - 1 do
+      if Array.unsafe_get mask p then Array.unsafe_set out p (f (iget r p))
+    done
+
+let un_float ctx nv (out : float array) (f : float -> float) r =
+  if Context.all_active ctx then
+    for p = 0 to nv - 1 do Array.unsafe_set out p (f (fget r p)) done
+  else
+    let mask = Context.active ctx in
+    for p = 0 to nv - 1 do
+      if Array.unsafe_get mask p then Array.unsafe_set out p (f (fget r p))
+    done
+
+let toint_loop ctx nv (out : int array) r =
+  if Context.all_active ctx then
+    for p = 0 to nv - 1 do Array.unsafe_set out p (int_of_float (fget r p)) done
+  else
+    let mask = Context.active ctx in
+    for p = 0 to nv - 1 do
+      if Array.unsafe_get mask p then
+        Array.unsafe_set out p (int_of_float (fget r p))
+    done
+
+let sel_test rc p =
+  match rc with
+  | FArr c -> Array.unsafe_get c p <> 0.0
+  | FIArr c -> Array.unsafe_get c p <> 0
+  | FVal v -> v <> 0.0
+
+let sel_int ctx nv (out : int array) rc ra rb =
+  if Context.all_active ctx then
+    for p = 0 to nv - 1 do
+      Array.unsafe_set out p (if sel_test rc p then iget ra p else iget rb p)
+    done
+  else
+    let mask = Context.active ctx in
+    for p = 0 to nv - 1 do
+      if Array.unsafe_get mask p then
+        Array.unsafe_set out p (if sel_test rc p then iget ra p else iget rb p)
+    done
+
+let sel_float ctx nv (out : float array) rc ra rb =
+  if Context.all_active ctx then
+    for p = 0 to nv - 1 do
+      Array.unsafe_set out p (if sel_test rc p then fget ra p else fget rb p)
+    done
+  else
+    let mask = Context.active ctx in
+    for p = 0 to nv - 1 do
+      if Array.unsafe_get mask p then
+        Array.unsafe_set out p (if sel_test rc p then fget ra p else fget rb p)
+    done
+
+(* Resolvers for parallel operands.  Decode-time facts (field identity,
+   kind, VP set) are burned in; register contents are read per execution.
+   Errors keep the reference's message and are raised when the resolver
+   runs, i.e. at the same point of the instruction the reference raises
+   from [geti]/[getf]. *)
+
+let dec_int m vp op : unit -> ires =
+  match op with
+  | Reg r -> fun () -> IVal (to_int m.regs.(r))
+  | Imm (SInt v) ->
+      let r = IVal v in
+      fun () -> r
+  | Imm (SFloat _) -> fun () -> error "float immediate in int parallel context"
+  | Fld f -> (
+      if field_vpset m f <> vp then
+        fun () -> error "operand: field f%d is not on the current VP set vp%d" f vp
+      else
+        match field_data m f with
+        | FInt a ->
+            let r = IArr a in
+            fun () -> r
+        | FFloat _ ->
+            fun () -> error "float field f%d in int parallel context" f)
+
+let dec_float m vp op : unit -> fres =
+  match op with
+  | Reg r -> fun () -> FVal (to_float m.regs.(r))
+  | Imm s ->
+      let r = FVal (to_float s) in
+      fun () -> r
+  | Fld f -> (
+      if field_vpset m f <> vp then
+        fun () -> error "operand: field f%d is not on the current VP set vp%d" f vp
+      else
+        match field_data m f with
+        | FInt a ->
+            let r = FIArr a in
+            fun () -> r
+        | FFloat a ->
+            let r = FArr a in
+            fun () -> r)
+
+(* Float-ness of an operand when it is decidable at decode time (fields
+   and immediates); [None] means a register whose kind is dynamic. *)
+let static_is_float m = function
+  | Imm (SFloat _) -> Some true
+  | Imm (SInt _) -> Some false
+  | Fld f -> (
+      match field_data m f with FFloat _ -> Some true | FInt _ -> Some false)
+  | Reg _ -> None
+
+let decode m code_len instr : unit -> unit =
+  let meter = m.meter in
+  (* Replicates [check_on_current] for a statically known field/VP pair. *)
+  let check_cur vp what f =
+    if m.cur <> vp then
+      if m.cur < 0 then error "no VP set selected (missing Cwith)"
+      else error "%s: field f%d is not on the current VP set vp%d" what f m.cur
+  in
+  (* Static facts about a parallel destination/source field. *)
+  let pfield f =
+    let vp = field_vpset m f in
+    (vp, Geometry.size m.prog.geoms.(vp), m.contexts.(vp), field_data m f)
+  in
+  let dec_fe op =
+    match op with
+    | Reg r -> fun () -> m.regs.(r)
+    | Imm s -> fun () -> s
+    | Fld f -> fun () -> error "field f%d used as a front-end operand" f
+  in
+  (* Resolve the address field of a router op against the executing VP
+     set, with [addr_array]'s error order: on-current first, then kind. *)
+  let dec_addr vp f =
+    if field_vpset m f <> vp then
+      fun () ->
+        (error "address: field f%d is not on the current VP set vp%d" f vp
+          : int array)
+    else
+      match field_data m f with
+      | FInt a -> fun () -> a
+      | FFloat _ -> fun () -> error "address field f%d must be an int field" f
+  in
+  match instr with
+  | Label _ | Comment _ -> fun () -> ()
+  | Region r -> fun () -> set_region m r
+  | Fprint (s, None) -> fun () -> m.output <- s :: m.output
+  | Fprint (s, Some op) ->
+      let g = dec_fe op in
+      fun () ->
+        let line =
+          match g () with
+          | SInt i -> Printf.sprintf "%s%d" s i
+          | SFloat f -> Printf.sprintf "%s%g" s f
+        in
+        m.output <- line :: m.output
+  | Halt -> fun () -> m.pc <- code_len
+  | Fmov (r, a) ->
+      let g = dec_fe a in
+      fun () ->
+        Cost.charge_fe meter;
+        m.regs.(r) <- g ()
+  | Fbin (op, r, a, b) ->
+      let ga = dec_fe a and gb = dec_fe b in
+      fun () ->
+        Cost.charge_fe meter;
+        (* the reference evaluates [fe_bin op (fe_val a) (fe_val b)];
+           OCaml applies arguments right to left, so b's faults win *)
+        let vb = gb () in
+        let va = ga () in
+        m.regs.(r) <- fe_bin op va vb
+  | Funop (op, r, a) ->
+      let g = dec_fe a in
+      fun () ->
+        Cost.charge_fe meter;
+        m.regs.(r) <- fe_unop op (g ())
+  | Frand (r, a) ->
+      let g = dec_fe a in
+      fun () ->
+        Cost.charge_fe meter;
+        m.regs.(r) <- SInt (rand_mod m (to_int (g ())))
+  | Fread (r, fld, a) ->
+      let fd = field_data m fld in
+      let g = dec_fe a in
+      fun () ->
+        Cost.charge_fe_cm meter;
+        let addr = to_int (g ()) in
+        (match fd with
+        | FInt arr ->
+            if addr < 0 || addr >= Array.length arr then
+              error "fread: address %d out of range on f%d" addr fld;
+            m.regs.(r) <- SInt arr.(addr)
+        | FFloat arr ->
+            if addr < 0 || addr >= Array.length arr then
+              error "fread: address %d out of range on f%d" addr fld;
+            m.regs.(r) <- SFloat arr.(addr))
+  | Fwrite (fld, a, v) ->
+      let fd = field_data m fld in
+      let ga = dec_fe a and gv = dec_fe v in
+      fun () ->
+        Cost.charge_fe_cm meter;
+        let addr = to_int (ga ()) in
+        let value = gv () in
+        (match fd with
+        | FInt arr ->
+            if addr < 0 || addr >= Array.length arr then
+              error "fwrite: address %d out of range on f%d" addr fld;
+            arr.(addr) <- to_int value
+        | FFloat arr ->
+            if addr < 0 || addr >= Array.length arr then
+              error "fwrite: address %d out of range on f%d" addr fld;
+            arr.(addr) <- to_float value)
+  | Jmp l ->
+      fun () ->
+        Cost.charge_fe meter;
+        let target = m.labels.(l) in
+        if target < 0 then error "jump to unplaced label L%d" l;
+        m.pc <- target
+  | Jz (a, l) ->
+      let g = dec_fe a in
+      fun () ->
+        Cost.charge_fe meter;
+        if not (truthy (g ())) then begin
+          let target = m.labels.(l) in
+          if target < 0 then error "jump to unplaced label L%d" l;
+          m.pc <- target
+        end
+  | Jnz (a, l) ->
+      let g = dec_fe a in
+      fun () ->
+        Cost.charge_fe meter;
+        if truthy (g ()) then begin
+          let target = m.labels.(l) in
+          if target < 0 then error "jump to unplaced label L%d" l;
+          m.pc <- target
+        end
+  | Pmov (dst, a) -> (
+      let vp, nv, ctx, fd = pfield dst in
+      match fd with
+      | FInt out ->
+          let ga = dec_int m vp a in
+          fun () ->
+            check_cur vp "pmov" dst;
+            Cost.charge_pe meter ~size:nv;
+            mov_int ctx nv out (ga ())
+      | FFloat out ->
+          let ga = dec_float m vp a in
+          fun () ->
+            check_cur vp "pmov" dst;
+            Cost.charge_pe meter ~size:nv;
+            mov_float ctx nv out (ga ()))
+  | Pbin (op, dst, a, b) -> (
+      let vp, nv, ctx, fd = pfield dst in
+      match fd with
+      | FFloat out ->
+          let lop = lazy (float_binop op) in
+          let ga = dec_float m vp a and gb = dec_float m vp b in
+          fun () ->
+            check_cur vp "pbin" dst;
+            Cost.charge_pe meter ~size:nv;
+            let f = Lazy.force lop in
+            let ra = ga () in
+            let rb = gb () in
+            bin_float ctx nv out f ra rb
+      | FInt out ->
+          if is_cmp op then begin
+            (* float compare if either operand is float-kinded; decided
+               statically unless a register is involved *)
+            let cmp = float_cmp op in
+            let iop = int_binop op in
+            let fa = dec_float m vp a and fb = dec_float m vp b in
+            let ia = dec_int m vp a and ib = dec_int m vp b in
+            let floatness =
+              match static_is_float m a, static_is_float m b with
+              | Some true, _ | _, Some true -> fun () -> true
+              | Some false, Some false -> fun () -> false
+              | _ -> fun () -> operand_is_float m a || operand_is_float m b
+            in
+            fun () ->
+              check_cur vp "pbin" dst;
+              Cost.charge_pe meter ~size:nv;
+              if floatness () then begin
+                let ra = fa () in
+                let rb = fb () in
+                cmp_float ctx nv out cmp ra rb
+              end
+              else begin
+                let ra = ia () in
+                let rb = ib () in
+                bin_int ctx nv out iop ra rb
+              end
+          end
+          else
+            let lop = lazy (int_binop op) in
+            let ia = dec_int m vp a and ib = dec_int m vp b in
+            fun () ->
+              check_cur vp "pbin" dst;
+              Cost.charge_pe meter ~size:nv;
+              let f = Lazy.force lop in
+              let ra = ia () in
+              let rb = ib () in
+              bin_int ctx nv out f ra rb)
+  | Punop (op, dst, a) -> (
+      let vp, nv, ctx, fd = pfield dst in
+      match fd, op with
+      | FInt out, ToInt ->
+          let ga = dec_float m vp a in
+          fun () ->
+            check_cur vp "punop" dst;
+            Cost.charge_pe meter ~size:nv;
+            toint_loop ctx nv out (ga ())
+      | FInt out, _ ->
+          let ga = dec_int m vp a in
+          let lop =
+            lazy
+              (match op with
+              | Neg -> fun x -> -x
+              | Lnot -> fun x -> if x = 0 then 1 else 0
+              | Bnot -> lnot
+              | Abs -> abs
+              | ToInt -> assert false
+              | ToFloat -> error "tofloat into an int field")
+          in
+          fun () ->
+            check_cur vp "punop" dst;
+            Cost.charge_pe meter ~size:nv;
+            (* reference order: operand first, then the operator check *)
+            let ra = ga () in
+            let f = Lazy.force lop in
+            un_int ctx nv out f ra
+      | FFloat out, _ ->
+          let ga = dec_float m vp a in
+          let lop =
+            lazy
+              (match op with
+              | Neg -> ( ~-. )
+              | Abs -> Float.abs
+              | ToFloat -> fun x -> x
+              | Lnot | Bnot | ToInt -> error "integer unop into a float field")
+          in
+          fun () ->
+            check_cur vp "punop" dst;
+            Cost.charge_pe meter ~size:nv;
+            let ra = ga () in
+            let f = Lazy.force lop in
+            un_float ctx nv out f ra)
+  | Pcoord (dst, axis) -> (
+      let vp, nv, ctx, fd = pfield dst in
+      let g = m.prog.geoms.(vp) in
+      let axis_ok = axis >= 0 && axis < Geometry.rank g in
+      let stride = if axis_ok then (Geometry.strides g).(axis) else 1 in
+      let extent = if axis_ok then Geometry.dim g axis else 1 in
+      match fd with
+      | FInt out ->
+          fun () ->
+            check_cur vp "pcoord" dst;
+            if not axis_ok then error "pcoord: bad axis %d" axis;
+            Cost.charge_pe meter ~size:nv;
+            if Context.all_active ctx then
+              for p = 0 to nv - 1 do
+                Array.unsafe_set out p (p / stride mod extent)
+              done
+            else
+              let mask = Context.active ctx in
+              for p = 0 to nv - 1 do
+                if Array.unsafe_get mask p then
+                  Array.unsafe_set out p (p / stride mod extent)
+              done
+      | FFloat _ ->
+          fun () ->
+            check_cur vp "pcoord" dst;
+            if not axis_ok then error "pcoord: bad axis %d" axis;
+            Cost.charge_pe meter ~size:nv;
+            error "pcoord into a float field")
+  | Ptable (dst, table) -> (
+      let vp, nv, _, fd = pfield dst in
+      let len_ok = Array.length table = nv in
+      match fd with
+      | FInt out ->
+          fun () ->
+            check_cur vp "ptable" dst;
+            if not len_ok then
+              error "ptable: table length does not match the VP set";
+            Cost.charge_pe meter ~size:nv;
+            Array.blit table 0 out 0 nv
+      | FFloat _ ->
+          fun () ->
+            check_cur vp "ptable" dst;
+            if not len_ok then
+              error "ptable: table length does not match the VP set";
+            Cost.charge_pe meter ~size:nv;
+            error "ptable into a float field")
+  | Prand (dst, modulus) -> (
+      let vp, nv, ctx, fd = pfield dst in
+      let gm = dec_fe modulus in
+      match fd with
+      | FInt out ->
+          fun () ->
+            check_cur vp "prand" dst;
+            let modv = to_int (gm ()) in
+            Cost.charge_pe meter ~size:nv;
+            if Context.all_active ctx then
+              for p = 0 to nv - 1 do
+                Array.unsafe_set out p (rand_mod m modv)
+              done
+            else
+              let mask = Context.active ctx in
+              for p = 0 to nv - 1 do
+                if Array.unsafe_get mask p then
+                  Array.unsafe_set out p (rand_mod m modv)
+              done
+      | FFloat _ ->
+          fun () ->
+            check_cur vp "prand" dst;
+            let _ = to_int (gm ()) in
+            Cost.charge_pe meter ~size:nv;
+            error "prand into a float field")
+  | Psel (dst, c, a, b) -> (
+      let vp, nv, ctx, fd = pfield dst in
+      let gc = dec_float m vp c in
+      match fd with
+      | FInt out ->
+          let ga = dec_int m vp a and gb = dec_int m vp b in
+          fun () ->
+            check_cur vp "psel" dst;
+            Cost.charge_pe meter ~size:nv;
+            let rc = gc () in
+            let ra = ga () in
+            let rb = gb () in
+            sel_int ctx nv out rc ra rb
+      | FFloat out ->
+          let ga = dec_float m vp a and gb = dec_float m vp b in
+          fun () ->
+            check_cur vp "psel" dst;
+            Cost.charge_pe meter ~size:nv;
+            let rc = gc () in
+            let ra = ga () in
+            let rb = gb () in
+            sel_float ctx nv out rc ra rb)
+  | Pget (dst, src, addr) ->
+      let vp, nv, ctx, fd_dst = pfield dst in
+      let fd_src = field_data m src in
+      let gaddr = dec_addr vp addr in
+      fun () ->
+        check_cur vp "pget" dst;
+        let mask = Context.active ctx in
+        let addr = gaddr () in
+        let stats =
+          try
+            match fd_dst, fd_src with
+            | FInt d, FInt s ->
+                Router.get ~scratch:m.scratch ~mask ~addr ~src:s ~dst:d ()
+            | FFloat d, FFloat s ->
+                Router.get ~scratch:m.scratch ~mask ~addr ~src:s ~dst:d ()
+            | _ -> error "pget: kind mismatch between f%d and f%d" dst src
+          with Invalid_argument msg -> error "pget: %s" msg
+        in
+        Cost.charge_router meter ~size:nv ~messages:stats.messages
+          ~max_fanin:stats.max_fanin
+  | Psend (dst, src, addr, combine) ->
+      let vp, nv, ctx, fd_src = pfield src in
+      let fd_dst = field_data m dst in
+      let gaddr = dec_addr vp addr in
+      let lcomb_i = lazy (int_combine combine) in
+      let lcomb_f = lazy (float_combine combine) in
+      let checking = combine = Ccheck in
+      fun () ->
+        check_cur vp "psend" src;
+        let mask = Context.active ctx in
+        let addr = gaddr () in
+        let stats =
+          try
+            match fd_dst, fd_src with
+            | FInt d, FInt s ->
+                Router.send ~scratch:m.scratch ~mask ~addr ~src:s ~dst:d
+                  ~combine:(Lazy.force lcomb_i) ()
+            | FFloat d, FFloat s ->
+                Router.send ~scratch:m.scratch ~mask ~addr ~src:s ~dst:d
+                  ~combine:(Lazy.force lcomb_f) ()
+            | _ -> error "psend: kind mismatch between f%d and f%d" dst src
+          with
+          | Invalid_argument msg -> error "psend: %s" msg
+          | Router.Conflict a ->
+              error
+                "parallel assignment conflict: multiple distinct values sent \
+                 to element %d of field f%d"
+                a dst
+        in
+        let fanin = if checking then stats.max_fanin else 1 in
+        Cost.charge_router meter ~size:nv ~messages:stats.messages
+          ~max_fanin:fanin
+  | Pnews (dst, src, axis, delta) ->
+      let vp, nv, ctx, fd_dst = pfield dst in
+      let vp_src = field_vpset m src in
+      let fd_src = field_data m src in
+      let g = m.prog.geoms.(vp) in
+      fun () ->
+        check_cur vp "pnews" dst;
+        check_cur vp_src "pnews" src;
+        (try
+           match fd_dst, fd_src with
+           | FInt d, FInt s ->
+               if Context.all_active ctx then
+                 ignore (News.shift g ~axis ~delta s d)
+               else
+                 ignore
+                   (News.shift_masked g ~axis ~delta
+                      ~mask:(Context.active ctx) s d)
+           | FFloat d, FFloat s ->
+               if Context.all_active ctx then
+                 ignore (News.shift g ~axis ~delta s d)
+               else
+                 ignore
+                   (News.shift_masked g ~axis ~delta
+                      ~mask:(Context.active ctx) s d)
+           | _ -> error "pnews: kind mismatch between f%d and f%d" dst src
+         with Invalid_argument msg -> error "pnews: %s" msg);
+        Cost.charge_news meter ~size:nv
+  | Preduce (op, r, fld) -> (
+      let vp, nv, ctx, fd = pfield fld in
+      match fd with
+      | FInt a ->
+          if op = Any then
+            fun () ->
+              begin
+                check_cur vp "preduce" fld;
+                Cost.charge_reduce meter ~size:nv;
+                let v =
+                  if Context.all_active ctx && nv > 0 then a.(0)
+                  else reduce_any (Context.active ctx) (Array.get a) nv Paris.inf_int
+                in
+                m.regs.(r) <- SInt v
+              end
+          else
+            (* the reference evaluates the identity before the operator
+               (right-to-left application), so keep that fault order *)
+            let lident = lazy (to_int (identity op KInt)) in
+            let lop = lazy (int_binop op) in
+            fun () ->
+              check_cur vp "preduce" fld;
+              Cost.charge_reduce meter ~size:nv;
+              let ident = Lazy.force lident in
+              let f = Lazy.force lop in
+              let v =
+                if Context.all_active ctx then begin
+                  let acc = ref ident in
+                  for p = 0 to nv - 1 do
+                    acc := f !acc (Array.unsafe_get a p)
+                  done;
+                  !acc
+                end
+                else Scan.masked_reduce f ident (Context.active ctx) a
+              in
+              m.regs.(r) <- SInt v
+      | FFloat a ->
+          if op = Any then
+            fun () ->
+              begin
+                check_cur vp "preduce" fld;
+                Cost.charge_reduce meter ~size:nv;
+                let v =
+                  if Context.all_active ctx && nv > 0 then a.(0)
+                  else reduce_any (Context.active ctx) (Array.get a) nv infinity
+                in
+                m.regs.(r) <- SFloat v
+              end
+          else
+            let lident = lazy (to_float (identity op KFloat)) in
+            let lop = lazy (float_binop op) in
+            fun () ->
+              check_cur vp "preduce" fld;
+              Cost.charge_reduce meter ~size:nv;
+              let ident = Lazy.force lident in
+              let f = Lazy.force lop in
+              let v =
+                if Context.all_active ctx then begin
+                  let acc = ref ident in
+                  for p = 0 to nv - 1 do
+                    acc := f !acc (Array.unsafe_get a p)
+                  done;
+                  !acc
+                end
+                else Scan.masked_reduce f ident (Context.active ctx) a
+              in
+              m.regs.(r) <- SFloat v)
+  | Pcount r ->
+      fun () ->
+        Cost.charge_reduce meter ~size:(cur_size m);
+        m.regs.(r) <- SInt (Context.count_active (cur_ctx m))
+  | Preduce_axis (op, dst, src) ->
+      let vp, nv, ctx, fd_src = pfield src in
+      let dst_vp = field_vpset m dst in
+      let fd_dst = field_data m dst in
+      let outer = m.prog.geoms.(dst_vp) in
+      let whole = m.prog.geoms.(vp) in
+      let prefix_ok = Geometry.is_prefix_of outer whole in
+      let outer_size = Geometry.size outer in
+      let lident_i = lazy (to_int (identity op KInt)) in
+      let lident_f = lazy (to_float (identity op KFloat)) in
+      fun () ->
+        check_cur vp "preduce-axis" src;
+        if not prefix_ok then
+          error "preduce-axis: geometry of f%d is not a prefix of the current set"
+            dst;
+        let mask = Context.active ctx in
+        Cost.charge_reduce meter ~size:nv;
+        (try
+           match fd_dst, fd_src with
+           | FInt d, FInt s ->
+               let ident = Lazy.force lident_i in
+               let r =
+                 Scan.reduce_trailing_axes whole ~outer_size (int_binop op)
+                   ident mask s
+               in
+               Array.blit r 0 d 0 outer_size
+           | FFloat d, FFloat s ->
+               let ident = Lazy.force lident_f in
+               let r =
+                 Scan.reduce_trailing_axes whole ~outer_size (float_binop op)
+                   ident mask s
+               in
+               Array.blit r 0 d 0 outer_size
+           | _ -> error "preduce-axis: kind mismatch between f%d and f%d" dst src
+         with Invalid_argument msg -> error "preduce-axis: %s" msg)
+  | Pscan (op, dst, src, axis) ->
+      let vp, nv, _, fd_dst = pfield dst in
+      let vp_src = field_vpset m src in
+      let fd_src = field_data m src in
+      let g = m.prog.geoms.(vp) in
+      fun () ->
+        check_cur vp "pscan" dst;
+        check_cur vp_src "pscan" src;
+        Cost.charge_scan meter ~size:nv;
+        (try
+           match fd_dst, fd_src with
+           | FInt d, FInt s ->
+               let r = Scan.scan_axis g axis (int_binop op) s in
+               Array.blit r 0 d 0 (Array.length d)
+           | FFloat d, FFloat s ->
+               let r = Scan.scan_axis g axis (float_binop op) s in
+               Array.blit r 0 d 0 (Array.length d)
+           | _ -> error "pscan: kind mismatch between f%d and f%d" dst src
+         with Invalid_argument msg -> error "pscan: %s" msg)
+  | Cwith vp ->
+      let ok = vp >= 0 && vp < Array.length m.prog.geoms in
+      fun () ->
+        if not ok then error "cwith: unknown VP set vp%d" vp;
+        Cost.charge_fe meter;
+        m.cur <- vp
+  | Cpush ->
+      fun () ->
+        Cost.charge_context meter ~size:(cur_size m);
+        Context.push (cur_ctx m)
+  | Cand fld -> (
+      let vp, nv, ctx, fd = pfield fld in
+      match fd with
+      | FInt a ->
+          fun () ->
+            check_cur vp "cand" fld;
+            Cost.charge_context meter ~size:nv;
+            Context.land_ints ctx a
+      | FFloat a ->
+          fun () ->
+            check_cur vp "cand" fld;
+            Cost.charge_context meter ~size:nv;
+            Context.land_floats ctx a)
+  | Cpop ->
+      fun () ->
+        Cost.charge_context meter ~size:(cur_size m);
+        (try Context.pop (cur_ctx m)
+         with Failure _ -> error "cpop: context stack underflow")
+  | Creset ->
+      fun () ->
+        Cost.charge_context meter ~size:(cur_size m);
+        Context.reset (cur_ctx m)
+  | Cread fld -> (
+      let vp, nv, ctx, fd = pfield fld in
+      match fd with
+      | FInt out ->
+          fun () ->
+            check_cur vp "cread" fld;
+            Cost.charge_context meter ~size:nv;
+            if Context.all_active ctx then Array.fill out 0 nv 1
+            else begin
+              let mask = Context.active ctx in
+              for p = 0 to nv - 1 do
+                Array.unsafe_set out p
+                  (if Array.unsafe_get mask p then 1 else 0)
+              done
+            end
+      | FFloat _ ->
+          fun () ->
+            check_cur vp "cread" fld;
+            Cost.charge_context meter ~size:nv;
+            error "cread into a float field")
+
+let compile m =
+  match m.kernels with
+  | Some _ -> ()
+  | None ->
+      let code = m.prog.code in
+      let n = Array.length code in
+      m.kernels <-
+        Some
+          (Array.init n (fun i ->
+               (* a decode-time fault (e.g. an out-of-range field id in a
+                  malformed program) becomes a kernel that re-raises it
+                  when that instruction is reached *)
+               try decode m n code.(i)
+               with e -> fun () -> raise e))
+
+let run_fast m =
+  compile m;
+  let kernels = match m.kernels with Some k -> k | None -> assert false in
+  let n = Array.length kernels in
+  let meter = m.meter in
+  m.pc <- 0;
+  while m.pc < n do
+    if m.fuel <= 0 then error "fuel exhausted (non-terminating program?)";
+    m.fuel <- m.fuel - 1;
+    let i = m.pc in
+    m.pc <- m.pc + 1;
+    let t0 = meter.Cost.elapsed_ns in
+    (Array.unsafe_get kernels i) ();
+    let dt = meter.Cost.elapsed_ns -. t0 in
+    if dt > 0.0 then m.region_acc := !(m.region_acc) +. dt
+  done
+
+let run m =
+  match m.engine with `Reference -> run_reference m | `Fast -> run_fast m

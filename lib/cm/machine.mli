@@ -4,22 +4,53 @@
     registers, per-VP fields, per-VP-set activity contexts, a deterministic
     random-number generator and a {!Cost.meter}.  Inputs may be loaded into
     fields before {!run}; results are read back from fields or registers
-    afterwards. *)
+    afterwards.
+
+    Two engines execute the same program:
+
+    - [`Fast] (the default) pre-decodes the program once ({!compile})
+      into an array of specialized instruction kernels — operand shapes,
+      field kinds, VP-set checks, label targets and geometry constants
+      resolved at decode time — and runs monomorphic int/float array
+      loops, with branch-free fast paths when the activity context is
+      fully active.
+    - [`Reference] is the original per-instruction tree-walking
+      interpreter, kept as the semantic baseline.
+
+    Both engines are observably identical bit for bit: registers, fields,
+    output, statistics, simulated nanoseconds, error messages and the
+    random stream all agree (enforced differentially by
+    [test/test_engine.ml]).  The fast engine is a wall-clock optimization
+    only. *)
 
 (** Raised on any dynamic error: kind mismatch, address out of range,
     conflicting parallel assignment, missing [Cwith], division by zero,
-    or fuel exhaustion. *)
+    shift amount out of range, or fuel exhaustion. *)
 exception Error of string
 
 type t
 
-(** [create ?cost ?seed ?fuel program] allocates storage for [program].
-    [fuel] bounds the number of executed instructions (default 50M);
-    [seed] initializes the deterministic LCG used by [rand]. *)
+type engine = [ `Fast | `Reference ]
+
+(** [create ?cost ?seed ?fuel ?engine program] allocates storage for
+    [program].  [fuel] bounds the number of executed instructions
+    (default 50M); [seed] initializes the deterministic LCG used by
+    [rand]; [engine] selects the execution engine (default [`Fast]). *)
 val create :
-  ?cost:Cost.params -> ?seed:int -> ?fuel:int -> Paris.program -> t
+  ?cost:Cost.params ->
+  ?seed:int ->
+  ?fuel:int ->
+  ?engine:engine ->
+  Paris.program ->
+  t
 
 val program : t -> Paris.program
+val engine : t -> engine
+
+(** Pre-decode the program into instruction kernels (a no-op if already
+    compiled, or for the reference engine — [`Fast] {!run} compiles on
+    first use; calling [compile] beforehand just front-loads the work). *)
+val compile : t -> unit
 
 (** Execute from the first instruction to [Halt] (or the end of code).
     @raise Error on any dynamic fault. *)

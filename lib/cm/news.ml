@@ -5,29 +5,70 @@ let check g ~axis src dst =
   if axis < 0 || axis >= Geometry.rank g then
     invalid_arg "News.shift: axis out of range"
 
-let shift_gen g ~axis ~delta ~accept src dst =
-  check g ~axis src dst;
-  let strides = Geometry.strides g in
-  let stride = strides.(axis) in
-  let extent = Geometry.dim g axis in
-  let total = Geometry.size g in
-  let updated = ref 0 in
-  for p = 0 to total - 1 do
-    if accept p then begin
-      let c = p / stride mod extent in
-      let c' = c + delta in
-      if c' >= 0 && c' < extent then begin
-        dst.(p) <- src.(p + (delta * stride));
-        incr updated
-      end
-    end
-  done;
-  !updated
+(* In row-major order the positions whose [axis] coordinate lies in
+   [lo_c, hi_c] form, within each block of [stride * extent] elements,
+   one contiguous segment of [nrows * stride] elements starting at
+   [lo_c * stride].  Both shift variants walk those segments in
+   ascending position order, exactly like the original per-element
+   [p / stride mod extent] loop but without the divisions. *)
+let bounds ~delta ~extent =
+  (max 0 (-delta), min (extent - 1) (extent - 1 - delta))
 
 let shift g ~axis ~delta src dst =
-  shift_gen g ~axis ~delta ~accept:(fun _ -> true) src dst
+  check g ~axis src dst;
+  let stride = (Geometry.strides g).(axis) in
+  let extent = Geometry.dim g axis in
+  let total = Geometry.size g in
+  let lo_c, hi_c = bounds ~delta ~extent in
+  if lo_c > hi_c then 0
+  else begin
+    let block = stride * extent in
+    let off = delta * stride in
+    let seg = (hi_c - lo_c + 1) * stride in
+    let nblocks = total / block in
+    if src != dst || delta >= 0 then
+      (* Array.blit has copy (memmove) semantics; the ascending
+         reference loop shares them whenever it never reads a position
+         it already overwrote, i.e. for distinct arrays or a
+         non-negative delta. *)
+      for b = 0 to nblocks - 1 do
+        let start = (b * block) + (lo_c * stride) in
+        Array.blit src (start + off) dst start seg
+      done
+    else
+      (* src == dst with delta < 0: the reference loop reads positions
+         it has already written; keep its exact ascending order. *)
+      for b = 0 to nblocks - 1 do
+        let start = (b * block) + (lo_c * stride) in
+        for p = start to start + seg - 1 do
+          dst.(p) <- src.(p + off)
+        done
+      done;
+    nblocks * seg
+  end
 
 let shift_masked g ~axis ~delta ~mask src dst =
   if Array.length mask <> Geometry.size g then
     invalid_arg "News.shift_masked: mask size mismatch";
-  shift_gen g ~axis ~delta ~accept:(fun p -> mask.(p)) src dst
+  check g ~axis src dst;
+  let stride = (Geometry.strides g).(axis) in
+  let extent = Geometry.dim g axis in
+  let total = Geometry.size g in
+  let lo_c, hi_c = bounds ~delta ~extent in
+  if lo_c > hi_c then 0
+  else begin
+    let block = stride * extent in
+    let off = delta * stride in
+    let seg = (hi_c - lo_c + 1) * stride in
+    let updated = ref 0 in
+    for b = 0 to (total / block) - 1 do
+      let start = (b * block) + (lo_c * stride) in
+      for p = start to start + seg - 1 do
+        if mask.(p) then begin
+          dst.(p) <- src.(p + off);
+          incr updated
+        end
+      done
+    done;
+    !updated
+  end

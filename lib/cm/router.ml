@@ -6,17 +6,47 @@ type 'a combine =
   | Overwrite_check of ('a -> 'a -> bool)
   | Combine of ('a -> 'a -> 'a)
 
+(* Fan-in counting scratch.  [count.(a)] is valid only when
+   [stamp.(a) = epoch]; bumping the epoch invalidates every slot at
+   once, so repeated routing operations are allocation-free once the
+   arrays have grown to the largest field routed through them. *)
+type scratch = {
+  mutable stamp : int array;
+  mutable count : int array;
+  mutable epoch : int;
+}
+
+let scratch () = { stamp = [||]; count = [||]; epoch = 0 }
+
+let prepare sc n =
+  if Array.length sc.stamp < n then begin
+    sc.stamp <- Array.make n 0;
+    sc.count <- Array.make n 0;
+    sc.epoch <- 0
+  end;
+  sc.epoch <- sc.epoch + 1;
+  sc.epoch
+
+(* [bump sc e a] counts one more delivery to address [a] in the routing
+   operation stamped [e] and returns the fan-in so far. *)
+let bump sc e a =
+  let f = (if sc.stamp.(a) = e then sc.count.(a) else 0) + 1 in
+  sc.stamp.(a) <- e;
+  sc.count.(a) <- f;
+  f
+
 let check_lengths name mask addr src_or_dst_len =
   ignore src_or_dst_len;
   if Array.length mask <> Array.length addr then
     invalid_arg (name ^ ": mask/addr length mismatch")
 
-let get ~mask ~addr ~src ~dst =
+let get ?scratch:sc ~mask ~addr ~src ~dst () =
   check_lengths "Router.get" mask addr (Array.length src);
   if Array.length dst <> Array.length addr then
     invalid_arg "Router.get: dst/addr length mismatch";
+  let sc = match sc with Some sc -> sc | None -> scratch () in
+  let e = prepare sc (Array.length src) in
   let messages = ref 0 in
-  let fanin = Hashtbl.create 64 in
   let max_fanin = ref 0 in
   Array.iteri
     (fun p m ->
@@ -26,19 +56,19 @@ let get ~mask ~addr ~src ~dst =
           invalid_arg "Router.get: address out of range";
         dst.(p) <- src.(a);
         incr messages;
-        let f = (try Hashtbl.find fanin a with Not_found -> 0) + 1 in
-        Hashtbl.replace fanin a f;
+        let f = bump sc e a in
         if f > !max_fanin then max_fanin := f
       end)
     mask;
   { messages = !messages; max_fanin = max !max_fanin 1 }
 
-let send ~mask ~addr ~src ~dst ~combine =
+let send ?scratch:sc ~mask ~addr ~src ~dst ~combine () =
   check_lengths "Router.send" mask addr (Array.length dst);
   if Array.length src <> Array.length addr then
     invalid_arg "Router.send: src/addr length mismatch";
+  let sc = match sc with Some sc -> sc | None -> scratch () in
+  let e = prepare sc (Array.length dst) in
   let messages = ref 0 in
-  let seen = Hashtbl.create 64 in
   let max_fanin = ref 0 in
   Array.iteri
     (fun p m ->
@@ -48,8 +78,7 @@ let send ~mask ~addr ~src ~dst ~combine =
           invalid_arg "Router.send: address out of range";
         let v = src.(p) in
         incr messages;
-        let f = (try Hashtbl.find seen a with Not_found -> 0) + 1 in
-        Hashtbl.replace seen a f;
+        let f = bump sc e a in
         if f > !max_fanin then max_fanin := f;
         (match combine with
         | Overwrite_check eq ->

@@ -21,19 +21,39 @@ type 'a combine =
       (** all values must satisfy the given equality; raises {!Conflict} *)
   | Combine of ('a -> 'a -> 'a)  (** associative-commutative combining *)
 
-(** [get ~mask ~addr ~src ~dst] performs [dst.(p) <- src.(addr.(p))] for
-    every [p] with [mask.(p)].
-    @raise Invalid_argument if an address is outside [src]. *)
-val get : mask:bool array -> addr:int array -> src:'a array -> dst:'a array -> stats
+(** Reusable fan-in counting state.  Per-address counters are tagged
+    with an epoch that is bumped on every routing call, so a scratch can
+    be shared by all [get]/[send] operations of one machine and makes
+    them allocation-free in steady state (the counter arrays grow to the
+    largest field ever routed and are then reused).  Not thread-safe:
+    one scratch per machine. *)
+type scratch
 
-(** [send ~mask ~addr ~src ~dst ~combine] delivers [src.(p)] to
+val scratch : unit -> scratch
+
+(** [get ~mask ~addr ~src ~dst ()] performs [dst.(p) <- src.(addr.(p))]
+    for every [p] with [mask.(p)].  [?scratch] supplies reusable fan-in
+    counters; omitted, a fresh one is allocated for the call.
+    @raise Invalid_argument if an address is outside [src]. *)
+val get :
+  ?scratch:scratch ->
+  mask:bool array ->
+  addr:int array ->
+  src:'a array ->
+  dst:'a array ->
+  unit ->
+  stats
+
+(** [send ~mask ~addr ~src ~dst ~combine ()] delivers [src.(p)] to
     [dst.(addr.(p))] for every active [p], merging per-destination values
     with [combine].
     @raise Invalid_argument if an address is outside [dst]. *)
 val send :
+  ?scratch:scratch ->
   mask:bool array ->
   addr:int array ->
   src:'a array ->
   dst:'a array ->
   combine:'a combine ->
+  unit ->
   stats

@@ -19,13 +19,15 @@ let lower ?options prog =
 
 let compile_source ?options src = lower ?options (parse_source src)
 
-let run_compiled ?cost ?seed ?fuel compiled =
-  let machine = Cm.Machine.create ?cost ?seed ?fuel compiled.Codegen.prog in
+let run_compiled ?cost ?seed ?fuel ?engine compiled =
+  let machine =
+    Cm.Machine.create ?cost ?seed ?fuel ?engine compiled.Codegen.prog
+  in
   Cm.Machine.run machine;
   { compiled; machine }
 
-let run_source ?options ?cost ?seed ?fuel src =
-  run_compiled ?cost ?seed ?fuel (compile_source ?options src)
+let run_source ?options ?cost ?seed ?fuel ?engine src =
+  run_compiled ?cost ?seed ?fuel ?engine (compile_source ?options src)
 
 let meta t name =
   match List.assoc_opt name t.compiled.Codegen.carrays with

@@ -20,9 +20,16 @@ val lower : ?options:Codegen.options -> Ast.program -> Codegen.compiled
     Equivalent to [lower ?options (parse_source src)]. *)
 val compile_source : ?options:Codegen.options -> string -> Codegen.compiled
 
-(** Execute an already-lowered program on a fresh machine. *)
+(** Execute an already-lowered program on a fresh machine.  [engine]
+    selects the machine's execution engine (default [`Fast]); both
+    engines are observably identical. *)
 val run_compiled :
-  ?cost:Cm.Cost.params -> ?seed:int -> ?fuel:int -> Codegen.compiled -> t
+  ?cost:Cm.Cost.params ->
+  ?seed:int ->
+  ?fuel:int ->
+  ?engine:Cm.Machine.engine ->
+  Codegen.compiled ->
+  t
 
 (** [run_source src] compiles and executes a program.
     @raise Loc.Error on front-end errors, [Cm.Machine.Error] on dynamic
@@ -32,6 +39,7 @@ val run_source :
   ?cost:Cm.Cost.params ->
   ?seed:int ->
   ?fuel:int ->
+  ?engine:Cm.Machine.engine ->
   string ->
   t
 

@@ -158,7 +158,7 @@ let test_router_get () =
   let dst = [| 0; 0; 0 |] in
   let addr = [| 2; 0; 1 |] in
   let stats =
-    Cm.Router.get ~mask:[| true; true; true |] ~addr ~src ~dst
+    Cm.Router.get ~mask:[| true; true; true |] ~addr ~src ~dst ()
   in
   check (Alcotest.array Alcotest.int) "permuted" [| 30; 10; 20 |] dst;
   check Alcotest.int "messages" 3 stats.Cm.Router.messages;
@@ -168,7 +168,7 @@ let test_router_get_fanin () =
   let src = [| 7; 8 |] in
   let dst = [| 0; 0; 0; 0 |] in
   let addr = [| 0; 0; 0; 1 |] in
-  let stats = Cm.Router.get ~mask:(Array.make 4 true) ~addr ~src ~dst in
+  let stats = Cm.Router.get ~mask:(Array.make 4 true) ~addr ~src ~dst () in
   check Alcotest.int "fanin" 3 stats.Cm.Router.max_fanin;
   check (Alcotest.array Alcotest.int) "broadcast" [| 7; 7; 7; 8 |] dst
 
@@ -181,6 +181,7 @@ let test_router_send_check_ok () =
       ~src:[| 5; 5; 9 |]
       ~dst
       ~combine:(Cm.Router.Overwrite_check ( = ))
+      ()
   in
   check (Alcotest.array Alcotest.int) "identical values ok" [| 9; 5; 0 |] dst;
   check Alcotest.int "fanin" 2 stats.Cm.Router.max_fanin
@@ -194,7 +195,8 @@ let test_router_send_conflict () =
            ~addr:[| 0; 0 |]
            ~src:[| 1; 2 |]
            ~dst
-           ~combine:(Cm.Router.Overwrite_check ( = ))))
+           ~combine:(Cm.Router.Overwrite_check ( = ))
+           ()))
 
 let test_router_send_combining () =
   let dst = [| 0; 0 |] in
@@ -204,7 +206,8 @@ let test_router_send_combining () =
        ~addr:[| 0; 0; 1; 0 |]
        ~src:[| 1; 2; 5; 4 |]
        ~dst
-       ~combine:(Cm.Router.Combine ( + )));
+       ~combine:(Cm.Router.Combine ( + ))
+       ());
   (* combining send replaces dst with the combined arrivals *)
   check (Alcotest.array Alcotest.int) "sums" [| 7; 5 |] dst
 
@@ -216,7 +219,8 @@ let test_router_send_min () =
        ~addr:[| 0; 0; 0 |]
        ~src:[| 9; 3; 7 |]
        ~dst
-       ~combine:(Cm.Router.Combine min));
+       ~combine:(Cm.Router.Combine min)
+       ());
   check (Alcotest.array Alcotest.int) "min of arrivals" [| 3 |] dst
 
 let test_router_mask () =
@@ -228,6 +232,7 @@ let test_router_mask () =
       ~src:[| 8; 9 |]
       ~dst
       ~combine:(Cm.Router.Combine ( + ))
+      ()
   in
   check (Alcotest.array Alcotest.int) "inactive skipped" [| 0; 9 |] dst;
   check Alcotest.int "messages" 1 stats.Cm.Router.messages
@@ -239,8 +244,35 @@ let router_get_is_permutation =
       let n = Array.length src in
       let dst = Array.make n (-1) in
       let addr = Array.init n (fun i -> i) in
-      ignore (Cm.Router.get ~mask:(Array.make n true) ~addr ~src ~dst);
+      ignore (Cm.Router.get ~mask:(Array.make n true) ~addr ~src ~dst ());
       dst = src)
+
+(* a reused epoch-tagged scratch must behave exactly like a fresh one,
+   across calls of different sizes *)
+let router_scratch_reuse =
+  qtest "router: reused scratch matches fresh scratch"
+    QCheck2.Gen.(
+      list_size (int_range 1 6)
+        (array_size (int_range 1 30) (int_range 0 1000)))
+    (fun srcs ->
+      let scratch = Cm.Router.scratch () in
+      List.for_all
+        (fun src ->
+          let n = Array.length src in
+          let addr = Array.map (fun v -> v mod n) src in
+          let mask = Array.map (fun v -> v mod 3 <> 0) src in
+          let run ?scratch () =
+            let dst = Array.make n 0 in
+            let stats =
+              Cm.Router.send ?scratch ~mask ~addr ~src ~dst
+                ~combine:(Cm.Router.Combine ( + )) ()
+            in
+            let dst2 = Array.make n (-1) in
+            let stats2 = Cm.Router.get ?scratch ~mask ~addr ~src ~dst:dst2 () in
+            (dst, stats, dst2, stats2)
+          in
+          run ~scratch () = run ())
+        srcs)
 
 (* ---------------- Context ---------------- *)
 
@@ -272,6 +304,56 @@ let test_context_reset () =
   Cm.Context.reset c;
   check Alcotest.int "depth" 1 (Cm.Context.depth c);
   check Alcotest.int "active" 3 (Cm.Context.count_active c)
+
+(* depth, count_active and all_active are cached (O(1)); cross-check the
+   cache against a recount of the flags through every transition *)
+let test_context_cached_counts () =
+  let c = Cm.Context.create 5 in
+  let recount () =
+    Array.fold_left (fun n f -> if f then n + 1 else n) 0 (Cm.Context.active c)
+  in
+  let agree what =
+    check Alcotest.int what (recount ()) (Cm.Context.count_active c);
+    check Alcotest.bool (what ^ " all_active")
+      (recount () = 5)
+      (Cm.Context.all_active c)
+  in
+  agree "fresh";
+  check Alcotest.int "depth 1" 1 (Cm.Context.depth c);
+  Cm.Context.push c;
+  Cm.Context.land_ints c [| 1; 0; 3; 0; -2 |];
+  agree "after land_ints";
+  check Alcotest.int "depth 2" 2 (Cm.Context.depth c);
+  Cm.Context.push c;
+  Cm.Context.land_floats c [| 0.5; 1.0; 0.0; 2.0; 0.0 |];
+  agree "after land_floats";
+  check Alcotest.int "depth 3" 3 (Cm.Context.depth c);
+  Cm.Context.land_mask c [| true; true; true; false; true |];
+  agree "after land_mask";
+  Cm.Context.pop c;
+  agree "after pop";
+  check Alcotest.int "depth back to 2" 2 (Cm.Context.depth c);
+  Cm.Context.pop c;
+  agree "back to base";
+  check Alcotest.bool "base all_active" true (Cm.Context.all_active c);
+  Cm.Context.push c;
+  Cm.Context.land_ints c [| 1; 1; 1; 1; 1 |];
+  check Alcotest.bool "still all_active" true (Cm.Context.all_active c);
+  Cm.Context.reset c;
+  agree "after reset";
+  check Alcotest.int "depth after reset" 1 (Cm.Context.depth c)
+
+let test_context_land_size_mismatch () =
+  let c = Cm.Context.create 3 in
+  Alcotest.check_raises "land_mask"
+    (Invalid_argument "Context.land_mask: size mismatch") (fun () ->
+      Cm.Context.land_mask c [| true |]);
+  Alcotest.check_raises "land_ints"
+    (Invalid_argument "Context.land_ints: size mismatch") (fun () ->
+      Cm.Context.land_ints c [| 1 |]);
+  Alcotest.check_raises "land_floats"
+    (Invalid_argument "Context.land_floats: size mismatch") (fun () ->
+      Cm.Context.land_floats c [| 1.0 |])
 
 (* ---------------- Cost ---------------- *)
 
@@ -751,12 +833,16 @@ let () =
           Alcotest.test_case "send min" `Quick test_router_send_min;
           Alcotest.test_case "mask" `Quick test_router_mask;
           router_get_is_permutation;
+          router_scratch_reuse;
         ] );
       ( "context",
         [
           Alcotest.test_case "stack" `Quick test_context_stack;
           Alcotest.test_case "pop base" `Quick test_context_pop_base;
           Alcotest.test_case "reset" `Quick test_context_reset;
+          Alcotest.test_case "cached counts" `Quick test_context_cached_counts;
+          Alcotest.test_case "land size mismatch" `Quick
+            test_context_land_size_mismatch;
         ] );
       ( "cost",
         [

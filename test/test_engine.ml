@@ -1,0 +1,625 @@
+(* Differential testing of the two Machine execution engines.
+
+   The contract (machine.mli) is that `Fast and `Reference are
+   observably identical bit for bit: registers, every field, printed
+   output, meter statistics, simulated nanoseconds, region accounting
+   and — on faulting programs — the error message and the partial state
+   at the fault.  This file enforces the contract three ways:
+
+   - a QCheck harness generating random small Paris programs (including
+     deliberately faulting ones: shifts out of range, division by zero,
+     conflicting Ccheck sends, bad axes) and comparing full snapshots;
+   - whole-corpus equivalence over every named UC program in
+     lib/uc_programs and the C* baselines in lib/cstar;
+   - targeted unit tests for the shift-range check on both engines. *)
+
+open Cm.Paris
+
+let hex f = Printf.sprintf "%Lx" (Int64.bits_of_float f)
+
+(* Everything observable, floats rendered as bit patterns so that -0.0,
+   NaN payloads and last-ulp differences all count. *)
+let snapshot (prog : program) (m : Cm.Machine.t) =
+  let b = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  for r = 0 to prog.nregs - 1 do
+    match Cm.Machine.reg m r with
+    | SInt i -> add "r%d = %d\n" r i
+    | SFloat f -> add "r%d = %s\n" r (hex f)
+  done;
+  Array.iteri
+    (fun f (_vp, kind) ->
+      add "f%d =" f;
+      (match kind with
+      | KInt -> Array.iter (fun v -> add " %d" v) (Cm.Machine.field_ints m f)
+      | KFloat ->
+          Array.iter (fun v -> add " %s" (hex v)) (Cm.Machine.field_floats m f));
+      add "\n")
+    prog.fields;
+  List.iter (fun line -> add "| %s\n" line) (Cm.Machine.output m);
+  let mt = Cm.Machine.meter m in
+  add "elapsed=%s fe=%d pe=%d ctx=%d news=%d rops=%d rmsg=%d red=%d scan=%d xfer=%d\n"
+    (hex mt.Cm.Cost.elapsed_ns) mt.Cm.Cost.fe_ops mt.Cm.Cost.pe_ops
+    mt.Cm.Cost.context_ops mt.Cm.Cost.news_ops mt.Cm.Cost.router_ops
+    mt.Cm.Cost.router_messages mt.Cm.Cost.reductions mt.Cm.Cost.scans
+    mt.Cm.Cost.fe_cm_transfers;
+  List.iter
+    (fun (name, secs) -> add "region %s = %s\n" name (hex secs))
+    (Cm.Machine.regions m);
+  Buffer.contents b
+
+let run_engine ~seed ~fuel engine prog =
+  let m = Cm.Machine.create ~seed ~fuel ~engine prog in
+  let status =
+    match Cm.Machine.run m with
+    | () -> "finished"
+    | exception Cm.Machine.Error msg -> "error: " ^ msg
+    (* the reference interpreter leaks Invalid_argument for a few
+       malformed programs (e.g. a non-reducible Preduce operator); the
+       fast engine must leak the identical exception *)
+    | exception Invalid_argument msg -> "invalid_arg: " ^ msg
+    | exception Failure msg -> "failure: " ^ msg
+  in
+  status ^ "\n" ^ snapshot prog m
+
+let engines_agree ~seed ~fuel prog =
+  let fast = run_engine ~seed ~fuel `Fast prog in
+  let reference = run_engine ~seed ~fuel `Reference prog in
+  if String.equal fast reference then None else Some (fast, reference)
+
+let assert_agree ~seed ~fuel name prog =
+  match engines_agree ~seed ~fuel prog with
+  | None -> ()
+  | Some (fast, reference) ->
+      Alcotest.failf
+        "%s: engines disagree@.--- fast ---@.%s--- reference ---@.%s" name fast
+        reference
+
+(* ------------------------------------------------------------------ *)
+(* Random Paris programs                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* The generator works over a fixed storage layout so operand choices
+   can be made before the Builder exists; [build] allocates in the same
+   order and asserts the ids line up.  Main VP set with a handful of int
+   and float fields, plus a rank-1 outer set whose geometry is a prefix
+   of every candidate [dims] (for Preduce_axis). *)
+
+let vp_main = 0
+let vp_outer = 1
+let int_flds = [ 0; 1; 2; 3 ]
+let float_flds = [ 4; 5 ]
+let outer_int = 6
+let outer_float = 7
+let nregs = 4 (* regs 0..2 free for the generator; reg 3 is the loop counter *)
+
+(* Structured recipe: composite nodes keep Cpush/Cpop, Cwith and labels
+   balanced by construction, so generated programs are mostly valid and
+   faults come from data (shift amounts, zero divisors, send conflicts),
+   not from malformed nesting. *)
+type node =
+  | I of instr list
+  | Guard of int * node list (* Cpush; Cand fld; body; Cpop *)
+  | Skip of operand * node list (* Jnz cond over body *)
+  | Loop2 of node list (* body twice via a backward branch on reg 3 *)
+  | OnOuter of node list (* Cwith outer; body; Cwith main *)
+
+let flatten nodes =
+  let next_label = ref 0 in
+  let fresh () =
+    let l = !next_label in
+    incr next_label;
+    l
+  in
+  let buf = ref [] in
+  let emit i = buf := i :: !buf in
+  let rec go = function
+    | I is -> List.iter emit is
+    | Guard (fld, body) ->
+        emit Cpush;
+        emit (Cand fld);
+        List.iter go body;
+        emit Cpop
+    | Skip (cond, body) ->
+        let l = fresh () in
+        emit (Jnz (cond, l));
+        List.iter go body;
+        emit (Label l)
+    | Loop2 body ->
+        let l = fresh () in
+        emit (Fmov (3, Imm (SInt 2)));
+        emit (Label l);
+        List.iter go body;
+        emit (Fbin (Sub, 3, Reg 3, Imm (SInt 1)));
+        emit (Jnz (Reg 3, l))
+    | OnOuter body ->
+        emit (Cwith vp_outer);
+        List.iter go body;
+        emit (Cwith vp_main)
+  in
+  List.iter go nodes;
+  (List.rev !buf, !next_label)
+
+let build dims nodes =
+  let b = Builder.create "qcheck" in
+  let vm = Builder.vpset b (Cm.Geometry.create dims) in
+  let vo = Builder.vpset b (Cm.Geometry.create [ List.hd dims ]) in
+  assert (vm = vp_main && vo = vp_outer);
+  List.iter
+    (fun f -> assert (Builder.field b ~vpset:vp_main KInt = f))
+    int_flds;
+  List.iter
+    (fun f -> assert (Builder.field b ~vpset:vp_main KFloat = f))
+    float_flds;
+  assert (Builder.field b ~vpset:vp_outer KInt = outer_int);
+  assert (Builder.field b ~vpset:vp_outer KFloat = outer_float);
+  for _ = 1 to nregs do
+    ignore (Builder.reg b)
+  done;
+  let body, nlabels = flatten nodes in
+  for _ = 1 to nlabels do
+    ignore (Builder.label b)
+  done;
+  let nv = List.fold_left ( * ) 1 dims in
+  let prologue =
+    [
+      Cwith vp_main;
+      Pcoord (0, 0);
+      Prand (1, Imm (SInt 7));
+      Prand (2, Imm (SInt 5));
+      Prand (3, Imm (SInt nv));
+      Punop (ToFloat, 4, Fld 1);
+      Punop (ToFloat, 5, Fld 2);
+      Cwith vp_outer;
+      Prand (outer_int, Imm (SInt 9));
+      Punop (ToFloat, outer_float, Fld outer_int);
+      Cwith vp_main;
+    ]
+  in
+  let epilogue =
+    [
+      Preduce (Add, 0, 1);
+      Preduce (Max, 1, 4);
+      Pcount 2;
+      Fprint ("sum=", Some (Reg 0));
+      Fprint ("max=", Some (Reg 1));
+      Fprint ("n=", Some (Reg 2));
+    ]
+  in
+  List.iter (Builder.emit b) (prologue @ body @ epilogue);
+  Builder.finish b
+
+open QCheck2
+
+let gen_int_fld = Gen.oneofl int_flds
+let gen_float_fld = Gen.oneofl float_flds
+let gen_reg = Gen.int_range 0 2
+
+let gen_int_operand =
+  Gen.frequency
+    [
+      (5, Gen.map (fun f -> Fld f) gen_int_fld);
+      (3, Gen.map (fun i -> Imm (SInt i)) (Gen.int_range (-9) 20));
+      (2, Gen.map (fun r -> Reg r) gen_reg);
+    ]
+
+let gen_float_operand =
+  Gen.frequency
+    [
+      (4, Gen.map (fun f -> Fld f) gen_float_fld);
+      (2, Gen.map (fun f -> Fld f) gen_int_fld);
+      ( 2,
+        Gen.map
+          (fun i -> Imm (SFloat (0.25 *. float_of_int i)))
+          (Gen.int_range (-8) 12) );
+      (2, Gen.map (fun r -> Reg r) gen_reg);
+    ]
+
+let gen_int_op =
+  Gen.frequency
+    [
+      ( 10,
+        Gen.oneofl
+          [ Add; Sub; Mul; Min; Max; Band; Bor; Bxor; Land; Lor;
+            Eq; Ne; Lt; Le; Gt; Ge ] );
+      (2, Gen.oneofl [ Div; Mod ]);
+      (1, Gen.oneofl [ Shl; Shr ]);
+    ]
+
+let gen_float_op =
+  Gen.oneofl [ Add; Sub; Mul; Div; Min; Max; Eq; Ne; Lt; Le; Gt; Ge ]
+
+(* Mostly in-range, sometimes wildly out (the Shl/Shr range check must
+   fault identically on both engines). *)
+let gen_shift_amount =
+  Gen.frequency
+    [
+      (6, Gen.map (fun i -> Imm (SInt i)) (Gen.int_range 0 8));
+      (1, Gen.map (fun i -> Imm (SInt i)) (Gen.oneofl [ -1; -7; 62; 63; 64; 200 ]));
+      (1, Gen.map (fun f -> Fld f) gen_int_fld);
+    ]
+
+(* Divisors biased nonzero so most programs run to completion; the
+   remainder exercise the divide-by-zero fault path. *)
+let gen_divisor =
+  Gen.frequency
+    [
+      (6, Gen.map (fun i -> Imm (SInt i)) (Gen.oneofl [ 1; 2; 3; 5; 7; -3 ]));
+      (1, gen_int_operand);
+    ]
+
+let gen_axis rank =
+  Gen.frequency
+    [ (9, Gen.int_range 0 (rank - 1)); (1, Gen.return rank) (* faulting *) ]
+
+let gen_combine =
+  Gen.frequency
+    [
+      (8, Gen.oneofl [ Cadd; Cmin; Cmax; Cor; Cand; Cxor; Cover ]);
+      (1, Gen.return Ccheck) (* conflicts fault; both engines must agree *);
+    ]
+
+let gen_leaf nv rank : instr list Gen.t =
+  let open Gen in
+  frequency
+    [
+      (* parallel int ALU *)
+      ( 7,
+        let* op = gen_int_op in
+        let* d = gen_int_fld and* a = gen_int_operand in
+        let* b =
+          match op with
+          | Shl | Shr -> gen_shift_amount
+          | Div | Mod -> gen_divisor
+          | _ -> gen_int_operand
+        in
+        return [ Pbin (op, d, a, b) ] );
+      (* parallel float ALU *)
+      ( 4,
+        let* op = gen_float_op and* d = gen_float_fld in
+        let* a = gen_float_operand and* b = gen_float_operand in
+        return [ Pbin (op, d, a, b) ] );
+      (* moves *)
+      ( 3,
+        let* d = gen_int_fld and* a = gen_int_operand in
+        return [ Pmov (d, a) ] );
+      ( 2,
+        let* d = gen_float_fld and* a = gen_float_operand in
+        return [ Pmov (d, a) ] );
+      (* unops *)
+      ( 2,
+        let* op = oneofl [ Neg; Lnot; Bnot; Abs ] in
+        let* d = gen_int_fld and* a = gen_int_operand in
+        return [ Punop (op, d, a) ] );
+      ( 1,
+        let* d = gen_int_fld and* a = gen_float_operand in
+        return [ Punop (ToInt, d, a) ] );
+      ( 1,
+        let* d = gen_float_fld and* a = gen_int_operand in
+        return [ Punop (ToFloat, d, a) ] );
+      ( 1,
+        let* op = oneofl [ Neg; Abs ] in
+        let* d = gen_float_fld and* a = gen_float_operand in
+        return [ Punop (op, d, a) ] );
+      (* coordinates, tables, parallel rand *)
+      ( 2,
+        let* d = gen_int_fld and* axis = gen_axis rank in
+        return [ Pcoord (d, axis) ] );
+      ( 1,
+        let* d = gen_int_fld in
+        let* tbl = array_size (return nv) (int_range (-5) 30) in
+        return [ Ptable (d, tbl) ] );
+      ( 2,
+        let* d = gen_int_fld in
+        let* m =
+          frequency
+            [
+              (8, map (fun i -> Imm (SInt i)) (int_range 1 12));
+              (1, return (Imm (SInt 0))) (* faulting modulus *);
+            ]
+        in
+        return [ Prand (d, m) ] );
+      (* select *)
+      ( 2,
+        let* d = gen_int_fld in
+        let* c = oneof [ map (fun f -> Fld f) gen_int_fld;
+                         map (fun f -> Fld f) gen_float_fld ] in
+        let* a = gen_int_operand and* b = gen_int_operand in
+        return [ Psel (d, c, a, b) ] );
+      ( 1,
+        let* d = gen_float_fld and* c = map (fun f -> Fld f) gen_int_fld in
+        let* a = gen_float_operand and* b = gen_float_operand in
+        return [ Psel (d, c, a, b) ] );
+      (* reductions and scans *)
+      ( 2,
+        let* op =
+          frequency
+            [
+              ( 9,
+                oneofl [ Add; Mul; Min; Max; Band; Bor; Bxor; Land; Lor; Any ] );
+              (1, return Eq) (* not reducible: identity fault *);
+            ]
+        in
+        let* r = gen_reg and* f = gen_int_fld in
+        return [ Preduce (op, r, f) ] );
+      ( 1,
+        let* op = oneofl [ Add; Mul; Min; Max; Any ] in
+        let* r = gen_reg and* f = gen_float_fld in
+        return [ Preduce (op, r, f) ] );
+      ( 1,
+        let* r = gen_reg in
+        return [ Pcount r ] );
+      ( 2,
+        let* op = oneofl [ Add; Mul; Min; Max; Bor; Band; Bxor; Land; Lor ] in
+        let* d = gen_int_fld and* s = gen_int_fld and* axis = gen_axis rank in
+        return [ Pscan (op, d, s, axis) ] );
+      ( 1,
+        let* op = oneofl [ Add; Mul; Min; Max ] in
+        let* d = gen_float_fld and* s = gen_float_fld in
+        let* axis = gen_axis rank in
+        return [ Pscan (op, d, s, axis) ] );
+      ( 1,
+        let* op = frequency [ (9, oneofl [ Add; Min; Max ]); (1, return Eq) ] in
+        let* s = gen_int_fld in
+        return [ Preduce_axis (op, outer_int, s) ] );
+      ( 1,
+        let* op = oneofl [ Add; Min; Max ] in
+        let* s = gen_float_fld in
+        return [ Preduce_axis (op, outer_float, s) ] );
+      (* NEWS shifts, including dst == src aliasing in both directions *)
+      ( 3,
+        let* d = gen_int_fld and* s = gen_int_fld in
+        let* axis = gen_axis rank and* delta = int_range (-3) 3 in
+        return [ Pnews (d, s, axis, delta) ] );
+      ( 2,
+        let* d = gen_float_fld and* s = gen_float_fld in
+        let* axis = gen_axis rank and* delta = int_range (-3) 3 in
+        return [ Pnews (d, s, axis, delta) ] );
+      (* router traffic; the Prand prefix keeps addresses in range most
+         of the time, the no-prefix variants exercise the bounds fault *)
+      ( 2,
+        let* addr = gen_int_fld and* d = gen_int_fld and* s = gen_int_fld in
+        let* fresh = frequency [ (3, return true); (1, return false) ] in
+        let pre = if fresh then [ Prand (addr, Imm (SInt nv)) ] else [] in
+        return (pre @ [ Pget (d, s, addr) ]) );
+      ( 1,
+        let* addr = gen_int_fld and* d = gen_float_fld and* s = gen_float_fld in
+        return [ Prand (addr, Imm (SInt nv)); Pget (d, s, addr) ] );
+      ( 2,
+        let* addr = gen_int_fld and* d = gen_int_fld and* s = gen_int_fld in
+        let* combine = gen_combine in
+        return [ Prand (addr, Imm (SInt nv)); Psend (d, s, addr, combine) ] );
+      ( 1,
+        let* addr = gen_int_fld and* d = gen_float_fld and* s = gen_float_fld in
+        let* combine = oneofl [ Cadd; Cmin; Cmax; Cover ] in
+        return [ Prand (addr, Imm (SInt nv)); Psend (d, s, addr, combine) ] );
+      (* context *)
+      ( 1,
+        let* d = gen_int_fld in
+        return [ Cread d ] );
+      (* front end *)
+      ( 2,
+        let* r = gen_reg and* i = int_range (-20) 20 in
+        return [ Fmov (r, Imm (SInt i)) ] );
+      ( 2,
+        let* op = oneofl [ Add; Sub; Mul; Min; Max ] in
+        let* r = gen_reg and* a = gen_reg and* i = int_range (-9) 9 in
+        return [ Fbin (op, r, Reg a, Imm (SInt i)) ] );
+      ( 1,
+        let* op = oneofl [ Neg; Abs; ToFloat; ToInt ] in
+        let* r = gen_reg and* a = gen_reg in
+        return [ Funop (op, r, Reg a) ] );
+      ( 1,
+        let* r = gen_reg and* i = int_range 1 50 in
+        return [ Frand (r, Imm (SInt i)) ] );
+      ( 1,
+        let* r = gen_reg and* f = gen_int_fld in
+        let* a =
+          frequency [ (8, int_range 0 (nv - 1)); (1, return nv) (* fault *) ]
+        in
+        return [ Fread (r, f, Imm (SInt a)) ] );
+      ( 1,
+        let* f = gen_int_fld and* a = int_range 0 (nv - 1) in
+        let* v = int_range (-9) 9 in
+        return [ Fwrite (f, Imm (SInt a), Imm (SInt v)) ] );
+      ( 1,
+        let* r = gen_reg in
+        return [ Fprint ("x=", Some (Reg r)) ] );
+      ( 1,
+        let* i = int_range 0 2 in
+        return [ Region (Printf.sprintf "r%d" i) ] );
+    ]
+
+(* Leaves restricted to the outer VP set, for OnOuter bodies. *)
+let gen_outer_leaf : instr list Gen.t =
+  let open Gen in
+  frequency
+    [
+      (2, let* i = int_range (-5) 9 in return [ Pmov (outer_int, Imm (SInt i)) ]);
+      (2, let* i = int_range 1 9 in return [ Prand (outer_int, Imm (SInt i)) ]);
+      ( 2,
+        let* op = oneofl [ Add; Sub; Mul; Min; Max ] in
+        let* i = int_range (-4) 6 in
+        return [ Pbin (op, outer_int, Fld outer_int, Imm (SInt i)) ] );
+      (1, return [ Punop (ToFloat, outer_float, Fld outer_int) ]);
+      (1, return [ Pcoord (outer_int, 0) ]);
+      (1, let* r = gen_reg in return [ Preduce (Add, r, outer_int) ]);
+      (1, let* r = gen_reg in return [ Pcount r ]);
+      (1, return [ Cread outer_int ]);
+      (1, return [ Pscan (Add, outer_int, outer_int, 0) ]);
+      ( 1,
+        let* delta = int_range (-2) 2 in
+        return [ Pnews (outer_int, outer_int, 0, delta) ] );
+    ]
+
+let rec gen_node nv rank depth : node Gen.t =
+  let open Gen in
+  let leaf = map (fun is -> I is) (gen_leaf nv rank) in
+  if depth = 0 then leaf
+  else
+    let body n g = list_size (int_range 1 n) g in
+    frequency
+      ([
+         (10, leaf);
+         ( 3,
+           let* fld =
+             oneof [ gen_int_fld; gen_float_fld ]
+           in
+           let* b = body 5 (gen_node nv rank (depth - 1)) in
+           return (Guard (fld, b)) );
+         ( 1,
+           let* cond =
+             oneof
+               [
+                 map (fun i -> Imm (SInt i)) (int_range 0 1);
+                 map (fun r -> Reg r) gen_reg;
+               ]
+           in
+           let* b = body 4 (gen_node nv rank (depth - 1)) in
+           return (Skip (cond, b)) );
+         ( 2,
+           let* b = body 4 (map (fun is -> I is) gen_outer_leaf) in
+           return (OnOuter b) );
+       ]
+      @
+      (* Loop2 only at top level: its counter register must not be
+         clobbered by a nested loop *)
+      if depth >= 2 then
+        [
+          ( 2,
+            let* b = body 4 (gen_node nv rank 1) in
+            return (Loop2 b) );
+        ]
+      else [])
+
+let gen_program : (int list * int * node list) Gen.t =
+  let open Gen in
+  let* dims = oneofl [ [ 6 ]; [ 8 ]; [ 4; 3 ]; [ 3; 3 ]; [ 2; 2; 3 ]; [ 5; 2 ] ] in
+  let nv = List.fold_left ( * ) 1 dims in
+  let rank = List.length dims in
+  let* seed = int_range 0 9999 in
+  let* nodes = list_size (int_range 4 25) (gen_node nv rank 2) in
+  return (dims, seed, nodes)
+
+let print_program (dims, seed, nodes) =
+  let prog =
+    try Format.asprintf "%a" pp_program (build dims nodes)
+    with e -> "<build failed: " ^ Printexc.to_string e ^ ">"
+  in
+  Printf.sprintf "seed=%d dims=[%s]\n%s" seed
+    (String.concat ";" (List.map string_of_int dims))
+    prog
+
+let differential_test =
+  QCheck_alcotest.to_alcotest
+    (Test.make ~count:400 ~name:"random programs: fast == reference"
+       ~print:print_program gen_program (fun (dims, seed, nodes) ->
+         let prog = build dims nodes in
+         match engines_agree ~seed ~fuel:500_000 prog with
+         | None -> true
+         | Some (fast, reference) ->
+             Test.fail_reportf
+               "engines disagree@.--- fast ---@.%s@.--- reference ---@.%s" fast
+               reference))
+
+(* ------------------------------------------------------------------ *)
+(* Whole-corpus equivalence                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_uc_corpus () =
+  List.iter
+    (fun (name, src) ->
+      let compiled = Uc.Compile.compile_source src in
+      assert_agree ~seed:20260705 ~fuel:50_000_000 name
+        compiled.Uc.Codegen.prog)
+    Uc_programs.Programs.all_named
+
+let test_cstar_corpus () =
+  List.iter
+    (fun (name, prog) -> assert_agree ~seed:11 ~fuel:50_000_000 name prog)
+    [
+      ("cstar:path_n2", fst (Cstar.Programs.path_n2 ~n:8 ()));
+      ( "cstar:path_n2-rand",
+        fst (Cstar.Programs.path_n2 ~deterministic:false ~n:8 ()) );
+      ("cstar:path_n3", fst (Cstar.Programs.path_n3 ~n:5 ()));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Shift-range checks (satellite bugfix)                              *)
+(* ------------------------------------------------------------------ *)
+
+let shift_prog op amount =
+  let b = Builder.create "shift" in
+  let vp = Builder.vpset b (Cm.Geometry.create [ 4 ]) in
+  let f = Builder.field b ~vpset:vp KInt in
+  Builder.emit b (Cwith vp);
+  Builder.emit b (Pmov (f, Imm (SInt 4)));
+  Builder.emit b (Pbin (op, f, Fld f, Imm (SInt amount)));
+  Builder.finish b
+
+let fe_shift_prog op amount =
+  let b = Builder.create "fe-shift" in
+  let r = Builder.reg b in
+  Builder.emit b (Fbin (op, r, Imm (SInt 1), Imm (SInt amount)));
+  Builder.finish b
+
+let expect_shift_error engine prog =
+  let m = Cm.Machine.create ~engine prog in
+  match Cm.Machine.run m with
+  | () -> Alcotest.fail "expected a shift-range Machine.Error"
+  | exception Cm.Machine.Error msg ->
+      if not (Astring.String.is_infix ~affix:"shift amount" msg) then
+        Alcotest.failf "error %S does not mention the shift amount" msg
+
+let test_shift_range () =
+  List.iter
+    (fun engine ->
+      List.iter
+        (fun amount ->
+          expect_shift_error engine (shift_prog Shl amount);
+          expect_shift_error engine (shift_prog Shr amount);
+          expect_shift_error engine (fe_shift_prog Shl amount))
+        [ -1; -63; Sys.int_size; 64; 1000 ])
+    [ `Fast; `Reference ];
+  (* in-range shifts compute normally on both engines *)
+  List.iter
+    (fun engine ->
+      let m = Cm.Machine.create ~engine (shift_prog Shl 3) in
+      Cm.Machine.run m;
+      Alcotest.(check (array int))
+        "shl 3" [| 32; 32; 32; 32 |]
+        (Cm.Machine.field_ints m 0);
+      let m = Cm.Machine.create ~engine (shift_prog Shr 2) in
+      Cm.Machine.run m;
+      Alcotest.(check (array int))
+        "shr 2" [| 1; 1; 1; 1 |]
+        (Cm.Machine.field_ints m 0))
+    [ `Fast; `Reference ]
+
+(* Pre-compiling is idempotent and does not perturb results. *)
+let test_compile_idempotent () =
+  let prog = shift_prog Shl 2 in
+  let m = Cm.Machine.create ~engine:`Fast prog in
+  Alcotest.check Alcotest.bool "engine" true (Cm.Machine.engine m = `Fast);
+  Cm.Machine.compile m;
+  Cm.Machine.compile m;
+  Cm.Machine.run m;
+  Alcotest.(check (array int)) "result" [| 16; 16; 16; 16 |]
+    (Cm.Machine.field_ints m 0)
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "differential",
+        [
+          differential_test;
+          Alcotest.test_case "shift range faults" `Quick test_shift_range;
+          Alcotest.test_case "compile idempotent" `Quick
+            test_compile_idempotent;
+        ] );
+      ( "corpus",
+        [
+          Alcotest.test_case "uc programs" `Quick test_uc_corpus;
+          Alcotest.test_case "cstar programs" `Quick test_cstar_corpus;
+        ] );
+    ]
