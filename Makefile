@@ -1,8 +1,9 @@
 # Development entry points.  `make ci` is the gate every change must
 # pass: full build, engine-equivalence corpus check, full test suite,
-# and a CLI sanity check; it stops loudly at the first failing step.
+# a CLI sanity check, and the whole corpus run under a canned fault
+# plan with retries; it stops loudly at the first failing step.
 
-.PHONY: all build test ci bench bench-compare batch clean
+.PHONY: all build test ci ci-faultgate bench bench-compare batch clean
 
 all: build
 
@@ -12,11 +13,28 @@ build:
 test:
 	dune runtest
 
-ci:
+ci: ci-faultgate
 	dune build
 	dune exec test/test_engine.exe -- test corpus
 	dune runtest
 	dune exec bin/ucc.exe -- examples
+
+# Recovery gate: the whole corpus under a transient-fault plan with
+# retries enabled.  Exit 0 (every fault retried away) and exit 2 (some
+# jobs quarantined as "faulted") are both acceptable; what must never
+# appear is a failed or timed-out row, a crash, or a hang (the timeout
+# bounds the gate).  Transients only: bit flips can corrupt a divisor
+# or address and turn into a legitimate Machine.Error = failed row.
+ci-faultgate: build
+	timeout 300 dune exec bin/ucc.exe -- batch --cache-dir none \
+	  --faults "seed=2026;horizon=1000;router=1;news=1;chip=1" \
+	  --retries 3 --fuel-slice 50000 --report _ci_faultgate.jsonl \
+	  || test $$? -eq 2
+	@! grep -q '"status":"failed"' _ci_faultgate.jsonl
+	@! grep -q '"status":"timeout"' _ci_faultgate.jsonl
+	@grep -q '"summary":true' _ci_faultgate.jsonl
+	@echo "fault gate: every job ended Done or Faulted"
+	@rm -f _ci_faultgate.jsonl
 
 bench:
 	dune exec bench/main.exe

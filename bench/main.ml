@@ -38,6 +38,7 @@ let run_uc ?options src =
   | Ucd.Report.Done -> r.Ucd.Report.simulated_seconds
   | Ucd.Report.Failed msg -> failwith ("bench job failed: " ^ msg)
   | Ucd.Report.Timeout _ -> failwith "bench job timed out"
+  | Ucd.Report.Faulted msg -> failwith ("bench job faulted: " ^ msg)
 
 (* uncached: for meter readings and for bechamel, which measures the
    simulator's own wall-clock and must not be served memoized results *)
@@ -337,6 +338,90 @@ let a6_schedule () =
       ("speedup", Ucd.Jsonu.Float (fixpoint /. scheduled));
     ]
 
+(* ---------------- R1: recovery-machinery overhead ---------------- *)
+
+(* What does robustness cost when nothing goes wrong?  The same program
+   is executed (a) in one straight [run], (b) sliced into small fuel
+   slices (deadline-enforcement granularity), and (c) sliced with a full
+   checkpoint serialized after every slice (the resume-on-retry mode).
+   The spread between the rows is the price of in-flight enforcement. *)
+let r1_recovery () =
+  section "R1" "Recovery machinery: wall-clock overhead on a fault-free run";
+  let src = Uc_programs.Programs.obstacle_grid ~n:40 in
+  let compiled = Uc.Compile.compile_source src in
+  (* pick the slice so the run spans ~16 slices: enough checkpoints to
+     measure, whatever the program's instruction count is *)
+  let slice =
+    let t = Uc.Compile.run_compiled ~seed compiled in
+    max 1 (Cm.Machine.icount t.Uc.Compile.machine / 16)
+  in
+  let time f =
+    (* best of 3: slicing overhead is small, so noise dominates a mean *)
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      f ();
+      best := Float.min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best
+  in
+  let straight =
+    time (fun () ->
+        ignore (Uc.Compile.run_compiled ~seed compiled))
+  in
+  let sliced =
+    time (fun () ->
+        let t = Uc.Compile.start_compiled ~seed compiled in
+        let rec go () =
+          match Uc.Compile.step t ~fuel_slice:slice with
+          | `Done -> ()
+          | `More -> go ()
+        in
+        go ())
+  in
+  let ckpt_bytes = ref 0 in
+  let checkpointed =
+    time (fun () ->
+        let t = Uc.Compile.start_compiled ~seed compiled in
+        let rec go () =
+          match Uc.Compile.step t ~fuel_slice:slice with
+          | `Done -> ()
+          | `More ->
+              let data = Uc.Compile.checkpoint t in
+              ckpt_bytes := String.length data;
+              go ()
+        in
+        go ())
+  in
+  let restore_time =
+    let t = Uc.Compile.start_compiled ~seed compiled in
+    ignore (Uc.Compile.step t ~fuel_slice:slice);
+    let data = Uc.Compile.checkpoint t in
+    time (fun () ->
+        ignore (Uc.Compile.restore_compiled compiled data))
+  in
+  Printf.printf "%-52s %12s\n" "configuration" "seconds";
+  Printf.printf "%-52s %12.4f\n" "straight run (no slicing)" straight;
+  Printf.printf "%-52s %12.4f\n"
+    (Printf.sprintf "sliced, %d instructions per slice" slice)
+    sliced;
+  Printf.printf "%-52s %12.4f\n" "sliced + checkpoint after every slice"
+    checkpointed;
+  Printf.printf "%-52s %12.6f\n" "single restore from checkpoint" restore_time;
+  Printf.printf "\nslicing overhead: %.1f%%; checkpointing overhead: %.1f%%; \
+                 checkpoint size: %d bytes\n"
+    (100. *. ((sliced /. straight) -. 1.))
+    (100. *. ((checkpointed /. straight) -. 1.))
+    !ckpt_bytes;
+  emit_row "r1"
+    [
+      ("straight", Ucd.Jsonu.Float straight);
+      ("sliced", Ucd.Jsonu.Float sliced);
+      ("checkpointed", Ucd.Jsonu.Float checkpointed);
+      ("restore", Ucd.Jsonu.Float restore_time);
+      ("ckpt_bytes", Ucd.Jsonu.Int !ckpt_bytes);
+    ]
+
 (* ---------------- bechamel: simulator wall-clock ---------------- *)
 
 let bechamel_bench () =
@@ -462,6 +547,7 @@ let sections =
     ("a4", a4_cse);
     ("a5", a5_news);
     ("a6", a6_schedule);
+    ("recovery", r1_recovery);
     ("bechamel", bechamel_bench);
   ]
 

@@ -35,6 +35,9 @@ let with_source path f =
       | Uc.Interp.Runtime_error msg ->
           Printf.eprintf "%s: runtime error: %s\n" path msg;
           1
+      | Cm.Machine.Fault msg ->
+          Printf.eprintf "%s: transient fault: %s\n" path msg;
+          1
       | Cm.Machine.Error msg ->
           Printf.eprintf "%s: machine error: %s\n" path msg;
           1
@@ -95,6 +98,39 @@ let engine_arg =
            default) or $(b,reference) (the tree-walking interpreter). Both \
            produce bit-identical results, statistics and simulated time; \
            only wall-clock speed differs.")
+
+let faults_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "faults" ] ~docv:"PLAN"
+        ~doc:
+          "Fault-injection plan, e.g. \
+           $(b,seed=7;horizon=20000;router=2;flip@100:0.3.5).  Transient \
+           router/NEWS/chip faults abort the run (retryable); bit flips \
+           silently corrupt memory.  See the README for the grammar.")
+
+let retries_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "retries" ] ~docv:"N"
+        ~doc:"Extra attempts after a transient fault")
+
+let fuel_slice_arg =
+  Arg.(
+    value
+    & opt int 100_000
+    & info [ "fuel-slice" ] ~docv:"K"
+        ~doc:
+          "Instructions per execution slice (granularity of deadline \
+           checks and checkpoints)")
+
+let parse_faults_opt = function
+  | None -> None
+  | Some s -> (
+      match Cm.Fault.parse s with
+      | Ok spec -> Some spec
+      | Error msg -> failwith (Printf.sprintf "bad fault plan %S: %s" s msg))
 
 let arrays_arg =
   Arg.(
@@ -186,9 +222,28 @@ let print_int_array name dims a =
       print_newline ())
 
 let run_cmd =
-  let run path options seed stats profile engine arrays scalars =
+  let run path options seed stats profile engine arrays scalars faults retries
+      fuel_slice =
     with_source path (fun src ->
-        let t = Uc.Compile.run_source ~options ~seed ~engine src in
+        let fspec = parse_faults_opt faults in
+        let compiled = Uc.Compile.compile_source ~options src in
+        (* run in fuel slices so a transient fault can be retried with a
+           freshly instantiated plan for the next attempt *)
+        let rec attempt k =
+          let plan = Option.map (Cm.Fault.instantiate ~attempt:k) fspec in
+          let t = Uc.Compile.start_compiled ~seed ~engine ?faults:plan compiled in
+          let rec slices () =
+            match Uc.Compile.step t ~fuel_slice with
+            | `Done -> t
+            | `More -> slices ()
+          in
+          try slices ()
+          with Cm.Machine.Fault msg when k < retries ->
+            Printf.eprintf "%s: transient fault (attempt %d/%d): %s; retrying\n"
+              path (k + 1) (retries + 1) msg;
+            attempt (k + 1)
+        in
+        let t = attempt 0 in
         List.iter print_endline (Uc.Compile.output t);
         List.iter
           (fun name ->
@@ -227,7 +282,8 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Compile and execute on the simulated Connection Machine")
     Term.(
       const run $ file_arg $ options_args $ seed_arg $ stats_arg $ profile_arg
-      $ engine_arg $ arrays_arg $ scalars_arg)
+      $ engine_arg $ arrays_arg $ scalars_arg $ faults_arg $ retries_arg
+      $ fuel_slice_arg)
 
 (* ---- interp ---- *)
 
@@ -288,6 +344,7 @@ let show_cmd =
 (* Manifest format, one job per line (# starts a comment):
 
      <corpus-name-or-path.uc> [seed=N] [fuel=N] [deadline=SECS]
+                              [retries=N] [faults=PLAN]
                               [no-news] [no-procopt] [no-mappings] [no-cse]
 
    A bare name is looked up in the built-in corpus; anything containing
@@ -299,10 +356,12 @@ let parse_manifest_line ~defaults lineno line =
   | target :: opts ->
       if String.length target > 0 && target.[0] = '#' then None
       else
-        let seed, fuel, deadline, options = defaults in
+        let seed, fuel, deadline, faults, retries, options = defaults in
         let seed = ref seed
         and fuel = ref fuel
         and deadline = ref deadline
+        and faults = ref faults
+        and retries = ref retries
         and options = ref options in
         List.iter
           (fun tok ->
@@ -328,6 +387,15 @@ let parse_manifest_line ~defaults lineno line =
                         failwith
                           (Printf.sprintf
                              "manifest line %d: bad deadline value %S" lineno v))
+                | "retries" -> retries := Some (intval "retries" v)
+                | "faults" -> (
+                    match Cm.Fault.parse v with
+                    | Ok spec -> faults := Some spec
+                    | Error msg ->
+                        failwith
+                          (Printf.sprintf
+                             "manifest line %d: bad faults value %S (%s)" lineno
+                             v msg))
                 | _ ->
                     failwith
                       (Printf.sprintf "manifest line %d: unknown key %S" lineno
@@ -359,7 +427,8 @@ let parse_manifest_line ~defaults lineno line =
         in
         Some
           (Ucd.Job.make ~options:!options ~seed:!seed ?fuel:!fuel
-             ?deadline:!deadline ~name:target ~source ())
+             ?deadline:!deadline ?faults:!faults ?retries:!retries ~name:target
+             ~source ())
 
 let batch_cmd =
   let manifest_arg =
@@ -402,13 +471,19 @@ let batch_cmd =
       & info [ "report" ] ~docv:"FILE"
           ~doc:"Write the JSON-lines report here instead of stdout")
   in
-  let run manifest jobs cache_dir options seed fuel deadline report stats =
-    let defaults = (seed, fuel, deadline, options) in
+  let run manifest jobs cache_dir options seed fuel deadline report stats faults
+      retries fuel_slice =
     try
+      let fspec = parse_faults_opt faults in
+      let defaults =
+        (seed, fuel, deadline, fspec, (if retries = 0 then None else Some retries),
+         options)
+      in
       let job_list =
         match manifest with
         | None ->
-            Ucd.Runner.corpus_jobs ~options ~seed ?fuel ?deadline ()
+            Ucd.Runner.corpus_jobs ~options ~seed ?fuel ?deadline ?faults:fspec
+              ?retries:(if retries = 0 then None else Some retries) ()
         | Some path -> (
             match read_source path with
             | Error msg -> failwith msg
@@ -422,8 +497,13 @@ let batch_cmd =
         if cache_dir = "none" then Ucd.Cache.create ()
         else Ucd.Cache.create ~dir:cache_dir ()
       in
+      let policy =
+        { Ucd.Runner.default_policy with retries; fuel_slice }
+      in
       let t0 = Unix.gettimeofday () in
-      let results = Ucd.Runner.run_jobs ~domains:jobs ~cache job_list in
+      let results =
+        Ucd.Runner.run_jobs ~domains:jobs ~policy ~cache job_list
+      in
       let elapsed = Unix.gettimeofday () -. t0 in
       let emit oc =
         List.iter
@@ -441,7 +521,11 @@ let batch_cmd =
       Format.eprintf "batch: %a@." Ucd.Report.pp_summary summary;
       if stats then
         Format.eprintf "batch: %a@." Ucd.Cache.pp_stats (Ucd.Cache.stats cache);
-      if summary.Ucd.Report.failed > 0 || summary.Ucd.Report.timeout > 0 then 2
+      if
+        summary.Ucd.Report.failed > 0
+        || summary.Ucd.Report.timeout > 0
+        || summary.Ucd.Report.faulted > 0
+      then 2
       else 0
     with Failure msg ->
       Printf.eprintf "ucc batch: error: %s\n" msg;
@@ -454,7 +538,8 @@ let batch_cmd =
           artifact cache")
     Term.(
       const run $ manifest_arg $ jobs_arg $ cache_dir_arg $ options_args
-      $ seed_arg $ fuel_arg $ deadline_arg $ report_arg $ stats_arg)
+      $ seed_arg $ fuel_arg $ deadline_arg $ report_arg $ stats_arg
+      $ faults_arg $ retries_arg $ fuel_slice_arg)
 
 let () =
   let doc = "UC compiler for the simulated Connection Machine" in

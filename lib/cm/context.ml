@@ -75,6 +75,24 @@ let pop c =
 
 let depth c = c.depth
 
+let frames c =
+  List.map (fun f -> Array.copy f.flags) c.stack
+
+let of_frames flags_list =
+  match flags_list with
+  | [] -> invalid_arg "Context.of_frames: empty stack"
+  | first :: _ ->
+      let n = Array.length first in
+      let frame flags =
+        if Array.length flags <> n then
+          invalid_arg "Context.of_frames: frame size mismatch";
+        let count = ref 0 in
+        Array.iter (fun v -> if v then incr count) flags;
+        { flags = Array.copy flags; count = !count }
+      in
+      let stack = List.map frame flags_list in
+      { n; stack; depth = List.length stack }
+
 let reset c =
   c.stack <- [ base_frame c.n ];
   c.depth <- 1

@@ -52,5 +52,14 @@ val pop : t -> unit
 (** Depth of the stack (>= 1).  O(1). *)
 val depth : t -> int
 
+(** Snapshot of the whole stack, top first, as copies of the flag
+    vectors — the serializable form used by [Machine.checkpoint]. *)
+val frames : t -> bool array list
+
+(** Rebuild a context from a {!frames} snapshot (active counts are
+    recomputed).
+    @raise Invalid_argument on an empty stack or mismatched sizes. *)
+val of_frames : bool array list -> t
+
 (** Reset to a single all-active context. *)
 val reset : t -> unit

@@ -1,0 +1,202 @@
+(* Deterministic fault plans.  See fault.mli for the grammar. *)
+
+exception Fault of string
+
+type kind = Router | News | Chip
+
+type event =
+  | Transient of kind
+  | Flip of { field : int; element : int; bit : int }
+
+(* One explicit entry of a spec: an event pinned to an instruction
+   serial, optionally firing on a single retry attempt only. *)
+type entry = { serial : int; event : event; only : int option }
+
+type spec = {
+  seed : int;
+  horizon : int;
+  n_router : int;
+  n_news : int;
+  n_chip : int;
+  n_flip : int;
+  explicit : entry list; (* canonically sorted *)
+}
+
+type plan = { origin : string; events : (int * event) array }
+
+let kind_name = function Router -> "router" | News -> "news" | Chip -> "chip"
+
+let empty =
+  {
+    seed = 1;
+    horizon = 10_000;
+    n_router = 0;
+    n_news = 0;
+    n_chip = 0;
+    n_flip = 0;
+    explicit = [];
+  }
+
+let is_empty s =
+  s.n_router = 0 && s.n_news = 0 && s.n_chip = 0 && s.n_flip = 0
+  && s.explicit = []
+
+let entry_string e =
+  let suffix = match e.only with None -> "" | Some a -> Printf.sprintf "#%d" a in
+  match e.event with
+  | Transient k -> Printf.sprintf "%s@%d%s" (kind_name k) e.serial suffix
+  | Flip { field; element; bit } ->
+      Printf.sprintf "flip@%d:%d.%d.%d%s" e.serial field element bit suffix
+
+(* Canonical order: serial, then rendering (deterministic tie-break). *)
+let sort_entries es =
+  List.stable_sort
+    (fun a b ->
+      match compare a.serial b.serial with
+      | 0 -> compare (entry_string a) (entry_string b)
+      | c -> c)
+    es
+
+let spec_string s =
+  let random = s.n_router + s.n_news + s.n_chip + s.n_flip > 0 in
+  let parts = ref [] in
+  let add p = parts := p :: !parts in
+  if random then begin
+    add (Printf.sprintf "seed=%d" s.seed);
+    add (Printf.sprintf "horizon=%d" s.horizon)
+  end;
+  if s.n_router > 0 then add (Printf.sprintf "router=%d" s.n_router);
+  if s.n_news > 0 then add (Printf.sprintf "news=%d" s.n_news);
+  if s.n_chip > 0 then add (Printf.sprintf "chip=%d" s.n_chip);
+  if s.n_flip > 0 then add (Printf.sprintf "flip=%d" s.n_flip);
+  List.iter (fun e -> add (entry_string e)) (sort_entries s.explicit);
+  String.concat ";" (List.rev !parts)
+
+let int_of token what v =
+  match int_of_string_opt v with
+  | Some n -> n
+  | None -> failwith (Printf.sprintf "bad fault token %S: %s is not an integer" token what)
+
+let parse_exn text =
+  let spec = ref empty in
+  let explicit = ref [] in
+  let token tok =
+    (* strip an optional #A attempt qualifier first *)
+    let body, only =
+      match String.index_opt tok '#' with
+      | None -> (tok, None)
+      | Some i ->
+          let a = int_of tok "attempt" (String.sub tok (i + 1) (String.length tok - i - 1)) in
+          if a < 0 then failwith (Printf.sprintf "bad fault token %S: negative attempt" tok);
+          (String.sub tok 0 i, Some a)
+    in
+    let explicit_event serial event =
+      if serial < 0 then failwith (Printf.sprintf "bad fault token %S: negative serial" tok);
+      explicit := { serial; event; only } :: !explicit
+    in
+    let reject_only () =
+      if only <> None then
+        failwith (Printf.sprintf "bad fault token %S: #attempt only applies to explicit events" tok)
+    in
+    match String.index_opt body '=' with
+    | Some i ->
+        reject_only ();
+        let key = String.sub body 0 i in
+        let v = int_of tok "value" (String.sub body (i + 1) (String.length body - i - 1)) in
+        let count what n = if n < 0 then failwith (Printf.sprintf "bad fault token %S: negative %s count" tok what); n in
+        (match key with
+        | "seed" -> spec := { !spec with seed = v land 0x3FFFFFFF }
+        | "horizon" ->
+            if v < 1 then failwith (Printf.sprintf "bad fault token %S: horizon must be >= 1" tok);
+            spec := { !spec with horizon = v }
+        | "router" -> spec := { !spec with n_router = count "router" v }
+        | "news" -> spec := { !spec with n_news = count "news" v }
+        | "chip" -> spec := { !spec with n_chip = count "chip" v }
+        | "flip" -> spec := { !spec with n_flip = count "flip" v }
+        | _ -> failwith (Printf.sprintf "bad fault token %S: unknown key %S" tok key))
+    | None -> (
+        match String.index_opt body '@' with
+        | None -> failwith (Printf.sprintf "bad fault token %S" tok)
+        | Some i -> (
+            let key = String.sub body 0 i in
+            let rest = String.sub body (i + 1) (String.length body - i - 1) in
+            match key with
+            | "router" -> explicit_event (int_of tok "serial" rest) (Transient Router)
+            | "news" -> explicit_event (int_of tok "serial" rest) (Transient News)
+            | "chip" -> explicit_event (int_of tok "serial" rest) (Transient Chip)
+            | "flip" -> (
+                (* flip@S:F.E.B *)
+                match String.index_opt rest ':' with
+                | None -> failwith (Printf.sprintf "bad fault token %S: expected flip@S:F.E.B" tok)
+                | Some j ->
+                    let serial = int_of tok "serial" (String.sub rest 0 j) in
+                    let coords = String.sub rest (j + 1) (String.length rest - j - 1) in
+                    (match String.split_on_char '.' coords with
+                    | [ f; e; b ] ->
+                        explicit_event serial
+                          (Flip
+                             {
+                               field = int_of tok "field" f;
+                               element = int_of tok "element" e;
+                               bit = int_of tok "bit" b;
+                             })
+                    | _ -> failwith (Printf.sprintf "bad fault token %S: expected flip@S:F.E.B" tok)))
+            | _ -> failwith (Printf.sprintf "bad fault token %S: unknown event %S" tok key)))
+  in
+  String.split_on_char ';' text
+  |> List.iter (fun part ->
+         String.split_on_char ',' part
+         |> List.iter (fun tok ->
+                let tok = String.trim tok in
+                if tok <> "" then token tok));
+  { !spec with explicit = sort_entries (List.rev !explicit) }
+
+let parse text = try Ok (parse_exn text) with Failure msg -> Error msg
+
+(* The machine's own LCG recurrence, so fault schedules are as
+   deterministic as everything else in the simulator. *)
+let lcg state = (state * 1103515245 + 12345) land 0x3FFFFFFF
+
+(* List.init's evaluation order is unspecified; build in index order. *)
+let tabulate n f =
+  let rec go i acc = if i >= n then List.rev acc else go (i + 1) (f i :: acc) in
+  go 0 []
+
+let instantiate spec ~attempt =
+  if attempt < 0 then invalid_arg "Fault.instantiate: negative attempt";
+  (* Random events are re-drawn per attempt: transient faults do not
+     recur identically across retries. *)
+  let state = ref (lcg ((spec.seed + (attempt * 48271) + 1) land 0x3FFFFFFF)) in
+  let draw () =
+    state := lcg !state;
+    !state
+  in
+  let transients kind n =
+    tabulate n (fun _ ->
+        { serial = draw () mod spec.horizon; event = Transient kind; only = None })
+  in
+  let flips n =
+    tabulate n (fun _ ->
+        let serial = draw () mod spec.horizon in
+        let field = draw () in
+        let element = draw () in
+        let bit = draw () in
+        { serial; event = Flip { field; element; bit }; only = None })
+  in
+  let explicit =
+    List.filter
+      (fun e -> match e.only with None -> true | Some a -> a = attempt)
+      spec.explicit
+  in
+  let all =
+    explicit @ transients Router spec.n_router @ transients News spec.n_news
+    @ transients Chip spec.n_chip @ flips spec.n_flip
+  in
+  let sorted = sort_entries all in
+  {
+    origin = Printf.sprintf "%s@attempt=%d" (spec_string spec) attempt;
+    events = Array.of_list (List.map (fun e -> (e.serial, e.event)) sorted);
+  }
+
+let events p = p.events
+let canonical p = p.origin

@@ -1,0 +1,77 @@
+(** Deterministic fault injection for the simulated machine.
+
+    The CM-2 this simulator models was real hardware: the general
+    router, the NEWS wires and individual processor chips failed
+    transiently, and memory took bit flips.  A {e fault plan} is a
+    seeded, content-digestable description of such faults, keyed by the
+    machine's instruction serial number (the count of executed
+    instructions, which both execution engines advance in lockstep).
+    Both engines consult the plan at the same observation point — just
+    before an instruction executes — so a plan perturbs them
+    bit-identically (enforced by [test/test_engine.ml]).
+
+    Two layers:
+    - a {!spec} is what the user writes ([--faults PLAN]): explicit
+      events pinned to instruction serials, plus counts of random events
+      drawn from a seeded generator.  Its {!spec_string} is canonical
+      and participates in job digests (faults change observable
+      results, so they are content).
+    - a {!plan} is one concrete instantiation of a spec for a given
+      retry attempt.  Random events are re-drawn per attempt (they are
+      transient: a retry may survive them); explicit events without an
+      attempt qualifier re-fire on every attempt (a "hard" fault that
+      retries cannot outrun).
+
+    Spec grammar — tokens separated by [';'] or [',']:
+    - [seed=N], [horizon=N]: generator seed and the serial range
+      [[0, horizon)] random events are drawn from;
+    - [router=N], [news=N], [chip=N], [flip=N]: counts of random events;
+    - [router@S], [news@S], [chip@S]: an explicit transient fault armed
+      at serial [S], firing at the first matching instruction at or
+      after [S] (router: [Pget]/[Psend]; news: [Pnews]; chip: any
+      parallel instruction);
+    - [flip@S:F.E.B]: flip bit [B] of element [E] of field [F] at
+      serial [S] (values are reduced modulo the machine's actual
+      field/element/bit counts, so any ints are valid);
+    - any explicit event may carry [#A] to fire only on attempt [A]
+      (e.g. [router@50#0]: attempt 0 faults, the retry runs clean). *)
+
+(** Raised by the machine when an injected transient fault fires.
+    Distinguishable from [Machine.Error] (a program bug): a [Fault] is
+    retryable, an [Error] is not. *)
+exception Fault of string
+
+type kind = Router | News | Chip
+
+type event =
+  | Transient of kind
+  | Flip of { field : int; element : int; bit : int }
+
+type spec
+type plan
+
+(** Parse a spec string.  [Error msg] on bad tokens. *)
+val parse : string -> (spec, string) result
+
+(** Canonical rendering: fixed token order, independent of the order the
+    user wrote them in.  [parse (spec_string s)] reproduces [s], so this
+    string is the digest input for fault-bearing jobs. *)
+val spec_string : spec -> string
+
+(** A spec with no events at all. *)
+val empty : spec
+
+val is_empty : spec -> bool
+
+(** Concrete event schedule for one retry attempt.  Deterministic:
+    the same (spec, attempt) always yields the same plan. *)
+val instantiate : spec -> attempt:int -> plan
+
+(** Events sorted by serial (ties in canonical order). *)
+val events : plan -> (int * event) array
+
+(** Identity of a concrete plan (spec canonical + attempt); used to
+    decide whether a checkpoint's fault cursor is resumable. *)
+val canonical : plan -> string
+
+val kind_name : kind -> string

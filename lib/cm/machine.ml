@@ -1,12 +1,26 @@
 open Paris
 
 exception Error of string
+exception Fault = Fault.Fault
 
 let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
 
 type fdata = FInt of int array | FFloat of float array
 
 type engine = [ `Fast | `Reference ]
+
+(* Live state of a fault plan: a cursor into the serial-sorted event
+   array plus per-kind FIFO queues of armed transient faults (an armed
+   router fault fires at the first router instruction at or after its
+   serial, and so on). *)
+type fstate = {
+  f_events : (int * Fault.event) array;
+  f_origin : string;  (* Fault.canonical of the plan *)
+  mutable f_cursor : int;
+  mutable f_router : int list;
+  mutable f_news : int list;
+  mutable f_chip : int list;
+}
 
 type t = {
   prog : program;
@@ -27,9 +41,27 @@ type t = {
      [region_acc] points at, so the steady state never touches the
      hashtable. *)
   mutable region_acc : float ref;
+  mutable region_name : string;  (* name region_acc accumulates into *)
   regions : (string, float ref) Hashtbl.t;  (* region -> elapsed ns *)
   mutable kernels : (unit -> unit) array option;  (* fast engine, lazy *)
+  mutable icount : int;  (* executed instruction serial, both engines *)
+  fstate : fstate option;
+  mutable fault_log : string list;  (* reversed, like output *)
 }
+
+let fstate_of_plan ~from plan =
+  let events = Fault.events plan in
+  let n = Array.length events in
+  let cursor = ref 0 in
+  while !cursor < n && fst events.(!cursor) < from do incr cursor done;
+  {
+    f_events = events;
+    f_origin = Fault.canonical plan;
+    f_cursor = !cursor;
+    f_router = [];
+    f_news = [];
+    f_chip = [];
+  }
 
 let resolve_labels prog =
   let labels = Array.make (max prog.nlabels 1) (-1) in
@@ -44,7 +76,7 @@ let resolve_labels prog =
   labels
 
 let create ?(cost = Cost.cm2_16k) ?(seed = 12345) ?(fuel = 50_000_000)
-    ?(engine = `Fast) prog =
+    ?(engine = `Fast) ?faults prog =
   let fields =
     Array.map
       (fun (vp, kind) ->
@@ -75,14 +107,21 @@ let create ?(cost = Cost.cm2_16k) ?(seed = 12345) ?(fuel = 50_000_000)
     output = [];
     pc = 0;
     region_acc;
+    region_name = "(startup)";
     regions;
     kernels = None;
+    icount = 0;
+    fstate = Option.map (fstate_of_plan ~from:0) faults;
+    fault_log = [];
   }
 
 let engine m = m.engine
 let output m = List.rev m.output
+let fault_log m = List.rev m.fault_log
+let icount m = m.icount
 
 let set_region m name =
+  m.region_name <- name;
   match Hashtbl.find_opt m.regions name with
   | Some acc -> m.region_acc <- acc
   | None ->
@@ -586,20 +625,152 @@ let exec_cand m fld =
   in
   Context.land_mask (cur_ctx m) mask
 
-let run_reference m =
+(* ---- fault injection ---- *)
+
+(* Both engines call [inject] at the same point — after the fuel check,
+   before any state of the instruction is touched — so a plan perturbs
+   them bit-identically, and a raised [Fault] leaves the machine exactly
+   at the pre-instruction state (resumable from an earlier checkpoint). *)
+
+(* Short mnemonic for fault messages (deterministic, engine-independent). *)
+let mnemonic = function
+  | Pmov _ -> "pmov"
+  | Pbin _ -> "pbin"
+  | Punop _ -> "punop"
+  | Pcoord _ -> "pcoord"
+  | Ptable _ -> "ptable"
+  | Prand _ -> "prand"
+  | Psel _ -> "psel"
+  | Pget _ -> "pget"
+  | Psend _ -> "psend"
+  | Pnews _ -> "pnews"
+  | Preduce _ -> "preduce"
+  | Pcount _ -> "pcount"
+  | Preduce_axis _ -> "preduce-axis"
+  | Pscan _ -> "pscan"
+  | Cpush -> "cpush"
+  | Cand _ -> "cand"
+  | Cpop -> "cpop"
+  | Creset -> "creset"
+  | Cread _ -> "cread"
+  | _ -> "fe"
+
+(* Which hardware an instruction exercises: the general router, the NEWS
+   wires, or (for every other processor-array sweep) some VP chip.
+   Front-end-only instructions exercise none of them. *)
+type iclass = CRouter | CNews | CChip | CFront
+
+let instr_class = function
+  | Pget _ | Psend _ -> CRouter
+  | Pnews _ -> CNews
+  | Pmov _ | Pbin _ | Punop _ | Pcoord _ | Ptable _ | Prand _ | Psel _
+  | Preduce _ | Pcount _ | Preduce_axis _ | Pscan _ | Cpush | Cand _ | Cpop
+  | Creset | Cread _ ->
+      CChip
+  | _ -> CFront
+
+(* Memory bit flips resolve raw plan coordinates modulo the actual
+   field/element/bit counts, so any integers address something real. *)
+let apply_flip m ~field ~element ~bit =
+  let nf = Array.length m.fields in
+  if nf > 0 then begin
+    let f = ((field mod nf) + nf) mod nf in
+    let log kind e b =
+      m.fault_log <-
+        Printf.sprintf "bit flip at instruction %d: f%d[%d] bit %d (%s)"
+          m.icount f e b kind
+        :: m.fault_log
+    in
+    match m.fields.(f) with
+    | FInt a ->
+        let len = Array.length a in
+        if len > 0 then begin
+          let e = ((element mod len) + len) mod len in
+          let b = ((bit mod 32) + 32) mod 32 in
+          a.(e) <- a.(e) lxor (1 lsl b);
+          log "int" e b
+        end
+    | FFloat a ->
+        let len = Array.length a in
+        if len > 0 then begin
+          let e = ((element mod len) + len) mod len in
+          let b = ((bit mod 64) + 64) mod 64 in
+          a.(e) <-
+            Int64.float_of_bits
+              (Int64.logxor (Int64.bits_of_float a.(e)) (Int64.shift_left 1L b));
+          log "float" e b
+        end
+  end
+
+let fire m instr kind sched =
+  let msg =
+    Printf.sprintf "transient %s fault at instruction %d (%s, armed at %d)"
+      (Fault.kind_name kind) m.icount (mnemonic instr) sched
+  in
+  m.fault_log <- msg :: m.fault_log;
+  raise (Fault.Fault msg)
+
+let inject m instr =
+  match m.fstate with
+  | None -> ()
+  | Some fs ->
+      let s = m.icount in
+      let n = Array.length fs.f_events in
+      (* absorb every event scheduled at or before this serial: flips
+         apply immediately, transients arm on their kind's queue *)
+      while fs.f_cursor < n && fst fs.f_events.(fs.f_cursor) <= s do
+        let sched, ev = fs.f_events.(fs.f_cursor) in
+        fs.f_cursor <- fs.f_cursor + 1;
+        match ev with
+        | Fault.Flip { field; element; bit } -> apply_flip m ~field ~element ~bit
+        | Fault.Transient Fault.Router -> fs.f_router <- fs.f_router @ [ sched ]
+        | Fault.Transient Fault.News -> fs.f_news <- fs.f_news @ [ sched ]
+        | Fault.Transient Fault.Chip -> fs.f_chip <- fs.f_chip @ [ sched ]
+      done;
+      if fs.f_router <> [] || fs.f_news <> [] || fs.f_chip <> [] then begin
+        (* an armed fault fires at the first instruction that exercises
+           its hardware; a chip fault can fire on any processor sweep *)
+        let fire_chip () =
+          match fs.f_chip with
+          | sched :: rest ->
+              fs.f_chip <- rest;
+              fire m instr Fault.Chip sched
+          | [] -> ()
+        in
+        match instr_class instr with
+        | CRouter -> (
+            match fs.f_router with
+            | sched :: rest ->
+                fs.f_router <- rest;
+                fire m instr Fault.Router sched
+            | [] -> fire_chip ())
+        | CNews -> (
+            match fs.f_news with
+            | sched :: rest ->
+                fs.f_news <- rest;
+                fire m instr Fault.News sched
+            | [] -> fire_chip ())
+        | CChip -> fire_chip ()
+        | CFront -> ()
+      end
+
+let run_reference ?steps m =
   let code = m.prog.code in
   let n = Array.length code in
-  m.pc <- 0;
+  let budget = ref (match steps with None -> max_int | Some s -> s) in
   let jump l =
     let target = m.labels.(l) in
     if target < 0 then error "jump to unplaced label L%d" l;
     m.pc <- target
   in
-  while m.pc < n do
+  while m.pc < n && !budget > 0 do
     if m.fuel <= 0 then error "fuel exhausted (non-terminating program?)";
-    m.fuel <- m.fuel - 1;
     let i = m.pc in
+    inject m code.(i);
+    m.fuel <- m.fuel - 1;
+    m.icount <- m.icount + 1;
     m.pc <- m.pc + 1;
+    decr budget;
     let t0 = m.meter.Cost.elapsed_ns in
     (match code.(i) with
     | Label _ | Comment _ -> ()
@@ -1536,22 +1707,197 @@ let compile m =
                try decode m n code.(i)
                with e -> fun () -> raise e))
 
-let run_fast m =
+let run_fast ?steps m =
   compile m;
   let kernels = match m.kernels with Some k -> k | None -> assert false in
   let n = Array.length kernels in
   let meter = m.meter in
-  m.pc <- 0;
-  while m.pc < n do
+  let code = m.prog.code in
+  let budget = ref (match steps with None -> max_int | Some s -> s) in
+  while m.pc < n && !budget > 0 do
     if m.fuel <= 0 then error "fuel exhausted (non-terminating program?)";
-    m.fuel <- m.fuel - 1;
     let i = m.pc in
+    inject m (Array.unsafe_get code i);
+    m.fuel <- m.fuel - 1;
+    m.icount <- m.icount + 1;
     m.pc <- m.pc + 1;
+    decr budget;
     let t0 = meter.Cost.elapsed_ns in
     (Array.unsafe_get kernels i) ();
     let dt = meter.Cost.elapsed_ns -. t0 in
     if dt > 0.0 then m.region_acc := !(m.region_acc) +. dt
   done
 
-let run m =
-  match m.engine with `Reference -> run_reference m | `Fast -> run_fast m
+let exec ?steps m =
+  match m.engine with
+  | `Reference -> run_reference ?steps m
+  | `Fast -> run_fast ?steps m
+
+let run m = exec m
+
+let finished m = m.pc >= Array.length m.prog.code
+
+let run_slice m ~fuel_slice =
+  if fuel_slice <= 0 then invalid_arg "Machine.run_slice: non-positive fuel_slice";
+  exec ~steps:fuel_slice m;
+  if finished m then `Done else `More
+
+(* ---- checkpoint / restore ---- *)
+
+(* Format: a magic string naming the version, then a Marshal'd plain
+   record of the whole observable state.  The program itself is not
+   serialized; a digest of it is, and [restore] refuses a checkpoint
+   taken from a different program.  Bump the magic when the record
+   changes shape. *)
+
+let ckpt_magic = "ucm-ckpt-v1\n"
+
+type ckpt = {
+  ck_prog : string;  (* program digest *)
+  ck_params : Cost.params;
+  ck_elapsed_ns : float;
+  ck_counters : int array;  (* the 9 meter counters, fixed order *)
+  ck_regs : scalar array;
+  ck_fields : fdata array;
+  ck_stacks : bool array list array;  (* per context, top first *)
+  ck_cur : int;
+  ck_rand : int;
+  ck_fuel : int;
+  ck_output : string list;
+  ck_pc : int;
+  ck_icount : int;
+  ck_regions : (string * float) list;
+  ck_region : string;
+  (* fault plan identity, cursor and armed queues (router, news, chip) *)
+  ck_fault : (string * int * int list * int list * int list) option;
+  ck_log : string list;
+}
+
+let prog_digest prog =
+  Digest.to_hex
+    (Digest.string
+       (Marshal.to_string
+          (prog.geoms, prog.fields, prog.nregs, prog.nlabels, prog.code)
+          []))
+
+let copy_fdata = function
+  | FInt a -> FInt (Array.copy a)
+  | FFloat a -> FFloat (Array.copy a)
+
+let checkpoint m =
+  let mt = m.meter in
+  let ck =
+    {
+      ck_prog = prog_digest m.prog;
+      ck_params = mt.Cost.params;
+      ck_elapsed_ns = mt.Cost.elapsed_ns;
+      ck_counters =
+        [|
+          mt.Cost.fe_ops;
+          mt.Cost.pe_ops;
+          mt.Cost.context_ops;
+          mt.Cost.news_ops;
+          mt.Cost.router_ops;
+          mt.Cost.router_messages;
+          mt.Cost.reductions;
+          mt.Cost.scans;
+          mt.Cost.fe_cm_transfers;
+        |];
+      ck_regs = Array.copy m.regs;
+      ck_fields = Array.map copy_fdata m.fields;
+      ck_stacks = Array.map Context.frames m.contexts;
+      ck_cur = m.cur;
+      ck_rand = m.rand_state;
+      ck_fuel = m.fuel;
+      ck_output = m.output;
+      ck_pc = m.pc;
+      ck_icount = m.icount;
+      ck_regions =
+        Hashtbl.fold (fun k v acc -> (k, !v) :: acc) m.regions []
+        |> List.sort compare;
+      ck_region = m.region_name;
+      ck_fault =
+        (match m.fstate with
+        | None -> None
+        | Some fs ->
+            Some (fs.f_origin, fs.f_cursor, fs.f_router, fs.f_news, fs.f_chip));
+      ck_log = m.fault_log;
+    }
+  in
+  ckpt_magic ^ Marshal.to_string ck []
+
+let restore ?(engine = `Fast) ?faults prog data =
+  let mlen = String.length ckpt_magic in
+  if String.length data < mlen || String.sub data 0 mlen <> ckpt_magic then
+    error "checkpoint: bad magic or unsupported version";
+  let ck =
+    try (Marshal.from_string data mlen : ckpt)
+    with _ -> error "checkpoint: truncated or corrupt data"
+  in
+  if ck.ck_prog <> prog_digest prog then
+    error "checkpoint: program mismatch (checkpoint is from a different program)";
+  let mt = Cost.meter ck.ck_params in
+  mt.Cost.elapsed_ns <- ck.ck_elapsed_ns;
+  mt.Cost.fe_ops <- ck.ck_counters.(0);
+  mt.Cost.pe_ops <- ck.ck_counters.(1);
+  mt.Cost.context_ops <- ck.ck_counters.(2);
+  mt.Cost.news_ops <- ck.ck_counters.(3);
+  mt.Cost.router_ops <- ck.ck_counters.(4);
+  mt.Cost.router_messages <- ck.ck_counters.(5);
+  mt.Cost.reductions <- ck.ck_counters.(6);
+  mt.Cost.scans <- ck.ck_counters.(7);
+  mt.Cost.fe_cm_transfers <- ck.ck_counters.(8);
+  let regions = Hashtbl.create 16 in
+  List.iter (fun (k, v) -> Hashtbl.add regions k (ref v)) ck.ck_regions;
+  let region_acc =
+    match Hashtbl.find_opt regions ck.ck_region with
+    | Some acc -> acc
+    | None ->
+        let acc = ref 0.0 in
+        Hashtbl.add regions ck.ck_region acc;
+        acc
+  in
+  let fstate =
+    match faults with
+    | None -> None
+    | Some plan -> (
+        match ck.ck_fault with
+        | Some (origin, cursor, fr, fn, fc)
+          when origin = Fault.canonical plan ->
+            (* same concrete plan: resume its cursor and armed queues *)
+            Some
+              {
+                f_events = Fault.events plan;
+                f_origin = origin;
+                f_cursor = cursor;
+                f_router = fr;
+                f_news = fn;
+                f_chip = fc;
+              }
+        | _ ->
+            (* a different plan (e.g. the next retry attempt's): events
+               already behind the checkpoint are considered survived *)
+            Some (fstate_of_plan ~from:ck.ck_icount plan))
+  in
+  {
+    prog;
+    meter = mt;
+    regs = ck.ck_regs;
+    fields = ck.ck_fields;
+    contexts = Array.map Context.of_frames ck.ck_stacks;
+    labels = resolve_labels prog;
+    engine;
+    scratch = Router.scratch ();
+    cur = ck.ck_cur;
+    rand_state = ck.ck_rand;
+    fuel = ck.ck_fuel;
+    output = ck.ck_output;
+    pc = ck.ck_pc;
+    region_acc;
+    region_name = ck.ck_region;
+    regions;
+    kernels = None;
+    icount = ck.ck_icount;
+    fstate;
+    fault_log = ck.ck_log;
+  }

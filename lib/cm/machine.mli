@@ -25,22 +25,33 @@
 
 (** Raised on any dynamic error: kind mismatch, address out of range,
     conflicting parallel assignment, missing [Cwith], division by zero,
-    shift amount out of range, or fuel exhaustion. *)
+    shift amount out of range, or fuel exhaustion.  An [Error] is a
+    program bug: retrying cannot help. *)
 exception Error of string
+
+(** Raised when an injected transient fault (see {!Fault}) fires.
+    Distinguishable from {!Error}: a [Fault] is transient, so a caller
+    may retry the run (possibly from a {!checkpoint}).  This is the same
+    exception as [Fault.Fault]. *)
+exception Fault of string
 
 type t
 
 type engine = [ `Fast | `Reference ]
 
-(** [create ?cost ?seed ?fuel ?engine program] allocates storage for
-    [program].  [fuel] bounds the number of executed instructions
+(** [create ?cost ?seed ?fuel ?engine ?faults program] allocates storage
+    for [program].  [fuel] bounds the number of executed instructions
     (default 50M); [seed] initializes the deterministic LCG used by
-    [rand]; [engine] selects the execution engine (default [`Fast]). *)
+    [rand]; [engine] selects the execution engine (default [`Fast]);
+    [faults] installs a concrete fault plan consulted before every
+    instruction — both engines consult it at the same point, so a plan
+    perturbs them bit-identically. *)
 val create :
   ?cost:Cost.params ->
   ?seed:int ->
   ?fuel:int ->
   ?engine:engine ->
+  ?faults:Fault.plan ->
   Paris.program ->
   t
 
@@ -52,9 +63,48 @@ val engine : t -> engine
     first use; calling [compile] beforehand just front-loads the work). *)
 val compile : t -> unit
 
-(** Execute from the first instruction to [Halt] (or the end of code).
-    @raise Error on any dynamic fault. *)
+(** Execute from the current [pc] to [Halt] (or the end of code).
+    A fresh machine starts at the first instruction; after {!run_slice}
+    returned [`More], [run] continues where the slice stopped.
+    @raise Error on any dynamic fault.
+    @raise Fault when an injected transient fault fires; the machine is
+    left exactly at the pre-instruction state. *)
 val run : t -> unit
+
+(** [run_slice m ~fuel_slice] executes at most [fuel_slice] instructions
+    and reports whether the program completed.  Interleaving slices with
+    {!checkpoint}/{!restore} is bit-identical to an uninterrupted {!run}
+    (a property test in [test/test_engine.ml] enforces this).
+    @raise Invalid_argument if [fuel_slice <= 0]. *)
+val run_slice : t -> fuel_slice:int -> [ `Done | `More ]
+
+(** Whether execution has reached the end of the program. *)
+val finished : t -> bool
+
+(** Count of instructions executed so far (the fault-plan serial). *)
+val icount : t -> int
+
+(** Serialize the full machine state — registers, fields, context
+    stacks, meter, random stream, output, regions, pc, fault-plan
+    cursor — into a versioned, self-describing string.  The program is
+    identified by digest, not serialized. *)
+val checkpoint : t -> string
+
+(** [restore ?engine ?faults program data] rebuilds a machine from a
+    {!checkpoint}.  [program] must be the very program the checkpoint
+    was taken from (checked by digest).  The engine is free to differ
+    from the checkpointing machine's: observables are engine-identical.
+    If [faults] is the same concrete plan, its cursor resumes; if it
+    differs (a retry attempt's new plan), events scheduled before the
+    checkpoint are considered survived.
+    @raise Error on a bad magic/version, corrupt data, or a program
+    mismatch. *)
+val restore : ?engine:engine -> ?faults:Fault.plan -> Paris.program -> string -> t
+
+(** Fault-injection history, in order: bit flips applied and transient
+    faults fired.  Engine-identical, so part of the differential
+    snapshot. *)
+val fault_log : t -> string list
 
 val reg : t -> int -> Paris.scalar
 val reg_int : t -> int -> int

@@ -19,15 +19,29 @@ let lower ?options prog =
 
 let compile_source ?options src = lower ?options (parse_source src)
 
-let run_compiled ?cost ?seed ?fuel ?engine compiled =
+let start_compiled ?cost ?seed ?fuel ?engine ?faults compiled =
   let machine =
-    Cm.Machine.create ?cost ?seed ?fuel ?engine compiled.Codegen.prog
+    Cm.Machine.create ?cost ?seed ?fuel ?engine ?faults compiled.Codegen.prog
   in
-  Cm.Machine.run machine;
   { compiled; machine }
 
-let run_source ?options ?cost ?seed ?fuel ?engine src =
-  run_compiled ?cost ?seed ?fuel ?engine (compile_source ?options src)
+let step t ~fuel_slice = Cm.Machine.run_slice t.machine ~fuel_slice
+let finished t = Cm.Machine.finished t.machine
+let checkpoint t = Cm.Machine.checkpoint t.machine
+
+let restore_compiled ?engine ?faults compiled data =
+  let machine =
+    Cm.Machine.restore ?engine ?faults compiled.Codegen.prog data
+  in
+  { compiled; machine }
+
+let run_compiled ?cost ?seed ?fuel ?engine ?faults compiled =
+  let t = start_compiled ?cost ?seed ?fuel ?engine ?faults compiled in
+  Cm.Machine.run t.machine;
+  t
+
+let run_source ?options ?cost ?seed ?fuel ?engine ?faults src =
+  run_compiled ?cost ?seed ?fuel ?engine ?faults (compile_source ?options src)
 
 let meta t name =
   match List.assoc_opt name t.compiled.Codegen.carrays with

@@ -20,26 +20,60 @@ val lower : ?options:Codegen.options -> Ast.program -> Codegen.compiled
     Equivalent to [lower ?options (parse_source src)]. *)
 val compile_source : ?options:Codegen.options -> string -> Codegen.compiled
 
+(** Allocate a fresh machine for an already-lowered program without
+    running anything: the entry point for sliced execution ({!step}).
+    [faults] installs a concrete fault plan (see {!Cm.Fault}). *)
+val start_compiled :
+  ?cost:Cm.Cost.params ->
+  ?seed:int ->
+  ?fuel:int ->
+  ?engine:Cm.Machine.engine ->
+  ?faults:Cm.Fault.plan ->
+  Codegen.compiled ->
+  t
+
+(** Execute at most [fuel_slice] instructions; [`More] means the run can
+    be continued (or checkpointed and resumed later).
+    @raise Cm.Machine.Error / [Cm.Machine.Fault] like a full run. *)
+val step : t -> fuel_slice:int -> [ `Done | `More ]
+
+val finished : t -> bool
+
+(** Serialize the machine state (versioned; see {!Cm.Machine.checkpoint}). *)
+val checkpoint : t -> string
+
+(** Rebuild a suspended run from a {!checkpoint} against the same
+    lowered program.  @raise Cm.Machine.Error on version or program
+    mismatch. *)
+val restore_compiled :
+  ?engine:Cm.Machine.engine ->
+  ?faults:Cm.Fault.plan ->
+  Codegen.compiled ->
+  string ->
+  t
+
 (** Execute an already-lowered program on a fresh machine.  [engine]
     selects the machine's execution engine (default [`Fast]); both
-    engines are observably identical. *)
+    engines are observably identical.  [faults] injects a fault plan. *)
 val run_compiled :
   ?cost:Cm.Cost.params ->
   ?seed:int ->
   ?fuel:int ->
   ?engine:Cm.Machine.engine ->
+  ?faults:Cm.Fault.plan ->
   Codegen.compiled ->
   t
 
 (** [run_source src] compiles and executes a program.
     @raise Loc.Error on front-end errors, [Cm.Machine.Error] on dynamic
-    faults. *)
+    faults, [Cm.Machine.Fault] on injected transient faults. *)
 val run_source :
   ?options:Codegen.options ->
   ?cost:Cm.Cost.params ->
   ?seed:int ->
   ?fuel:int ->
   ?engine:Cm.Machine.engine ->
+  ?faults:Cm.Fault.plan ->
   string ->
   t
 

@@ -5,6 +5,8 @@ type stats = {
   ir_misses : int;
   run_hits : int;
   run_misses : int;
+  corruptions : int;
+  write_failures : int;
 }
 
 type counters = {
@@ -14,6 +16,8 @@ type counters = {
   mutable c_ir_misses : int;
   mutable c_run_hits : int;
   mutable c_run_misses : int;
+  mutable c_corruptions : int;
+  mutable c_write_failures : int;
 }
 
 type t = {
@@ -25,9 +29,10 @@ type t = {
   counters : counters;
 }
 
-(* bump when Report.result changes shape: stale artifacts then read as
-   misses instead of Marshal segfault fodder *)
-let artifact_version = 1
+(* bump when Report.result or the artifact layout changes shape: stale
+   artifacts then read as misses instead of Marshal segfault fodder.
+   v2: adds a payload checksum (corruption is detected, not guessed). *)
+let artifact_version = 2
 
 let create ?dir () =
   (match dir with
@@ -48,6 +53,8 @@ let create ?dir () =
         c_ir_misses = 0;
         c_run_hits = 0;
         c_run_misses = 0;
+        c_corruptions = 0;
+        c_write_failures = 0;
       };
   }
 
@@ -84,17 +91,31 @@ let memo_ir t ~source_digest ~options_key f =
     t (source_digest, options_key) f
 
 let artifact_path dir digest = Filename.concat dir (digest ^ ".ucd")
+let quarantine_path dir digest = Filename.concat dir (digest ^ ".corrupt")
 
-let read_artifact path : Report.result option =
-  try
-    let ic = open_in_bin path in
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () ->
+(* Artifact layout (v2): version int, then the MD5 of the marshalled
+   payload, then the payload itself.  A missing file or an old version
+   is a plain miss; anything torn, truncated or checksum-divergent is
+   [`Corrupt] and gets quarantined by the caller rather than silently
+   recomputed forever. *)
+
+let read_artifact path : [ `Hit of Report.result | `Miss | `Corrupt ] =
+  match open_in_bin path with
+  | exception Sys_error _ -> `Miss
+  | ic -> (
+      let body () =
         let v : int = Marshal.from_channel ic in
-        if v <> artifact_version then None
-        else Some (Marshal.from_channel ic : Report.result))
-  with _ -> None
+        if v <> artifact_version then `Miss
+        else begin
+          let sum : Digest.t = Marshal.from_channel ic in
+          let payload : string = Marshal.from_channel ic in
+          if Digest.string payload <> sum then `Corrupt
+          else `Hit (Marshal.from_string payload 0 : Report.result)
+        end
+      in
+      match Fun.protect ~finally:(fun () -> close_in_noerr ic) body with
+      | outcome -> outcome
+      | exception _ -> `Corrupt)
 
 let write_artifact path (r : Report.result) =
   try
@@ -104,10 +125,20 @@ let write_artifact path (r : Report.result) =
     Fun.protect
       ~finally:(fun () -> close_out_noerr oc)
       (fun () ->
+        let payload = Marshal.to_string r [] in
         Marshal.to_channel oc artifact_version [];
-        Marshal.to_channel oc r []);
-    Sys.rename tmp path
-  with _ -> ()
+        Marshal.to_channel oc (Digest.string payload) [];
+        Marshal.to_channel oc payload []);
+    Sys.rename tmp path;
+    true
+  with _ -> false
+
+(* Move a damaged artifact aside so the slot can be rewritten and the
+   evidence survives for inspection.  Best-effort: a racing domain may
+   have quarantined it first. *)
+let quarantine dir digest =
+  try Sys.rename (artifact_path dir digest) (quarantine_path dir digest)
+  with _ -> ( try Sys.remove (artifact_path dir digest) with _ -> ())
 
 let find_run t digest =
   let mem = with_lock t (fun () -> Hashtbl.find_opt t.runs digest) in
@@ -119,10 +150,15 @@ let find_run t digest =
         | None -> None
         | Some dir -> (
             match read_artifact (artifact_path dir digest) with
-            | Some r ->
+            | `Hit r ->
                 with_lock t (fun () -> Hashtbl.replace t.runs digest r);
                 Some r
-            | None -> None))
+            | `Miss -> None
+            | `Corrupt ->
+                with_lock t (fun () ->
+                    t.counters.c_corruptions <- t.counters.c_corruptions + 1);
+                quarantine dir digest;
+                None))
   in
   with_lock t (fun () ->
       let c = t.counters in
@@ -134,7 +170,20 @@ let find_run t digest =
 let store_run t digest r =
   with_lock t (fun () -> Hashtbl.replace t.runs digest r);
   match t.dir with
-  | Some dir -> write_artifact (artifact_path dir digest) r
+  | Some dir ->
+      if not (write_artifact (artifact_path dir digest) r) then begin
+        let first =
+          with_lock t (fun () ->
+              let c = t.counters in
+              c.c_write_failures <- c.c_write_failures + 1;
+              c.c_write_failures = 1)
+        in
+        if first then
+          Printf.eprintf
+            "ucd: warning: failed to persist cache artifact %s (disk full or \
+             unwritable?); continuing without disk persistence for it\n%!"
+            digest
+      end
   | None -> ()
 
 let stats t =
@@ -147,14 +196,21 @@ let stats t =
         ir_misses = c.c_ir_misses;
         run_hits = c.c_run_hits;
         run_misses = c.c_run_misses;
+        corruptions = c.c_corruptions;
+        write_failures = c.c_write_failures;
       })
 
 let pp_stats ppf s =
-  Format.fprintf ppf
-    "cache: ast %d/%d hit, ir %d/%d hit, run %d/%d hit"
+  Format.fprintf ppf "cache: ast %d/%d hit, ir %d/%d hit, run %d/%d hit"
     s.ast_hits
     (s.ast_hits + s.ast_misses)
     s.ir_hits
     (s.ir_hits + s.ir_misses)
     s.run_hits
-    (s.run_hits + s.run_misses)
+    (s.run_hits + s.run_misses);
+  if s.corruptions > 0 then
+    Format.fprintf ppf ", %d corrupt artifact%s quarantined" s.corruptions
+      (if s.corruptions = 1 then "" else "s");
+  if s.write_failures > 0 then
+    Format.fprintf ppf ", %d write failure%s" s.write_failures
+      (if s.write_failures = 1 then "" else "s")

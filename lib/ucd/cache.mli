@@ -9,7 +9,13 @@
 
     All operations are thread-safe; one cache is shared by every domain
     of a {!Pool}.  Timed-out results must not be stored (wall-clock
-    outcomes are not content); {!Runner} enforces this. *)
+    outcomes are not content); {!Runner} enforces this.
+
+    Disk artifacts are checksummed on write; a truncated or corrupt
+    artifact is quarantined to [<digest>.corrupt] (counted in
+    {!stats.corruptions}) and treated as a miss, so a damaged cache
+    never aborts a sweep.  Write failures are counted and warned about
+    once, then the cache degrades to memory-only for those entries. *)
 
 type t
 
@@ -20,6 +26,8 @@ type stats = {
   ir_misses : int;
   run_hits : int;
   run_misses : int;
+  corruptions : int;  (** damaged artifacts quarantined to [.corrupt] *)
+  write_failures : int;  (** disk writes that could not complete *)
 }
 
 (** [create ?dir ()] makes a cache; with [dir], run results are also

@@ -5,11 +5,13 @@ type t = {
   seed : int;
   fuel : int option;
   deadline : float option;
+  faults : Cm.Fault.spec option;
+  retries : int option;
 }
 
 let make ?(options = Uc.Codegen.default_options) ?(seed = 12345) ?fuel ?deadline
-    ~name ~source () =
-  { name; source; options; seed; fuel; deadline }
+    ?faults ?retries ~name ~source () =
+  { name; source; options; seed; fuel; deadline; faults; retries }
 
 let options_summary (o : Uc.Codegen.options) =
   String.concat " "
@@ -22,6 +24,10 @@ let options_summary (o : Uc.Codegen.options) =
          (o.Uc.Codegen.cse, "cse");
        ])
 
+let faults_summary = function
+  | None -> "none"
+  | Some spec -> Cm.Fault.spec_string spec
+
 let fields t =
   [
     ("source", Digest.to_hex (Digest.string t.source));
@@ -31,6 +37,8 @@ let fields t =
     ("cse", string_of_bool t.options.Uc.Codegen.cse);
     ("seed", string_of_int t.seed);
     ("fuel", match t.fuel with None -> "default" | Some n -> string_of_int n);
+    (* the canonical spec string, so equivalent spellings share a digest *)
+    ("faults", faults_summary t.faults);
   ]
 
 let digest_of_fields kvs =

@@ -2,10 +2,12 @@
     everything that determines its observable result.
 
     A job's {!digest} is content-addressed: it depends only on the source
-    text, the compile options, the seed and the fuel bound — the inputs
-    that determine the simulation outcome.  The wall-clock [deadline] is
-    an execution policy, not content, so it does not participate in the
-    digest (and timed-out results are never cached). *)
+    text, the compile options, the seed, the fuel bound and the fault
+    spec — the inputs that determine the simulation outcome.  The
+    wall-clock [deadline] and the [retries] budget are execution policy,
+    not content, so they do not participate in the digest (timed-out
+    results are never cached, and neither are fault-bearing runs, whose
+    outcome depends on the retry policy). *)
 
 type t = {
   name : string;  (** display name; not part of the digest *)
@@ -14,6 +16,9 @@ type t = {
   seed : int;
   fuel : int option;  (** instruction bound; [None] = machine default *)
   deadline : float option;  (** wall-clock seconds allowed for the run *)
+  faults : Cm.Fault.spec option;  (** fault plan to run under (content) *)
+  retries : int option;  (** extra attempts after a transient fault;
+                             [None] = the runner policy's default *)
 }
 
 val make :
@@ -21,6 +26,8 @@ val make :
   ?seed:int ->
   ?fuel:int ->
   ?deadline:float ->
+  ?faults:Cm.Fault.spec ->
+  ?retries:int ->
   name:string ->
   source:string ->
   unit ->

@@ -1,4 +1,8 @@
-type status = Done | Failed of string | Timeout of float
+type status =
+  | Done
+  | Failed of string
+  | Timeout of float
+  | Faulted of string
 
 type result = {
   job_name : string;
@@ -10,6 +14,8 @@ type result = {
   output : string list;
   wall_seconds : float;
   from_cache : bool;
+  attempts : int;
+  fault_trace : string list;
 }
 
 let status_fields = function
@@ -17,6 +23,8 @@ let status_fields = function
   | Failed msg -> [ ("status", Jsonu.Str "failed"); ("error", Jsonu.Str msg) ]
   | Timeout limit ->
       [ ("status", Jsonu.Str "timeout"); ("deadline", Jsonu.Float limit) ]
+  | Faulted msg ->
+      [ ("status", Jsonu.Str "faulted"); ("error", Jsonu.Str msg) ]
 
 let canonical_obj r =
   [
@@ -29,6 +37,14 @@ let canonical_obj r =
   @ [
       ("simulated_seconds", Jsonu.Float r.simulated_seconds);
       ("output", Jsonu.List (List.map (fun l -> Jsonu.Str l) r.output));
+      ("attempts", Jsonu.Int r.attempts);
+    ]
+  @
+  if r.fault_trace = [] then []
+  else
+    [
+      ( "fault_trace",
+        Jsonu.List (List.map (fun l -> Jsonu.Str l) r.fault_trace) );
     ]
 
 let canonical_json r = Jsonu.to_string (Jsonu.Obj (canonical_obj r))
@@ -47,6 +63,7 @@ type summary = {
   ok : int;
   failed : int;
   timeout : int;
+  faulted : int;
   cache_hits : int;
   simulated_total : float;
   wall_total : float;
@@ -62,6 +79,7 @@ let summarize ~elapsed results =
         ok = (s.ok + match r.status with Done -> 1 | _ -> 0);
         failed = (s.failed + match r.status with Failed _ -> 1 | _ -> 0);
         timeout = (s.timeout + match r.status with Timeout _ -> 1 | _ -> 0);
+        faulted = (s.faulted + match r.status with Faulted _ -> 1 | _ -> 0);
         cache_hits = (s.cache_hits + if r.from_cache then 1 else 0);
         simulated_total = s.simulated_total +. r.simulated_seconds;
         wall_total = s.wall_total +. r.wall_seconds;
@@ -71,6 +89,7 @@ let summarize ~elapsed results =
       ok = 0;
       failed = 0;
       timeout = 0;
+      faulted = 0;
       cache_hits = 0;
       simulated_total = 0.;
       wall_total = 0.;
@@ -87,6 +106,7 @@ let json_of_summary s =
          ("ok", Jsonu.Int s.ok);
          ("failed", Jsonu.Int s.failed);
          ("timeout", Jsonu.Int s.timeout);
+         ("faulted", Jsonu.Int s.faulted);
          ("cache_hits", Jsonu.Int s.cache_hits);
          ("simulated_seconds", Jsonu.Float s.simulated_total);
          ("job_wall_seconds", Jsonu.Float s.wall_total);
@@ -99,9 +119,9 @@ let json_of_summary s =
 
 let pp_summary ppf s =
   Format.fprintf ppf
-    "%d jobs: %d ok, %d failed, %d timeout; %d cache hit%s; %.3f simulated s; \
-     %.3f s elapsed (%.1f jobs/s)"
-    s.total s.ok s.failed s.timeout s.cache_hits
+    "%d jobs: %d ok, %d failed, %d timeout, %d faulted; %d cache hit%s; %.3f \
+     simulated s; %.3f s elapsed (%.1f jobs/s)"
+    s.total s.ok s.failed s.timeout s.faulted s.cache_hits
     (if s.cache_hits = 1 then "" else "s")
     s.simulated_total s.elapsed
     (if s.elapsed > 0. then float_of_int s.total /. s.elapsed else 0.)

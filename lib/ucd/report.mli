@@ -2,8 +2,11 @@
 
 type status =
   | Done  (** compiled and ran to [Halt] *)
-  | Failed of string  (** front-end or machine fault, fuel exhaustion … *)
+  | Failed of string  (** front-end or machine error, fuel exhaustion … *)
   | Timeout of float  (** wall-clock deadline exceeded (seconds allowed) *)
+  | Faulted of string
+      (** quarantined: every attempt died with a transient
+          [Machine.Fault]; the last fault message *)
 
 type result = {
   job_name : string;
@@ -11,10 +14,13 @@ type result = {
   options : string;  (** {!Job.options_summary} of the job's options *)
   seed : int;
   status : status;
-  simulated_seconds : float;  (** 0 when the job did not finish *)
+  simulated_seconds : float;  (** 0 when the job did not finish; partial
+                                  progress for in-flight timeouts *)
   output : string list;  (** lines produced by [print] *)
   wall_seconds : float;  (** time to produce this result in this process *)
   from_cache : bool;
+  attempts : int;  (** executions tried; 1 = succeeded first try *)
+  fault_trace : string list;  (** transient fault messages, in order *)
 }
 
 (** Deterministic identity of a result: everything except the wall time
@@ -31,6 +37,7 @@ type summary = {
   ok : int;
   failed : int;
   timeout : int;
+  faulted : int;
   cache_hits : int;
   simulated_total : float;
   wall_total : float;  (** sum of per-job wall times (cpu-ish seconds) *)

@@ -1,9 +1,40 @@
 let now () = Unix.gettimeofday ()
 
-let compute cache (job : Job.t) digest =
+type policy = {
+  retries : int;
+  fuel_slice : int;
+  resume : bool;
+  backoff_base : float;
+  backoff_cap : float;
+}
+
+let default_policy =
+  {
+    retries = 0;
+    fuel_slice = 100_000;
+    resume = true;
+    backoff_base = 0.01;
+    backoff_cap = 0.25;
+  }
+
+(* Capped exponential backoff with deterministic, seeded jitter: the
+   sleep for attempt [k] is [min cap (base * 2^k)] scaled into
+   [0.5, 1.5) by a hash of (job seed, attempt), so colliding retries
+   from a fleet of identical jobs spread out, reproducibly. *)
+let backoff_delay policy ~seed ~attempt =
+  if policy.backoff_base <= 0. then 0.
+  else begin
+    let base = policy.backoff_base *. (2. ** float_of_int attempt) in
+    let capped = Float.min policy.backoff_cap base in
+    let h = ((seed * 1103515245) + 12345 + (attempt * 40503)) land 0x3FFFFFFF in
+    let frac = float_of_int (h land 0xFFFF) /. 65536. in
+    capped *. (0.5 +. frac)
+  end
+
+let compute ~policy ~t0 cache (job : Job.t) digest =
   let source_digest = Digest.to_hex (Digest.string job.Job.source) in
   let options_key = Job.options_summary job.Job.options in
-  let finish status simulated output =
+  let finish ?(attempts = 1) ?(trace = []) status simulated output =
     {
       Report.job_name = job.Job.name;
       digest;
@@ -14,6 +45,8 @@ let compute cache (job : Job.t) digest =
       output;
       wall_seconds = 0.;
       from_cache = false;
+      attempts;
+      fault_trace = trace;
     }
   in
   try
@@ -25,43 +58,104 @@ let compute cache (job : Job.t) digest =
       Cache.memo_ir cache ~source_digest ~options_key (fun () ->
           Uc.Compile.lower ~options:job.Job.options ast)
     in
-    let t =
-      Uc.Compile.run_compiled ~seed:job.Job.seed ?fuel:job.Job.fuel compiled
+    let deadline_over () =
+      match job.Job.deadline with
+      | Some limit -> now () -. t0 > limit
+      | None -> false
     in
-    finish Report.Done
-      (Uc.Compile.elapsed_seconds t)
-      (Uc.Compile.output t)
+    let retries = Option.value job.Job.retries ~default:policy.retries in
+    (* the last checkpoint of a surviving slice, shared across attempts
+       so a retry can resume instead of replaying from scratch *)
+    let last_ckpt = ref None in
+    let rec attempt_run attempt trace =
+      let plan =
+        Option.map (Cm.Fault.instantiate ~attempt) job.Job.faults
+      in
+      let t =
+        match !last_ckpt with
+        | Some data when policy.resume -> (
+            try Uc.Compile.restore_compiled ?faults:plan compiled data
+            with Cm.Machine.Error _ ->
+              Uc.Compile.start_compiled ~seed:job.Job.seed ?fuel:job.Job.fuel
+                ?faults:plan compiled)
+        | _ ->
+            Uc.Compile.start_compiled ~seed:job.Job.seed ?fuel:job.Job.fuel
+              ?faults:plan compiled
+      in
+      (* the deadline is enforced between fuel slices: a slow job stops
+         within one slice of its limit instead of holding the worker *)
+      let rec slices () =
+        if deadline_over () then `Deadline
+        else
+          match Uc.Compile.step t ~fuel_slice:policy.fuel_slice with
+          | `Done -> `Finished
+          | `More ->
+              if policy.resume && job.Job.faults <> None then
+                last_ckpt := Some (Uc.Compile.checkpoint t);
+              slices ()
+      in
+      match slices () with
+      | `Finished ->
+          if deadline_over () then
+            (* finished, but past the limit: keep the old post-hoc
+               verdict so a deadline is never beaten by luck *)
+            let limit = Option.get job.Job.deadline in
+            finish ~attempts:(attempt + 1) ~trace:(List.rev trace)
+              (Report.Timeout limit)
+              (Uc.Compile.elapsed_seconds t)
+              (Uc.Compile.output t)
+          else
+            finish ~attempts:(attempt + 1) ~trace:(List.rev trace) Report.Done
+              (Uc.Compile.elapsed_seconds t)
+              (Uc.Compile.output t)
+      | `Deadline ->
+          let limit = Option.get job.Job.deadline in
+          finish ~attempts:(attempt + 1) ~trace:(List.rev trace)
+            (Report.Timeout limit)
+            (Uc.Compile.elapsed_seconds t)
+            (Uc.Compile.output t)
+      | exception Cm.Machine.Fault msg ->
+          let trace = msg :: trace in
+          if attempt >= retries then
+            (* quarantined: the fault outlived its retry budget *)
+            finish ~attempts:(attempt + 1) ~trace:(List.rev trace)
+              (Report.Faulted msg) 0. []
+          else begin
+            let delay =
+              backoff_delay policy ~seed:job.Job.seed ~attempt
+            in
+            if delay > 0. then Unix.sleepf delay;
+            attempt_run (attempt + 1) trace
+          end
+    in
+    attempt_run 0 []
   with
   | Uc.Loc.Error (loc, msg) ->
-      finish
-        (Report.Failed (Format.asprintf "%a: %s" Uc.Loc.pp loc msg))
-        0. []
+      finish (Report.Failed (Format.asprintf "%a: %s" Uc.Loc.pp loc msg)) 0. []
   | Cm.Machine.Error msg -> finish (Report.Failed ("machine: " ^ msg)) 0. []
   | Uc.Interp.Runtime_error msg ->
       finish (Report.Failed ("runtime: " ^ msg)) 0. []
   | Failure msg -> finish (Report.Failed msg) 0. []
   | Not_found -> finish (Report.Failed "internal lookup failure") 0. []
 
-let run_job ~cache (job : Job.t) =
+let run_job ?(policy = default_policy) ~cache (job : Job.t) =
   let t0 = now () in
   let digest = Job.digest job in
-  match Cache.find_run cache digest with
+  (* fault-bearing runs are policy-dependent (retry budget, resume), so
+     they are computed fresh every time, like timeouts *)
+  let cacheable = job.Job.faults = None in
+  match if cacheable then Cache.find_run cache digest else None with
   | Some r -> { r with Report.from_cache = true; wall_seconds = now () -. t0 }
   | None ->
-      let r = compute cache job digest in
+      let r = compute ~policy ~t0 cache job digest in
       let wall = now () -. t0 in
-      let r =
-        match job.Job.deadline with
-        | Some limit when wall > limit ->
-            (* wall-clock verdicts are not content: report, don't cache *)
-            { r with Report.status = Report.Timeout limit; wall_seconds = wall }
-        | _ ->
-            Cache.store_run cache digest r;
-            { r with Report.wall_seconds = wall }
-      in
-      r
+      (match r.Report.status with
+      | Report.Timeout _ | Report.Faulted _ -> ()
+      | _ when not cacheable -> ()
+      | _ -> Cache.store_run cache digest r);
+      { r with Report.wall_seconds = wall }
 
-let run_jobs ?domains ?queue_bound ~cache jobs =
+let run_jobs ?domains ?queue_bound ?policy ~cache jobs =
   List.map2
     (fun (job : Job.t) outcome ->
       match outcome with
@@ -79,12 +173,14 @@ let run_jobs ?domains ?queue_bound ~cache jobs =
             output = [];
             wall_seconds = 0.;
             from_cache = false;
+            attempts = 1;
+            fault_trace = [];
           })
     jobs
-    (Pool.map ?domains ?queue_bound (run_job ~cache) jobs)
+    (Pool.map ?domains ?queue_bound (run_job ?policy ~cache) jobs)
 
-let corpus_jobs ?options ?seed ?fuel ?deadline () =
+let corpus_jobs ?options ?seed ?fuel ?deadline ?faults ?retries () =
   List.map
     (fun (name, source) ->
-      Job.make ?options ?seed ?fuel ?deadline ~name ~source ())
+      Job.make ?options ?seed ?fuel ?deadline ?faults ?retries ~name ~source ())
     Uc_programs.Programs.all_named

@@ -3,21 +3,60 @@
     Fault isolation: a job whose front end raises [Uc.Loc.Error], whose
     machine raises [Cm.Machine.Error] (including fuel exhaustion), or
     that fails in any other way is reported as [Report.Failed]; the
-    exception never escapes.  A job that finishes after its wall-clock
-    deadline is reported as [Report.Timeout] and is not cached. *)
+    exception never escapes.
+
+    Robustness policy (the {!policy} record):
+    - execution proceeds in {e fuel slices} and the wall-clock deadline
+      is enforced {e between} slices, so a slow job yields
+      [Report.Timeout] within one slice of its limit instead of holding
+      a pool worker until it finishes (timeouts are never cached);
+    - a run that dies with a transient [Cm.Machine.Fault] is retried up
+      to [retries] extra times (per-job [Job.retries] overrides) with
+      capped exponential backoff and deterministic seeded jitter,
+      optionally resuming from the last checkpointed slice; the attempt
+      count and fault trace land in the report row;
+    - when every attempt faults, the job is quarantined as
+      [Report.Faulted] — it never takes the pool down.
+
+    Fault-bearing jobs ([Job.faults <> None]) are computed fresh every
+    time: their outcome depends on the retry policy, which is not
+    content, so caching them would let policy leak into cached results. *)
+
+type policy = {
+  retries : int;  (** default extra attempts after a transient fault *)
+  fuel_slice : int;  (** instructions per slice (deadline granularity) *)
+  resume : bool;  (** resume retries from the last checkpoint *)
+  backoff_base : float;  (** first retry delay, seconds *)
+  backoff_cap : float;  (** upper bound on any retry delay, seconds *)
+}
+
+(** retries 0, fuel_slice 100k, resume on, backoff 10ms doubling capped
+    at 250ms. *)
+val default_policy : policy
 
 (** Run one job: cache lookup, else compile (via the staged
-    {!Uc.Compile} API, memoizing AST and IR) and execute. *)
-val run_job : cache:Cache.t -> Job.t -> Report.result
+    {!Uc.Compile} API, memoizing AST and IR) and execute under the
+    policy. *)
+val run_job : ?policy:policy -> cache:Cache.t -> Job.t -> Report.result
 
 (** Run a batch on a domain pool ({!Pool.map}); results are returned in
     submission order. *)
 val run_jobs :
-  ?domains:int -> ?queue_bound:int -> cache:Cache.t -> Job.t list ->
+  ?domains:int ->
+  ?queue_bound:int ->
+  ?policy:policy ->
+  cache:Cache.t ->
+  Job.t list ->
   Report.result list
 
 (** The whole built-in corpus ({!Uc_programs.Programs.all_named}) as
     jobs. *)
 val corpus_jobs :
-  ?options:Uc.Codegen.options -> ?seed:int -> ?fuel:int -> ?deadline:float ->
-  unit -> Job.t list
+  ?options:Uc.Codegen.options ->
+  ?seed:int ->
+  ?fuel:int ->
+  ?deadline:float ->
+  ?faults:Cm.Fault.spec ->
+  ?retries:int ->
+  unit ->
+  Job.t list

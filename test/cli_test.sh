@@ -83,4 +83,51 @@ else
 fi
 grep -q '"status":"failed"' fuel.jsonl
 
+# ---- fault injection ----
+
+# a hard transient fault aborts the run with a one-line diagnostic
+if $UCC run ../examples/uc/quickstart.uc --faults chip@0 2>err.txt; then exit 1; fi
+grep -q "transient" err.txt
+if grep -q "uncaught exception" err.txt; then exit 1; fi
+
+# an attempt-0-only fault plus a retry recovers and prints the answer
+out=$($UCC run ../examples/uc/quickstart.uc --faults 'chip@0#0' --retries 1 2>retry.log)
+echo "$out" | grep -q "sum of squares 0..9 = 285"
+grep -q "retrying" retry.log
+
+# a bogus plan is a one-line error, exit 1
+if $UCC run ../examples/uc/quickstart.uc --faults zorp@1 2>err.txt; then exit 1; fi
+grep -q "bad fault plan" err.txt
+
+# manifest rows carry faults= and retries= columns
+cat > manifest_faults.txt <<'EOF'
+quickstart faults=chip@0#0 retries=1
+quickstart faults=chip@0
+EOF
+if $UCC batch manifest_faults.txt --cache-dir none > faults.jsonl 2>/dev/null; then
+  exit 1
+else
+  [ "$?" = 2 ]
+fi
+grep -q '"status":"ok"' faults.jsonl
+grep -q '"attempts":2' faults.jsonl
+grep -q '"status":"faulted"' faults.jsonl
+grep -q '"fault_trace"' faults.jsonl
+
+# a bad faults= value is rejected with the offending line number
+echo "quickstart faults=zorp@1" > manifest_bad.txt
+if $UCC batch manifest_bad.txt --cache-dir none 2>err.txt; then exit 1; fi
+grep -q "manifest line 1: bad faults value" err.txt
+echo "quickstart retries=x" > manifest_bad.txt
+if $UCC batch manifest_bad.txt --cache-dir none 2>err.txt; then exit 1; fi
+grep -q "manifest line 1: bad retries value" err.txt
+
+# batch-wide plan: every job either finishes or is quarantined (never a
+# crash), and the per-job policy flags are accepted
+$UCC batch --cache-dir none --faults 'seed=9;horizon=20000;router=1' \
+  --retries 2 --fuel-slice 50000 > faultgate.jsonl 2>/dev/null || [ "$?" = 2 ]
+if grep -q '"status":"failed"' faultgate.jsonl; then exit 1; fi
+if grep -q '"status":"timeout"' faultgate.jsonl; then exit 1; fi
+grep -q '"summary":true' faultgate.jsonl
+
 echo "cli ok"

@@ -46,13 +46,16 @@ let snapshot (prog : program) (m : Cm.Machine.t) =
   List.iter
     (fun (name, secs) -> add "region %s = %s\n" name (hex secs))
     (Cm.Machine.regions m);
+  List.iter (fun line -> add "fault %s\n" line) (Cm.Machine.fault_log m);
+  add "icount=%d\n" (Cm.Machine.icount m);
   Buffer.contents b
 
-let run_engine ~seed ~fuel engine prog =
-  let m = Cm.Machine.create ~seed ~fuel ~engine prog in
+let run_engine ~seed ~fuel ?faults engine prog =
+  let m = Cm.Machine.create ~seed ~fuel ~engine ?faults prog in
   let status =
     match Cm.Machine.run m with
     | () -> "finished"
+    | exception Cm.Machine.Fault msg -> "fault: " ^ msg
     | exception Cm.Machine.Error msg -> "error: " ^ msg
     (* the reference interpreter leaks Invalid_argument for a few
        malformed programs (e.g. a non-reducible Preduce operator); the
@@ -62,13 +65,13 @@ let run_engine ~seed ~fuel engine prog =
   in
   status ^ "\n" ^ snapshot prog m
 
-let engines_agree ~seed ~fuel prog =
-  let fast = run_engine ~seed ~fuel `Fast prog in
-  let reference = run_engine ~seed ~fuel `Reference prog in
+let engines_agree ~seed ~fuel ?faults prog =
+  let fast = run_engine ~seed ~fuel ?faults `Fast prog in
+  let reference = run_engine ~seed ~fuel ?faults `Reference prog in
   if String.equal fast reference then None else Some (fast, reference)
 
-let assert_agree ~seed ~fuel name prog =
-  match engines_agree ~seed ~fuel prog with
+let assert_agree ~seed ~fuel ?faults name prog =
+  match engines_agree ~seed ~fuel ?faults prog with
   | None -> ()
   | Some (fast, reference) ->
       Alcotest.failf
@@ -523,6 +526,128 @@ let differential_test =
                reference))
 
 (* ------------------------------------------------------------------ *)
+(* Fault injection: the engines must fault bit-identically            *)
+(* ------------------------------------------------------------------ *)
+
+(* Random fault specs assembled through the public grammar, so this also
+   fuzzes the parser: random transient counts and bit flips over a short
+   horizon, plus a few explicit events. *)
+let gen_fault_spec : Cm.Fault.spec Gen.t =
+  let open Gen in
+  let* seed = int_range 0 999 in
+  let* horizon = int_range 1 400 in
+  let* nr = int_range 0 2 and* nn = int_range 0 2 in
+  let* nc = int_range 0 2 and* nf = int_range 0 2 in
+  let* explicit =
+    list_size (int_range 0 3)
+      (let* serial = int_range 0 300 in
+       let* k = int_range 0 3 in
+       return
+         (match k with
+         | 0 -> Printf.sprintf "router@%d" serial
+         | 1 -> Printf.sprintf "news@%d" serial
+         | 2 -> Printf.sprintf "chip@%d" serial
+         | _ ->
+             Printf.sprintf "flip@%d:%d.%d.%d" serial (serial mod 8)
+               (serial mod 13) (serial mod 70)))
+  in
+  let s =
+    Printf.sprintf "seed=%d;horizon=%d;router=%d;news=%d;chip=%d;flip=%d%s" seed
+      horizon nr nn nc nf
+      (String.concat "" (List.map (fun e -> ";" ^ e) explicit))
+  in
+  match Cm.Fault.parse s with
+  | Ok spec -> return spec
+  | Error msg -> failwith ("generator produced an unparsable spec: " ^ msg)
+
+let gen_faulty_program : (int list * int * node list * Cm.Fault.spec) Gen.t =
+  let open Gen in
+  let* dims, seed, nodes = gen_program in
+  let* spec = gen_fault_spec in
+  return (dims, seed, nodes, spec)
+
+let print_faulty_program (dims, seed, nodes, spec) =
+  print_program (dims, seed, nodes)
+  ^ "\nfaults: " ^ Cm.Fault.spec_string spec
+
+let fault_differential_test =
+  QCheck_alcotest.to_alcotest
+    (Test.make ~count:300
+       ~name:"random programs under fault plans: fast == reference"
+       ~print:print_faulty_program gen_faulty_program
+       (fun (dims, seed, nodes, spec) ->
+         let prog = build dims nodes in
+         let faults = Cm.Fault.instantiate spec ~attempt:0 in
+         match engines_agree ~seed ~fuel:500_000 ~faults prog with
+         | None -> true
+         | Some (fast, reference) ->
+             Test.fail_reportf
+               "engines disagree under %s@.--- fast ---@.%s@.--- reference \
+                ---@.%s"
+               (Cm.Fault.canonical faults) fast reference))
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint/restore: sliced == straight, bit for bit                *)
+(* ------------------------------------------------------------------ *)
+
+(* Run in slices, serializing a checkpoint at every slice boundary and
+   restoring into a machine on the OTHER engine, so the round-trip also
+   re-proves engine equivalence at every intermediate state. *)
+let run_checkpointed ~seed ~fuel ?faults ~slice prog =
+  let m = ref (Cm.Machine.create ~seed ~fuel ~engine:`Fast ?faults prog) in
+  let next = ref `Reference in
+  let status =
+    try
+      let rec go () =
+        match Cm.Machine.run_slice !m ~fuel_slice:slice with
+        | `Done -> "finished"
+        | `More ->
+            let data = Cm.Machine.checkpoint !m in
+            m := Cm.Machine.restore ~engine:!next ?faults prog data;
+            next := (if !next = `Fast then `Reference else `Fast);
+            go ()
+      in
+      go ()
+    with
+    | Cm.Machine.Fault msg -> "fault: " ^ msg
+    | Cm.Machine.Error msg -> "error: " ^ msg
+    | Invalid_argument msg -> "invalid_arg: " ^ msg
+    | Failure msg -> "failure: " ^ msg
+  in
+  status ^ "\n" ^ snapshot prog !m
+
+let gen_ckpt_case :
+    (int list * int * node list * Cm.Fault.spec option * int) Gen.t =
+  let open Gen in
+  let* dims, seed, nodes = gen_program in
+  let* spec = frequency [ (2, return None); (1, map Option.some gen_fault_spec) ] in
+  let* slice = oneofl [ 1; 7; 23; 100; 1000 ] in
+  return (dims, seed, nodes, spec, slice)
+
+let print_ckpt_case (dims, seed, nodes, spec, slice) =
+  Printf.sprintf "%s\nfaults: %s slice=%d"
+    (print_program (dims, seed, nodes))
+    (match spec with None -> "none" | Some s -> Cm.Fault.spec_string s)
+    slice
+
+let checkpoint_roundtrip_test =
+  QCheck_alcotest.to_alcotest
+    (Test.make ~count:200
+       ~name:"checkpoint-interrupt-resume == straight run"
+       ~print:print_ckpt_case gen_ckpt_case
+       (fun (dims, seed, nodes, spec, slice) ->
+         let prog = build dims nodes in
+         let faults = Option.map (Cm.Fault.instantiate ~attempt:0) spec in
+         let straight = run_engine ~seed ~fuel:500_000 ?faults `Fast prog in
+         let sliced = run_checkpointed ~seed ~fuel:500_000 ?faults ~slice prog in
+         if String.equal straight sliced then true
+         else
+           Test.fail_reportf
+             "checkpointed run diverged@.--- straight ---@.%s@.--- sliced \
+              (slice=%d) ---@.%s"
+             straight slice sliced))
+
+(* ------------------------------------------------------------------ *)
 (* Whole-corpus equivalence                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -531,6 +656,24 @@ let test_uc_corpus () =
     (fun (name, src) ->
       let compiled = Uc.Compile.compile_source src in
       assert_agree ~seed:20260705 ~fuel:50_000_000 name
+        compiled.Uc.Codegen.prog)
+    Uc_programs.Programs.all_named
+
+(* the canned plan used by the CI fault gate: transients and flips over
+   the whole corpus, both engines *)
+let test_uc_corpus_under_faults () =
+  let spec =
+    match
+      Cm.Fault.parse "seed=33;horizon=30000;router=2;news=2;chip=2;flip=2"
+    with
+    | Ok s -> s
+    | Error msg -> Alcotest.fail msg
+  in
+  let faults = Cm.Fault.instantiate spec ~attempt:0 in
+  List.iter
+    (fun (name, src) ->
+      let compiled = Uc.Compile.compile_source src in
+      assert_agree ~seed:20260705 ~fuel:50_000_000 ~faults name
         compiled.Uc.Codegen.prog)
     Uc_programs.Programs.all_named
 
@@ -613,6 +756,8 @@ let () =
       ( "differential",
         [
           differential_test;
+          fault_differential_test;
+          checkpoint_roundtrip_test;
           Alcotest.test_case "shift range faults" `Quick test_shift_range;
           Alcotest.test_case "compile idempotent" `Quick
             test_compile_idempotent;
@@ -620,6 +765,8 @@ let () =
       ( "corpus",
         [
           Alcotest.test_case "uc programs" `Quick test_uc_corpus;
+          Alcotest.test_case "uc programs under a fault plan" `Quick
+            test_uc_corpus_under_faults;
           Alcotest.test_case "cstar programs" `Quick test_cstar_corpus;
         ] );
     ]

@@ -1,0 +1,241 @@
+(* The fault-injection layer: spec grammar, plan instantiation, the
+   machine-level observation points, and checkpoint error paths. *)
+
+open Cm.Paris
+
+let parse_ok s =
+  match Cm.Fault.parse s with
+  | Ok spec -> spec
+  | Error msg -> Alcotest.failf "%S should parse: %s" s msg
+
+let parse_err s =
+  match Cm.Fault.parse s with
+  | Ok _ -> Alcotest.failf "%S should be rejected" s
+  | Error msg -> msg
+
+(* ---- grammar ---- *)
+
+let test_parse_roundtrip () =
+  (* spec_string is canonical: parsing it back yields the same string *)
+  List.iter
+    (fun s ->
+      let c = Cm.Fault.spec_string (parse_ok s) in
+      Alcotest.(check string) ("canonical form of " ^ s) c
+        (Cm.Fault.spec_string (parse_ok c)))
+    [
+      "seed=7;horizon=500;router=2";
+      "chip@5";
+      "router@10#1;news@3";
+      "flip@100:1.2.3";
+      "seed=1;horizon=10;router=1,news=1,chip=1,flip=1";
+      "flip@7:0.0.63;flip@7:1.0.0";
+      "  chip@5 ; news@9  ";
+    ]
+
+let test_canonical_shape () =
+  (* random counts pull in seed and horizon; explicit-only specs don't *)
+  Alcotest.(check string) "explicit only" "chip@5;router@9"
+    (Cm.Fault.spec_string (parse_ok "router@9;chip@5"));
+  Alcotest.(check string) "random counts carry seed+horizon"
+    "seed=3;horizon=100;router=2"
+    (Cm.Fault.spec_string (parse_ok "horizon=100;router=2;seed=3"));
+  Alcotest.(check bool) "empty spec is empty" true
+    (Cm.Fault.is_empty (parse_ok ""))
+
+let test_parse_errors () =
+  List.iter
+    (fun s ->
+      let msg = parse_err s in
+      Alcotest.(check bool)
+        (Printf.sprintf "%S error mentions the token (%s)" s msg)
+        true (String.length msg > 0))
+    [
+      "bogus=3";
+      "zorp@5";
+      "chip@-1";
+      "chip@x";
+      "flip@5";
+      "flip@5:1.2";
+      "flip@5:a.b.c";
+      "seed=x";
+      "horizon=0";
+      "router=-1";
+      "seed=3#1";
+    ]
+
+(* ---- instantiation ---- *)
+
+let test_instantiate_deterministic () =
+  let spec = parse_ok "seed=42;horizon=200;router=2;news=1;chip=2;flip=1" in
+  let p1 = Cm.Fault.instantiate spec ~attempt:0 in
+  let p2 = Cm.Fault.instantiate spec ~attempt:0 in
+  Alcotest.(check string) "same attempt, same plan" (Cm.Fault.canonical p1)
+    (Cm.Fault.canonical p2);
+  Alcotest.(check int) "all events drawn" 6
+    (Array.length (Cm.Fault.events p1));
+  let p3 = Cm.Fault.instantiate spec ~attempt:1 in
+  Alcotest.(check bool) "different attempt, different draw" false
+    (Cm.Fault.events p1 = Cm.Fault.events p3)
+
+let test_attempt_filtering () =
+  let spec = parse_ok "chip@5#0;router@9" in
+  let ev_kinds plan =
+    Array.to_list (Cm.Fault.events plan)
+    |> List.map (fun (s, e) ->
+           match e with
+           | Cm.Fault.Transient k -> (s, Cm.Fault.kind_name k)
+           | Cm.Fault.Flip _ -> (s, "flip"))
+  in
+  Alcotest.(check (list (pair int string)))
+    "attempt 0 sees both"
+    [ (5, "chip"); (9, "router") ]
+    (ev_kinds (Cm.Fault.instantiate spec ~attempt:0));
+  Alcotest.(check (list (pair int string)))
+    "attempt 1 sees only the unqualified event"
+    [ (9, "router") ]
+    (ev_kinds (Cm.Fault.instantiate spec ~attempt:1))
+
+(* ---- machine-level observation points ---- *)
+
+(* f0 holds 4 copies of 1; flipping bit 3 of element 2 yields 9 there *)
+let flip_prog () =
+  let b = Builder.create "flip" in
+  let vp = Builder.vpset b (Cm.Geometry.create [ 4 ]) in
+  let f = Builder.field b ~vpset:vp KInt in
+  Builder.emit b (Cwith vp);
+  Builder.emit b (Pmov (f, Imm (SInt 1)));
+  Builder.emit b (Pbin (Add, f, Fld f, Imm (SInt 0)));
+  Builder.finish b
+
+let test_bit_flip_applies () =
+  let prog = flip_prog () in
+  let faults = Cm.Fault.instantiate (parse_ok "flip@2:0.2.3") ~attempt:0 in
+  let m = Cm.Machine.create ~faults prog in
+  Cm.Machine.run m;
+  Alcotest.(check (array int))
+    "bit 3 of element 2 flipped before the add" [| 1; 1; 9; 1 |]
+    (Cm.Machine.field_ints m 0);
+  (match Cm.Machine.fault_log m with
+  | [ line ] ->
+      Alcotest.(check bool) ("logged: " ^ line) true
+        (Astring.String.is_infix ~affix:"bit flip at instruction 2" line)
+  | l -> Alcotest.failf "expected one fault-log line, got %d" (List.length l))
+
+let test_transient_raises () =
+  let prog = flip_prog () in
+  let faults = Cm.Fault.instantiate (parse_ok "chip@1") ~attempt:0 in
+  let m = Cm.Machine.create ~faults prog in
+  (match Cm.Machine.run m with
+  | () -> Alcotest.fail "expected a transient fault"
+  | exception Cm.Machine.Fault msg ->
+      Alcotest.(check bool) ("fault message: " ^ msg) true
+        (Astring.String.is_infix ~affix:"transient chip fault" msg));
+  (* the fault left the machine before the victim instruction *)
+  Alcotest.(check int) "stopped at the victim" 1 (Cm.Machine.icount m);
+  Alcotest.(check bool) "not finished" false (Cm.Machine.finished m)
+
+let router_prog () =
+  let b = Builder.create "router" in
+  let vp = Builder.vpset b (Cm.Geometry.create [ 4 ]) in
+  let addr = Builder.field b ~vpset:vp KInt in
+  let src = Builder.field b ~vpset:vp KInt in
+  let dst = Builder.field b ~vpset:vp KInt in
+  Builder.emit b (Cwith vp);
+  Builder.emit b (Pcoord (addr, 0));
+  Builder.emit b (Pmov (src, Imm (SInt 3)));
+  Builder.emit b (Pget (dst, src, addr));
+  Builder.finish b
+
+let test_router_fault_needs_router_traffic () =
+  (* an armed router fault only fires on router traffic: a program that
+     never uses the router survives it untouched ... *)
+  let faults = Cm.Fault.instantiate (parse_ok "router@0") ~attempt:0 in
+  let m = Cm.Machine.create ~faults (flip_prog ()) in
+  Cm.Machine.run m;
+  Alcotest.(check bool) "router-free program survives" true
+    (Cm.Machine.finished m);
+  (* ... while the first Pget in a routing program dies *)
+  let faults = Cm.Fault.instantiate (parse_ok "router@0") ~attempt:0 in
+  let m = Cm.Machine.create ~faults (router_prog ()) in
+  match Cm.Machine.run m with
+  | () -> Alcotest.fail "expected the router fault to fire on Pget"
+  | exception Cm.Machine.Fault msg ->
+      Alcotest.(check bool) ("fault message: " ^ msg) true
+        (Astring.String.is_infix ~affix:"transient router fault" msg
+        && Astring.String.is_infix ~affix:"pget" msg)
+
+(* ---- checkpoint error paths ---- *)
+
+let expect_machine_error ~affix f =
+  match f () with
+  | _ -> Alcotest.failf "expected Machine.Error mentioning %S" affix
+  | exception Cm.Machine.Error msg ->
+      Alcotest.(check bool) ("error: " ^ msg) true
+        (Astring.String.is_infix ~affix msg)
+
+let test_checkpoint_errors () =
+  let prog = flip_prog () in
+  let m = Cm.Machine.create prog in
+  ignore (Cm.Machine.run_slice m ~fuel_slice:1);
+  let data = Cm.Machine.checkpoint m in
+  (* bad magic *)
+  expect_machine_error ~affix:"bad magic" (fun () ->
+      Cm.Machine.restore prog "not a checkpoint");
+  (* truncated *)
+  expect_machine_error ~affix:"truncated or corrupt" (fun () ->
+      Cm.Machine.restore prog (String.sub data 0 (String.length data / 2)));
+  (* a checkpoint from a different program *)
+  let other =
+    let b = Builder.create "other" in
+    let vp = Builder.vpset b (Cm.Geometry.create [ 4 ]) in
+    let f = Builder.field b ~vpset:vp KInt in
+    Builder.emit b (Cwith vp);
+    Builder.emit b (Pmov (f, Imm (SInt 2)));
+    Builder.finish b
+  in
+  expect_machine_error ~affix:"different program" (fun () ->
+      Cm.Machine.restore other data);
+  (* and the good path still works *)
+  let m2 = Cm.Machine.restore prog data in
+  Cm.Machine.run m2;
+  Alcotest.(check bool) "restored machine finishes" true
+    (Cm.Machine.finished m2)
+
+let test_run_slice_validates () =
+  let m = Cm.Machine.create (flip_prog ()) in
+  match Cm.Machine.run_slice m ~fuel_slice:0 with
+  | _ -> Alcotest.fail "fuel_slice 0 should be rejected"
+  | exception Invalid_argument _ -> ()
+
+let () =
+  Alcotest.run "fault"
+    [
+      ( "grammar",
+        [
+          Alcotest.test_case "parse/canonical round-trip" `Quick
+            test_parse_roundtrip;
+          Alcotest.test_case "canonical shape" `Quick test_canonical_shape;
+          Alcotest.test_case "bad tokens rejected" `Quick test_parse_errors;
+        ] );
+      ( "instantiate",
+        [
+          Alcotest.test_case "deterministic per attempt" `Quick
+            test_instantiate_deterministic;
+          Alcotest.test_case "#attempt filtering" `Quick test_attempt_filtering;
+        ] );
+      ( "machine",
+        [
+          Alcotest.test_case "bit flip applies and logs" `Quick
+            test_bit_flip_applies;
+          Alcotest.test_case "transient raises Fault" `Quick
+            test_transient_raises;
+          Alcotest.test_case "router fault needs router traffic" `Quick
+            test_router_fault_needs_router_traffic;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "error paths" `Quick test_checkpoint_errors;
+          Alcotest.test_case "run_slice validates" `Quick
+            test_run_slice_validates;
+        ] );
+    ]

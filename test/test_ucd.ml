@@ -3,8 +3,17 @@
 
 let corpus name = List.assoc name Uc_programs.Programs.all_named
 
-let mk ?options ?seed ?fuel ?deadline name =
-  Ucd.Job.make ?options ?seed ?fuel ?deadline ~name ~source:(corpus name) ()
+let mk ?options ?seed ?fuel ?deadline ?faults ?retries name =
+  Ucd.Job.make ?options ?seed ?fuel ?deadline ?faults ?retries ~name
+    ~source:(corpus name) ()
+
+let fault_spec s =
+  match Cm.Fault.parse s with
+  | Ok spec -> spec
+  | Error msg -> Alcotest.fail ("bad fault spec in test: " ^ msg)
+
+(* a retry policy that never sleeps, so the suite stays fast *)
+let fast_policy = { Ucd.Runner.default_policy with backoff_base = 0. }
 
 (* ---- job digests ---- *)
 
@@ -152,7 +161,10 @@ let test_pool_stress () =
         | Ucd.Report.Failed m ->
             Alcotest.fail (Printf.sprintf "%s failed: %s" r.Ucd.Report.job_name m)
         | Ucd.Report.Timeout _ ->
-            Alcotest.fail (r.Ucd.Report.job_name ^ " timed out"))
+            Alcotest.fail (r.Ucd.Report.job_name ^ " timed out")
+        | Ucd.Report.Faulted m ->
+            Alcotest.fail
+              (Printf.sprintf "%s faulted: %s" r.Ucd.Report.job_name m))
     results;
   (match (List.nth results (List.length good)).Ucd.Report.status with
   | Ucd.Report.Failed msg ->
@@ -168,6 +180,187 @@ let test_pool_stress () =
   let s = Ucd.Report.summarize ~elapsed:1. results in
   Alcotest.(check int) "ok count" (List.length good) s.Ucd.Report.ok;
   Alcotest.(check int) "failed count" 2 s.Ucd.Report.failed
+
+(* ---- robustness: retries, quarantine, resume, deadlines ---- *)
+
+let test_retry_recovers () =
+  (* a transient chip fault armed only for attempt 0: the retry runs a
+     clean plan and must finish *)
+  let cache = Ucd.Cache.create () in
+  let job = mk ~faults:(fault_spec "chip@5#0") ~retries:1 "reductions" in
+  let r =
+    Ucd.Runner.run_job ~policy:fast_policy ~cache job
+  in
+  (match r.Ucd.Report.status with
+  | Ucd.Report.Done -> ()
+  | _ -> Alcotest.fail "retry should recover from an attempt-0 fault");
+  Alcotest.(check int) "two attempts" 2 r.Ucd.Report.attempts;
+  Alcotest.(check int) "one fault in the trace" 1
+    (List.length r.Ucd.Report.fault_trace);
+  Alcotest.(check bool) "trace names the chip" true
+    (Astring.String.is_infix ~affix:"chip"
+       (List.hd r.Ucd.Report.fault_trace));
+  (* fault-bearing jobs are policy-dependent, so they are never cached *)
+  let r2 = Ucd.Runner.run_job ~policy:fast_policy ~cache job in
+  Alcotest.(check bool) "faulty job recomputed, not cached" false
+    r2.Ucd.Report.from_cache
+
+let test_quarantine_after_retries () =
+  (* a hard transient fault (no attempt qualifier) re-fires on every
+     attempt: the job must be quarantined, not loop or kill the pool *)
+  let cache = Ucd.Cache.create () in
+  let policy = { fast_policy with Ucd.Runner.retries = 2 } in
+  let jobs =
+    [ mk ~faults:(fault_spec "chip@5") "reductions"; mk "quickstart" ]
+  in
+  let results = Ucd.Runner.run_jobs ~domains:2 ~policy ~cache jobs in
+  let faulty = List.nth results 0 and clean = List.nth results 1 in
+  (match faulty.Ucd.Report.status with
+  | Ucd.Report.Faulted msg ->
+      Alcotest.(check bool) "quarantine message mentions the fault" true
+        (Astring.String.is_infix ~affix:"transient chip fault" msg)
+  | _ -> Alcotest.fail "hard fault should quarantine the job");
+  Alcotest.(check int) "all three attempts were made" 3
+    faulty.Ucd.Report.attempts;
+  Alcotest.(check int) "every attempt left a trace entry" 3
+    (List.length faulty.Ucd.Report.fault_trace);
+  (match clean.Ucd.Report.status with
+  | Ucd.Report.Done -> ()
+  | _ -> Alcotest.fail "neighbour job must survive the quarantined one");
+  let s = Ucd.Report.summarize ~elapsed:1. results in
+  Alcotest.(check int) "summary counts the quarantine" 1 s.Ucd.Report.faulted
+
+let test_resume_is_deterministic () =
+  (* fault an attempt-0 run in its Nth slice; the retry resumes from the
+     last checkpoint and must produce the bit-identical result of a
+     fault-free run *)
+  let name = "reductions" in
+  let t = Uc.Compile.run_source ~seed:12345 (corpus name) in
+  let icount = Cm.Machine.icount t.Uc.Compile.machine in
+  Alcotest.(check bool) "program is long enough to slice" true (icount > 20);
+  let slice = max 1 (icount / 5) in
+  let spec =
+    fault_spec (Printf.sprintf "chip@%d#0" (max 1 (icount / 2)))
+  in
+  let run ~resume =
+    let policy =
+      { fast_policy with Ucd.Runner.retries = 1; fuel_slice = slice; resume }
+    in
+    Ucd.Runner.run_job ~policy
+      ~cache:(Ucd.Cache.create ())
+      (mk ~faults:spec ~retries:1 name)
+  in
+  let clean =
+    Ucd.Runner.run_job ~cache:(Ucd.Cache.create ()) (mk name)
+  in
+  List.iter
+    (fun (label, r) ->
+      (match r.Ucd.Report.status with
+      | Ucd.Report.Done -> ()
+      | _ -> Alcotest.fail (label ^ ": retry should finish"));
+      Alcotest.(check int) (label ^ ": two attempts") 2 r.Ucd.Report.attempts;
+      Alcotest.(check (float 0.)) (label ^ ": simulated time matches clean run")
+        clean.Ucd.Report.simulated_seconds r.Ucd.Report.simulated_seconds;
+      Alcotest.(check (list string)) (label ^ ": output matches clean run")
+        clean.Ucd.Report.output r.Ucd.Report.output)
+    [ ("resume", run ~resume:true); ("replay", run ~resume:false) ]
+
+let test_deadline_enforced_in_flight () =
+  (* regression: the deadline used to be checked only after the run
+     finished, so a long job held its worker for the full run.  Now a
+     0-second deadline must abort before any slice completes. *)
+  let cache = Ucd.Cache.create () in
+  let r = Ucd.Runner.run_job ~cache (mk ~deadline:0. "matmul") in
+  (match r.Ucd.Report.status with
+  | Ucd.Report.Timeout limit -> Alcotest.(check (float 0.)) "limit" 0. limit
+  | _ -> Alcotest.fail "0-second deadline must time out");
+  let full = Ucd.Runner.run_job ~cache:(Ucd.Cache.create ()) (mk "matmul") in
+  Alcotest.(check bool) "aborted before finishing (partial simulated time)" true
+    (r.Ucd.Report.simulated_seconds < full.Ucd.Report.simulated_seconds);
+  Alcotest.(check (list string)) "no output from the aborted run" []
+    r.Ucd.Report.output
+
+(* ---- robustness: disk-cache corruption ---- *)
+
+let with_temp_dir f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ucd_corrupt_%d_%f" (Unix.getpid ()) (Unix.gettimeofday ()))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir && Sys.is_directory dir then begin
+        Array.iter
+          (fun f -> try Sys.remove (Filename.concat dir f) with _ -> ())
+          (Sys.readdir dir);
+        try Unix.rmdir dir with _ -> ()
+      end)
+    (fun () -> f dir)
+
+let test_corrupt_artifact_recovery () =
+  with_temp_dir (fun dir ->
+      let job = mk "quickstart" in
+      let r1 = run_one (Ucd.Cache.create ~dir ()) job in
+      (match r1.Ucd.Report.status with
+      | Ucd.Report.Done -> ()
+      | _ -> Alcotest.fail "seed run should succeed");
+      let artifact =
+        Filename.concat dir (Ucd.Job.digest job ^ ".ucd")
+      in
+      Alcotest.(check bool) "artifact persisted" true (Sys.file_exists artifact);
+      (* truncate it mid-payload, as a crash during write-out would *)
+      let n = (Unix.stat artifact).Unix.st_size in
+      let fd = Unix.openfile artifact [ Unix.O_WRONLY ] 0 in
+      Unix.ftruncate fd (n / 2);
+      Unix.close fd;
+      (* a fresh sweep must recover: quarantine, recompute, re-persist *)
+      let cache = Ucd.Cache.create ~dir () in
+      let r2 = run_one cache job in
+      (match r2.Ucd.Report.status with
+      | Ucd.Report.Done -> ()
+      | _ -> Alcotest.fail "sweep over a corrupt cache should recompute");
+      Alcotest.(check bool) "corrupt artifact is not served" false
+        r2.Ucd.Report.from_cache;
+      Alcotest.(check string) "recomputed result is canonical-identical"
+        (Ucd.Report.canonical_json r1)
+        (Ucd.Report.canonical_json r2);
+      let stats = Ucd.Cache.stats cache in
+      Alcotest.(check int) "corruption counted" 1 stats.Ucd.Cache.corruptions;
+      Alcotest.(check bool) "evidence quarantined to .corrupt" true
+        (Sys.file_exists
+           (Filename.concat dir (Ucd.Job.digest job ^ ".corrupt")));
+      Alcotest.(check bool) "slot rewritten with a good artifact" true
+        (Sys.file_exists artifact);
+      (* and the rewritten artifact round-trips for a third instance *)
+      let r3 = run_one (Ucd.Cache.create ~dir ()) job in
+      Alcotest.(check bool) "rewritten artifact hits" true
+        r3.Ucd.Report.from_cache)
+
+let test_write_failure_degrades () =
+  (* point the cache at a "directory" that is actually a file: every
+     artifact write fails, the run must still succeed and be counted *)
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ucd_notadir_%d" (Unix.getpid ()))
+  in
+  let oc = open_out path in
+  output_string oc "not a directory";
+  close_out oc;
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with _ -> ())
+    (fun () ->
+      let cache = Ucd.Cache.create ~dir:path () in
+      let r = run_one cache (mk "quickstart") in
+      (match r.Ucd.Report.status with
+      | Ucd.Report.Done -> ()
+      | _ -> Alcotest.fail "run must succeed even when persistence fails");
+      let stats = Ucd.Cache.stats cache in
+      Alcotest.(check bool) "write failure counted" true
+        (stats.Ucd.Cache.write_failures >= 1);
+      (* the memory layer still serves it *)
+      let r2 = run_one cache (mk "quickstart") in
+      Alcotest.(check bool) "memory cache still works" true
+        r2.Ucd.Report.from_cache)
 
 (* ---- report JSON ---- *)
 
@@ -208,6 +401,20 @@ let () =
           Alcotest.test_case "exception isolation" `Quick
             test_pool_isolates_exceptions;
           Alcotest.test_case "stress with faults" `Quick test_pool_stress;
+        ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "retry recovers" `Quick test_retry_recovers;
+          Alcotest.test_case "quarantine after retries" `Quick
+            test_quarantine_after_retries;
+          Alcotest.test_case "resume is deterministic" `Quick
+            test_resume_is_deterministic;
+          Alcotest.test_case "deadline enforced in flight" `Quick
+            test_deadline_enforced_in_flight;
+          Alcotest.test_case "corrupt artifact recovery" `Quick
+            test_corrupt_artifact_recovery;
+          Alcotest.test_case "write failure degrades gracefully" `Quick
+            test_write_failure_degrades;
         ] );
       ( "report",
         [ Alcotest.test_case "json shapes" `Quick test_json_shapes ] );
