@@ -3,7 +3,7 @@
 # a CLI sanity check, and the whole corpus run under a canned fault
 # plan with retries; it stops loudly at the first failing step.
 
-.PHONY: all build test ci ci-faultgate bench bench-compare batch clean
+.PHONY: all build test ci ci-faultgate ci-iropt bench bench-compare batch clean
 
 all: build
 
@@ -13,11 +13,19 @@ build:
 test:
 	dune runtest
 
-ci: ci-faultgate
+ci: ci-faultgate ci-iropt
 	dune build
 	dune exec test/test_engine.exe -- test corpus
 	dune runtest
 	dune exec bin/ucc.exe -- examples
+
+# IR-optimizer gate: the whole UC/C* corpus with the optimizer on vs
+# off must print the same output, leave the same named arrays/scalars
+# and never increase simulated ns; the recorded benchmark snapshot must
+# be equal-or-faster per row than the previous PR's.
+ci-iropt: build
+	dune exec test/test_iropt.exe -- test corpus
+	dune exec bench/compare.exe -- --allow-faster BENCH_PR2.json BENCH_PR4.json
 
 # Recovery gate: the whole corpus under a transient-fault plan with
 # retries enabled.  Exit 0 (every fault retried away) and exit 2 (some

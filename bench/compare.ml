@@ -1,14 +1,26 @@
 (* Compare two `bench --json` snapshots.
 
-   Usage: compare OLD.json NEW.json
+   Usage: compare [--allow-faster] OLD.json NEW.json
 
    The snapshot is a file of JSON lines in two flavours:
 
    - simulated-time rows (fig6/fig7/fig8/appendix sections): these are
-     produced by the cost model and must be deterministic — the tool
-     asserts they are byte-for-byte identical between the two files and
-     exits nonzero otherwise.  This is how BENCH_PR*.json files prove
-     that a performance change did not perturb simulated results.
+     produced by the cost model and must be deterministic — by default
+     the tool asserts they are byte-for-byte identical between the two
+     files and exits nonzero otherwise.  This is how BENCH_PR*.json
+     files prove that a performance change did not perturb simulated
+     results.
+
+     With --allow-faster the contract loosens to what an optimizer PR
+     can promise: per row, string fields and parameters (n, sweeps,
+     line counts) must still match exactly, but measured quantities
+     (seconds, operation counts) may DECREASE; any increase fails.
+     Derived ratios (speedup, overhead) are reported, not judged — a
+     ratio of two changed times moves in either direction legitimately.
+     Rows present only in the NEW file (a section added since the old
+     snapshot was recorded) are listed but do not fail; a row that
+     disappeared still does.  The tool prints a per-row
+     simulated-speedup table either way.
 
    - bechamel rows (wall-clock ms per run): these move with the host
      and the implementation; the tool prints an old/new/speedup table.
@@ -16,7 +28,7 @@
      optimization) are listed but do not fail the comparison. *)
 
 let usage () =
-  prerr_endline "usage: compare OLD.json NEW.json";
+  prerr_endline "usage: compare [--allow-faster] OLD.json NEW.json";
   exit 2
 
 let read_lines path =
@@ -71,38 +83,146 @@ let field_float line key =
       done;
       float_of_string_opt (String.sub line start (!stop - start))
 
+(* ---- flat-row parsing for --allow-faster ---- *)
+
+type jval = Str of string | Num of float
+
+(* the bench writer emits flat one-line objects: string values contain
+   no escapes, numeric values no exponents' commas; good enough here *)
+let parse_row line =
+  let n = String.length line in
+  let fields = ref [] in
+  let i = ref 0 in
+  (try
+     while !i < n do
+       match String.index_from line !i '"' with
+       | exception Not_found -> raise Exit
+       | kstart ->
+           let kend = String.index_from line (kstart + 1) '"' in
+           let key = String.sub line (kstart + 1) (kend - kstart - 1) in
+           if kend + 1 >= n || line.[kend + 1] <> ':' then raise Exit;
+           let vstart = kend + 2 in
+           if vstart < n && line.[vstart] = '"' then begin
+             let vend = String.index_from line (vstart + 1) '"' in
+             fields :=
+               (key, Str (String.sub line (vstart + 1) (vend - vstart - 1)))
+               :: !fields;
+             i := vend + 1
+           end
+           else begin
+             let stop = ref vstart in
+             while
+               !stop < n && line.[!stop] <> ',' && line.[!stop] <> '}'
+             do
+               incr stop
+             done;
+             (match
+                float_of_string_opt (String.sub line vstart (!stop - vstart))
+              with
+             | Some f -> fields := (key, Num f) :: !fields
+             | None -> raise Exit);
+             i := !stop
+           end
+     done
+   with Exit | Not_found -> ());
+  List.rev !fields
+
+(* Derived ratios: reported, never judged. *)
+let is_ratio = function "speedup" | "overhead" -> true | _ -> false
+
+(* Parameters of the measurement, not results: must match exactly. *)
+let is_param = function
+  | "n" | "sweeps" | "uc_lines" | "cstar_lines" -> true
+  | _ -> false
+
+let row_label fields =
+  String.concat " "
+    (List.filter_map
+       (fun (k, v) ->
+         match v with
+         | Str s -> Some (Printf.sprintf "%s=%s" k s)
+         | Num f when is_param k -> Some (Printf.sprintf "%s=%g" k f)
+         | Num _ -> None)
+       fields)
+
+(* one old/new row pair under --allow-faster: returns the per-field
+   speedup cells, or reports and counts a failure *)
+let compare_faster diffs i old_line new_line =
+  let o = parse_row old_line and nw = parse_row new_line in
+  let fail fmt =
+    Printf.ksprintf
+      (fun msg ->
+        incr diffs;
+        Printf.printf "simulated row %d (%s): %s\n" i (row_label o) msg)
+      fmt
+  in
+  if List.map fst o <> List.map fst nw then
+    fail "field sets differ:\n  - %s\n  + %s" old_line new_line
+  else begin
+    let cells = ref [] in
+    List.iter2
+      (fun (k, vo) (_, vn) ->
+        match (vo, vn) with
+        | Str a, Str b -> if a <> b then fail "%s changed %S -> %S" k a b
+        | Num a, Num b when is_param k ->
+            if a <> b then fail "parameter %s changed %g -> %g" k a b
+        | Num a, Num b when is_ratio k -> ()
+        | Num a, Num b ->
+            if b > a then fail "%s rose %g -> %g" k a b
+            else if a > 0.0 && b > 0.0 && a <> b then
+              cells := Printf.sprintf "%s %.2fx" k (a /. b) :: !cells
+        | _ -> fail "field %s changed type" k)
+      o nw;
+    if !cells <> [] then
+      Printf.printf "  %-34s %s\n" (row_label o)
+        (String.concat "  " (List.rev !cells))
+  end
+
 let () =
-  let old_path, new_path =
-    match Sys.argv with [| _; a; b |] -> (a, b) | _ -> usage ()
+  let allow_faster, old_path, new_path =
+    match Sys.argv with
+    | [| _; a; b |] -> (false, a, b)
+    | [| _; "--allow-faster"; a; b |] -> (true, a, b)
+    | _ -> usage ()
   in
   let old_lines = read_lines old_path and new_lines = read_lines new_path in
   let split lines = List.partition (fun l -> not (is_bechamel l)) lines in
   let old_sim, old_bch = split old_lines in
   let new_sim, new_bch = split new_lines in
 
-  (* ---- simulated rows: must be identical ---- *)
+  (* ---- simulated rows: identical, or improved under --allow-faster ---- *)
   let diffs = ref 0 in
+  if allow_faster then
+    Printf.printf "simulated speedups (old/new per row):\n";
   let rec walk i a b =
     match (a, b) with
     | [], [] -> ()
     | x :: a', y :: b' ->
-        if not (String.equal x y) then begin
-          incr diffs;
-          Printf.printf "simulated row %d differs:\n  - %s\n  + %s\n" i x y
-        end;
+        (if allow_faster then compare_faster diffs i x y
+         else if not (String.equal x y) then begin
+           incr diffs;
+           Printf.printf "simulated row %d differs:\n  - %s\n  + %s\n" i x y
+         end);
         walk (i + 1) a' b'
     | x :: a', [] ->
         incr diffs;
         Printf.printf "simulated row %d only in %s:\n  - %s\n" i old_path x;
         walk (i + 1) a' []
     | [], y :: b' ->
-        incr diffs;
-        Printf.printf "simulated row %d only in %s:\n  + %s\n" i new_path y;
+        if allow_faster then
+          Printf.printf "simulated row %d added since %s:\n  + %s\n" i
+            old_path y
+        else begin
+          incr diffs;
+          Printf.printf "simulated row %d only in %s:\n  + %s\n" i new_path y
+        end;
         walk (i + 1) [] b'
   in
   walk 0 old_sim new_sim;
   if !diffs = 0 then
-    Printf.printf "simulated results: %d rows identical\n" (List.length old_sim)
+    Printf.printf "simulated results: %d rows %s\n" (List.length old_sim)
+      (if allow_faster then "equal or faster, none regressed"
+       else "identical")
   else Printf.printf "simulated results: %d row(s) DIFFER\n" !diffs;
 
   (* ---- bechamel rows: report speedups ---- *)

@@ -67,18 +67,57 @@ let options_args =
   let no_cse =
     Arg.(value & flag & info [ "no-cse" ] ~doc:"Disable common sub-expression elimination")
   in
-  let combine no_news no_procopt no_maps no_cse =
+  let iropt_conv =
+    let parse s =
+      match Cm.Iropt.config_of_string s with
+      | Ok c -> Ok c
+      | Error msg -> Error (`Msg msg)
+    in
+    let print fmt c = Format.pp_print_string fmt (Cm.Iropt.config_summary c) in
+    Arg.conv (parse, print)
+  in
+  let ir_opt =
+    Arg.(
+      value
+      & opt iropt_conv Cm.Iropt.default
+      & info [ "ir-opt" ] ~docv:"PASSES"
+          ~doc:
+            "Paris-IR optimizer passes: $(b,on)/$(b,off) or a \
+             comma-separated subset of \
+             $(b,constprop),$(b,dce),$(b,peephole),$(b,getsend)")
+  in
+  let no_ir_opt =
+    Arg.(
+      value & flag
+      & info [ "no-ir-opt" ]
+          ~doc:"Disable the Paris-IR optimizer (same as --ir-opt off)")
+  in
+  let combine no_news no_procopt no_maps no_cse ir_opt no_ir_opt =
     {
       Uc.Codegen.news_opt = not no_news;
       procopt = not no_procopt;
       use_mappings = not no_maps;
       cse = not no_cse;
+      ir_opt = (if no_ir_opt then Cm.Iropt.off else ir_opt);
     }
   in
-  Term.(const combine $ no_news $ no_procopt $ no_maps $ no_cse)
+  Term.(
+    const combine $ no_news $ no_procopt $ no_maps $ no_cse $ ir_opt
+    $ no_ir_opt)
 
 let stats_arg =
   Arg.(value & flag & info [ "stats" ] ~doc:"Print machine statistics")
+
+let ir_opt_stats_arg =
+  Arg.(
+    value & flag
+    & info [ "ir-opt-stats" ]
+        ~doc:"Print per-pass Paris-IR optimizer statistics (to stderr)")
+
+let print_iropt_stats compiled =
+  match compiled.Uc.Codegen.iropt with
+  | Some st -> Format.eprintf "%a@." Cm.Iropt.pp_stats st
+  | None -> Format.eprintf "ir-opt: disabled@."
 
 let profile_arg =
   Arg.(
@@ -183,14 +222,20 @@ let ast_cmd =
 (* ---- paris ---- *)
 
 let paris_cmd =
-  let run path options =
+  let run path options ir_opt_stats =
     with_source path (fun src ->
         let compiled = Uc.Compile.compile_source ~options src in
         Format.printf "%a@." Cm.Paris.pp_program compiled.Uc.Codegen.prog;
+        (* static footer: instruction census by hardware class and a
+           straight-line cost estimate, so two dumps (say, --ir-opt on
+           vs off) can be compared without running anything *)
+        Format.printf "%a@." (Cm.Iropt.pp_static_summary ?params:None)
+          compiled.Uc.Codegen.prog;
+        if ir_opt_stats then print_iropt_stats compiled;
         0)
   in
   Cmd.v (Cmd.info "paris" ~doc:"Dump the generated Paris IR")
-    Term.(const run $ file_arg $ options_args)
+    Term.(const run $ file_arg $ options_args $ ir_opt_stats_arg)
 
 (* ---- cstar ---- *)
 
@@ -223,10 +268,11 @@ let print_int_array name dims a =
 
 let run_cmd =
   let run path options seed stats profile engine arrays scalars faults retries
-      fuel_slice =
+      fuel_slice ir_opt_stats =
     with_source path (fun src ->
         let fspec = parse_faults_opt faults in
         let compiled = Uc.Compile.compile_source ~options src in
+        if ir_opt_stats then print_iropt_stats compiled;
         (* run in fuel slices so a transient fault can be retried with a
            freshly instantiated plan for the next attempt *)
         let rec attempt k =
@@ -283,7 +329,7 @@ let run_cmd =
     Term.(
       const run $ file_arg $ options_args $ seed_arg $ stats_arg $ profile_arg
       $ engine_arg $ arrays_arg $ scalars_arg $ faults_arg $ retries_arg
-      $ fuel_slice_arg)
+      $ fuel_slice_arg $ ir_opt_stats_arg)
 
 (* ---- interp ---- *)
 
@@ -344,8 +390,9 @@ let show_cmd =
 (* Manifest format, one job per line (# starts a comment):
 
      <corpus-name-or-path.uc> [seed=N] [fuel=N] [deadline=SECS]
-                              [retries=N] [faults=PLAN]
+                              [retries=N] [faults=PLAN] [ir-opt=PASSES]
                               [no-news] [no-procopt] [no-mappings] [no-cse]
+                              [no-ir-opt]
 
    A bare name is looked up in the built-in corpus; anything containing
    a '/' or ending in .uc is read as a file. *)
@@ -396,6 +443,15 @@ let parse_manifest_line ~defaults lineno line =
                           (Printf.sprintf
                              "manifest line %d: bad faults value %S (%s)" lineno
                              v msg))
+                | "ir-opt" -> (
+                    match Cm.Iropt.config_of_string v with
+                    | Ok c ->
+                        options := { !options with Uc.Codegen.ir_opt = c }
+                    | Error msg ->
+                        failwith
+                          (Printf.sprintf
+                             "manifest line %d: bad ir-opt value %S (%s)"
+                             lineno v msg))
                 | _ ->
                     failwith
                       (Printf.sprintf "manifest line %d: unknown key %S" lineno
@@ -407,6 +463,9 @@ let parse_manifest_line ~defaults lineno line =
                 | "no-mappings" ->
                     options := { !options with Uc.Codegen.use_mappings = false }
                 | "no-cse" -> options := { !options with Uc.Codegen.cse = false }
+                | "no-ir-opt" ->
+                    options :=
+                      { !options with Uc.Codegen.ir_opt = Cm.Iropt.off }
                 | _ ->
                     failwith
                       (Printf.sprintf "manifest line %d: unknown flag %S" lineno

@@ -1,0 +1,104 @@
+(** Dataflow optimizer for the Paris IR.
+
+    Runs between lowering and {!Machine.compile}, shared by every
+    producer of {!Paris.program} values (the UC compiler, the C* EDSL,
+    hand-written harnesses).  The pipeline iterates four pass families to
+    a fixed point:
+
+    - {b constprop}: front-end constant/copy propagation ([Fmov]/[Fbin]/
+      [Funop] chains fold to immediates), field-level constant, copy and
+      affine-address propagation, and algebraic simplification of
+      parallel instructions.  Immediates are pushed into parallel
+      operands so the pre-decoded engine selects its broadcast fast
+      paths.
+    - {b dce}: liveness-based dead-code elimination over registers and
+      fields, rooted at the observable state ([live_out_fields] /
+      [live_out_regs], the output log and the LCG stream).
+    - {b peephole}: copy-chain collapsing, cancelling [Cpush]/[Cpop]
+      pairs with no parallel instruction between them, jump threading,
+      unreachable-code removal and dead-label/[Comment] compaction.
+    - {b get_to_send} (the paper's remote-read-to-remote-write
+      conversion): a [Pget] or [Psend] whose address field provably
+      holds each VP's own linear index degrades to a local [Pmov]; with
+      copy propagation and DCE this turns a get-then-forward pair into a
+      single [Psend], halving the router traffic of the pair.
+
+    Every rewrite is semantics-preserving on both execution engines: a
+    transformed program produces the same output log, the same final
+    contents of every live-out register and field, the same LCG stream
+    and the same error message on faulting programs, and its simulated
+    elapsed time is never higher (instruction removal and router-to-PE
+    downgrades only ever remove cost; operand substitutions are
+    charge-neutral).  Instruction counts ([icount], fuel) do shrink, so
+    fault-injection plans and fuel slicing address the optimized stream
+    — which is why the optimizer configuration participates in job
+    digests and the checkpoint program-digest guard. *)
+
+type config = {
+  constprop : bool;
+  dce : bool;
+  peephole : bool;
+  get_to_send : bool;
+  max_rounds : int;  (** fixed-point bound; 0 disables the pipeline *)
+}
+
+(** All passes on, [max_rounds = 8]. *)
+val default : config
+
+(** All passes off: {!run} returns the program unchanged. *)
+val off : config
+
+(** [true] when the configuration performs any work at all. *)
+val enabled : config -> bool
+
+(** Canonical one-token rendering (["constprop,dce,getsend,peephole"],
+    or ["off"]), stable for content digests and reports. *)
+val config_summary : config -> string
+
+(** Parse a flag argument: ["on"]/["all"]/["default"], ["off"]/["none"],
+    or a comma-separated subset of
+    [constprop|dce|peephole|getsend]. *)
+val config_of_string : string -> (config, string) result
+
+type pass_stats = {
+  pass : string;
+  rewritten : int;  (** instructions replaced in place *)
+  removed : int;  (** instructions deleted *)
+}
+
+type stats = {
+  input_instrs : int;
+  output_instrs : int;
+  rounds : int;  (** rounds actually executed before the fixed point *)
+  passes : pass_stats list;  (** aggregated over rounds, pipeline order *)
+}
+
+val pp_stats : Format.formatter -> stats -> unit
+
+(** [run prog] optimizes [prog].  [live_out_fields]/[live_out_regs]
+    list the storage that is observable after the program halts (named
+    UC arrays and scalars, a C* result member, ...); both default to
+    {e everything}, under which dead-code elimination only deletes
+    stores that are provably overwritten before any read. *)
+val run :
+  ?config:config ->
+  ?live_out_fields:int list ->
+  ?live_out_regs:int list ->
+  Paris.program ->
+  Paris.program * stats
+
+(** Static instruction census by hardware class, for dump footers:
+    [("fe", _); ("pe", _); ("context", _); ("news", _); ("router", _);
+    ("reduce", _); ("scan", _); ("fe-cm", _); ("free", _)]. *)
+val class_counts : Paris.program -> (string * int) list
+
+(** Straight-line cost estimate in nanoseconds: every instruction
+    charged once with its {!Cost} formula (unit congestion, full
+    activity).  Loops are not unrolled, so this prices the static
+    stream, not a run — useful to compare two dumps of the same
+    program. *)
+val static_cost_ns : ?params:Cost.params -> Paris.program -> float
+
+(** Dump footer: {!class_counts} and {!static_cost_ns} in one block. *)
+val pp_static_summary :
+  ?params:Cost.params -> Format.formatter -> Paris.program -> unit

@@ -45,9 +45,14 @@ let activate t d f =
   t.cur <- saved;
   match saved with Some d' -> ensure_with t d'.dvp | None -> ()
 
-let finish t =
+let finish ?(ir_opt = Cm.Iropt.off) ?(observable = []) t =
   emit t P.Halt;
-  P.Builder.finish t.b
+  let prog = P.Builder.finish t.b in
+  if Cm.Iropt.enabled ir_opt then
+    fst
+      (Cm.Iropt.run ~config:ir_opt ~live_out_fields:observable
+         ~live_out_regs:[] prog)
+  else prog
 
 (* ---- expressions ---- *)
 

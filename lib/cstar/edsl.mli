@@ -38,8 +38,15 @@ val member : t -> domain -> string -> Cm.Paris.kind -> field
     (the C* [\[domain D\].{...}] block). *)
 val activate : t -> domain -> (unit -> unit) -> unit
 
-(** [finish t] closes the program. *)
-val finish : t -> Cm.Paris.program
+(** [finish t] closes the program.  [ir_opt] (default {!Cm.Iropt.off})
+    runs the Paris-IR pass pipeline on the emitted code; [observable]
+    lists the member fields read back after execution (the liveness
+    roots — everything else is dead past [Halt]). *)
+val finish :
+  ?ir_opt:Cm.Iropt.config ->
+  ?observable:int list ->
+  t ->
+  Cm.Paris.program
 
 (* ---- parallel expressions (within activate) ---- *)
 

@@ -14,7 +14,7 @@ let init_path t path_dom len n ~deterministic =
           else assign t len (rand t ~modulus:n +% int_ 1));
       where t (i ==% j) (fun () -> assign t len (int_ 0)))
 
-let path_n2 ?(deterministic = true) ~n () =
+let path_n2 ?(deterministic = true) ?(ir_opt = Cm.Iropt.default) ~n () =
   let t = create "cstar-path-n2" in
   let path = domain t ~name:"PATH" ~dims:[ n; n ] in
   let len = member t path "len" Cm.Paris.KInt in
@@ -25,9 +25,10 @@ let path_n2 ?(deterministic = true) ~n () =
           let j = coord t path 1 in
           let via_k = get t len [ i; k ] +% get t len [ k; j ] in
           min_assign t len via_k));
-  (finish t, field_id len)
+  (finish ~ir_opt ~observable:[ field_id len ] t, field_id len)
 
-let path_n3 ?(deterministic = true) ?iters ~n () =
+let path_n3 ?(deterministic = true) ?(ir_opt = Cm.Iropt.default) ?iters ~n ()
+    =
   let iters = match iters with Some k -> k | None -> n in
   let t = create "cstar-path-n3" in
   let path = domain t ~name:"PATH" ~dims:[ n; n ] in
@@ -41,4 +42,4 @@ let path_n3 ?(deterministic = true) ?iters ~n () =
           let k = coord t xmed 2 in
           let via_k = get t len [ i; k ] +% get t len [ k; j ] in
           send_min t len [ i; j ] via_k));
-  (finish t, field_id len)
+  (finish ~ir_opt ~observable:[ field_id len ] t, field_id len)

@@ -13,7 +13,11 @@
     from 0 to N-1; each (i,j) instance fetches [path[i][k].len] and
     [path[k][j].len] and min-assigns. *)
 val path_n2 :
-  ?deterministic:bool -> n:int -> unit -> Cm.Paris.program * int
+  ?deterministic:bool ->
+  ?ir_opt:Cm.Iropt.config ->
+  n:int ->
+  unit ->
+  Cm.Paris.program * int
 
 (** Figure 10: O(N^3)-parallelism shortest path.  An XMED domain holds
     one instance per (i,j,k); each iteration sends
@@ -22,4 +26,9 @@ val path_n2 :
     (the paper's C* code iterates N times; UC's log-squaring needs only
     ceil(log2 N)). *)
 val path_n3 :
-  ?deterministic:bool -> ?iters:int -> n:int -> unit -> Cm.Paris.program * int
+  ?deterministic:bool ->
+  ?ir_opt:Cm.Iropt.config ->
+  ?iters:int ->
+  n:int ->
+  unit ->
+  Cm.Paris.program * int

@@ -6,10 +6,17 @@ type options = {
   procopt : bool;
   use_mappings : bool;
   cse : bool;
+  ir_opt : Cm.Iropt.config;
 }
 
 let default_options =
-  { news_opt = true; procopt = true; use_mappings = true; cse = true }
+  {
+    news_opt = true;
+    procopt = true;
+    use_mappings = true;
+    cse = true;
+    ir_opt = Cm.Iropt.default;
+  }
 
 type array_meta = {
   afield : int;
@@ -24,6 +31,7 @@ type compiled = {
   prog : P.program;
   carrays : (string * array_meta) list;
   cscalars : (string * scalar_meta) list;
+  iropt : Cm.Iropt.stats option;
 }
 
 (* ---------------- codegen state ---------------- *)
@@ -1862,4 +1870,20 @@ let compile ?(options = default_options) prog =
   | None -> Loc.error Loc.dummy "program has no main function");
   P.Builder.place b ctx.exit_label;
   emit ctx P.Halt;
-  { prog = P.Builder.finish b; carrays = List.rev carrays; cscalars = List.rev cscalars }
+  let prog = P.Builder.finish b in
+  let carrays = List.rev carrays and cscalars = List.rev cscalars in
+  (* The observable state after a run is the named storage: declared
+     arrays and front-end scalars.  Everything else (temporaries, mask
+     saves, address fields) is fair game for dead-code elimination. *)
+  let prog, iropt =
+    if Cm.Iropt.enabled options.ir_opt then
+      let live_out_fields = List.map (fun (_, m) -> m.afield) carrays in
+      let live_out_regs = List.map (fun (_, m) -> m.sreg) cscalars in
+      let prog, st =
+        Cm.Iropt.run ~config:options.ir_opt ~live_out_fields ~live_out_regs
+          prog
+      in
+      (prog, Some st)
+    else (prog, None)
+  in
+  { prog; carrays; cscalars; iropt }

@@ -29,6 +29,10 @@ type options = {
   use_mappings : bool;  (** honour map sections *)
   cse : bool;           (** reuse pure parallel sub-expressions (common
                             sub-expression detection, paper section 4) *)
+  ir_opt : Cm.Iropt.config;
+                        (** Paris-IR pass pipeline run on the lowered
+                            program ({!Cm.Iropt.run}); named arrays and
+                            scalars are the liveness roots *)
 }
 
 val default_options : options
@@ -46,6 +50,8 @@ type compiled = {
   prog : Cm.Paris.program;
   carrays : (string * array_meta) list;
   cscalars : (string * scalar_meta) list;
+  iropt : Cm.Iropt.stats option;
+      (** [None] when the IR optimizer was disabled *)
 }
 
 (** [compile program] lowers a checked, transformed program.

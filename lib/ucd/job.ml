@@ -14,6 +14,16 @@ let make ?(options = Uc.Codegen.default_options) ?(seed = 12345) ?fuel ?deadline
   { name; source; options; seed; fuel; deadline; faults; retries }
 
 let options_summary (o : Uc.Codegen.options) =
+  (* this string keys the lowered-IR memo (Cache.memo_ir), so it must
+     distinguish every option that changes the emitted Paris program —
+     for ir-opt that is the exact pass subset, not just on/off *)
+  let iropt =
+    if Cm.Iropt.enabled o.Uc.Codegen.ir_opt then
+      let passes = Cm.Iropt.config_summary o.Uc.Codegen.ir_opt in
+      if passes = Cm.Iropt.config_summary Cm.Iropt.default then Some "iropt"
+      else Some (Printf.sprintf "iropt=%s" passes)
+    else None
+  in
   String.concat " "
     (List.filter_map
        (fun (on, label) -> if on then Some label else None)
@@ -22,7 +32,8 @@ let options_summary (o : Uc.Codegen.options) =
          (o.Uc.Codegen.procopt, "procopt");
          (o.Uc.Codegen.use_mappings, "maps");
          (o.Uc.Codegen.cse, "cse");
-       ])
+       ]
+    @ Option.to_list iropt)
 
 let faults_summary = function
   | None -> "none"
@@ -35,6 +46,9 @@ let fields t =
     ("procopt", string_of_bool t.options.Uc.Codegen.procopt);
     ("maps", string_of_bool t.options.Uc.Codegen.use_mappings);
     ("cse", string_of_bool t.options.Uc.Codegen.cse);
+    (* canonical pass list: optimized and unoptimized streams must never
+       share a digest (fuel, icount and checkpoints all differ) *)
+    ("iropt", Cm.Iropt.config_summary t.options.Uc.Codegen.ir_opt);
     ("seed", string_of_int t.seed);
     ("fuel", match t.fuel with None -> "default" | Some n -> string_of_int n);
     (* the canonical spec string, so equivalent spellings share a digest *)

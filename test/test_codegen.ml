@@ -144,9 +144,11 @@ let option_cases =
       { Uc.Codegen.default_options with use_mappings = false };
     option_variation "no cse"
       { Uc.Codegen.default_options with cse = false };
+    option_variation "no ir-opt"
+      { Uc.Codegen.default_options with ir_opt = Cm.Iropt.off };
     option_variation "all optimizations off"
       { Uc.Codegen.news_opt = false; procopt = false; use_mappings = false;
-        cse = false };
+        cse = false; ir_opt = Cm.Iropt.off };
   ]
 
 (* ---------------- output and errors ---------------- *)

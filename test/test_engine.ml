@@ -526,6 +526,84 @@ let differential_test =
                reference))
 
 (* ------------------------------------------------------------------ *)
+(* IR optimizer: optimized == unoptimized, on both engines            *)
+(* ------------------------------------------------------------------ *)
+
+(* What the optimizer must preserve: termination status, printed
+   output, and — for finished runs — every register and field
+   (everything is a liveness root by default).  Deliberately excluded:
+   icount, fuel, meter counters and region times, which legitimately
+   shrink.  On faulting runs only status + output are compared: a store
+   the fault made unreachable may have been eliminated, which changes
+   post-mortem memory but nothing the program ever observed. *)
+let observation ~seed ~fuel engine (prog : program) =
+  let m = Cm.Machine.create ~seed ~fuel ~engine prog in
+  let status =
+    match Cm.Machine.run m with
+    | () -> "finished"
+    | exception Cm.Machine.Fault msg -> "fault: " ^ msg
+    | exception Cm.Machine.Error msg -> "error: " ^ msg
+    | exception Invalid_argument msg -> "invalid_arg: " ^ msg
+    | exception Failure msg -> "failure: " ^ msg
+  in
+  let b = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  for r = 0 to prog.nregs - 1 do
+    match Cm.Machine.reg m r with
+    | SInt i -> add "r%d = %d\n" r i
+    | SFloat f -> add "r%d = %s\n" r (hex f)
+  done;
+  Array.iteri
+    (fun f (_vp, kind) ->
+      add "f%d =" f;
+      (match kind with
+      | KInt -> Array.iter (fun v -> add " %d" v) (Cm.Machine.field_ints m f)
+      | KFloat ->
+          Array.iter (fun v -> add " %s" (hex v)) (Cm.Machine.field_floats m f));
+      add "\n")
+    prog.fields;
+  ( status,
+    String.concat "\n" (Cm.Machine.output m),
+    Buffer.contents b,
+    (Cm.Machine.meter m).Cm.Cost.elapsed_ns )
+
+let iropt_equiv ~seed ~fuel ~name prog =
+  let opt, st = Cm.Iropt.run prog in
+  ignore st;
+  List.iter
+    (fun engine ->
+      let ename = match engine with `Fast -> "fast" | _ -> "reference" in
+      let s0, out0, state0, ns0 = observation ~seed ~fuel engine prog in
+      (* an unoptimized run that dies of fuel exhaustion proves nothing:
+         the optimized stream may legitimately get further *)
+      if s0 <> "error: fuel exhausted (non-terminating program?)" then begin
+        let s1, out1, state1, ns1 = observation ~seed ~fuel engine opt in
+        if s0 <> s1 then
+          Alcotest.failf "%s (%s): status %S became %S" name ename s0 s1;
+        if out0 <> out1 then
+          Alcotest.failf "%s (%s): output changed@.--- before ---@.%s@.--- \
+                          after ---@.%s"
+            name ename out0 out1;
+        if s0 = "finished" && state0 <> state1 then
+          Alcotest.failf "%s (%s): final state changed@.--- before ---@.%s@.\
+                          --- after ---@.%s"
+            name ename state0 state1;
+        if ns1 > ns0 then
+          Alcotest.failf "%s (%s): simulated time rose %s -> %s ns" name ename
+            (hex ns0) (hex ns1)
+      end)
+    [ `Fast; `Reference ]
+
+let iropt_differential_test =
+  QCheck_alcotest.to_alcotest
+    (Test.make ~count:400
+       ~name:"random programs: Iropt.run preserves observations"
+       ~print:print_program gen_program (fun (dims, seed, nodes) ->
+         let prog = build dims nodes in
+         iropt_equiv ~seed ~fuel:500_000 ~name:"qcheck" prog;
+         true))
+
+(* ------------------------------------------------------------------ *)
 (* Fault injection: the engines must fault bit-identically            *)
 (* ------------------------------------------------------------------ *)
 
@@ -756,6 +834,7 @@ let () =
       ( "differential",
         [
           differential_test;
+          iropt_differential_test;
           fault_differential_test;
           checkpoint_roundtrip_test;
           Alcotest.test_case "shift range faults" `Quick test_shift_range;

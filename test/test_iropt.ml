@@ -1,0 +1,395 @@
+(* Unit tests for the Paris-IR optimizer (lib/cm/iropt.ml): each pass
+   exercised on a hand-written snippet, asserting both that the rewrite
+   fires (instruction census) and that the optimized program still
+   computes the same thing.  The whole-corpus and fuzzed equivalence
+   checks live in test_engine.ml; these pin down the individual
+   transformations. *)
+
+open Cm.Paris
+
+let class_count cls prog =
+  match List.assoc_opt cls (Cm.Iropt.class_counts prog) with
+  | Some n -> n
+  | None -> 0
+
+let count_instr p prog =
+  Array.fold_left (fun a i -> if p i then a + 1 else a) 0 prog.code
+
+let run_fields ?(seed = 7) prog =
+  let m = Cm.Machine.create ~seed ~fuel:1_000_000 prog in
+  Cm.Machine.run m;
+  m
+
+let check_same_fields name prog opt =
+  let m0 = run_fields prog and m1 = run_fields opt in
+  Array.iteri
+    (fun f (_vp, kind) ->
+      match kind with
+      | KInt ->
+          Alcotest.(check (array int))
+            (Printf.sprintf "%s: f%d" name f)
+            (Cm.Machine.field_ints m0 f)
+            (Cm.Machine.field_ints m1 f)
+      | KFloat ->
+          Alcotest.(check (array (float 0.0)))
+            (Printf.sprintf "%s: f%d" name f)
+            (Cm.Machine.field_floats m0 f)
+            (Cm.Machine.field_floats m1 f))
+    prog.fields;
+  Alcotest.(check (list string))
+    (name ^ ": output") (Cm.Machine.output m0) (Cm.Machine.output m1);
+  let ns m = (Cm.Machine.meter m).Cm.Cost.elapsed_ns in
+  if ns m1 > ns m0 then
+    Alcotest.failf "%s: simulated time rose %.0f -> %.0f ns" name (ns m0)
+      (ns m1)
+
+(* ---- get -> send conversion (paper: remote read to remote write) ---- *)
+
+(* path[i] fetched via an identity address then forwarded with a
+   combining send: the classic get-then-forward pair.  The optimizer
+   recognizes the identity address (a Pcoord on a rank-1 set), degrades
+   the Pget to a local move, copy-propagates the moved field into the
+   Psend and deletes the move — one router operation instead of two. *)
+let get_forward_prog n =
+  let b = Builder.create "get-forward" in
+  let vp = Builder.vpset b (Cm.Geometry.create [ n ]) in
+  let src = Builder.field b ~vpset:vp KInt in
+  let dst = Builder.field b ~vpset:vp KInt in
+  let tmp = Builder.field b ~vpset:vp KInt in
+  let idaddr = Builder.field b ~vpset:vp KInt in
+  let raddr = Builder.field b ~vpset:vp KInt in
+  Builder.emit b (Cwith vp);
+  Builder.emit b (Pcoord (idaddr, 0));
+  Builder.emit b (Prand (src, Imm (SInt 50)));
+  Builder.emit b (Prand (raddr, Imm (SInt n)));
+  Builder.emit b (Pmov (dst, Imm (SInt 999)));
+  Builder.emit b (Pget (tmp, src, idaddr));
+  Builder.emit b (Psend (dst, tmp, raddr, Cmin));
+  Builder.emit b Halt;
+  Builder.finish b
+
+let test_get_to_send () =
+  let prog = get_forward_prog 16 in
+  let opt, stats = Cm.Iropt.run prog in
+  Alcotest.(check int) "router ops before" 2 (class_count "router" prog);
+  Alcotest.(check int) "router ops after" 1 (class_count "router" opt);
+  let gs =
+    List.find (fun p -> p.Cm.Iropt.pass = "getsend") stats.Cm.Iropt.passes
+  in
+  Alcotest.(check bool) "getsend fired" true (gs.Cm.Iropt.rewritten >= 1);
+  (match
+     Array.to_list opt.code
+     |> List.find_opt (function Psend _ -> true | _ -> false)
+   with
+  | Some (Psend (_, s, _, Cmin)) ->
+      (* [src] is the first field allocated in get_forward_prog *)
+      Alcotest.(check int) "send now reads the get's source" 0 s
+  | _ -> Alcotest.fail "expected a surviving Psend");
+  check_same_fields "get-to-send" prog opt
+
+(* a non-identity address must NOT be rewritten *)
+let test_get_not_identity () =
+  let b = Builder.create "get-keep" in
+  let vp = Builder.vpset b (Cm.Geometry.create [ 8 ]) in
+  let src = Builder.field b ~vpset:vp KInt in
+  let dst = Builder.field b ~vpset:vp KInt in
+  let addr = Builder.field b ~vpset:vp KInt in
+  Builder.emit b (Cwith vp);
+  Builder.emit b (Prand (src, Imm (SInt 50)));
+  Builder.emit b (Prand (addr, Imm (SInt 8)));
+  Builder.emit b (Pget (dst, src, addr));
+  Builder.emit b Halt;
+  let prog = Builder.finish b in
+  let opt, _ = Cm.Iropt.run prog in
+  Alcotest.(check int) "router op kept" 1 (class_count "router" opt);
+  check_same_fields "get-keep" prog opt
+
+(* ---- context push/pop cancellation ---- *)
+
+let test_context_pair_cancel () =
+  let b = Builder.create "ctx-cancel" in
+  let vp = Builder.vpset b (Cm.Geometry.create [ 8 ]) in
+  let f = Builder.field b ~vpset:vp KInt in
+  let r = Builder.reg b in
+  Builder.emit b (Cwith vp);
+  Builder.emit b (Prand (f, Imm (SInt 9)));
+  (* only front-end work between the push and the pop: cancels *)
+  Builder.emit b Cpush;
+  Builder.emit b (Cand f);
+  Builder.emit b (Fmov (r, Imm (SInt 3)));
+  Builder.emit b Cpop;
+  Builder.emit b (Fprint ("r=", Some (Reg r)));
+  (* a parallel instruction under the narrowed context: must be kept *)
+  Builder.emit b Cpush;
+  Builder.emit b (Cand f);
+  Builder.emit b (Pbin (Add, f, Fld f, Imm (SInt 1)));
+  Builder.emit b Cpop;
+  Builder.emit b Halt;
+  let prog = Builder.finish b in
+  let opt, _ = Cm.Iropt.run prog in
+  let pushes = count_instr (function Cpush -> true | _ -> false) in
+  Alcotest.(check int) "pushes before" 2 (pushes prog);
+  Alcotest.(check int) "pushes after" 1 (pushes opt);
+  check_same_fields "ctx-cancel" prog opt
+
+(* ---- dead-field elimination ---- *)
+
+let test_dead_field_elim () =
+  let b = Builder.create "dead-field" in
+  let vp = Builder.vpset b (Cm.Geometry.create [ 8 ]) in
+  let live = Builder.field b ~vpset:vp KInt in
+  let dead = Builder.field b ~vpset:vp KInt in
+  Builder.emit b (Cwith vp);
+  Builder.emit b (Pcoord (live, 0));
+  Builder.emit b (Pbin (Mul, dead, Fld live, Fld live));
+  Builder.emit b (Pbin (Add, live, Fld live, Imm (SInt 1)));
+  Builder.emit b Halt;
+  let prog = Builder.finish b in
+  (* with every field observable nothing may be deleted *)
+  let all, _ = Cm.Iropt.run prog in
+  Alcotest.(check int) "all live: pe kept" 3 (class_count "pe" all);
+  (* with only [live] observable the Pbin into [dead] disappears *)
+  let opt, stats =
+    Cm.Iropt.run ~live_out_fields:[ live ] ~live_out_regs:[] prog
+  in
+  Alcotest.(check int) "dead store gone" 2 (class_count "pe" opt);
+  let dce =
+    List.find (fun p -> p.Cm.Iropt.pass = "dce") stats.Cm.Iropt.passes
+  in
+  Alcotest.(check bool) "dce fired" true (dce.Cm.Iropt.removed >= 1);
+  let m0 = run_fields prog and m1 = run_fields opt in
+  Alcotest.(check (array int))
+    "live field agrees"
+    (Cm.Machine.field_ints m0 live)
+    (Cm.Machine.field_ints m1 live)
+
+(* a store that might fault (division by a data-dependent value) must
+   survive even when its destination is dead *)
+let test_dead_but_faulting_kept () =
+  let b = Builder.create "dead-faulting" in
+  let vp = Builder.vpset b (Cm.Geometry.create [ 8 ]) in
+  let live = Builder.field b ~vpset:vp KInt in
+  let dead = Builder.field b ~vpset:vp KInt in
+  let divisor = Builder.field b ~vpset:vp KInt in
+  Builder.emit b (Cwith vp);
+  Builder.emit b (Pcoord (live, 0));
+  Builder.emit b (Prand (divisor, Imm (SInt 3)));
+  Builder.emit b (Pbin (Div, dead, Fld live, Fld divisor));
+  Builder.emit b Halt;
+  let prog = Builder.finish b in
+  let opt, _ =
+    Cm.Iropt.run ~live_out_fields:[ live ] ~live_out_regs:[] prog
+  in
+  Alcotest.(check int) "faulting div kept"
+    (count_instr (function Pbin (Div, _, _, _) -> true | _ -> false) prog)
+    (count_instr (function Pbin (Div, _, _, _) -> true | _ -> false) opt)
+
+(* ---- front-end constant folding and propagation ---- *)
+
+let test_const_fold () =
+  let b = Builder.create "fold" in
+  let vp = Builder.vpset b (Cm.Geometry.create [ 4 ]) in
+  let f = Builder.field b ~vpset:vp KInt in
+  let r0 = Builder.reg b in
+  let r1 = Builder.reg b in
+  let r2 = Builder.reg b in
+  Builder.emit b (Fmov (r0, Imm (SInt 2)));
+  Builder.emit b (Fmov (r1, Imm (SInt 3)));
+  Builder.emit b (Fbin (Mul, r2, Reg r0, Reg r1));
+  Builder.emit b (Cwith vp);
+  (* the folded constant must be pushed into the parallel operand *)
+  Builder.emit b (Pmov (f, Reg r2));
+  Builder.emit b (Fprint ("r2=", Some (Reg r2)));
+  Builder.emit b Halt;
+  let prog = Builder.finish b in
+  let opt, _ = Cm.Iropt.run prog in
+  Alcotest.(check bool) "Pmov got an immediate" true
+    (Array.exists
+       (function Pmov (_, Imm (SInt 6)) -> true | _ -> false)
+       opt.code);
+  check_same_fields "fold" prog opt
+
+let test_algebraic_identity () =
+  let b = Builder.create "algebra" in
+  let vp = Builder.vpset b (Cm.Geometry.create [ 4 ]) in
+  let f = Builder.field b ~vpset:vp KInt in
+  let g = Builder.field b ~vpset:vp KInt in
+  Builder.emit b (Cwith vp);
+  Builder.emit b (Pcoord (f, 0));
+  Builder.emit b (Pbin (Add, g, Fld f, Imm (SInt 0)));
+  Builder.emit b (Pbin (Mul, g, Fld g, Imm (SInt 1)));
+  Builder.emit b Halt;
+  let prog = Builder.finish b in
+  let opt, _ = Cm.Iropt.run prog in
+  Alcotest.(check int) "x+0 and x*1 reduced to moves/nothing" 0
+    (count_instr (function Pbin _ -> true | _ -> false) opt);
+  check_same_fields "algebra" prog opt
+
+(* ---- jump threading and unreachable code ---- *)
+
+let test_jump_threading () =
+  let b = Builder.create "jumps" in
+  let r = Builder.reg b in
+  let l1 = Builder.label b in
+  let l2 = Builder.label b in
+  Builder.emit b (Fmov (r, Imm (SInt 1)));
+  Builder.emit b (Jmp l1);
+  (* unreachable: *)
+  Builder.emit b (Fmov (r, Imm (SInt 99)));
+  Builder.place b l1;
+  Builder.emit b (Jmp l2);
+  Builder.emit b (Fmov (r, Imm (SInt 98)));
+  Builder.place b l2;
+  Builder.emit b (Fprint ("r=", Some (Reg r)));
+  Builder.emit b Halt;
+  let prog = Builder.finish b in
+  let opt, _ = Cm.Iropt.run prog in
+  Alcotest.(check int) "no jumps survive" 0
+    (count_instr (function Jmp _ | Jz _ | Jnz _ -> true | _ -> false) opt);
+  Alcotest.(check int) "unreachable stores gone" 0
+    (count_instr
+       (function
+         | Fmov (_, Imm (SInt (98 | 99))) -> true | _ -> false)
+       opt);
+  check_same_fields "jumps" prog opt
+
+(* ---- config parsing ---- *)
+
+let test_config_of_string () =
+  let ok s = Result.get_ok (Cm.Iropt.config_of_string s) in
+  Alcotest.(check string)
+    "on" (Cm.Iropt.config_summary Cm.Iropt.default)
+    (Cm.Iropt.config_summary (ok "on"));
+  Alcotest.(check string) "off" "off" (Cm.Iropt.config_summary (ok "off"));
+  Alcotest.(check string)
+    "subset" "dce,peephole"
+    (Cm.Iropt.config_summary (ok "peephole,dce"));
+  Alcotest.(check bool) "bad pass rejected" true
+    (Result.is_error (Cm.Iropt.config_of_string "peephole,bogus"));
+  (* summaries round-trip *)
+  List.iter
+    (fun s ->
+      let c = ok s in
+      Alcotest.(check string) ("round-trip " ^ s)
+        (Cm.Iropt.config_summary c)
+        (Cm.Iropt.config_summary (ok (Cm.Iropt.config_summary c))))
+    [ "on"; "off"; "constprop"; "dce"; "getsend"; "constprop,getsend" ]
+
+let test_off_is_identity () =
+  let prog = get_forward_prog 8 in
+  let opt, stats = Cm.Iropt.run ~config:Cm.Iropt.off prog in
+  Alcotest.(check bool) "same code" true (prog.code == opt.code);
+  Alcotest.(check int) "no rounds" 0 stats.Cm.Iropt.rounds
+
+(* ---- whole-corpus ablation: optimizer on vs off ---- *)
+
+(* The observable contract for a compiled UC program: printed output,
+   every named array and scalar, and the simulated clock, which must
+   never rise.  Temporaries are private to the compiler and may differ
+   (that is the point of dead-code elimination). *)
+let corpus_case (name, src) =
+  let on = Uc.Compile.compile_source src in
+  let off =
+    Uc.Compile.compile_source
+      ~options:{ Uc.Codegen.default_options with ir_opt = Cm.Iropt.off }
+      src
+  in
+  Alcotest.(check bool)
+    (name ^ ": optimizer does not grow the program")
+    true
+    (Array.length on.Uc.Codegen.prog.code
+    <= Array.length off.Uc.Codegen.prog.code);
+  let seed = 20260705 in
+  let ton = Uc.Compile.run_compiled ~seed ~fuel:50_000_000 on in
+  let toff = Uc.Compile.run_compiled ~seed ~fuel:50_000_000 off in
+  Alcotest.(check (list string))
+    (name ^ ": output") (Uc.Compile.output toff) (Uc.Compile.output ton);
+  List.iter
+    (fun (aname, meta) ->
+      match meta.Uc.Codegen.aty with
+      | Uc.Ast.Tint ->
+          Alcotest.(check (array int))
+            (Printf.sprintf "%s: %s" name aname)
+            (Uc.Compile.int_array toff aname)
+            (Uc.Compile.int_array ton aname)
+      | Uc.Ast.Tfloat ->
+          Alcotest.(check (array (float 0.0)))
+            (Printf.sprintf "%s: %s" name aname)
+            (Uc.Compile.float_array toff aname)
+            (Uc.Compile.float_array ton aname))
+    on.Uc.Codegen.carrays;
+  List.iter
+    (fun (sname, _) ->
+      let show = function
+        | SInt i -> string_of_int i
+        | SFloat f -> Printf.sprintf "%h" f
+      in
+      Alcotest.(check string)
+        (Printf.sprintf "%s: %s" name sname)
+        (show (Uc.Compile.scalar toff sname))
+        (show (Uc.Compile.scalar ton sname)))
+    on.Uc.Codegen.cscalars;
+  let ns t = (Uc.Compile.meter t).Cm.Cost.elapsed_ns in
+  if ns ton > ns toff then
+    Alcotest.failf "%s: simulated time rose %.0f -> %.0f ns" name (ns toff)
+      (ns ton)
+
+let test_uc_corpus () = List.iter corpus_case Uc_programs.Programs.all_named
+
+let test_cstar_corpus () =
+  List.iter
+    (fun (name, (prog_on, fld_on), (prog_off, fld_off)) ->
+      Alcotest.(check bool)
+        (name ^ ": optimizer does not grow the program")
+        true
+        (Array.length prog_on.code <= Array.length prog_off.code);
+      let m_on = run_fields ~seed:11 prog_on in
+      let m_off = run_fields ~seed:11 prog_off in
+      Alcotest.(check (array int))
+        (name ^ ": len field")
+        (Cm.Machine.field_ints m_off fld_off)
+        (Cm.Machine.field_ints m_on fld_on);
+      let ns m = (Cm.Machine.meter m).Cm.Cost.elapsed_ns in
+      if ns m_on > ns m_off then
+        Alcotest.failf "%s: simulated time rose" name)
+    [
+      ( "path_n2",
+        Cstar.Programs.path_n2 ~n:8 (),
+        Cstar.Programs.path_n2 ~ir_opt:Cm.Iropt.off ~n:8 () );
+      ( "path_n2-rand",
+        Cstar.Programs.path_n2 ~deterministic:false ~n:8 (),
+        Cstar.Programs.path_n2 ~deterministic:false ~ir_opt:Cm.Iropt.off
+          ~n:8 () );
+      ( "path_n3",
+        Cstar.Programs.path_n3 ~n:5 (),
+        Cstar.Programs.path_n3 ~ir_opt:Cm.Iropt.off ~n:5 () );
+    ]
+
+let () =
+  Alcotest.run "iropt"
+    [
+      ( "passes",
+        [
+          Alcotest.test_case "get->send conversion" `Quick test_get_to_send;
+          Alcotest.test_case "non-identity get kept" `Quick
+            test_get_not_identity;
+          Alcotest.test_case "context pair cancellation" `Quick
+            test_context_pair_cancel;
+          Alcotest.test_case "dead-field elimination" `Quick
+            test_dead_field_elim;
+          Alcotest.test_case "possibly-faulting store kept" `Quick
+            test_dead_but_faulting_kept;
+          Alcotest.test_case "constant folding" `Quick test_const_fold;
+          Alcotest.test_case "algebraic identities" `Quick
+            test_algebraic_identity;
+          Alcotest.test_case "jump threading" `Quick test_jump_threading;
+          Alcotest.test_case "config parsing" `Quick test_config_of_string;
+          Alcotest.test_case "off is identity" `Quick test_off_is_identity;
+        ] );
+      ( "corpus",
+        [
+          Alcotest.test_case "uc programs: on == off" `Quick test_uc_corpus;
+          Alcotest.test_case "cstar programs: on == off" `Quick
+            test_cstar_corpus;
+        ] );
+    ]

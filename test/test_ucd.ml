@@ -38,7 +38,29 @@ let test_digest_identity () =
   (* deadline is execution policy, not content *)
   let j6 = { j with Ucd.Job.deadline = Some 60. } in
   Alcotest.(check string) "deadline does not change digest" (Ucd.Job.digest j)
-    (Ucd.Job.digest j6)
+    (Ucd.Job.digest j6);
+  (* the ir-opt pass subset must be visible to BOTH the job digest and
+     options_summary: the latter keys the lowered-IR memo, so an
+     on/off-only summary would hand a dce-only job the fully optimized
+     program of an earlier full-pipeline job *)
+  let with_iropt cfg =
+    mk ~options:{ Uc.Codegen.default_options with ir_opt = cfg } "quickstart"
+  in
+  let subset =
+    match Cm.Iropt.config_of_string "dce,peephole" with
+    | Ok c -> c
+    | Error msg -> Alcotest.fail ("bad ir-opt spec in test: " ^ msg)
+  in
+  let j7 = with_iropt subset and j8 = with_iropt Cm.Iropt.off in
+  Alcotest.(check bool) "ir-opt subset changes digest" false
+    (Ucd.Job.digest j = Ucd.Job.digest j7);
+  Alcotest.(check bool) "ir-opt off changes digest" false
+    (Ucd.Job.digest j = Ucd.Job.digest j8);
+  let summaries =
+    List.map (fun j -> Ucd.Job.options_summary j.Ucd.Job.options) [ j; j7; j8 ]
+  in
+  Alcotest.(check int) "options_summary distinguishes ir-opt configs" 3
+    (List.length (List.sort_uniq compare summaries))
 
 (* QCheck: digest_of_fields is invariant under reordering of the field
    list (the option record can be assembled in any order). *)
