@@ -3,7 +3,7 @@
 # a CLI sanity check, and the whole corpus run under a canned fault
 # plan with retries; it stops loudly at the first failing step.
 
-.PHONY: all build test ci ci-faultgate ci-iropt bench bench-compare batch clean
+.PHONY: all build test ci ci-faultgate ci-iropt ci-obs bench bench-compare batch clean
 
 all: build
 
@@ -13,7 +13,7 @@ build:
 test:
 	dune runtest
 
-ci: ci-faultgate ci-iropt
+ci: ci-faultgate ci-iropt ci-obs
 	dune build
 	dune exec test/test_engine.exe -- test corpus
 	dune runtest
@@ -26,6 +26,12 @@ ci: ci-faultgate ci-iropt
 ci-iropt: build
 	dune exec test/test_iropt.exe -- test corpus
 	dune exec bench/compare.exe -- --allow-faster BENCH_PR2.json BENCH_PR4.json
+
+# Telemetry gate: the whole corpus, on both engines, must produce a
+# bit-identical observable snapshot with tracing on and off, and every
+# trace line must round-trip through Ucd.Jsonu byte for byte.
+ci-obs: build
+	dune exec test/test_obs.exe -- test corpus
 
 # Recovery gate: the whole corpus under a transient-fault plan with
 # retries enabled.  Exit 0 (every fault retried away) and exit 2 (some

@@ -19,8 +19,10 @@
      ratio of two changed times moves in either direction legitimately.
      Rows present only in the NEW file (a section added since the old
      snapshot was recorded) are listed but do not fail; a row that
-     disappeared still does.  The tool prints a per-row
-     simulated-speedup table either way.
+     disappeared still does.  Likewise columns present only in the NEW
+     row (metrics counters added to a figure) are listed as "+name=v"
+     without being judged, while a column that disappeared fails.  The
+     tool prints a per-row simulated-speedup table either way.
 
    - bechamel rows (wall-clock ms per run): these move with the host
      and the implementation; the tool prints an old/new/speedup table.
@@ -156,23 +158,39 @@ let compare_faster diffs i old_line new_line =
         Printf.printf "simulated row %d (%s): %s\n" i (row_label o) msg)
       fmt
   in
-  if List.map fst o <> List.map fst nw then
-    fail "field sets differ:\n  - %s\n  + %s" old_line new_line
+  (* a newer bench may add columns to a row (e.g. the telemetry metrics
+     counters); those are listed, not judged — there is no old value to
+     hold them to.  A column that disappeared still fails. *)
+  let missing = List.filter (fun (k, _) -> not (List.mem_assoc k nw)) o in
+  if missing <> [] then
+    fail "field(s) %s disappeared:\n  - %s\n  + %s"
+      (String.concat ", " (List.map fst missing))
+      old_line new_line
   else begin
     let cells = ref [] in
-    List.iter2
-      (fun (k, vo) (_, vn) ->
+    List.iter
+      (fun (k, vo) ->
+        let vn = List.assoc k nw in
         match (vo, vn) with
         | Str a, Str b -> if a <> b then fail "%s changed %S -> %S" k a b
         | Num a, Num b when is_param k ->
             if a <> b then fail "parameter %s changed %g -> %g" k a b
-        | Num a, Num b when is_ratio k -> ()
+        | Num _, Num _ when is_ratio k -> ()
         | Num a, Num b ->
             if b > a then fail "%s rose %g -> %g" k a b
             else if a > 0.0 && b > 0.0 && a <> b then
               cells := Printf.sprintf "%s %.2fx" k (a /. b) :: !cells
         | _ -> fail "field %s changed type" k)
-      o nw;
+      o;
+    List.iter
+      (fun (k, vn) ->
+        if not (List.mem_assoc k o) then
+          cells :=
+            (match vn with
+            | Num f -> Printf.sprintf "+%s=%g" k f
+            | Str s -> Printf.sprintf "+%s=%s" k s)
+            :: !cells)
+      nw;
     if !cells <> [] then
       Printf.printf "  %-34s %s\n" (row_label o)
         (String.concat "  " (List.rev !cells))

@@ -32,13 +32,28 @@ let job_of ?options src =
   Ucd.Job.make ?options ~seed ~name:"bench" ~source:src ()
 
 (* cached: identical (options, source, seed) pairs are simulated once *)
-let run_uc ?options src =
+let run_uc_report ?options src =
   let r = Ucd.Runner.run_job ~cache (job_of ?options src) in
   match r.Ucd.Report.status with
-  | Ucd.Report.Done -> r.Ucd.Report.simulated_seconds
+  | Ucd.Report.Done -> r
   | Ucd.Report.Failed msg -> failwith ("bench job failed: " ^ msg)
   | Ucd.Report.Timeout _ -> failwith "bench job timed out"
   | Ucd.Report.Faulted msg -> failwith ("bench job faulted: " ^ msg)
+
+let run_uc ?options src =
+  (run_uc_report ?options src).Ucd.Report.simulated_seconds
+
+let metric r name =
+  match List.assoc_opt name r.Ucd.Report.metrics with
+  | Some v -> v
+  | None -> 0.0
+
+(* the machine counters a figure row carries, from the report's metrics
+   column; kept flat so compare.ml's row parser still applies *)
+let metric_cols r =
+  List.map
+    (fun k -> (k, Ucd.Jsonu.Float (metric r k)))
+    [ "pe_ops"; "news_ops"; "router_ops"; "router_messages" ]
 
 (* uncached: for meter readings and for bechamel, which measures the
    simulator's own wall-clock and must not be served memoized results *)
@@ -70,17 +85,20 @@ let fig6 () =
   Printf.printf "%6s %12s %12s %8s\n" "rows" "UC" "C*" "UC/C*";
   List.iter
     (fun n ->
-      let uc =
-        run_uc (Uc_programs.Programs.shortest_path_n2 ~deterministic:false ~n ())
+      let r =
+        run_uc_report
+          (Uc_programs.Programs.shortest_path_n2 ~deterministic:false ~n ())
       in
+      let uc = r.Ucd.Report.simulated_seconds in
       let cs = run_cstar (Cstar.Programs.path_n2 ~deterministic:false ~n ()) in
       Printf.printf "%6d %12.4f %12.4f %8.2f\n" n uc cs (uc /. cs);
       emit_row "fig6"
-        [
-          ("n", Ucd.Jsonu.Int n);
-          ("uc", Ucd.Jsonu.Float uc);
-          ("cstar", Ucd.Jsonu.Float cs);
-        ])
+        ([
+           ("n", Ucd.Jsonu.Int n);
+           ("uc", Ucd.Jsonu.Float uc);
+           ("cstar", Ucd.Jsonu.Float cs);
+         ]
+        @ metric_cols r))
     fig6_ns
 
 (* ---------------- figure 7 ---------------- *)
@@ -98,9 +116,11 @@ let fig7 () =
         let rec go k p = if p >= n then max k 1 else go (k + 1) (p * 2) in
         go 0 1
       in
-      let uc =
-        run_uc (Uc_programs.Programs.shortest_path_n3 ~deterministic:false ~n ())
+      let r =
+        run_uc_report
+          (Uc_programs.Programs.shortest_path_n3 ~deterministic:false ~n ())
       in
+      let uc = r.Ucd.Report.simulated_seconds in
       let cs_log =
         run_cstar
           (Cstar.Programs.path_n3 ~deterministic:false ~iters:log_iters ~n ())
@@ -110,12 +130,13 @@ let fig7 () =
       in
       Printf.printf "%6d %12.4f %14.4f %16.4f\n" n uc cs_log cs_full;
       emit_row "fig7"
-        [
-          ("n", Ucd.Jsonu.Int n);
-          ("uc", Ucd.Jsonu.Float uc);
-          ("cstar_log", Ucd.Jsonu.Float cs_log);
-          ("cstar_full", Ucd.Jsonu.Float cs_full);
-        ])
+        ([
+           ("n", Ucd.Jsonu.Int n);
+           ("uc", Ucd.Jsonu.Float uc);
+           ("cstar_log", Ucd.Jsonu.Float cs_log);
+           ("cstar_full", Ucd.Jsonu.Float cs_full);
+         ]
+        @ metric_cols r))
     fig7_ns
 
 (* ---------------- figure 8 ---------------- *)
@@ -131,18 +152,20 @@ let fig8 () =
     (fun n ->
       let plain = Seqc.Obstacle.run ~n () in
       let opt = Seqc.Obstacle.run ~optimized:true ~n () in
-      let uc = run_uc (Uc_programs.Programs.obstacle_grid ~n) in
+      let r = run_uc_report (Uc_programs.Programs.obstacle_grid ~n) in
+      let uc = r.Ucd.Report.simulated_seconds in
       Printf.printf "%6d %12.3f %12.3f %12.3f %8d\n" n
         plain.Seqc.Obstacle.elapsed_seconds opt.Seqc.Obstacle.elapsed_seconds
         uc plain.Seqc.Obstacle.iterations;
       emit_row "fig8"
-        [
-          ("n", Ucd.Jsonu.Int n);
-          ("seqc", Ucd.Jsonu.Float plain.Seqc.Obstacle.elapsed_seconds);
-          ("seqc_opt", Ucd.Jsonu.Float opt.Seqc.Obstacle.elapsed_seconds);
-          ("uc", Ucd.Jsonu.Float uc);
-          ("sweeps", Ucd.Jsonu.Int plain.Seqc.Obstacle.iterations);
-        ])
+        ([
+           ("n", Ucd.Jsonu.Int n);
+           ("seqc", Ucd.Jsonu.Float plain.Seqc.Obstacle.elapsed_seconds);
+           ("seqc_opt", Ucd.Jsonu.Float opt.Seqc.Obstacle.elapsed_seconds);
+           ("uc", Ucd.Jsonu.Float uc);
+           ("sweeps", Ucd.Jsonu.Int plain.Seqc.Obstacle.iterations);
+         ]
+        @ metric_cols r))
     fig8_ns
 
 (* ---------------- table: conciseness ---------------- *)
@@ -422,6 +445,61 @@ let r1_recovery () =
       ("ckpt_bytes", Ucd.Jsonu.Int !ckpt_bytes);
     ]
 
+(* ---------------- O2: telemetry overhead ---------------- *)
+
+(* What does full tracing cost?  The fig8 obstacle program is run once
+   with a null scope and once with a live scope feeding a JSON-lines
+   sink (the --trace configuration); the wall-clock spread is the price
+   of telemetry.  The simulated results are identical by construction
+   (test_obs enforces it); this section measures the only thing that is
+   allowed to change. *)
+let o1_obs_overhead () =
+  section "O2" "Telemetry: wall-clock cost of full tracing (fig8 program)";
+  let n = 80 in
+  let src = Uc_programs.Programs.obstacle_grid ~n in
+  let time f =
+    (* best of 5 (cf. R1): the overhead is small, so noise dominates *)
+    let best = ref infinity in
+    for _ = 1 to 5 do
+      let t0 = Unix.gettimeofday () in
+      f ();
+      best := Float.min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best
+  in
+  (* the whole `ucc run --trace` configuration, compile included, so the
+     compile/iropt spans and the machine's hot paths are all in play *)
+  let off = time (fun () -> ignore (Uc.Compile.run_source ~seed src)) in
+  let events = ref 0 and trace_bytes = ref 0 in
+  let on =
+    time (fun () ->
+        let buf = Buffer.create 65536 in
+        let obs = Obs.create ~clock:Unix.gettimeofday () in
+        Obs.add_sink obs
+          (Obs.jsonl_sink (fun line ->
+               Buffer.add_string buf line;
+               Buffer.add_char buf '\n'));
+        let t = Uc.Compile.run_source ~seed ~obs src in
+        Cm.Machine.publish t.Uc.Compile.machine;
+        events := List.length (Obs.events obs);
+        trace_bytes := Buffer.length buf)
+  in
+  let overhead = on /. off in
+  Printf.printf "%-52s %10s\n" "configuration" "seconds";
+  Printf.printf "%-52s %10.4f\n" "telemetry off (Obs.null)" off;
+  Printf.printf "%-52s %10.4f\n" "full tracing (counters + spans + JSONL sink)"
+    on;
+  Printf.printf "\ntracing overhead: %.1f%% (%d events, %d trace bytes)\n"
+    (100. *. (overhead -. 1.))
+    !events !trace_bytes;
+  emit_row "obs"
+    [
+      ("off", Ucd.Jsonu.Float off);
+      ("on", Ucd.Jsonu.Float on);
+      ("overhead", Ucd.Jsonu.Float overhead);
+      ("events", Ucd.Jsonu.Int !events);
+    ]
+
 (* ---------------- bechamel: simulator wall-clock ---------------- *)
 
 let bechamel_bench () =
@@ -548,6 +626,7 @@ let sections =
     ("a5", a5_news);
     ("a6", a6_schedule);
     ("recovery", r1_recovery);
+    ("obs", o1_obs_overhead);
     ("bechamel", bechamel_bench);
   ]
 

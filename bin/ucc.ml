@@ -114,10 +114,68 @@ let ir_opt_stats_arg =
     & info [ "ir-opt-stats" ]
         ~doc:"Print per-pass Paris-IR optimizer statistics (to stderr)")
 
-let print_iropt_stats compiled =
-  match compiled.Uc.Codegen.iropt with
-  | Some st -> Format.eprintf "%a@." Cm.Iropt.pp_stats st
-  | None -> Format.eprintf "ir-opt: disabled@."
+(* ---- telemetry ---- *)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "-") (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a JSON-lines telemetry trace (compile phases, machine \
+           events, job lifecycle).  $(docv) '-' or no value: stderr.  \
+           Tracing never changes program results.")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:"Print the aggregate telemetry table (counters and timings) to \
+              stderr after the run")
+
+(* One scope per invocation, created only when some surface wants it
+   (--trace, --metrics, --ir-opt-stats); everything else runs against
+   Obs.null and pays one branch per telemetry call site.  Returns the
+   scope and a finisher that prints the requested tables and closes the
+   trace file. *)
+let make_obs ~trace ~metrics ~ir_opt_stats =
+  if trace = None && (not metrics) && not ir_opt_stats then
+    (Obs.null, fun () -> ())
+  else begin
+    let obs = Obs.create ~clock:Unix.gettimeofday () in
+    let close_trace =
+      match trace with
+      | None -> fun () -> ()
+      | Some "-" ->
+          Obs.add_sink obs
+            (Obs.jsonl_sink (fun line ->
+                 output_string stderr (line ^ "\n")));
+          fun () -> flush stderr
+      | Some path ->
+          let oc = open_out path in
+          Obs.add_sink obs
+            (Obs.jsonl_sink (fun line -> output_string oc (line ^ "\n")));
+          fun () -> close_out oc
+    in
+    let finish () =
+      if ir_opt_stats then begin
+        let rows =
+          List.filter
+            (fun (k, _) -> String.length k >= 6 && String.sub k 0 6 = "iropt.")
+            (Obs.table obs)
+        in
+        if rows = [] then Format.eprintf "ir-opt: disabled@."
+        else
+          List.iter
+            (fun (k, v) ->
+              Format.eprintf "%-32s %s@." k (Obs.Json.to_string v))
+            rows
+      end;
+      if metrics then Format.eprintf "%a" Obs.pp_table obs;
+      close_trace ()
+    in
+    (obs, finish)
+  end
 
 let profile_arg =
   Arg.(
@@ -224,14 +282,15 @@ let ast_cmd =
 let paris_cmd =
   let run path options ir_opt_stats =
     with_source path (fun src ->
-        let compiled = Uc.Compile.compile_source ~options src in
+        let obs, finish = make_obs ~trace:None ~metrics:false ~ir_opt_stats in
+        let compiled = Uc.Compile.compile_source ~options ~obs src in
         Format.printf "%a@." Cm.Paris.pp_program compiled.Uc.Codegen.prog;
         (* static footer: instruction census by hardware class and a
            straight-line cost estimate, so two dumps (say, --ir-opt on
            vs off) can be compared without running anything *)
         Format.printf "%a@." (Cm.Iropt.pp_static_summary ?params:None)
           compiled.Uc.Codegen.prog;
-        if ir_opt_stats then print_iropt_stats compiled;
+        finish ();
         0)
   in
   Cmd.v (Cmd.info "paris" ~doc:"Dump the generated Paris IR")
@@ -268,16 +327,19 @@ let print_int_array name dims a =
 
 let run_cmd =
   let run path options seed stats profile engine arrays scalars faults retries
-      fuel_slice ir_opt_stats =
+      fuel_slice ir_opt_stats trace metrics =
     with_source path (fun src ->
         let fspec = parse_faults_opt faults in
-        let compiled = Uc.Compile.compile_source ~options src in
-        if ir_opt_stats then print_iropt_stats compiled;
+        let obs, finish_obs = make_obs ~trace ~metrics ~ir_opt_stats in
+        Fun.protect ~finally:finish_obs (fun () ->
+        let compiled = Uc.Compile.compile_source ~options ~obs src in
         (* run in fuel slices so a transient fault can be retried with a
            freshly instantiated plan for the next attempt *)
         let rec attempt k =
           let plan = Option.map (Cm.Fault.instantiate ~attempt:k) fspec in
-          let t = Uc.Compile.start_compiled ~seed ~engine ?faults:plan compiled in
+          let t =
+            Uc.Compile.start_compiled ~seed ~engine ?faults:plan ~obs compiled
+          in
           let rec slices () =
             match Uc.Compile.step t ~fuel_slice with
             | `Done -> t
@@ -290,10 +352,11 @@ let run_cmd =
             attempt (k + 1)
         in
         let t = attempt 0 in
+        Cm.Machine.publish t.Uc.Compile.machine;
         List.iter print_endline (Uc.Compile.output t);
         List.iter
           (fun name ->
-            let meta = List.assoc name t.Uc.Compile.compiled.Uc.Codegen.carrays in
+            let meta = Uc.Compile.meta t name in
             match meta.Uc.Codegen.aty with
             | Uc.Ast.Tint ->
                 print_int_array name meta.Uc.Codegen.adims
@@ -322,14 +385,14 @@ let run_cmd =
                 (100.0 *. secs /. total))
             (Cm.Machine.regions t.Uc.Compile.machine)
         end;
-        0)
+        0))
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Compile and execute on the simulated Connection Machine")
     Term.(
       const run $ file_arg $ options_args $ seed_arg $ stats_arg $ profile_arg
       $ engine_arg $ arrays_arg $ scalars_arg $ faults_arg $ retries_arg
-      $ fuel_slice_arg $ ir_opt_stats_arg)
+      $ fuel_slice_arg $ ir_opt_stats_arg $ trace_arg $ metrics_arg)
 
 (* ---- interp ---- *)
 
@@ -531,8 +594,12 @@ let batch_cmd =
           ~doc:"Write the JSON-lines report here instead of stdout")
   in
   let run manifest jobs cache_dir options seed fuel deadline report stats faults
-      retries fuel_slice =
+      retries fuel_slice trace metrics =
     try
+      let obs, finish_obs =
+        make_obs ~trace ~metrics ~ir_opt_stats:false
+      in
+      Fun.protect ~finally:finish_obs @@ fun () ->
       let fspec = parse_faults_opt faults in
       let defaults =
         (seed, fuel, deadline, fspec, (if retries = 0 then None else Some retries),
@@ -561,9 +628,10 @@ let batch_cmd =
       in
       let t0 = Unix.gettimeofday () in
       let results =
-        Ucd.Runner.run_jobs ~domains:jobs ~policy ~cache job_list
+        Ucd.Runner.run_jobs ~domains:jobs ~policy ~obs ~cache job_list
       in
       let elapsed = Unix.gettimeofday () -. t0 in
+      Ucd.Cache.publish cache obs;
       let emit oc =
         List.iter
           (fun r -> output_string oc (Ucd.Report.json_line r ^ "\n"))
@@ -598,7 +666,7 @@ let batch_cmd =
     Term.(
       const run $ manifest_arg $ jobs_arg $ cache_dir_arg $ options_args
       $ seed_arg $ fuel_arg $ deadline_arg $ report_arg $ stats_arg
-      $ faults_arg $ retries_arg $ fuel_slice_arg)
+      $ faults_arg $ retries_arg $ fuel_slice_arg $ trace_arg $ metrics_arg)
 
 let () =
   let doc = "UC compiler for the simulated Connection Machine" in

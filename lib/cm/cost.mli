@@ -35,9 +35,23 @@ type meter = {
   mutable news_ops : int;
   mutable router_ops : int;    (** collective router operations *)
   mutable router_messages : int;  (** individual messages delivered *)
+  mutable router_collisions : int;
+      (** serialization steps beyond the first delivery at the hottest
+          destination, summed over router ops ([max_fanin - 1] each) *)
+  mutable router_max_fanin : int;  (** worst fan-in seen by any router op *)
   mutable reductions : int;
   mutable scans : int;
   mutable fe_cm_transfers : int;
+  mutable ns_fe : float;  (** simulated ns attributed to each class,
+                              issue overhead included; the eight [ns_*]
+                              fields sum to [elapsed_ns] *)
+  mutable ns_pe : float;
+  mutable ns_context : float;
+  mutable ns_news : float;
+  mutable ns_router : float;
+  mutable ns_reduce : float;
+  mutable ns_scan : float;
+  mutable ns_fe_cm : float;
 }
 
 val meter : params -> meter
@@ -64,5 +78,11 @@ val charge_fe_cm : meter -> unit
 
 (** Simulated elapsed time in seconds. *)
 val elapsed_seconds : meter -> float
+
+(** The canonical flat metrics view: every counter and per-class ns
+    accumulator as [(name, value)] in a fixed order.  Deterministic and
+    engine-identical; the single source for the batch report [metrics]
+    column, [Machine.publish] and bench rows. *)
+val metrics : meter -> (string * float) list
 
 val pp_meter : Format.formatter -> meter -> unit

@@ -1546,7 +1546,7 @@ let dce_pass facts prog ~live_regs ~live_flds =
 
 (* ---- the fixed-point driver ---- *)
 
-let run ?(config = default) ?live_out_fields ?live_out_regs prog =
+let run_impl ~config ?live_out_fields ?live_out_regs ~obs prog =
   let input_instrs = Array.length prog.code in
   let mkstats rounds passes =
     {
@@ -1588,6 +1588,13 @@ let run ?(config = default) ?live_out_fields ?live_out_regs prog =
       | None -> go := false
       | Some facts ->
           incr rounds;
+          if Obs.enabled obs then
+            Obs.point obs "iropt.round"
+              ~attrs:
+                [
+                  ("round", Obs.Json.Int !rounds);
+                  ("instrs", Obs.Json.Int (Array.length !cur.code));
+                ];
           if config.constprop || config.get_to_send || config.peephole then begin
             let p, rw, gs = constprop_pass config facts !cur in
             if rw > 0 || gs > 0 then changed := true;
@@ -1630,6 +1637,31 @@ let run ?(config = default) ?live_out_fields ?live_out_regs prog =
         passes;
       } )
   end
+
+(* Mirror one run's statistics into the scope as "iropt."-prefixed
+   counters — the single stats surface `ucc --ir-opt-stats` now reads. *)
+let publish_stats obs (s : stats) =
+  if Obs.enabled obs then begin
+    Obs.count obs "iropt.runs" 1;
+    Obs.count obs "iropt.rounds" s.rounds;
+    Obs.count obs "iropt.instrs_in" s.input_instrs;
+    Obs.count obs "iropt.instrs_out" s.output_instrs;
+    List.iter
+      (fun p ->
+        Obs.count obs ("iropt." ^ p.pass ^ ".rewritten") p.rewritten;
+        Obs.count obs ("iropt." ^ p.pass ^ ".removed") p.removed)
+      s.passes
+  end
+
+let run ?(config = default) ?live_out_fields ?live_out_regs ?(obs = Obs.null)
+    prog =
+  let ((_, stats) as result) =
+    Obs.with_span obs "iropt.fixpoint"
+      ~attrs:[ ("config", Obs.Json.Str (config_summary config)) ]
+      (fun () -> run_impl ~config ?live_out_fields ?live_out_regs ~obs prog)
+  in
+  publish_stats obs stats;
+  result
 
 (* ---- static census and cost estimate for dump footers ---- *)
 

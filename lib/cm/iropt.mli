@@ -79,11 +79,19 @@ val pp_stats : Format.formatter -> stats -> unit
     list the storage that is observable after the program halts (named
     UC arrays and scalars, a C* result member, ...); both default to
     {e everything}, under which dead-code elimination only deletes
-    stores that are provably overwritten before any read. *)
+    stores that are provably overwritten before any read.
+
+    [obs] (default {!Obs.null}) receives an ["iropt.fixpoint"] span, an
+    ["iropt.round"] point per fixed-point round, and the run's
+    statistics as ["iropt."]-prefixed counters ([iropt.runs], [.rounds],
+    [.instrs_in], [.instrs_out], and per pass [.<pass>.rewritten] /
+    [.<pass>.removed]).  Telemetry never changes the optimized
+    program. *)
 val run :
   ?config:config ->
   ?live_out_fields:int list ->
   ?live_out_regs:int list ->
+  ?obs:Obs.t ->
   Paris.program ->
   Paris.program * stats
 

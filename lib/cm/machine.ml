@@ -47,6 +47,11 @@ type t = {
   mutable icount : int;  (* executed instruction serial, both engines *)
   fstate : fstate option;
   mutable fault_log : string list;  (* reversed, like output *)
+  (* Telemetry scope (Obs.null by default).  Strictly an observer: the
+     machine only ever writes into it — region transitions, fault and
+     checkpoint events, and the aggregate publish below — so a scope
+     never changes program results (enforced by test/test_obs.ml). *)
+  obs : Obs.t;
 }
 
 let fstate_of_plan ~from plan =
@@ -76,7 +81,7 @@ let resolve_labels prog =
   labels
 
 let create ?(cost = Cost.cm2_16k) ?(seed = 12345) ?(fuel = 50_000_000)
-    ?(engine = `Fast) ?faults prog =
+    ?(engine = `Fast) ?faults ?(obs = Obs.null) prog =
   let fields =
     Array.map
       (fun (vp, kind) ->
@@ -113,6 +118,7 @@ let create ?(cost = Cost.cm2_16k) ?(seed = 12345) ?(fuel = 50_000_000)
     icount = 0;
     fstate = Option.map (fstate_of_plan ~from:0) faults;
     fault_log = [];
+    obs;
   }
 
 let engine m = m.engine
@@ -122,6 +128,9 @@ let icount m = m.icount
 
 let set_region m name =
   m.region_name <- name;
+  (if Obs.enabled m.obs then
+     Obs.point m.obs "cm.region"
+       ~attrs:[ ("name", Obs.Json.Str name); ("icount", Obs.Json.Int m.icount) ]);
   match Hashtbl.find_opt m.regions name with
   | Some acc -> m.region_acc <- acc
   | None ->
@@ -679,7 +688,19 @@ let apply_flip m ~field ~element ~bit =
       m.fault_log <-
         Printf.sprintf "bit flip at instruction %d: f%d[%d] bit %d (%s)"
           m.icount f e b kind
-        :: m.fault_log
+        :: m.fault_log;
+      if Obs.enabled m.obs then begin
+        Obs.count m.obs "cm.faults.flips" 1;
+        Obs.point m.obs "cm.fault.flip"
+          ~attrs:
+            [
+              ("icount", Obs.Json.Int m.icount);
+              ("field", Obs.Json.Int f);
+              ("element", Obs.Json.Int e);
+              ("bit", Obs.Json.Int b);
+              ("kind", Obs.Json.Str kind);
+            ]
+      end
     in
     match m.fields.(f) with
     | FInt a ->
@@ -708,6 +729,17 @@ let fire m instr kind sched =
       (Fault.kind_name kind) m.icount (mnemonic instr) sched
   in
   m.fault_log <- msg :: m.fault_log;
+  if Obs.enabled m.obs then begin
+    Obs.count m.obs "cm.faults.transients" 1;
+    Obs.point m.obs "cm.fault.transient"
+      ~attrs:
+        [
+          ("icount", Obs.Json.Int m.icount);
+          ("kind", Obs.Json.Str (Fault.kind_name kind));
+          ("armed_at", Obs.Json.Int sched);
+          ("instr", Obs.Json.Str (mnemonic instr));
+        ]
+  end;
   raise (Fault.Fault msg)
 
 let inject m instr =
@@ -1696,16 +1728,17 @@ let compile m =
   match m.kernels with
   | Some _ -> ()
   | None ->
-      let code = m.prog.code in
-      let n = Array.length code in
-      m.kernels <-
-        Some
-          (Array.init n (fun i ->
-               (* a decode-time fault (e.g. an out-of-range field id in a
-                  malformed program) becomes a kernel that re-raises it
-                  when that instruction is reached *)
-               try decode m n code.(i)
-               with e -> fun () -> raise e))
+      Obs.with_span m.obs "cm.decode" (fun () ->
+          let code = m.prog.code in
+          let n = Array.length code in
+          m.kernels <-
+            Some
+              (Array.init n (fun i ->
+                   (* a decode-time fault (e.g. an out-of-range field id in a
+                      malformed program) becomes a kernel that re-raises it
+                      when that instruction is reached *)
+                   try decode m n code.(i)
+                   with e -> fun () -> raise e)))
 
 let run_fast ?steps m =
   compile m;
@@ -1750,13 +1783,14 @@ let run_slice m ~fuel_slice =
    taken from a different program.  Bump the magic when the record
    changes shape. *)
 
-let ckpt_magic = "ucm-ckpt-v1\n"
+let ckpt_magic = "ucm-ckpt-v2\n"
 
 type ckpt = {
   ck_prog : string;  (* program digest *)
   ck_params : Cost.params;
   ck_elapsed_ns : float;
-  ck_counters : int array;  (* the 9 meter counters, fixed order *)
+  ck_counters : int array;  (* the 11 meter counters, fixed order *)
+  ck_class_ns : float array;  (* the 8 per-class ns accumulators *)
   ck_regs : scalar array;
   ck_fields : fdata array;
   ck_stacks : bool array list array;  (* per context, top first *)
@@ -1802,6 +1836,19 @@ let checkpoint m =
           mt.Cost.reductions;
           mt.Cost.scans;
           mt.Cost.fe_cm_transfers;
+          mt.Cost.router_collisions;
+          mt.Cost.router_max_fanin;
+        |];
+      ck_class_ns =
+        [|
+          mt.Cost.ns_fe;
+          mt.Cost.ns_pe;
+          mt.Cost.ns_context;
+          mt.Cost.ns_news;
+          mt.Cost.ns_router;
+          mt.Cost.ns_reduce;
+          mt.Cost.ns_scan;
+          mt.Cost.ns_fe_cm;
         |];
       ck_regs = Array.copy m.regs;
       ck_fields = Array.map copy_fdata m.fields;
@@ -1826,7 +1873,7 @@ let checkpoint m =
   in
   ckpt_magic ^ Marshal.to_string ck []
 
-let restore ?(engine = `Fast) ?faults prog data =
+let restore ?(engine = `Fast) ?faults ?(obs = Obs.null) prog data =
   let mlen = String.length ckpt_magic in
   if String.length data < mlen || String.sub data 0 mlen <> ckpt_magic then
     error "checkpoint: bad magic or unsupported version";
@@ -1847,6 +1894,16 @@ let restore ?(engine = `Fast) ?faults prog data =
   mt.Cost.reductions <- ck.ck_counters.(6);
   mt.Cost.scans <- ck.ck_counters.(7);
   mt.Cost.fe_cm_transfers <- ck.ck_counters.(8);
+  mt.Cost.router_collisions <- ck.ck_counters.(9);
+  mt.Cost.router_max_fanin <- ck.ck_counters.(10);
+  mt.Cost.ns_fe <- ck.ck_class_ns.(0);
+  mt.Cost.ns_pe <- ck.ck_class_ns.(1);
+  mt.Cost.ns_context <- ck.ck_class_ns.(2);
+  mt.Cost.ns_news <- ck.ck_class_ns.(3);
+  mt.Cost.ns_router <- ck.ck_class_ns.(4);
+  mt.Cost.ns_reduce <- ck.ck_class_ns.(5);
+  mt.Cost.ns_scan <- ck.ck_class_ns.(6);
+  mt.Cost.ns_fe_cm <- ck.ck_class_ns.(7);
   let regions = Hashtbl.create 16 in
   List.iter (fun (k, v) -> Hashtbl.add regions k (ref v)) ck.ck_regions;
   let region_acc =
@@ -1900,4 +1957,47 @@ let restore ?(engine = `Fast) ?faults prog data =
     icount = ck.ck_icount;
     fstate;
     fault_log = ck.ck_log;
+    obs;
   }
+
+(* checkpoint/restore lifecycle events, emitted by the wrappers below so
+   the core functions above stay purely functional over machine state *)
+let checkpoint m =
+  let data = checkpoint m in
+  (if Obs.enabled m.obs then begin
+     Obs.count m.obs "cm.checkpoints" 1;
+     Obs.point m.obs "cm.checkpoint"
+       ~attrs:
+         [
+           ("icount", Obs.Json.Int m.icount);
+           ("bytes", Obs.Json.Int (String.length data));
+         ]
+   end);
+  data
+
+let restore ?engine ?faults ?(obs = Obs.null) prog data =
+  let m = restore ?engine ?faults ~obs prog data in
+  (if Obs.enabled obs then begin
+     Obs.count obs "cm.restores" 1;
+     Obs.point obs "cm.restore" ~attrs:[ ("icount", Obs.Json.Int m.icount) ]
+   end);
+  m
+
+(* Mirror the aggregate, deterministic statistics (meter counters,
+   per-class ns, per-region simulated seconds, fault tallies) into the
+   machine's scope.  Call once, after a run; counters are monotonic, so
+   publishing twice would double them. *)
+let publish m =
+  if Obs.enabled m.obs then begin
+    List.iter
+      (fun (k, v) ->
+        if String.length k >= 3 && String.sub k 0 3 = "ns_" then
+          Obs.sample m.obs ("cm." ^ k) v
+        else Obs.count m.obs ("cm." ^ k) (int_of_float v))
+      (Cost.metrics m.meter);
+    Obs.sample m.obs "cm.elapsed_ns" m.meter.Cost.elapsed_ns;
+    List.iter
+      (fun (name, secs) -> Obs.sample m.obs ("cm.region." ^ name) secs)
+      (regions m);
+    Obs.count m.obs "cm.faults.logged" (List.length m.fault_log)
+  end

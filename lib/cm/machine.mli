@@ -45,13 +45,16 @@ type engine = [ `Fast | `Reference ]
     [rand]; [engine] selects the execution engine (default [`Fast]);
     [faults] installs a concrete fault plan consulted before every
     instruction — both engines consult it at the same point, so a plan
-    perturbs them bit-identically. *)
+    perturbs them bit-identically.  [obs] attaches a telemetry scope
+    (default {!Obs.null}); the machine only ever writes into it, so
+    telemetry on or off never changes program results. *)
 val create :
   ?cost:Cost.params ->
   ?seed:int ->
   ?fuel:int ->
   ?engine:engine ->
   ?faults:Fault.plan ->
+  ?obs:Obs.t ->
   Paris.program ->
   t
 
@@ -99,7 +102,8 @@ val checkpoint : t -> string
     checkpoint are considered survived.
     @raise Error on a bad magic/version, corrupt data, or a program
     mismatch. *)
-val restore : ?engine:engine -> ?faults:Fault.plan -> Paris.program -> string -> t
+val restore :
+  ?engine:engine -> ?faults:Fault.plan -> ?obs:Obs.t -> Paris.program -> string -> t
 
 (** Fault-injection history, in order: bit flips applied and transient
     faults fired.  Engine-identical, so part of the differential
@@ -129,3 +133,11 @@ val regions : t -> (string * float) list
 
 (** Simulated elapsed seconds so far. *)
 val elapsed_seconds : t -> float
+
+(** Mirror the machine's aggregate statistics into its telemetry scope:
+    every {!Cost.metrics} entry as a ["cm."]-prefixed counter (or
+    ["cm.ns_*"] sample), ["cm.elapsed_ns"], per-region simulated seconds
+    as ["cm.region.<name>"] samples, and the fault-log length.  Call
+    once after a run; counters are monotonic, so publishing twice would
+    double them.  A no-op on a disabled scope. *)
+val publish : t -> unit

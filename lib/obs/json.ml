@@ -1,0 +1,233 @@
+(* Minimal JSON values (no external dependency), shared by every
+   telemetry surface: batch reports, bench rows and trace events.
+   Emission is deterministic in the field order given; [of_string]
+   parses the same dialect back, so a trace line survives a
+   print/parse/print round trip byte for byte. *)
+
+type t =
+  | Str of string
+  | Int of int
+  | Float of float
+  | Bool of bool
+  | List of t list
+  | Obj of (string * t) list
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* %.17g survives a round-trip; %g would truncate simulated seconds and
+   break byte-identical cache determinism for long runs *)
+let float_repr f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.17g" f
+
+let rec to_string = function
+  | Str s -> "\"" ^ escape s ^ "\""
+  | Int i -> string_of_int i
+  | Float f -> float_repr f
+  | Bool b -> string_of_bool b
+  | List xs -> "[" ^ String.concat "," (List.map to_string xs) ^ "]"
+  | Obj kvs ->
+      "{"
+      ^ String.concat ","
+          (List.map (fun (k, v) -> "\"" ^ escape k ^ "\":" ^ to_string v) kvs)
+      ^ "}"
+
+(* ---- parsing ---- *)
+
+exception Parse_error of string
+
+type parser_state = { src : string; mutable pos : int }
+
+let fail p fmt =
+  Printf.ksprintf
+    (fun msg ->
+      raise (Parse_error (Printf.sprintf "at offset %d: %s" p.pos msg)))
+    fmt
+
+let peek p = if p.pos < String.length p.src then Some p.src.[p.pos] else None
+
+let skip_ws p =
+  while
+    p.pos < String.length p.src
+    && match p.src.[p.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    p.pos <- p.pos + 1
+  done
+
+let expect p c =
+  match peek p with
+  | Some d when d = c -> p.pos <- p.pos + 1
+  | Some d -> fail p "expected %c, found %c" c d
+  | None -> fail p "expected %c, found end of input" c
+
+let parse_hex4 p =
+  if p.pos + 4 > String.length p.src then fail p "truncated \\u escape";
+  let s = String.sub p.src p.pos 4 in
+  p.pos <- p.pos + 4;
+  match int_of_string_opt ("0x" ^ s) with
+  | Some n -> n
+  | None -> fail p "bad \\u escape %S" s
+
+let parse_string p =
+  expect p '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    if p.pos >= String.length p.src then fail p "unterminated string";
+    let c = p.src.[p.pos] in
+    p.pos <- p.pos + 1;
+    if c = '"' then Buffer.contents buf
+    else if c = '\\' then begin
+      (if p.pos >= String.length p.src then fail p "unterminated escape";
+       let e = p.src.[p.pos] in
+       p.pos <- p.pos + 1;
+       match e with
+       | '"' -> Buffer.add_char buf '"'
+       | '\\' -> Buffer.add_char buf '\\'
+       | '/' -> Buffer.add_char buf '/'
+       | 'n' -> Buffer.add_char buf '\n'
+       | 'r' -> Buffer.add_char buf '\r'
+       | 't' -> Buffer.add_char buf '\t'
+       | 'b' -> Buffer.add_char buf '\b'
+       | 'f' -> Buffer.add_char buf '\012'
+       | 'u' ->
+           (* the emitter only escapes control bytes this way; decode the
+              low code points we produce and refuse the rest *)
+           let n = parse_hex4 p in
+           if n < 0x100 then Buffer.add_char buf (Char.chr n)
+           else fail p "unsupported \\u%04x (emitter never produces it)" n
+       | e -> fail p "bad escape \\%c" e);
+      go ()
+    end
+    else begin
+      Buffer.add_char buf c;
+      go ()
+    end
+  in
+  go ()
+
+let is_num_char = function
+  | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+  | _ -> false
+
+let parse_number p =
+  let start = p.pos in
+  while p.pos < String.length p.src && is_num_char p.src.[p.pos] do
+    p.pos <- p.pos + 1
+  done;
+  let s = String.sub p.src start (p.pos - start) in
+  let is_floatish =
+    String.exists (function '.' | 'e' | 'E' -> true | _ -> false) s
+  in
+  if is_floatish then
+    match float_of_string_opt s with
+    | Some f -> Float f
+    | None -> fail p "bad number %S" s
+  else
+    match int_of_string_opt s with
+    | Some i -> Int i
+    | None -> (
+        match float_of_string_opt s with
+        | Some f -> Float f
+        | None -> fail p "bad number %S" s)
+
+let parse_literal p lit v =
+  let n = String.length lit in
+  if p.pos + n <= String.length p.src && String.sub p.src p.pos n = lit then begin
+    p.pos <- p.pos + n;
+    v
+  end
+  else fail p "bad literal (expected %s)" lit
+
+let rec parse_value p =
+  skip_ws p;
+  match peek p with
+  | None -> fail p "unexpected end of input"
+  | Some '"' -> Str (parse_string p)
+  | Some '{' ->
+      p.pos <- p.pos + 1;
+      skip_ws p;
+      if peek p = Some '}' then begin
+        p.pos <- p.pos + 1;
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws p;
+          let k = parse_string p in
+          skip_ws p;
+          expect p ':';
+          let v = parse_value p in
+          skip_ws p;
+          match peek p with
+          | Some ',' ->
+              p.pos <- p.pos + 1;
+              members ((k, v) :: acc)
+          | Some '}' ->
+              p.pos <- p.pos + 1;
+              List.rev ((k, v) :: acc)
+          | _ -> fail p "expected , or } in object"
+        in
+        Obj (members [])
+      end
+  | Some '[' ->
+      p.pos <- p.pos + 1;
+      skip_ws p;
+      if peek p = Some ']' then begin
+        p.pos <- p.pos + 1;
+        List []
+      end
+      else begin
+        let rec elems acc =
+          let v = parse_value p in
+          skip_ws p;
+          match peek p with
+          | Some ',' ->
+              p.pos <- p.pos + 1;
+              elems (v :: acc)
+          | Some ']' ->
+              p.pos <- p.pos + 1;
+              List.rev (v :: acc)
+          | _ -> fail p "expected , or ] in array"
+        in
+        List (elems [])
+      end
+  | Some 't' -> parse_literal p "true" (Bool true)
+  | Some 'f' -> parse_literal p "false" (Bool false)
+  | Some c when is_num_char c -> parse_number p
+  | Some c -> fail p "unexpected character %c" c
+
+let of_string s =
+  let p = { src = s; pos = 0 } in
+  match parse_value p with
+  | v ->
+      skip_ws p;
+      if p.pos <> String.length s then
+        Error (Printf.sprintf "trailing garbage at offset %d" p.pos)
+      else Ok v
+  | exception Parse_error msg -> Error msg
+
+let rec equal a b =
+  match (a, b) with
+  | Str a, Str b -> String.equal a b
+  | Int a, Int b -> a = b
+  | Float a, Float b -> Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+  | Bool a, Bool b -> a = b
+  | List a, List b -> List.equal equal a b
+  | Obj a, Obj b ->
+      List.equal (fun (ka, va) (kb, vb) -> String.equal ka kb && equal va vb) a b
+  | _ -> false

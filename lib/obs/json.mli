@@ -1,0 +1,31 @@
+(** Minimal JSON values shared by every telemetry surface (batch
+    reports, bench rows, trace events).  Emission is deterministic in
+    the field order given; {!of_string} parses the same dialect back, so
+    an emitted line survives print -> parse -> print byte for byte. *)
+
+type t =
+  | Str of string
+  | Int of int
+  | Float of float
+  | Bool of bool
+  | List of t list
+  | Obj of (string * t) list
+
+val escape : string -> string
+
+(** Integral floats render as ["x.0"]; everything else as [%.17g], which
+    survives a round trip (a shorter format would truncate simulated
+    seconds and break byte-identical cache determinism). *)
+val float_repr : float -> string
+
+val to_string : t -> string
+
+(** Parse a complete JSON document.  Numbers without [./e/E] parse as
+    [Int], others as [Float]; object key order is preserved, so
+    [to_string] of the result reproduces the input byte for byte for
+    anything {!to_string} emitted. *)
+val of_string : string -> (t, string) result
+
+(** Structural equality; floats compare by bit pattern (NaN = NaN, and
+    [-0.] <> [0.]), matching what a print/parse round trip preserves. *)
+val equal : t -> t -> bool

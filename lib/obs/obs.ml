@@ -1,0 +1,218 @@
+(* The telemetry spine.  One [t] ("scope") collects everything a run
+   wants to report: monotonic counters and accumulated float samples
+   (the aggregate table), and a stream of timestamped events — points
+   and span begin/end pairs — kept in a bounded ring buffer and pushed
+   to any attached sinks (e.g. a JSON-lines writer).
+
+   Design constraints, in priority order:
+
+   - Telemetry must never change program results.  Producers only ever
+     *read* simulator state and write into the scope; the deterministic
+     numbers (instruction counts, simulated ns) live in Cost.meter and
+     are merely mirrored here.  test/test_obs.ml runs the whole corpus
+     traced vs untraced and asserts bit-identical machine state.
+   - A disabled scope ({!null}) must cost one branch per call site, so
+     the spine can stay compiled into every hot path.
+   - One scope may be shared by many domains (the Ucd pool): all
+     mutation happens under a mutex, and sink callbacks run under it
+     too, so trace lines from concurrent jobs never interleave. *)
+
+module Json = Json
+
+type phase = Begin | End | Point
+
+type event = {
+  seq : int;
+  t_ms : float;  (* milliseconds since the scope was created *)
+  name : string;
+  phase : phase;
+  attrs : (string * Json.t) list;
+}
+
+type t = {
+  enabled : bool;
+  clock : unit -> float;  (* seconds; absolute origin irrelevant *)
+  t0 : float;
+  lock : Mutex.t;
+  mutable seq : int;
+  counts : (string, int ref) Hashtbl.t;
+  samples : (string, float ref) Hashtbl.t;
+  ring : event option array;  (* circular; seq mod capacity *)
+  mutable ring_len : int;
+  mutable sinks : (event -> unit) list;
+}
+
+let default_ring = 4096
+
+let make ~enabled ~clock ~ring_capacity =
+  {
+    enabled;
+    clock;
+    t0 = (if enabled then clock () else 0.);
+    lock = Mutex.create ();
+    seq = 0;
+    counts = Hashtbl.create (if enabled then 64 else 1);
+    samples = Hashtbl.create (if enabled then 64 else 1);
+    ring = Array.make (if enabled then max 1 ring_capacity else 1) None;
+    ring_len = 0;
+    sinks = [];
+  }
+
+let null = make ~enabled:false ~clock:(fun () -> 0.) ~ring_capacity:1
+
+let create ?(clock = Sys.time) ?(ring_capacity = default_ring) () =
+  make ~enabled:true ~clock ~ring_capacity
+
+let enabled t = t.enabled
+
+let locked t f =
+  Mutex.lock t.lock;
+  match f () with
+  | v ->
+      Mutex.unlock t.lock;
+      v
+  | exception e ->
+      Mutex.unlock t.lock;
+      raise e
+
+let add_sink t sink = if t.enabled then locked t (fun () -> t.sinks <- sink :: t.sinks)
+
+(* ---- aggregate table ---- *)
+
+let count t name by =
+  if t.enabled then
+    locked t (fun () ->
+        match Hashtbl.find_opt t.counts name with
+        | Some r -> r := !r + by
+        | None -> Hashtbl.add t.counts name (ref by))
+
+let sample t name v =
+  if t.enabled then
+    locked t (fun () ->
+        match Hashtbl.find_opt t.samples name with
+        | Some r -> r := !r +. v
+        | None -> Hashtbl.add t.samples name (ref v))
+
+let table t =
+  if not t.enabled then []
+  else
+    locked t (fun () ->
+        let rows =
+          Hashtbl.fold (fun k r acc -> (k, Json.Int !r) :: acc) t.counts []
+        in
+        let rows =
+          Hashtbl.fold (fun k r acc -> (k, Json.Float !r) :: acc) t.samples rows
+        in
+        List.sort (fun (a, _) (b, _) -> String.compare a b) rows)
+
+let pp_table ppf t =
+  List.iter
+    (fun (k, v) ->
+      Format.fprintf ppf "%-40s %s@." k
+        (match v with Json.Int i -> string_of_int i | v -> Json.to_string v))
+    (table t)
+
+(* ---- events ---- *)
+
+let emit_locked t ~phase ~name ~attrs =
+  let ev =
+    {
+      seq = t.seq;
+      t_ms = (t.clock () -. t.t0) *. 1e3;
+      name;
+      phase;
+      attrs;
+    }
+  in
+  t.seq <- t.seq + 1;
+  t.ring.(ev.seq mod Array.length t.ring) <- Some ev;
+  if t.ring_len < Array.length t.ring then t.ring_len <- t.ring_len + 1;
+  List.iter (fun sink -> sink ev) t.sinks
+
+let emit t ~phase ~name ~attrs =
+  if t.enabled then locked t (fun () -> emit_locked t ~phase ~name ~attrs)
+
+let point t ?(attrs = []) name = emit t ~phase:Point ~name ~attrs
+
+let span_begin t ?(attrs = []) name = emit t ~phase:Begin ~name ~attrs
+let span_end t ?(attrs = []) name = emit t ~phase:End ~name ~attrs
+
+(* A span both traces (Begin/End events) and aggregates (its duration
+   accumulates into the sample ["<name>.ms"]), so `--metrics` shows
+   phase timings without anyone replaying the event stream. *)
+let with_span t ?(attrs = []) name f =
+  if not t.enabled then f ()
+  else begin
+    span_begin t ~attrs name;
+    let s0 = t.clock () in
+    let finish err =
+      let ms = (t.clock () -. s0) *. 1e3 in
+      sample t (name ^ ".ms") ms;
+      let attrs = [ ("ms", Json.Float ms) ] in
+      let attrs =
+        match err with None -> attrs | Some e -> ("error", Json.Str e) :: attrs
+      in
+      span_end t ~attrs name
+    in
+    match f () with
+    | v ->
+        finish None;
+        v
+    | exception e ->
+        finish (Some (Printexc.to_string e));
+        raise e
+  end
+
+(* oldest first; only the last [ring_capacity] events are retained *)
+let events t =
+  if not t.enabled then []
+  else
+    locked t (fun () ->
+        let cap = Array.length t.ring in
+        let first = t.seq - t.ring_len in
+        List.init t.ring_len (fun i ->
+            match t.ring.((first + i) mod cap) with
+            | Some ev -> ev
+            | None -> assert false))
+
+(* ---- event (de)serialization ---- *)
+
+let phase_string = function Begin -> "begin" | End -> "end" | Point -> "point"
+
+let phase_of_string = function
+  | "begin" -> Ok Begin
+  | "end" -> Ok End
+  | "point" -> Ok Point
+  | s -> Error (Printf.sprintf "bad phase %S" s)
+
+let event_json (ev : event) =
+  Json.Obj
+    [
+      ("seq", Json.Int ev.seq);
+      ("t_ms", Json.Float ev.t_ms);
+      ("name", Json.Str ev.name);
+      ("phase", Json.Str (phase_string ev.phase));
+      ("attrs", Json.Obj ev.attrs);
+    ]
+
+let event_of_json = function
+  | Json.Obj
+      [
+        ("seq", Json.Int seq);
+        ("t_ms", t_ms);
+        ("name", Json.Str name);
+        ("phase", Json.Str phase);
+        ("attrs", Json.Obj attrs);
+      ] -> (
+      let t_ms =
+        match t_ms with
+        | Json.Float f -> Ok f
+        | Json.Int i -> Ok (float_of_int i)
+        | _ -> Error "bad t_ms"
+      in
+      match (t_ms, phase_of_string phase) with
+      | Ok t_ms, Ok phase -> Ok { seq; t_ms; name; phase; attrs }
+      | Error m, _ | _, Error m -> Error m)
+  | _ -> Error "not an event object"
+
+let jsonl_sink write ev = write (Json.to_string (event_json ev))

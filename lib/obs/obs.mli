@@ -1,0 +1,84 @@
+(** Telemetry spine: one scope collects counters, float samples and a
+    bounded stream of timestamped events from every subsystem.
+
+    The invariant the whole repo leans on: telemetry on or off NEVER
+    changes program results.  Producers only read simulator state;
+    deterministic numbers (instruction counts, simulated ns) live in
+    [Cm.Cost.meter] and are mirrored into the scope for display.
+    [test/test_obs.ml] enforces this by running the whole corpus traced
+    vs untraced on both engines.
+
+    A scope is safe to share across domains: all mutation (and sink
+    callbacks) run under an internal mutex.  The {!null} scope is
+    disabled and costs one branch per call. *)
+
+module Json : module type of Json
+
+type phase = Begin | End | Point
+
+type event = {
+  seq : int;  (** creation order within the scope, from 0 *)
+  t_ms : float;  (** wall milliseconds since the scope was created *)
+  name : string;  (** dotted vocabulary, e.g. ["cm.fault.transient"] *)
+  phase : phase;
+  attrs : (string * Json.t) list;
+}
+
+type t
+
+(** The disabled scope: every operation is a no-op, {!enabled} is
+    [false].  Default for every [?obs] parameter in the repo. *)
+val null : t
+
+(** [create ()] makes an enabled scope.  [clock] supplies wall time in
+    seconds (default [Sys.time]; pass [Unix.gettimeofday] for real wall
+    clock — this library deliberately has no unix dependency).
+    [ring_capacity] bounds the retained event history (default 4096);
+    older events are still delivered to sinks, only {!events} forgets
+    them. *)
+val create : ?clock:(unit -> float) -> ?ring_capacity:int -> unit -> t
+
+val enabled : t -> bool
+
+(** Sinks receive every event as it is emitted, under the scope lock
+    (so concurrent emitters never interleave mid-line). *)
+val add_sink : t -> (event -> unit) -> unit
+
+(** [count t name by] adds [by] to the monotonic counter [name]. *)
+val count : t -> string -> int -> unit
+
+(** [sample t name v] accumulates [v] into the float sample [name]. *)
+val sample : t -> string -> float -> unit
+
+(** The aggregate table: every counter ([Int]) and sample ([Float]),
+    sorted by name. *)
+val table : t -> (string * Json.t) list
+
+val pp_table : Format.formatter -> t -> unit
+
+(** A point event (no duration). *)
+val point : t -> ?attrs:(string * Json.t) list -> string -> unit
+
+val span_begin : t -> ?attrs:(string * Json.t) list -> string -> unit
+val span_end : t -> ?attrs:(string * Json.t) list -> string -> unit
+
+(** [with_span t name f] brackets [f ()] in Begin/End events; the End
+    event carries an ["ms"] attribute (and ["error"] if [f] raised — the
+    exception is re-raised), and the duration also accumulates into the
+    sample ["<name>.ms"].  On a disabled scope this is exactly [f ()]. *)
+val with_span : t -> ?attrs:(string * Json.t) list -> string -> (unit -> 'a) -> 'a
+
+(** Retained events, oldest first (at most [ring_capacity]). *)
+val events : t -> event list
+
+(** Canonical JSON rendering of one event:
+    [{"seq":_,"t_ms":_,"name":_,"phase":"begin|end|point","attrs":{...}}].
+    {!event_of_json} inverts it; a rendered line re-parses and re-renders
+    byte-identically. *)
+val event_json : event -> Json.t
+
+val event_of_json : Json.t -> (event, string) result
+
+(** [jsonl_sink write] is a sink rendering each event with
+    {!event_json} and passing the line (no newline) to [write]. *)
+val jsonl_sink : (string -> unit) -> event -> unit

@@ -31,7 +31,6 @@ type compiled = {
   prog : P.program;
   carrays : (string * array_meta) list;
   cscalars : (string * scalar_meta) list;
-  iropt : Cm.Iropt.stats option;
 }
 
 (* ---------------- codegen state ---------------- *)
@@ -1822,7 +1821,7 @@ and declare_fe ctx d =
 
 (* ---------------- program ---------------- *)
 
-let compile ?(options = default_options) prog =
+let compile ?(options = default_options) ?(obs = Obs.null) prog =
   let b = P.Builder.create "uc" in
   let layouts = if options.use_mappings then Mapping.of_program prog else [] in
   let ctx =
@@ -1875,15 +1874,13 @@ let compile ?(options = default_options) prog =
   (* The observable state after a run is the named storage: declared
      arrays and front-end scalars.  Everything else (temporaries, mask
      saves, address fields) is fair game for dead-code elimination. *)
-  let prog, iropt =
+  let prog =
     if Cm.Iropt.enabled options.ir_opt then
       let live_out_fields = List.map (fun (_, m) -> m.afield) carrays in
       let live_out_regs = List.map (fun (_, m) -> m.sreg) cscalars in
-      let prog, st =
-        Cm.Iropt.run ~config:options.ir_opt ~live_out_fields ~live_out_regs
-          prog
-      in
-      (prog, Some st)
-    else (prog, None)
+      fst
+        (Cm.Iropt.run ~config:options.ir_opt ~live_out_fields ~live_out_regs
+           ~obs prog)
+    else prog
   in
-  { prog; carrays; cscalars; iropt }
+  { prog; carrays; cscalars }

@@ -50,10 +50,11 @@ type compiled = {
   prog : Cm.Paris.program;
   carrays : (string * array_meta) list;
   cscalars : (string * scalar_meta) list;
-  iropt : Cm.Iropt.stats option;
-      (** [None] when the IR optimizer was disabled *)
 }
 
-(** [compile program] lowers a checked, transformed program.
+(** [compile program] lowers a checked, transformed program.  [obs]
+    (default {!Obs.null}) is passed to the IR optimizer, which reports
+    its per-pass statistics as ["iropt."]-prefixed counters (the
+    surface behind [ucc --ir-opt-stats]).
     @raise Loc.Error on unsupported constructs. *)
-val compile : ?options:options -> Ast.program -> compiled
+val compile : ?options:options -> ?obs:Obs.t -> Ast.program -> compiled

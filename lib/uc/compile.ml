@@ -7,21 +7,23 @@ type t = {
    can memoize intermediate artifacts: parse once, lower once per option
    set, run once per (options, seed, fuel). *)
 
-let parse_source src =
-  let prog = Parser.parse_program src in
-  ignore (Sema.check prog);
+let parse_source ?(obs = Obs.null) src =
+  let prog = Obs.with_span obs "compile.parse" (fun () -> Parser.parse_program src) in
+  Obs.with_span obs "compile.sema" (fun () -> ignore (Sema.check prog));
   prog
 
-let lower ?options prog =
-  let prog = Transform.apply prog in
-  let prog = Optimize.fold_program prog in
-  Codegen.compile ?options prog
+let lower ?options ?(obs = Obs.null) prog =
+  let prog = Obs.with_span obs "compile.transform" (fun () -> Transform.apply prog) in
+  let prog = Obs.with_span obs "compile.fold" (fun () -> Optimize.fold_program prog) in
+  Obs.with_span obs "compile.codegen" (fun () -> Codegen.compile ?options ~obs prog)
 
-let compile_source ?options src = lower ?options (parse_source src)
+let compile_source ?options ?obs src =
+  lower ?options ?obs (parse_source ?obs src)
 
-let start_compiled ?cost ?seed ?fuel ?engine ?faults compiled =
+let start_compiled ?cost ?seed ?fuel ?engine ?faults ?obs compiled =
   let machine =
-    Cm.Machine.create ?cost ?seed ?fuel ?engine ?faults compiled.Codegen.prog
+    Cm.Machine.create ?cost ?seed ?fuel ?engine ?faults ?obs
+      compiled.Codegen.prog
   in
   { compiled; machine }
 
@@ -29,24 +31,34 @@ let step t ~fuel_slice = Cm.Machine.run_slice t.machine ~fuel_slice
 let finished t = Cm.Machine.finished t.machine
 let checkpoint t = Cm.Machine.checkpoint t.machine
 
-let restore_compiled ?engine ?faults compiled data =
+let restore_compiled ?engine ?faults ?obs compiled data =
   let machine =
-    Cm.Machine.restore ?engine ?faults compiled.Codegen.prog data
+    Cm.Machine.restore ?engine ?faults ?obs compiled.Codegen.prog data
   in
   { compiled; machine }
 
-let run_compiled ?cost ?seed ?fuel ?engine ?faults compiled =
-  let t = start_compiled ?cost ?seed ?fuel ?engine ?faults compiled in
+let run_compiled ?cost ?seed ?fuel ?engine ?faults ?obs compiled =
+  let t = start_compiled ?cost ?seed ?fuel ?engine ?faults ?obs compiled in
   Cm.Machine.run t.machine;
   t
 
-let run_source ?options ?cost ?seed ?fuel ?engine ?faults src =
-  run_compiled ?cost ?seed ?fuel ?engine ?faults (compile_source ?options src)
+let run_source ?options ?cost ?seed ?fuel ?engine ?faults ?obs src =
+  run_compiled ?cost ?seed ?fuel ?engine ?faults ?obs
+    (compile_source ?options ?obs src)
+
+(* "no such name" messages list what does exist, so a CLI typo is a
+   one-line fix instead of a round trip through the source *)
+let known_names = function
+  | [] -> "none"
+  | names -> String.concat ", " (List.sort String.compare names)
 
 let meta t name =
   match List.assoc_opt name t.compiled.Codegen.carrays with
   | Some m -> m
-  | None -> failwith ("no global array named " ^ name)
+  | None ->
+      failwith
+        (Printf.sprintf "no global array named %S (known arrays: %s)" name
+           (known_names (List.map fst t.compiled.Codegen.carrays)))
 
 (* read a field back in logical element order *)
 let unscramble (m : Codegen.array_meta) (raw : 'a array) : 'a array =
@@ -68,7 +80,10 @@ let float_array t name =
 let scalar t name =
   match List.assoc_opt name t.compiled.Codegen.cscalars with
   | Some m -> Cm.Machine.reg t.machine m.Codegen.sreg
-  | None -> failwith ("no global scalar named " ^ name)
+  | None ->
+      failwith
+        (Printf.sprintf "no global scalar named %S (known scalars: %s)" name
+           (known_names (List.map fst t.compiled.Codegen.cscalars)))
 
 let output t = Cm.Machine.output t.machine
 let elapsed_seconds t = Cm.Machine.elapsed_seconds t.machine

@@ -2,7 +2,14 @@
 
     Pipeline: {!Parser} -> {!Sema} -> {!Transform} (inlining, solve
     lowering) -> {!Codegen} -> {!Cm.Machine}.  Results are read back in
-    logical order regardless of the data mapping in effect. *)
+    logical order regardless of the data mapping in effect.
+
+    Every stage takes an optional telemetry scope [obs] (default
+    {!Obs.null}).  Compilation stages emit [compile.parse],
+    [compile.sema], [compile.transform], [compile.fold] and
+    [compile.codegen] spans (plus the IR optimizer's ["iropt."] events);
+    execution stages hand the scope to the machine.  Telemetry never
+    changes compilation or program results. *)
 
 type t = {
   compiled : Codegen.compiled;
@@ -11,14 +18,16 @@ type t = {
 
 (** Parse and type-check only (the first re-enterable stage; the result
     may be lowered many times under different option sets). *)
-val parse_source : string -> Ast.program
+val parse_source : ?obs:Obs.t -> string -> Ast.program
 
 (** Transform, fold and lower an already-checked program. *)
-val lower : ?options:Codegen.options -> Ast.program -> Codegen.compiled
+val lower :
+  ?options:Codegen.options -> ?obs:Obs.t -> Ast.program -> Codegen.compiled
 
 (** Parse, check, transform and lower a program without running it.
     Equivalent to [lower ?options (parse_source src)]. *)
-val compile_source : ?options:Codegen.options -> string -> Codegen.compiled
+val compile_source :
+  ?options:Codegen.options -> ?obs:Obs.t -> string -> Codegen.compiled
 
 (** Allocate a fresh machine for an already-lowered program without
     running anything: the entry point for sliced execution ({!step}).
@@ -29,6 +38,7 @@ val start_compiled :
   ?fuel:int ->
   ?engine:Cm.Machine.engine ->
   ?faults:Cm.Fault.plan ->
+  ?obs:Obs.t ->
   Codegen.compiled ->
   t
 
@@ -48,6 +58,7 @@ val checkpoint : t -> string
 val restore_compiled :
   ?engine:Cm.Machine.engine ->
   ?faults:Cm.Fault.plan ->
+  ?obs:Obs.t ->
   Codegen.compiled ->
   string ->
   t
@@ -61,6 +72,7 @@ val run_compiled :
   ?fuel:int ->
   ?engine:Cm.Machine.engine ->
   ?faults:Cm.Fault.plan ->
+  ?obs:Obs.t ->
   Codegen.compiled ->
   t
 
@@ -74,16 +86,26 @@ val run_source :
   ?fuel:int ->
   ?engine:Cm.Machine.engine ->
   ?faults:Cm.Fault.plan ->
+  ?obs:Obs.t ->
   string ->
   t
 
+(** Metadata (element type, dims, layout) of a global array.
+    @raise Failure on an unknown name; the message lists the known
+    global arrays. *)
+val meta : t -> string -> Codegen.array_meta
+
 (** Final contents of a global array, flattened row-major in logical
-    element order (layouts are inverted). *)
+    element order (layouts are inverted).
+    @raise Failure on an unknown name; the message lists the known
+    global arrays. *)
 val int_array : t -> string -> int array
 
 val float_array : t -> string -> float array
 
-(** Final value of a global scalar. *)
+(** Final value of a global scalar.
+    @raise Failure on an unknown name; the message lists the known
+    global scalars. *)
 val scalar : t -> string -> Cm.Paris.scalar
 
 (** Lines produced by [print]. *)

@@ -15,6 +15,36 @@ let affine_offset e =
   | _ -> Loc.error e.eloc "permute subscripts must be affine (i, i + c, i - c)"
 
 let of_program prog =
+  (* global array dims, for validating fold/copy declarations at their
+     source location rather than as an Invalid_argument deep inside
+     address generation.  Dims that are not compile-time constants are
+     skipped (the layout machinery only ever sees constant-dim globals,
+     so there is nothing to check). *)
+  let global_dims =
+    List.concat_map
+      (function
+        | Tdecl (Dvar (_, ds)) ->
+            List.filter_map
+              (fun d ->
+                match d.ddims with
+                | [] -> None
+                | dims -> (
+                    try Some (d.dname, List.map Sema.const_eval dims)
+                    with _ -> None))
+              ds
+        | _ -> [])
+      prog
+  in
+  let global_scalars =
+    List.concat_map
+      (function
+        | Tdecl (Dvar (_, ds)) ->
+            List.filter_map
+              (fun d -> if d.ddims = [] then Some d.dname else None)
+              ds
+        | _ -> [])
+      prog
+  in
   let table = ref [] in
   let add name loc layout =
     if List.mem_assoc name !table then
@@ -34,8 +64,32 @@ let of_program prog =
                   if Array.exists (fun c -> c <> 0) offs then
                     add pm.ptarget pm.mloc (Shifted offs)
                   (* a zero-offset permute is the default layout *)
-              | Mfold (name, factor, loc) -> add name loc (Folded factor)
-              | Mcopy (name, n, loc) -> add name loc (Copied (Sema.const_eval n)))
+              | Mfold (name, factor, loc) ->
+                  if List.mem name global_scalars then
+                    Loc.error loc
+                      "cannot fold scalar %s: fold needs an array with a \
+                       leading dimension"
+                      name;
+                  if factor <= 0 then
+                    Loc.error loc "fold factor must be positive (got %d)"
+                      factor;
+                  (match List.assoc_opt name global_dims with
+                  | Some (d0 :: _) when d0 mod factor <> 0 ->
+                      Loc.error loc
+                        "fold factor %d does not divide the leading \
+                         dimension %d of array %s"
+                        factor d0 name
+                  | _ -> ());
+                  add name loc (Folded factor)
+              | Mcopy (name, n, loc) ->
+                  let count = Sema.const_eval n in
+                  if List.mem name global_scalars then
+                    Loc.error loc "cannot copy scalar %s: copy needs an array"
+                      name;
+                  if count < 1 then
+                    Loc.error loc "copy count must be at least 1 (got %d)"
+                      count;
+                  add name loc (Copied count))
             m.mmappings
       | Tdecl _ | Tfunc _ -> ())
     prog;

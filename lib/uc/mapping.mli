@@ -26,7 +26,10 @@ type layout =
 
 (** Per-array layouts implied by the program's map sections.  Arrays not
     mentioned get no entry (treat as [Default]).
-    @raise Loc.Error on conflicting mappings for one array. *)
+    @raise Loc.Error at the map-section site on conflicting mappings for
+    one array, a fold of a scalar, a non-positive fold factor, a fold
+    factor that does not divide the array's leading dimension, a copy of
+    a scalar, or a copy count below 1. *)
 val of_program : Ast.program -> (string * layout) list
 
 (** Physical geometry of an array with the given logical dims. *)

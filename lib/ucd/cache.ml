@@ -31,8 +31,9 @@ type t = {
 
 (* bump when Report.result or the artifact layout changes shape: stale
    artifacts then read as misses instead of Marshal segfault fodder.
-   v2: adds a payload checksum (corruption is detected, not guessed). *)
-let artifact_version = 2
+   v2: adds a payload checksum (corruption is detected, not guessed).
+   v3: Report.result gains the metrics column. *)
+let artifact_version = 3
 
 let create ?dir () =
   (match dir with
@@ -199,6 +200,26 @@ let stats t =
         corruptions = c.c_corruptions;
         write_failures = c.c_write_failures;
       })
+
+(* Mirror the cumulative counters into a telemetry scope as
+   "ucd.cache."-prefixed counts.  Call once, after a batch; calling
+   twice would double the monotonic counters. *)
+let publish t obs =
+  if Obs.enabled obs then begin
+    let s = stats t in
+    List.iter
+      (fun (name, v) -> Obs.count obs ("ucd.cache." ^ name) v)
+      [
+        ("ast_hits", s.ast_hits);
+        ("ast_misses", s.ast_misses);
+        ("ir_hits", s.ir_hits);
+        ("ir_misses", s.ir_misses);
+        ("run_hits", s.run_hits);
+        ("run_misses", s.run_misses);
+        ("corruptions", s.corruptions);
+        ("write_failures", s.write_failures);
+      ]
+  end
 
 let pp_stats ppf s =
   Format.fprintf ppf "cache: ast %d/%d hit, ir %d/%d hit, run %d/%d hit"

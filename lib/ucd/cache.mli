@@ -55,3 +55,10 @@ val store_run : t -> string -> Report.result -> unit
 
 val stats : t -> stats
 val pp_stats : Format.formatter -> stats -> unit
+
+(** [publish t obs] mirrors the cumulative {!stats} counters into [obs]
+    as ["ucd.cache."]-prefixed counts ([ast_hits], [ir_misses],
+    [corruptions], …).  Call once after a batch; the scope's counters
+    are monotonic, so publishing twice doubles them.  A no-op on a
+    disabled scope. *)
+val publish : t -> Obs.t -> unit

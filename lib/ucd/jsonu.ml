@@ -1,46 +1,6 @@
-(* Minimal JSON emission (no external dependency).  Only what the batch
-   reports and bench summaries need: objects of scalars and string
-   lists, printed deterministically in the field order given. *)
+(* JSON for batch reports, bench rows and trace lines.  The actual
+   implementation lives in Obs.Json (shared with the telemetry spine);
+   this alias keeps the historical Ucd.Jsonu name working, now including
+   a parser ([of_string]) so trace output can be round-tripped. *)
 
-type t =
-  | Str of string
-  | Int of int
-  | Float of float
-  | Bool of bool
-  | List of t list
-  | Obj of (string * t) list
-
-let escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
-
-(* %.17g survives a round-trip; %g would truncate simulated seconds and
-   break byte-identical cache determinism for long runs *)
-let float_repr f =
-  if Float.is_integer f && Float.abs f < 1e15 then
-    Printf.sprintf "%.1f" f
-  else Printf.sprintf "%.17g" f
-
-let rec to_string = function
-  | Str s -> "\"" ^ escape s ^ "\""
-  | Int i -> string_of_int i
-  | Float f -> float_repr f
-  | Bool b -> string_of_bool b
-  | List xs -> "[" ^ String.concat "," (List.map to_string xs) ^ "]"
-  | Obj kvs ->
-      "{"
-      ^ String.concat ","
-          (List.map (fun (k, v) -> "\"" ^ escape k ^ "\":" ^ to_string v) kvs)
-      ^ "}"
+include Obs.Json

@@ -11,6 +11,9 @@ type result = {
   seed : int;
   status : status;
   simulated_seconds : float;
+  metrics : (string * float) list;
+      (* deterministic machine counters (Cm.Cost.metrics); part of the
+         canonical content, unlike wall_seconds *)
   output : string list;
   wall_seconds : float;
   from_cache : bool;
@@ -34,8 +37,14 @@ let canonical_obj r =
     ("seed", Jsonu.Int r.seed);
   ]
   @ status_fields r.status
+  @ [ ("simulated_seconds", Jsonu.Float r.simulated_seconds) ]
+  @ (if r.metrics = [] then []
+     else
+       [
+         ( "metrics",
+           Jsonu.Obj (List.map (fun (k, v) -> (k, Jsonu.Float v)) r.metrics) );
+       ])
   @ [
-      ("simulated_seconds", Jsonu.Float r.simulated_seconds);
       ("output", Jsonu.List (List.map (fun l -> Jsonu.Str l) r.output));
       ("attempts", Jsonu.Int r.attempts);
     ]

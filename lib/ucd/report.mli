@@ -16,6 +16,11 @@ type result = {
   status : status;
   simulated_seconds : float;  (** 0 when the job did not finish; partial
                                   progress for in-flight timeouts *)
+  metrics : (string * float) list;
+      (** deterministic machine counters ({!Cm.Cost.metrics}) for runs
+          that executed ([Done]/[Timeout]); [[]] otherwise.  Canonical
+          content: engine-identical and unaffected by telemetry, so it
+          is safe to cache and to compare across runs *)
   output : string list;  (** lines produced by [print] *)
   wall_seconds : float;  (** time to produce this result in this process *)
   from_cache : bool;

@@ -31,10 +31,11 @@ let backoff_delay policy ~seed ~attempt =
     capped *. (0.5 +. frac)
   end
 
-let compute ~policy ~t0 cache (job : Job.t) digest =
+let compute ~policy ~t0 ~obs cache (job : Job.t) digest =
   let source_digest = Digest.to_hex (Digest.string job.Job.source) in
   let options_key = Job.options_summary job.Job.options in
-  let finish ?(attempts = 1) ?(trace = []) status simulated output =
+  let finish ?(attempts = 1) ?(trace = []) ?(metrics = []) status simulated
+      output =
     {
       Report.job_name = job.Job.name;
       digest;
@@ -42,6 +43,7 @@ let compute ~policy ~t0 cache (job : Job.t) digest =
       seed = job.Job.seed;
       status;
       simulated_seconds = simulated;
+      metrics;
       output;
       wall_seconds = 0.;
       from_cache = false;
@@ -52,11 +54,11 @@ let compute ~policy ~t0 cache (job : Job.t) digest =
   try
     let ast =
       Cache.memo_ast cache ~source_digest (fun () ->
-          Uc.Compile.parse_source job.Job.source)
+          Uc.Compile.parse_source ~obs job.Job.source)
     in
     let compiled =
       Cache.memo_ir cache ~source_digest ~options_key (fun () ->
-          Uc.Compile.lower ~options:job.Job.options ast)
+          Uc.Compile.lower ~options:job.Job.options ~obs ast)
     in
     let deadline_over () =
       match job.Job.deadline with
@@ -68,19 +70,26 @@ let compute ~policy ~t0 cache (job : Job.t) digest =
        so a retry can resume instead of replaying from scratch *)
     let last_ckpt = ref None in
     let rec attempt_run attempt trace =
+      if Obs.enabled obs then
+        Obs.point obs "job.attempt"
+          ~attrs:
+            [
+              ("name", Obs.Json.Str job.Job.name);
+              ("attempt", Obs.Json.Int (attempt + 1));
+            ];
       let plan =
         Option.map (Cm.Fault.instantiate ~attempt) job.Job.faults
       in
       let t =
         match !last_ckpt with
         | Some data when policy.resume -> (
-            try Uc.Compile.restore_compiled ?faults:plan compiled data
+            try Uc.Compile.restore_compiled ?faults:plan ~obs compiled data
             with Cm.Machine.Error _ ->
               Uc.Compile.start_compiled ~seed:job.Job.seed ?fuel:job.Job.fuel
-                ?faults:plan compiled)
+                ?faults:plan ~obs compiled)
         | _ ->
             Uc.Compile.start_compiled ~seed:job.Job.seed ?fuel:job.Job.fuel
-              ?faults:plan compiled
+              ?faults:plan ~obs compiled
       in
       (* the deadline is enforced between fuel slices: a slow job stops
          within one slice of its limit instead of holding the worker *)
@@ -90,9 +99,14 @@ let compute ~policy ~t0 cache (job : Job.t) digest =
           match Uc.Compile.step t ~fuel_slice:policy.fuel_slice with
           | `Done -> `Finished
           | `More ->
+              Obs.count obs "ucd.slices" 1;
               if policy.resume && job.Job.faults <> None then
                 last_ckpt := Some (Uc.Compile.checkpoint t);
               slices ()
+      in
+      let machine_metrics () =
+        Cm.Machine.publish t.Uc.Compile.machine;
+        Cm.Cost.metrics (Uc.Compile.meter t)
       in
       match slices () with
       | `Finished ->
@@ -101,16 +115,19 @@ let compute ~policy ~t0 cache (job : Job.t) digest =
                verdict so a deadline is never beaten by luck *)
             let limit = Option.get job.Job.deadline in
             finish ~attempts:(attempt + 1) ~trace:(List.rev trace)
+              ~metrics:(machine_metrics ())
               (Report.Timeout limit)
               (Uc.Compile.elapsed_seconds t)
               (Uc.Compile.output t)
           else
-            finish ~attempts:(attempt + 1) ~trace:(List.rev trace) Report.Done
+            finish ~attempts:(attempt + 1) ~trace:(List.rev trace)
+              ~metrics:(machine_metrics ()) Report.Done
               (Uc.Compile.elapsed_seconds t)
               (Uc.Compile.output t)
       | `Deadline ->
           let limit = Option.get job.Job.deadline in
           finish ~attempts:(attempt + 1) ~trace:(List.rev trace)
+            ~metrics:(machine_metrics ())
             (Report.Timeout limit)
             (Uc.Compile.elapsed_seconds t)
             (Uc.Compile.output t)
@@ -121,6 +138,14 @@ let compute ~policy ~t0 cache (job : Job.t) digest =
             finish ~attempts:(attempt + 1) ~trace:(List.rev trace)
               (Report.Faulted msg) 0. []
           else begin
+            Obs.count obs "ucd.retries" 1;
+            if Obs.enabled obs then
+              Obs.point obs "job.retry"
+                ~attrs:
+                  [
+                    ("name", Obs.Json.Str job.Job.name);
+                    ("fault", Obs.Json.Str msg);
+                  ];
             let delay =
               backoff_delay policy ~seed:job.Job.seed ~attempt
             in
@@ -138,24 +163,58 @@ let compute ~policy ~t0 cache (job : Job.t) digest =
   | Failure msg -> finish (Report.Failed msg) 0. []
   | Not_found -> finish (Report.Failed "internal lookup failure") 0. []
 
-let run_job ?(policy = default_policy) ~cache (job : Job.t) =
+let status_string = function
+  | Report.Done -> "ok"
+  | Report.Failed _ -> "failed"
+  | Report.Timeout _ -> "timeout"
+  | Report.Faulted _ -> "faulted"
+
+let run_job ?(policy = default_policy) ?(obs = Obs.null) ~cache (job : Job.t) =
   let t0 = now () in
   let digest = Job.digest job in
   (* fault-bearing runs are policy-dependent (retry budget, resume), so
      they are computed fresh every time, like timeouts *)
   let cacheable = job.Job.faults = None in
-  match if cacheable then Cache.find_run cache digest else None with
-  | Some r -> { r with Report.from_cache = true; wall_seconds = now () -. t0 }
-  | None ->
-      let r = compute ~policy ~t0 cache job digest in
-      let wall = now () -. t0 in
-      (match r.Report.status with
-      | Report.Timeout _ | Report.Faulted _ -> ()
-      | _ when not cacheable -> ()
-      | _ -> Cache.store_run cache digest r);
-      { r with Report.wall_seconds = wall }
+  Obs.with_span obs "job"
+    ~attrs:
+      [ ("name", Obs.Json.Str job.Job.name); ("digest", Obs.Json.Str digest) ]
+    (fun () ->
+      let cached = if cacheable then Cache.find_run cache digest else None in
+      if Obs.enabled obs then
+        Obs.point obs "job.cache"
+          ~attrs:
+            [
+              ("name", Obs.Json.Str job.Job.name);
+              ( "result",
+                Obs.Json.Str
+                  (if not cacheable then "bypass"
+                   else match cached with Some _ -> "hit" | None -> "miss") );
+            ];
+      let r =
+        match cached with
+        | Some r ->
+            { r with Report.from_cache = true; wall_seconds = now () -. t0 }
+        | None ->
+            let r = compute ~policy ~t0 ~obs cache job digest in
+            let wall = now () -. t0 in
+            (match r.Report.status with
+            | Report.Timeout _ | Report.Faulted _ -> ()
+            | _ when not cacheable -> ()
+            | _ -> Cache.store_run cache digest r);
+            { r with Report.wall_seconds = wall }
+      in
+      if Obs.enabled obs then
+        Obs.point obs "job.done"
+          ~attrs:
+            [
+              ("name", Obs.Json.Str job.Job.name);
+              ("status", Obs.Json.Str (status_string r.Report.status));
+              ("attempts", Obs.Json.Int r.Report.attempts);
+              ("cache", Obs.Json.Bool r.Report.from_cache);
+            ];
+      r)
 
-let run_jobs ?domains ?queue_bound ?policy ~cache jobs =
+let run_jobs ?domains ?queue_bound ?policy ?obs ~cache jobs =
   List.map2
     (fun (job : Job.t) outcome ->
       match outcome with
@@ -170,6 +229,7 @@ let run_jobs ?domains ?queue_bound ?policy ~cache jobs =
             seed = job.Job.seed;
             status = Report.Failed (Printexc.to_string exn);
             simulated_seconds = 0.;
+            metrics = [];
             output = [];
             wall_seconds = 0.;
             from_cache = false;
@@ -177,7 +237,7 @@ let run_jobs ?domains ?queue_bound ?policy ~cache jobs =
             fault_trace = [];
           })
     jobs
-    (Pool.map ?domains ?queue_bound (run_job ?policy ~cache) jobs)
+    (Pool.map ?domains ?queue_bound (run_job ?policy ?obs ~cache) jobs)
 
 let corpus_jobs ?options ?seed ?fuel ?deadline ?faults ?retries () =
   List.map

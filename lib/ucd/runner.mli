@@ -36,15 +36,26 @@ val default_policy : policy
 
 (** Run one job: cache lookup, else compile (via the staged
     {!Uc.Compile} API, memoizing AST and IR) and execute under the
-    policy. *)
-val run_job : ?policy:policy -> cache:Cache.t -> Job.t -> Report.result
+    policy.
+
+    [obs] (default {!Obs.null}) receives the job lifecycle: a ["job"]
+    span around the whole unit of work, ["job.cache"] (hit/miss/bypass),
+    ["job.attempt"], ["job.retry"] and ["job.done"] points, the
+    ["ucd.slices"]/["ucd.retries"] counters, and — via
+    {!Cm.Machine.publish} — the machine's ["cm."] statistics.  One scope
+    may be shared by every pool worker; telemetry never changes results
+    (the report row, including its [metrics], is identical with a null
+    scope). *)
+val run_job :
+  ?policy:policy -> ?obs:Obs.t -> cache:Cache.t -> Job.t -> Report.result
 
 (** Run a batch on a domain pool ({!Pool.map}); results are returned in
-    submission order. *)
+    submission order.  [obs] is shared by all workers. *)
 val run_jobs :
   ?domains:int ->
   ?queue_bound:int ->
   ?policy:policy ->
+  ?obs:Obs.t ->
   cache:Cache.t ->
   Job.t list ->
   Report.result list

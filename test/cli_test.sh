@@ -130,4 +130,60 @@ if grep -q '"status":"failed"' faultgate.jsonl; then exit 1; fi
 if grep -q '"status":"timeout"' faultgate.jsonl; then exit 1; fi
 grep -q '"summary":true' faultgate.jsonl
 
+# ---- telemetry ----
+
+# --metrics prints the aggregate table on stderr; results are unchanged
+out=$($UCC run ../examples/uc/quickstart.uc --metrics 2>metrics.txt)
+echo "$out" | grep -q "sum of squares 0..9 = 285"
+grep -q "cm.pe_ops" metrics.txt
+grep -q "compile.parse.ms" metrics.txt
+
+# --trace=FILE writes JSON-lines events; stdout is unchanged
+out=$($UCC run ../examples/uc/quickstart.uc --trace=trace.jsonl)
+echo "$out" | grep -q "sum of squares 0..9 = 285"
+grep -q '"name":"compile.parse"' trace.jsonl
+grep -q '"phase":"begin"' trace.jsonl
+
+# --ir-opt-stats now reads from the same spine
+$UCC run ../examples/uc/quickstart.uc --ir-opt-stats 2>iropt.txt > /dev/null
+grep -q "iropt" iropt.txt
+
+# unknown array/scalar names are one-line errors listing the known ones
+if $UCC run ../examples/uc/quickstart.uc --arrays nosuch 2>err.txt; then exit 1; fi
+grep -q "known arrays" err.txt
+
+# batch --trace/--metrics: job lifecycle events and cache counters
+$UCC batch manifest.txt --cache-dir none --trace=batch_trace.jsonl --metrics \
+  > /dev/null 2>batch_metrics.txt
+grep -q '"name":"job"' batch_trace.jsonl
+grep -q '"name":"job.cache"' batch_trace.jsonl
+grep -q "ucd.cache.run_misses" batch_metrics.txt
+
+# ---- bench snapshot comparison ----
+
+COMPARE=../bench/compare.exe
+cat > old.json <<'EOF'
+{"section":"fig6","n":8,"uc":2.0,"cstar":1.0}
+EOF
+cat > new.json <<'EOF'
+{"section":"fig6","n":8,"uc":1.5,"cstar":1.0,"router_ops":7.0}
+EOF
+# strict mode: any difference fails
+if $COMPARE old.json new.json > /dev/null; then exit 1; fi
+# --allow-faster: a drop plus new metrics columns passes, listing both
+$COMPARE --allow-faster old.json new.json > cmp.txt
+grep -q "+router_ops=7" cmp.txt
+grep -q "none regressed" cmp.txt
+# a measured quantity that rose still fails
+cat > slower.json <<'EOF'
+{"section":"fig6","n":8,"uc":2.5,"cstar":1.0,"router_ops":7.0}
+EOF
+if $COMPARE --allow-faster old.json slower.json > /dev/null; then exit 1; fi
+# and so does a column that disappeared
+cat > gone.json <<'EOF'
+{"section":"fig6","n":8,"uc":1.5}
+EOF
+if $COMPARE --allow-faster old.json gone.json > cmp.txt; then exit 1; fi
+grep -q "disappeared" cmp.txt
+
 echo "cli ok"

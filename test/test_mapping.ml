@@ -66,6 +66,142 @@ void main() { ; }
   check Alcotest.bool "c copied" true
     (List.assoc "c" layouts = Uc.Mapping.Copied 3)
 
+(* bad fold/copy declarations must be rejected at the map-section site
+   with a source location, not as an Invalid_argument from address
+   arithmetic deep inside codegen.  Sema rejects these earlier with its
+   own (stricter) rules; of_program is the backstop for callers that
+   skip Sema, so these tests parse but deliberately do not check. *)
+let expect_mapping_error name src fragment =
+  let prog = Uc.Parser.parse_program src in
+  try
+    ignore (Uc.Mapping.of_program prog);
+    Alcotest.fail (name ^ ": expected Loc.Error")
+  with Uc.Loc.Error (_, msg) ->
+    check Alcotest.bool
+      (Printf.sprintf "%s: %S mentions %S" name msg fragment)
+      true
+      (Astring.String.is_infix ~affix:fragment msg)
+
+let test_fold_factor_rejected () =
+  expect_mapping_error "non-dividing factor"
+    {|
+index-set I:i = {0..7};
+int a[8];
+map (I) { fold a by 3; }
+void main() { ; }
+|}
+    "does not divide";
+  expect_mapping_error "zero factor"
+    {|
+index-set I:i = {0..7};
+int a[8];
+map (I) { fold a by 0; }
+void main() { ; }
+|}
+    "must be positive"
+
+let test_fold_of_scalar_rejected () =
+  expect_mapping_error "fold of scalar"
+    {|
+index-set I:i = {0..7};
+int s;
+int a[8];
+map (I) { fold s by 2; }
+void main() { ; }
+|}
+    "cannot fold scalar"
+
+let test_copy_rejected () =
+  expect_mapping_error "copy of scalar"
+    {|
+index-set I:i = {0..7};
+int s;
+int a[8];
+map (I) { copy s along 3; }
+void main() { ; }
+|}
+    "cannot copy scalar";
+  expect_mapping_error "copy count 0"
+    {|
+index-set I:i = {0..7};
+int a[8];
+map (I) { copy a along 0; }
+void main() { ; }
+|}
+    "at least 1"
+
+(* ---------------- layout bijection property ---------------- *)
+
+(* Every layout is a bijection from the logical domain onto its image in
+   the physical array given by physical_dims: indices stay in range,
+   never collide, and (for Copied, whose image is copy 0) exactly fill
+   [0, total).  This is what makes result unscrambling well-defined. *)
+let layout_gen =
+  let open QCheck.Gen in
+  let* rank = int_range 1 3 in
+  let* dims = list_repeat rank (int_range 1 6) in
+  let* layout =
+    oneof
+      [
+        return Uc.Mapping.Default;
+        (let* offs = list_repeat rank (int_range (-5) 5) in
+         return (Uc.Mapping.Shifted (Array.of_list offs)));
+        (let d0 = List.hd dims in
+         let divisors =
+           List.filter (fun f -> d0 mod f = 0) (List.init d0 (fun i -> i + 1))
+         in
+         let* f = oneofl divisors in
+         return (Uc.Mapping.Folded f));
+        (let* m = int_range 1 4 in
+         return (Uc.Mapping.Copied m));
+      ]
+  in
+  return (layout, dims)
+
+let layout_print (layout, dims) =
+  let l =
+    match layout with
+    | Uc.Mapping.Default -> "default"
+    | Uc.Mapping.Shifted o ->
+        Printf.sprintf "shifted [%s]"
+          (String.concat ";" (Array.to_list (Array.map string_of_int o)))
+    | Uc.Mapping.Folded f -> Printf.sprintf "folded %d" f
+    | Uc.Mapping.Copied m -> Printf.sprintf "copied %d" m
+  in
+  Printf.sprintf "%s of [%s]" l
+    (String.concat ";" (List.map string_of_int dims))
+
+let prop_layout_bijection =
+  QCheck.Test.make ~count:500 ~name:"layout is a bijection"
+    (QCheck.make ~print:layout_print layout_gen)
+    (fun (layout, dims) ->
+      let total = List.fold_left ( * ) 1 dims in
+      let pdims = Uc.Mapping.physical_dims layout dims in
+      let ptotal = List.fold_left ( * ) 1 pdims in
+      (match layout with
+      | Uc.Mapping.Copied m ->
+          if ptotal <> m * total then
+            QCheck.Test.fail_reportf "copied physical size %d <> %d" ptotal
+              (m * total)
+      | _ ->
+          if ptotal <> total then
+            QCheck.Test.fail_reportf "physical size %d <> logical %d" ptotal
+              total);
+      (* the image is exactly [0, total): in range, no collisions *)
+      let g = Cm.Geometry.create dims in
+      let hit = Array.make total false in
+      for logical = 0 to total - 1 do
+        let coords = Array.to_list (Cm.Geometry.coords g logical) in
+        let phys = Uc.Mapping.physical_index layout dims coords in
+        if phys < 0 || phys >= total then
+          QCheck.Test.fail_reportf "index %d out of range for logical %d" phys
+            logical;
+        if hit.(phys) then
+          QCheck.Test.fail_reportf "collision at physical %d" phys;
+        hit.(phys) <- true
+      done;
+      true)
+
 let test_conflicting_mappings () =
   let src =
     {|
@@ -145,6 +281,10 @@ let () =
           Alcotest.test_case "copied" `Quick test_layout_copied;
           Alcotest.test_case "of_program" `Quick test_of_program;
           Alcotest.test_case "conflicts" `Quick test_conflicting_mappings;
+          Alcotest.test_case "bad fold factor" `Quick test_fold_factor_rejected;
+          Alcotest.test_case "fold of scalar" `Quick test_fold_of_scalar_rejected;
+          Alcotest.test_case "bad copy" `Quick test_copy_rejected;
+          QCheck_alcotest.to_alcotest prop_layout_bijection;
         ] );
       ( "fold",
         [

@@ -1,0 +1,246 @@
+(* The telemetry spine (lib/obs): scope behaviour, the JSON codec, and
+   the invariant the whole repo leans on — telemetry on or off NEVER
+   changes program results.  The "corpus" suite is the `make ci-obs`
+   gate: every named UC program, on both machine engines, produces a
+   bit-identical observable snapshot with a null scope and with full
+   tracing, and every emitted trace line survives a round trip through
+   Ucd.Jsonu. *)
+
+let check = Alcotest.check
+
+(* ---------------- unit: scopes ---------------- *)
+
+let test_counters_and_samples () =
+  let obs = Obs.create ~clock:(fun () -> 0.0) () in
+  Obs.count obs "ops" 2;
+  Obs.count obs "ops" 3;
+  Obs.sample obs "secs" 1.5;
+  Obs.sample obs "secs" 2.25;
+  (match Obs.table obs with
+  | [ ("ops", Obs.Json.Int 5); ("secs", Obs.Json.Float s) ] ->
+      check (Alcotest.float 1e-9) "sample sum" 3.75 s
+  | t ->
+      Alcotest.failf "unexpected table: %s"
+        (Obs.Json.to_string (Obs.Json.Obj t)));
+  check Alcotest.bool "enabled" true (Obs.enabled obs)
+
+let test_null_scope () =
+  check Alcotest.bool "disabled" false (Obs.enabled Obs.null);
+  Obs.count Obs.null "ops" 1;
+  Obs.sample Obs.null "secs" 1.0;
+  Obs.point Obs.null "p";
+  check Alcotest.int "no events" 0 (List.length (Obs.events Obs.null));
+  check Alcotest.int "no table" 0 (List.length (Obs.table Obs.null));
+  (* with_span on a disabled scope is exactly f () *)
+  let calls = ref 0 in
+  let r = Obs.with_span Obs.null "s" (fun () -> incr calls; 42) in
+  check Alcotest.int "result" 42 r;
+  check Alcotest.int "one call" 1 !calls;
+  check Alcotest.int "still no events" 0 (List.length (Obs.events Obs.null))
+
+let test_with_span () =
+  let now = ref 1.0 in
+  let obs = Obs.create ~clock:(fun () -> !now) () in
+  let r =
+    Obs.with_span obs "work"
+      ~attrs:[ ("k", Obs.Json.Str "v") ]
+      (fun () ->
+        now := !now +. 0.25;
+        "done")
+  in
+  check Alcotest.string "result" "done" r;
+  (match Obs.events obs with
+  | [ b; e ] ->
+      check Alcotest.string "begin name" "work" b.Obs.name;
+      check Alcotest.bool "begin phase" true (b.Obs.phase = Obs.Begin);
+      check Alcotest.bool "end phase" true (e.Obs.phase = Obs.End);
+      (match List.assoc "ms" e.Obs.attrs with
+      | Obs.Json.Float ms -> check (Alcotest.float 1e-6) "ms" 250.0 ms
+      | _ -> Alcotest.fail "no ms attr")
+  | evs -> Alcotest.failf "expected 2 events, got %d" (List.length evs));
+  (* the duration also lands in the "<name>.ms" sample *)
+  (match List.assoc "work.ms" (Obs.table obs) with
+  | Obs.Json.Float ms -> check (Alcotest.float 1e-6) "sample ms" 250.0 ms
+  | _ -> Alcotest.fail "no work.ms sample");
+  (* a raising body re-raises and the End event carries "error" *)
+  (try
+     Obs.with_span obs "boom" (fun () -> ignore (failwith "nope"));
+     Alcotest.fail "expected Failure"
+   with Failure msg -> check Alcotest.string "re-raised" "nope" msg);
+  let last = List.nth (Obs.events obs) 3 in
+  check Alcotest.bool "error attr" true (List.mem_assoc "error" last.Obs.attrs)
+
+let test_ring_bound_and_sinks () =
+  let obs = Obs.create ~clock:(fun () -> 0.0) ~ring_capacity:4 () in
+  let seen = ref 0 in
+  Obs.add_sink obs (fun _ -> incr seen);
+  for i = 0 to 9 do
+    Obs.point obs (Printf.sprintf "p%d" i)
+  done;
+  (* sinks saw everything; the ring keeps only the newest 4 *)
+  check Alcotest.int "sink deliveries" 10 !seen;
+  let evs = Obs.events obs in
+  check Alcotest.int "ring bound" 4 (List.length evs);
+  check (Alcotest.list Alcotest.int) "newest kept" [ 6; 7; 8; 9 ]
+    (List.map (fun e -> e.Obs.seq) evs)
+
+(* ---------------- json codec ---------------- *)
+
+let test_json_roundtrip () =
+  List.iter
+    (fun s ->
+      match Ucd.Jsonu.of_string s with
+      | Error e -> Alcotest.failf "parse %s: %s" s e
+      | Ok j -> check Alcotest.string s s (Ucd.Jsonu.to_string j))
+    [
+      {|{"a":1,"b":-2.5,"c":"x","d":[true,false]}|};
+      {|{"seq":0,"t_ms":0.0,"name":"cm.region","phase":"point","attrs":{}}|};
+      {|[1,2.5,"three",{"four":4}]|};
+      {|{"nested":{"obj":{"deep":[[]]}}}|};
+    ]
+
+let test_event_json_roundtrip () =
+  let obs = Obs.create ~clock:(fun () -> 0.0) () in
+  Obs.point obs "cm.fault.flip"
+    ~attrs:[ ("bit", Obs.Json.Int 3); ("where", Obs.Json.Str "chip") ];
+  Obs.with_span obs "job" ~attrs:[ ("name", Obs.Json.Str "q") ] (fun () -> ());
+  List.iter
+    (fun ev ->
+      let line = Obs.Json.to_string (Obs.event_json ev) in
+      match Obs.Json.of_string line with
+      | Error e -> Alcotest.failf "parse %s: %s" line e
+      | Ok j -> (
+          check Alcotest.string "render" line (Obs.Json.to_string j);
+          match Obs.event_of_json j with
+          | Error e -> Alcotest.failf "event_of_json %s: %s" line e
+          | Ok ev' ->
+              check Alcotest.string "event render" line
+                (Obs.Json.to_string (Obs.event_json ev'))))
+    (Obs.events obs)
+
+(* ---------------- corpus: telemetry never changes results ----------- *)
+
+let seed = 42
+
+let hex f = Printf.sprintf "%Lx" (Int64.bits_of_float f)
+
+(* Everything observable about a finished run, floats as bit patterns
+   so last-ulp drift counts (same discipline as test_engine). *)
+let snapshot (t : Uc.Compile.t) =
+  let m = t.Uc.Compile.machine in
+  let prog = t.Uc.Compile.compiled.Uc.Codegen.prog in
+  let b = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  for r = 0 to prog.Cm.Paris.nregs - 1 do
+    match Cm.Machine.reg m r with
+    | Cm.Paris.SInt i -> add "r%d = %d\n" r i
+    | Cm.Paris.SFloat f -> add "r%d = %s\n" r (hex f)
+  done;
+  Array.iteri
+    (fun f (_vp, kind) ->
+      add "f%d =" f;
+      (match kind with
+      | Cm.Paris.KInt ->
+          Array.iter (fun v -> add " %d" v) (Cm.Machine.field_ints m f)
+      | Cm.Paris.KFloat ->
+          Array.iter (fun v -> add " %s" (hex v)) (Cm.Machine.field_floats m f));
+      add "\n")
+    prog.Cm.Paris.fields;
+  List.iter (fun line -> add "| %s\n" line) (Cm.Machine.output m);
+  List.iter
+    (fun (k, v) -> add "%s = %s\n" k (hex v))
+    (Cm.Cost.metrics (Cm.Machine.meter m));
+  List.iter
+    (fun (name, secs) -> add "region %s = %s\n" name (hex secs))
+    (Cm.Machine.regions m);
+  List.iter (fun line -> add "fault %s\n" line) (Cm.Machine.fault_log m);
+  add "icount=%d\n" (Cm.Machine.icount m);
+  Buffer.contents b
+
+(* One corpus run; [traced] turns on the full --trace configuration:
+   live scope, JSON-lines sink, and the publish mirror. *)
+let run_case ~engine ~traced src =
+  let trace = Buffer.create 4096 in
+  let obs =
+    if not traced then Obs.null
+    else begin
+      let o = Obs.create ~clock:(fun () -> 0.0) () in
+      Obs.add_sink o
+        (Obs.jsonl_sink (fun line ->
+             Buffer.add_string trace line;
+             Buffer.add_char trace '\n'));
+      o
+    end
+  in
+  let t = Uc.Compile.run_source ~engine ~seed ~obs src in
+  Cm.Machine.publish t.Uc.Compile.machine;
+  (snapshot t, Buffer.contents trace)
+
+let engines = [ ("fast", `Fast); ("reference", `Reference) ]
+
+let test_corpus_invariant () =
+  List.iter
+    (fun (name, src) ->
+      List.iter
+        (fun (ename, engine) ->
+          let off, _ = run_case ~engine ~traced:false src in
+          let on, trace = run_case ~engine ~traced:true src in
+          if not (String.equal off on) then
+            Alcotest.failf "%s (%s engine): tracing changed the results" name
+              ename;
+          check Alcotest.bool
+            (Printf.sprintf "%s (%s): trace nonempty" name ename)
+            true
+            (String.length trace > 0))
+        engines)
+    Uc_programs.Programs.all_named
+
+(* Every line of a real trace parses with Ucd.Jsonu, re-renders byte
+   for byte, and decodes back into an event that re-renders the same
+   line (the Jsonu round-trip half of the ci-obs gate). *)
+let test_corpus_trace_roundtrip () =
+  let src = List.assoc "quickstart" Uc_programs.Programs.all_named in
+  let _, trace = run_case ~engine:`Fast ~traced:true src in
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' trace)
+  in
+  check Alcotest.bool "has lines" true (lines <> []);
+  List.iter
+    (fun line ->
+      match Ucd.Jsonu.of_string line with
+      | Error e -> Alcotest.failf "unparseable trace line %s: %s" line e
+      | Ok j -> (
+          check Alcotest.string "jsonu render" line (Ucd.Jsonu.to_string j);
+          match Obs.event_of_json j with
+          | Error e -> Alcotest.failf "not an event %s: %s" line e
+          | Ok ev ->
+              check Alcotest.string "event render" line
+                (Ucd.Jsonu.to_string (Obs.event_json ev))))
+    lines
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "counters and samples" `Quick
+            test_counters_and_samples;
+          Alcotest.test_case "null scope" `Quick test_null_scope;
+          Alcotest.test_case "with_span" `Quick test_with_span;
+          Alcotest.test_case "ring bound and sinks" `Quick
+            test_ring_bound_and_sinks;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "document round trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "event round trip" `Quick
+            test_event_json_roundtrip;
+        ] );
+      ( "corpus",
+        [
+          Alcotest.test_case "tracing never changes results" `Quick
+            test_corpus_invariant;
+          Alcotest.test_case "trace round-trips through Jsonu" `Quick
+            test_corpus_trace_roundtrip;
+        ] );
+    ]
