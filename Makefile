@@ -3,7 +3,7 @@
 # a CLI sanity check, and the whole corpus run under a canned fault
 # plan with retries; it stops loudly at the first failing step.
 
-.PHONY: all build test ci ci-faultgate ci-iropt ci-obs bench bench-compare batch clean
+.PHONY: all build test ci ci-faultgate ci-iropt ci-obs ci-serve bench bench-compare batch clean
 
 all: build
 
@@ -13,7 +13,7 @@ build:
 test:
 	dune runtest
 
-ci: ci-faultgate ci-iropt ci-obs
+ci: ci-faultgate ci-iropt ci-obs ci-serve
 	dune build
 	dune exec test/test_engine.exe -- test corpus
 	dune runtest
@@ -49,6 +49,13 @@ ci-faultgate: build
 	@grep -q '"summary":true' _ci_faultgate.jsonl
 	@echo "fault gate: every job ended Done or Faulted"
 	@rm -f _ci_faultgate.jsonl
+
+# Serve gate: boot the daemon, push the whole corpus from two
+# concurrent clients, require their rows bit-identical to `ucc batch`,
+# shed load through a typed `overloaded` rejection, and drain cleanly;
+# the timeout bounds the gate, so a hang is a failure, not a wait.
+ci-serve: build
+	timeout 300 bash test/ci_serve.sh
 
 bench:
 	dune exec bench/main.exe

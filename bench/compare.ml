@@ -50,10 +50,15 @@ let read_lines path =
   go []
 
 let is_bechamel line =
-  (* section is always the first key the bench writer emits *)
-  let prefix = {|{"section":"bechamel"|} in
-  String.length line >= String.length prefix
-  && String.sub line 0 (String.length prefix) = prefix
+  (* section is always the first key the bench writer emits;
+     wall-clock sections (bechamel, and the serve load generator) move
+     with the host, so they are reported rather than required to be
+     identical *)
+  let has_prefix prefix =
+    String.length line >= String.length prefix
+    && String.sub line 0 (String.length prefix) = prefix
+  in
+  has_prefix {|{"section":"bechamel"|} || has_prefix {|{"section":"serve"|}
 
 (* minimal extraction: the bench writer emits flat objects with string
    keys, no escapes inside the values we care about *)

@@ -572,6 +572,166 @@ let bechamel_bench () =
 
 (* ---------------- parallel prefetch ---------------- *)
 
+(* ---------------- S1: the serve daemon under load ---------------- *)
+
+(* The daemon measured from the outside: an in-process server on a temp
+   socket, N concurrent closed-loop clients submitting corpus jobs with
+   distinct seeds (every job a cache miss), p50/p99 submit→report
+   latency and sustained jobs/sec; then a deliberately small queue
+   pipelined far past capacity to measure overload shedding.  All
+   figures are wall-clock, so the rows carry section "serve" — compare
+   reports them like bechamel rows instead of requiring identity. *)
+let s1_serve () =
+  section "S1" "Serve daemon: sustained load, latency, overload shedding";
+  let tmpsock tag =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ucd_bench_%s_%d.sock" tag (Unix.getpid ()))
+  in
+  (* phase 1: sustained closed-loop load *)
+  let clients = 4 and per_client = 25 and domains = 4 in
+  let socket = tmpsock "load" in
+  let srv =
+    Ucd.Server.start
+      {
+        Ucd.Server.default_config with
+        Ucd.Server.socket_path = Some socket;
+        domains;
+        queue_bound = 128;
+      }
+  in
+  let latencies = Array.make (clients * per_client) nan in
+  let failures = Atomic.make 0 in
+  let worker ci () =
+    match
+      Ucd.Client.connect
+        ~tenant:(Printf.sprintf "bench%d" ci)
+        (Ucd.Client.Unix_path socket)
+    with
+    | Error _ -> Atomic.incr failures
+    | Ok c ->
+        Fun.protect ~finally:(fun () -> Ucd.Client.close c) @@ fun () ->
+        for k = 0 to per_client - 1 do
+          let t0 = Unix.gettimeofday () in
+          let sub =
+            {
+              (Ucd.Proto.submit_defaults ~name:"matmul"
+                 ~source:(Ucd.Proto.Corpus "matmul"))
+              with
+              Ucd.Proto.seed = Some ((1_000 * ci) + k);
+            }
+          in
+          match Ucd.Client.send c (Ucd.Proto.Submit sub) with
+          | Error _ -> Atomic.incr failures
+          | Ok () ->
+              let rec await () =
+                match Ucd.Client.recv c with
+                | Ok (Ucd.Proto.Report _) ->
+                    latencies.((ci * per_client) + k) <-
+                      Unix.gettimeofday () -. t0
+                | Ok (Ucd.Proto.Rejected _) | Error _ ->
+                    Atomic.incr failures
+                | Ok _ -> await ()
+              in
+              await ()
+        done
+  in
+  let t0 = Unix.gettimeofday () in
+  let threads = List.init clients (fun ci -> Thread.create (worker ci) ()) in
+  List.iter Thread.join threads;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  ignore (Ucd.Server.stop srv);
+  let sorted =
+    Array.to_list latencies
+    |> List.filter (fun l -> not (Float.is_nan l))
+    |> List.sort compare
+  in
+  let completed = List.length sorted in
+  let pct p =
+    if sorted = [] then nan
+    else List.nth sorted (min (completed - 1) (int_of_float (p *. float_of_int completed)))
+  in
+  let p50 = 1000. *. pct 0.50 and p99 = 1000. *. pct 0.99 in
+  let jobs_per_sec = float_of_int completed /. elapsed in
+  Printf.printf "%d clients x %d jobs (distinct seeds: every job a cache \
+                 miss), %d domains:\n"
+    clients per_client domains;
+  Printf.printf "  completed %d/%d (%d failure(s)), %.1f jobs/s sustained\n"
+    completed (clients * per_client) (Atomic.get failures) jobs_per_sec;
+  Printf.printf "  submit->report latency: p50 %.2f ms, p99 %.2f ms\n" p50 p99;
+  (* phase 2: overload shedding on a tiny queue *)
+  let slow_source =
+    "int i, acc;\nvoid main() { for (i = 0; i < 100000000; i = i + 1) acc = \
+     acc + 1; }\n"
+  in
+  let socket2 = tmpsock "over" in
+  let srv2 =
+    Ucd.Server.start
+      {
+        Ucd.Server.default_config with
+        Ucd.Server.socket_path = Some socket2;
+        domains = 2;
+        queue_bound = 4;
+        drain_timeout = 60.;
+      }
+  in
+  let offered = 24 in
+  let accepted = ref 0 and rejected = ref 0 in
+  (match Ucd.Client.connect (Ucd.Client.Unix_path socket2) with
+  | Error e -> Printf.printf "  overload phase failed to connect: %s\n" e
+  | Ok c ->
+      Fun.protect ~finally:(fun () -> Ucd.Client.close c) @@ fun () ->
+      for k = 1 to offered do
+        ignore
+          (Ucd.Client.send c
+             (Ucd.Proto.Submit
+                {
+                  (Ucd.Proto.submit_defaults
+                     ~name:(Printf.sprintf "slow%d" k)
+                     ~source:(Ucd.Proto.Inline slow_source))
+                  with
+                  Ucd.Proto.deadline = Some 0.25;
+                }))
+      done;
+      let replies = ref 0 in
+      while !replies < offered do
+        match Ucd.Client.recv c with
+        | Ok (Ucd.Proto.Accepted _) ->
+            incr replies;
+            incr accepted
+        | Ok (Ucd.Proto.Rejected { code = Ucd.Proto.Overloaded; _ }) ->
+            incr replies;
+            incr rejected
+        | Ok (Ucd.Proto.Rejected _) -> incr replies
+        | Ok _ -> ()
+        | Error _ -> replies := offered
+      done);
+  ignore (Ucd.Server.stop srv2);
+  let rate = 100. *. float_of_int !rejected /. float_of_int offered in
+  Printf.printf "  overload (queue 4, %d pipelined slow jobs): %d accepted, \
+                 %d rejected (%.0f%% shed), none blocked\n"
+    offered !accepted !rejected rate;
+  emit_row "serve"
+    [
+      ("test", Ucd.Jsonu.Str "serve: submit->report p50 ms");
+      ("ms_per_run", Ucd.Jsonu.Float p50);
+    ];
+  emit_row "serve"
+    [
+      ("test", Ucd.Jsonu.Str "serve: submit->report p99 ms");
+      ("ms_per_run", Ucd.Jsonu.Float p99);
+    ];
+  emit_row "serve"
+    [
+      ("test", Ucd.Jsonu.Str "serve: sustained ms/job (4 clients)");
+      ("ms_per_run", Ucd.Jsonu.Float (1000. /. jobs_per_sec));
+    ];
+  emit_row "serve"
+    [
+      ("test", Ucd.Jsonu.Str "serve: overload rejection rate % (queue 4)");
+      ("ms_per_run", Ucd.Jsonu.Float rate);
+    ]
+
 (* Every UC execution the cached sections will request, as Ucd jobs with
    the exact same (options, source, seed), so the pool populates the
    cache the tables are then printed from. *)
@@ -627,6 +787,7 @@ let sections =
     ("a6", a6_schedule);
     ("recovery", r1_recovery);
     ("obs", o1_obs_overhead);
+    ("serve", s1_serve);
     ("bechamel", bechamel_bench);
   ]
 

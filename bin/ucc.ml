@@ -668,9 +668,474 @@ let batch_cmd =
       $ seed_arg $ fuel_arg $ deadline_arg $ report_arg $ stats_arg
       $ faults_arg $ retries_arg $ fuel_slice_arg $ trace_arg $ metrics_arg)
 
+(* ---- serve / submit ---- *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string "ucd.sock"
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path")
+
+let tcp_port_arg ~doc =
+  Arg.(value & opt (some int) None & info [ "tcp" ] ~docv:"PORT" ~doc)
+
+let serve_cmd =
+  let jobs_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "jobs"; "j" ] ~docv:"N" ~doc:"Number of worker domains")
+  in
+  let max_queue_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "max-queue" ] ~docv:"N"
+          ~doc:
+            "Job queue capacity; submissions beyond it get a typed \
+             $(b,overloaded) rejection instead of blocking")
+  in
+  let quota_arg =
+    let quota_conv =
+      let parse s =
+        match String.index_opt s '=' with
+        | Some i -> (
+            let t = String.sub s 0 i in
+            let n = String.sub s (i + 1) (String.length s - i - 1) in
+            match int_of_string_opt n with
+            | Some n when n >= 0 && t <> "" -> Ok (t, n)
+            | _ -> Error (`Msg (Printf.sprintf "bad quota %S (want TENANT=N)" s)))
+        | None -> Error (`Msg (Printf.sprintf "bad quota %S (want TENANT=N)" s))
+      in
+      let print fmt (t, n) = Format.fprintf fmt "%s=%d" t n in
+      Arg.conv (parse, print)
+    in
+    Arg.(
+      value & opt_all quota_conv []
+      & info [ "quota" ] ~docv:"TENANT=N"
+          ~doc:
+            "Bound $(b,TENANT) to N in-flight jobs (repeatable; tenant \
+             $(b,*) sets the default for unlisted tenants)")
+  in
+  let drain_timeout_arg =
+    Arg.(
+      value & opt float 30.
+      & info [ "drain-timeout" ] ~docv:"SECS"
+          ~doc:
+            "How long a graceful shutdown waits for in-flight jobs before \
+             giving up (exit 1)")
+  in
+  let cache_dir_arg =
+    Arg.(
+      value
+      & opt string "_ucd_cache"
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:"On-disk artifact cache ('none' disables persistence)")
+  in
+  let run socket tcp jobs max_queue quotas drain_timeout cache_dir retries
+      fuel_slice trace metrics =
+    (* block INT/TERM before any thread exists so every thread inherits
+       the mask and the signals can only be consumed by the dedicated
+       sigwait thread below — a handler would never run while all
+       threads sit in condition waits *)
+    let masked =
+      try
+        ignore
+          (Thread.sigmask Unix.SIG_BLOCK [ Sys.sigint; Sys.sigterm ]);
+        true
+      with _ -> false
+    in
+    let obs, finish_obs = make_obs ~trace ~metrics ~ir_opt_stats:false in
+    Fun.protect ~finally:finish_obs @@ fun () ->
+    let default_quota = List.assoc_opt "*" quotas in
+    let quotas = List.filter (fun (t, _) -> t <> "*") quotas in
+    let socket_path = if socket = "none" then None else Some socket in
+    let cfg =
+      {
+        Ucd.Server.socket_path;
+        tcp_port = tcp;
+        domains = jobs;
+        queue_bound = max_queue;
+        quotas;
+        default_quota;
+        drain_timeout;
+        policy = { Ucd.Runner.default_policy with retries; fuel_slice };
+        max_frame = Ucd.Proto.default_max_frame;
+        outbox_capacity = 4096;
+        verbose = true;
+      }
+    in
+    let cache_dir = if cache_dir = "none" then None else Some cache_dir in
+    match Ucd.Server.start ~obs ?cache_dir cfg with
+    | exception Unix.Unix_error (e, _, arg) ->
+        Printf.eprintf "ucc serve: cannot listen (%s): %s\n" arg
+          (Unix.error_message e);
+        1
+    | exception Invalid_argument msg ->
+        Printf.eprintf "ucc serve: %s\n" msg;
+        1
+    | srv ->
+        Printf.eprintf "ucc serve: listening on%s%s (%d domains, queue %d)\n%!"
+          (match socket_path with Some p -> " " ^ p | None -> "")
+          (match tcp with
+          | Some p -> Printf.sprintf " tcp:127.0.0.1:%d" p
+          | None -> "")
+          jobs max_queue;
+        (* first signal: graceful drain; second: force exit nonzero *)
+        if masked then
+          ignore
+            (Thread.create
+               (fun () ->
+                 let sigs = [ Sys.sigint; Sys.sigterm ] in
+                 ignore (Thread.wait_signal sigs);
+                 prerr_endline "ucc serve: signal: draining";
+                 ignore (Ucd.Server.request_shutdown ~reason:"signal" srv);
+                 ignore (Thread.wait_signal sigs);
+                 prerr_endline "ucc serve: forced exit";
+                 Stdlib.exit 130)
+               ())
+        else begin
+          let signals = ref 0 in
+          let on_signal _ =
+            incr signals;
+            if !signals = 1 then
+              ignore (Ucd.Server.request_shutdown ~reason:"signal" srv)
+            else Stdlib.exit 130
+          in
+          try
+            Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+            Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal)
+          with _ -> ()
+        end;
+        let code = Ucd.Server.wait srv in
+        Printf.eprintf "ucc serve: %s\n%!"
+          (if code = 0 then "drained cleanly"
+           else "drain timeout expired with jobs in flight");
+        code
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the compile-and-run daemon: sessions, per-tenant admission \
+          control, and live trace streaming over a Unix-domain (or loopback \
+          TCP) socket")
+    Term.(
+      const run $ socket_arg
+      $ tcp_port_arg ~doc:"Also listen on loopback TCP port $(docv)"
+      $ jobs_arg $ max_queue_arg $ quota_arg $ drain_timeout_arg
+      $ cache_dir_arg $ retries_arg $ fuel_slice_arg $ trace_arg $ metrics_arg)
+
+let fuel_arg_submit =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "fuel" ] ~docv:"N" ~doc:"Instruction bound per job")
+
+let deadline_arg_submit =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline" ] ~docv:"SECS" ~doc:"Wall-clock deadline per job")
+
+let submit_cmd =
+  let file_arg =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"UC source file to submit inline")
+  in
+  let corpus_arg =
+    Arg.(
+      value & flag
+      & info [ "corpus" ]
+          ~doc:"Submit every built-in corpus program (like $(b,ucc batch))")
+  in
+  let name_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "name" ] ~docv:"NAME"
+          ~doc:"Job name for $(i,FILE) (default: its basename)")
+  in
+  let wait_arg =
+    Arg.(
+      value & flag
+      & info [ "wait" ]
+          ~doc:
+            "Wait for results and print report rows (JSON lines, submission \
+             order) to stdout")
+  in
+  let trace_flag =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:
+            "Subscribe to the live trace stream; events for this session's \
+             jobs print to stderr as JSON lines")
+  in
+  let tenant_arg =
+    Arg.(
+      value
+      & opt string "anonymous"
+      & info [ "tenant" ] ~docv:"NAME" ~doc:"Tenant identity for admission")
+  in
+  let priority_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("low", Ucd.Proto.Low);
+               ("normal", Ucd.Proto.Normal);
+               ("high", Ucd.Proto.High);
+             ])
+          Ucd.Proto.Normal
+      & info [ "priority" ] ~docv:"CLASS"
+          ~doc:
+            "$(b,low), $(b,normal) or $(b,high); low-priority jobs shed \
+             first under queue pressure")
+  in
+  let server_stats_flag =
+    Arg.(
+      value & flag
+      & info [ "stats" ] ~doc:"Print server statistics (JSON) to stderr")
+  in
+  let drain_flag =
+    Arg.(
+      value & flag
+      & info [ "drain" ]
+          ~doc:"Ask the server to drain and shut down gracefully")
+  in
+  let run file socket tcp corpus name wait_for_reports trace tenant priority
+      want_stats want_drain options seed fuel deadline faults retries =
+    let addr =
+      match tcp with
+      | Some port -> Ucd.Client.Tcp ("127.0.0.1", port)
+      | None -> Ucd.Client.Unix_path socket
+    in
+    let fail msg =
+      Printf.eprintf "ucc submit: error: %s\n" msg;
+      1
+    in
+    (* job option surface → wire fields (ir_opt travels as its summary
+       string, which config_of_string round-trips) *)
+    let submit_of ~name ~source =
+      let base = Ucd.Proto.submit_defaults ~name ~source in
+      {
+        base with
+        Ucd.Proto.seed = Some seed;
+        fuel;
+        deadline;
+        faults;
+        retries = (if retries = 0 then None else Some retries);
+        no_news = not options.Uc.Codegen.news_opt;
+        no_procopt = not options.Uc.Codegen.procopt;
+        no_mappings = not options.Uc.Codegen.use_mappings;
+        no_cse = not options.Uc.Codegen.cse;
+        ir_opt =
+          (if options.Uc.Codegen.ir_opt = Cm.Iropt.default then None
+           else Some (Cm.Iropt.config_summary options.Uc.Codegen.ir_opt));
+      }
+    in
+    let submits =
+      match (file, corpus) with
+      | Some _, true -> Error "pass either FILE or --corpus, not both"
+      | Some path, false -> (
+          match read_source path with
+          | Error msg -> Error msg
+          | Ok source ->
+              let name =
+                match name with
+                | Some n -> n
+                | None ->
+                    Filename.remove_extension (Filename.basename path)
+              in
+              Ok [ submit_of ~name ~source:(Ucd.Proto.Inline source) ])
+      | None, true ->
+          Ok
+            (List.map
+               (fun (n, _) -> submit_of ~name:n ~source:(Ucd.Proto.Corpus n))
+               Uc_programs.Programs.all_named)
+      | None, false ->
+          if want_stats || want_drain then Ok []
+          else Error "nothing to do: pass FILE, --corpus, --stats or --drain"
+    in
+    match submits with
+    | Error msg -> fail msg
+    | Ok submits -> (
+        match Ucd.Client.connect ~tenant ~priority addr with
+        | Error msg -> fail msg
+        | Ok c -> (
+            let finally () = Ucd.Client.close c in
+            Fun.protect ~finally @@ fun () ->
+            let t0 = Unix.gettimeofday () in
+            let n = List.length submits in
+            let rows = Array.make (max n 1) None in
+            let rejections = Array.make (max n 1) None in
+            let job_index = Hashtbl.create 16 in
+            let acks = ref 0 and reports = ref 0 and accepted = ref 0 in
+            (* a fast job's report frame can overtake its accepted frame
+               (worker thread vs reader thread); park it and re-match
+               once the ack arrives *)
+            let orphans = ref [] in
+            let protocol_error = ref None in
+            (* any frame not awaited by an rpc helper lands here *)
+            let on_frame = function
+              | Ucd.Proto.Accepted { client_ref; job; digest = _ } ->
+                  incr acks;
+                  incr accepted;
+                  Option.iter
+                    (fun r ->
+                      match int_of_string_opt r with
+                      | Some i -> Hashtbl.replace job_index job i
+                      | None -> ())
+                    client_ref
+              | Ucd.Proto.Rejected { client_ref; code; msg } ->
+                  incr acks;
+                  let tag = Ucd.Proto.code_string code in
+                  Printf.eprintf "ucc submit: rejected (%s): %s\n%!" tag msg;
+                  Option.iter
+                    (fun r ->
+                      match int_of_string_opt r with
+                      | Some i when i < Array.length rejections ->
+                          rejections.(i) <- Some (tag, msg)
+                      | _ -> ())
+                    client_ref
+              | Ucd.Proto.Report { job; row } -> (
+                  incr reports;
+                  match Hashtbl.find_opt job_index job with
+                  | Some i when i < Array.length rows -> rows.(i) <- Some row
+                  | _ -> orphans := (job, row) :: !orphans)
+              | Ucd.Proto.Trace_event { job; event } ->
+                  Printf.eprintf "%s\n%!"
+                    (Ucd.Jsonu.to_string
+                       (Ucd.Jsonu.Obj
+                          [ ("job", Ucd.Jsonu.Int job); ("trace", event) ]))
+              | Ucd.Proto.Error { code; msg } ->
+                  protocol_error :=
+                    Some (Printf.sprintf "%s: %s" (Ucd.Proto.code_string code) msg)
+              | Ucd.Proto.Shutdown { msg } ->
+                  protocol_error := Some ("server shut down: " ^ msg)
+              | _ -> ()
+            in
+            let pump_until done_ =
+              let rec go () =
+                if done_ () || !protocol_error <> None then Ok ()
+                else
+                  match Ucd.Client.recv c with
+                  | Error e -> Error e
+                  | Ok msg ->
+                      on_frame msg;
+                      go ()
+              in
+              go ()
+            in
+            let ( let* ) r f =
+              match r with Error e -> Error e | Ok v -> f v
+            in
+            let outcome =
+              let* _ =
+                if trace then
+                  Result.map ignore (Ucd.Client.set_trace ~other:on_frame c true)
+                else Ok ()
+              in
+              let* _ =
+                List.fold_left
+                  (fun acc (i, s) ->
+                    let* () = acc in
+                    Ucd.Client.send c
+                      (Ucd.Proto.Submit
+                         {
+                           s with
+                           Ucd.Proto.client_ref = Some (string_of_int i);
+                         }))
+                  (Ok ())
+                  (List.mapi (fun i s -> (i, s)) submits)
+              in
+              let* () = pump_until (fun () -> !acks >= n) in
+              let* () =
+                if wait_for_reports then
+                  pump_until (fun () -> !acks >= n && !reports >= !accepted)
+                else Ok ()
+              in
+              let* () =
+                if want_stats then
+                  let* stats = Ucd.Client.stats ~other:on_frame c in
+                  Printf.eprintf "%s\n%!" (Ucd.Jsonu.to_string stats);
+                  Ok ()
+                else Ok ()
+              in
+              let* () =
+                if want_drain then
+                  let* in_flight = Ucd.Client.drain ~other:on_frame c in
+                  Printf.eprintf
+                    "ucc submit: server draining (%d job(s) in flight)\n%!"
+                    in_flight;
+                  Ok ()
+                else Ok ()
+              in
+              Ok ()
+            in
+            List.iter
+              (fun (job, row) ->
+                match Hashtbl.find_opt job_index job with
+                | Some i when i < Array.length rows -> rows.(i) <- Some row
+                | _ -> ())
+              !orphans;
+            match outcome with
+            | Error msg -> fail msg
+            | Ok () -> (
+                match !protocol_error with
+                | Some msg -> fail msg
+                | None ->
+                    let results = ref [] in
+                    Array.iteri
+                      (fun i row ->
+                        if i < n then
+                          match row with
+                          | Some row -> (
+                              print_endline (Ucd.Jsonu.to_string row);
+                              match Ucd.Report.of_json row with
+                              | Ok r -> results := r :: !results
+                              | Error _ -> ())
+                          | None -> ())
+                      rows;
+                    let results = List.rev !results in
+                    let rejected =
+                      Array.fold_left
+                        (fun k r -> if r = None then k else k + 1)
+                        0 rejections
+                    in
+                    if wait_for_reports && results <> [] then begin
+                      let elapsed = Unix.gettimeofday () -. t0 in
+                      Format.eprintf "submit: %a@." Ucd.Report.pp_summary
+                        (Ucd.Report.summarize ~elapsed results)
+                    end;
+                    let summary =
+                      Ucd.Report.summarize ~elapsed:0. results
+                    in
+                    if
+                      rejected > 0
+                      || summary.Ucd.Report.failed > 0
+                      || summary.Ucd.Report.timeout > 0
+                      || summary.Ucd.Report.faulted > 0
+                    then 2
+                    else 0)))
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:
+         "Submit jobs to a running $(b,ucc serve) daemon and stream back \
+          reports and traces")
+    Term.(
+      const run $ file_arg $ socket_arg
+      $ tcp_port_arg ~doc:"Connect to loopback TCP port $(docv) instead"
+      $ corpus_arg $ name_arg $ wait_arg $ trace_flag $ tenant_arg
+      $ priority_arg $ server_stats_flag $ drain_flag $ options_args
+      $ seed_arg $ fuel_arg_submit $ deadline_arg_submit $ faults_arg
+      $ retries_arg)
+
 let () =
   let doc = "UC compiler for the simulated Connection Machine" in
   let info = Cmd.info "ucc" ~version:"1.0" ~doc in
   exit (Cmd.eval' (Cmd.group info
     [ check_cmd; ast_cmd; paris_cmd; cstar_cmd; run_cmd; interp_cmd;
-      examples_cmd; show_cmd; batch_cmd ]))
+      examples_cmd; show_cmd; batch_cmd; serve_cmd; submit_cmd ]))

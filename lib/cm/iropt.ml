@@ -884,6 +884,23 @@ let rw_instr (config : config) facts st ~getsend ins =
   let spi op = if cp then subst_pi facts st op else op in
   let spf op = if cp then subst_pf facts st op else op in
   let on_cur d = st.vp >= 0 && facts.fvp.(d) = st.vp in
+  (* Communication instructions (pget/psend/pnews) read their source
+     and address fields while writing the destination in place, so the
+     destination's cells can be observed mid-update and aliasing is
+     semantically significant.  A copy-root substitution must neither
+     introduce an alias with the destination (the codegen stages an
+     explicit copy exactly to break that hazard — `pmov f', f;
+     psend f[addr], f'` for a permuted parallel assignment — and
+     propagating the copy away would let the send read cells it has
+     already overwritten) nor remove one the program already has (an
+     aliased operand reads the in-place partial update; its copy root
+     would read the pristine values). *)
+  let froot_noalias d f ~need_cur ~kind_eq =
+    if f = d then f
+    else
+      let root = froot_if facts st f ~need_cur ~kind_eq in
+      if root = d then f else root
+  in
   match ins with
   | Fmov (r, a) -> (
       let a = sfe a in
@@ -993,11 +1010,11 @@ let rw_instr (config : config) facts st ~getsend ins =
   | Pget (d, s, addr) ->
       let dk = facts.fkind.(d) in
       let s =
-        if cp then froot_if facts st s ~need_cur:false ~kind_eq:(Some dk)
+        if cp then froot_noalias d s ~need_cur:false ~kind_eq:(Some dk)
         else s
       in
       let addr =
-        if cp then froot_if facts st addr ~need_cur:true ~kind_eq:(Some KInt)
+        if cp then froot_noalias d addr ~need_cur:true ~kind_eq:(Some KInt)
         else addr
       in
       if
@@ -1013,11 +1030,11 @@ let rw_instr (config : config) facts st ~getsend ins =
   | Psend (d, s, addr, cb) ->
       let dk = facts.fkind.(d) in
       let s =
-        if cp then froot_if facts st s ~need_cur:true ~kind_eq:(Some dk)
+        if cp then froot_noalias d s ~need_cur:true ~kind_eq:(Some dk)
         else s
       in
       let addr =
-        if cp then froot_if facts st addr ~need_cur:true ~kind_eq:(Some KInt)
+        if cp then froot_noalias d addr ~need_cur:true ~kind_eq:(Some KInt)
         else addr
       in
       if
@@ -1036,7 +1053,7 @@ let rw_instr (config : config) facts st ~getsend ins =
   | Pnews (d, s, axis, delta) ->
       let dk = facts.fkind.(d) in
       let s =
-        if cp then froot_if facts st s ~need_cur:true ~kind_eq:(Some dk)
+        if cp then froot_noalias d s ~need_cur:true ~kind_eq:(Some dk)
         else s
       in
       if

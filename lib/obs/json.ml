@@ -79,9 +79,16 @@ let parse_hex4 p =
   if p.pos + 4 > String.length p.src then fail p "truncated \\u escape";
   let s = String.sub p.src p.pos 4 in
   p.pos <- p.pos + 4;
-  match int_of_string_opt ("0x" ^ s) with
-  | Some n -> n
-  | None -> fail p "bad \\u escape %S" s
+  (* exactly four hex digits: int_of_string would also accept OCaml
+     literal syntax ("_", a leading sign …), which is not JSON *)
+  let digit c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> fail p "bad \\u escape %S" s
+  in
+  String.fold_left (fun acc c -> (acc * 16) + digit c) 0 s
 
 let parse_string p =
   expect p '"';

@@ -216,3 +216,115 @@ let event_of_json = function
   | _ -> Error "not an event object"
 
 let jsonl_sink write ev = write (Json.to_string (event_json ev))
+
+(* ---- bounded streaming queue ---- *)
+
+(* A drop-on-overflow line stream between a producer (telemetry sinks,
+   a server enqueueing replies) and one consumer (a socket writer
+   thread).  Two lanes of service:
+
+   - [push] blocks until there is room: for must-deliver lines (protocol
+     replies, report rows) where backpressure on the producer is the
+     right answer;
+   - [offer] never blocks: for trace events, which are droppable — a
+     slow consumer costs events (counted), never simulator progress.
+
+   No unix dependency: plain stdlib Mutex/Condition, usable from both
+   threads and domains. *)
+module Stream = struct
+  type t = {
+    lock : Mutex.t;
+    not_empty : Condition.t;
+    not_full : Condition.t;
+    buf : string Queue.t;
+    capacity : int;
+    mutable closed : bool;
+    mutable pushed : int;
+    mutable dropped : int;
+  }
+
+  let create ?(capacity = 1024) () =
+    {
+      lock = Mutex.create ();
+      not_empty = Condition.create ();
+      not_full = Condition.create ();
+      buf = Queue.create ();
+      capacity = max 1 capacity;
+      closed = false;
+      pushed = 0;
+      dropped = 0;
+    }
+
+  let locked s f =
+    Mutex.lock s.lock;
+    match f () with
+    | v ->
+        Mutex.unlock s.lock;
+        v
+    | exception e ->
+        Mutex.unlock s.lock;
+        raise e
+
+  (* blocking lane; false once the stream is closed *)
+  let push s line =
+    locked s (fun () ->
+        let rec wait () =
+          if s.closed then false
+          else if Queue.length s.buf >= s.capacity then begin
+            Condition.wait s.not_full s.lock;
+            wait ()
+          end
+          else begin
+            Queue.push line s.buf;
+            s.pushed <- s.pushed + 1;
+            Condition.signal s.not_empty;
+            true
+          end
+        in
+        wait ())
+
+  (* non-blocking lane; false = dropped (full) or closed *)
+  let offer s line =
+    locked s (fun () ->
+        if s.closed then false
+        else if Queue.length s.buf >= s.capacity then begin
+          s.dropped <- s.dropped + 1;
+          false
+        end
+        else begin
+          Queue.push line s.buf;
+          s.pushed <- s.pushed + 1;
+          Condition.signal s.not_empty;
+          true
+        end)
+
+  (* consumer: next line, or None once closed and drained *)
+  let pop s =
+    locked s (fun () ->
+        let rec wait () =
+          match Queue.take_opt s.buf with
+          | Some line ->
+              Condition.signal s.not_full;
+              Some line
+          | None ->
+              if s.closed then None
+              else begin
+                Condition.wait s.not_empty s.lock;
+                wait ()
+              end
+        in
+        wait ())
+
+  let close s =
+    locked s (fun () ->
+        s.closed <- true;
+        Condition.broadcast s.not_empty;
+        Condition.broadcast s.not_full)
+
+  let closed s = locked s (fun () -> s.closed)
+  let length s = locked s (fun () -> Queue.length s.buf)
+  let dropped s = locked s (fun () -> s.dropped)
+  let pushed s = locked s (fun () -> s.pushed)
+
+  let event_sink s ev = ignore (offer s (Json.to_string (event_json ev)))
+end

@@ -82,3 +82,43 @@ val event_of_json : Json.t -> (event, string) result
 (** [jsonl_sink write] is a sink rendering each event with
     {!event_json} and passing the line (no newline) to [write]. *)
 val jsonl_sink : (string -> unit) -> event -> unit
+
+(** A bounded line stream between a producer (telemetry sinks, a server
+    enqueueing protocol replies) and one consumer (a socket writer
+    thread), with two lanes of service: {!Stream.push} blocks for room
+    (must-deliver lines), {!Stream.offer} never blocks and drops on
+    overflow (trace events — a slow consumer costs events, counted in
+    {!Stream.dropped}, never simulator progress).  Safe across threads
+    and domains; no unix dependency. *)
+module Stream : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  (** Bounded at [capacity] lines (default 1024, min 1). *)
+
+  val push : t -> string -> bool
+  (** Blocking lane; [false] once the stream is closed. *)
+
+  val offer : t -> string -> bool
+  (** Non-blocking lane; [false] = dropped (stream full) or closed. *)
+
+  val pop : t -> string option
+  (** Consumer side: next line, blocking; [None] once closed and
+      drained. *)
+
+  val close : t -> unit
+  (** Wakes every waiter; {!pop} drains what remains, then [None]. *)
+
+  val closed : t -> bool
+  val length : t -> int
+
+  val dropped : t -> int
+  (** Offers refused because the stream was full. *)
+
+  val pushed : t -> int
+  (** Lines accepted over the stream's lifetime. *)
+
+  val event_sink : t -> event -> unit
+  (** An {!add_sink}-compatible sink rendering each event with
+      {!event_json} and offering it to the stream (droppable lane). *)
+end

@@ -1,0 +1,125 @@
+(* Client side of the serve protocol: connect, handshake, then a thin
+   send/recv surface over Proto.  Used by `ucc submit`, the loopback
+   tests, and the bench load generator.  Blocking and single-threaded
+   by design — one request pipeline per connection; callers wanting
+   concurrency open more connections. *)
+
+type addr = Unix_path of string | Tcp of string * int
+
+type t = {
+  fd : Unix.file_descr;
+  reader : Proto.reader;
+  session : int;  (* session id granted by welcome *)
+}
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off = if off < n then go (off + Unix.write fd b off (n - off)) in
+  go 0
+
+let send t msg =
+  match write_all t.fd (Proto.client_line msg ^ "\n") with
+  | () -> Ok ()
+  | exception Unix.Unix_error (e, _, _) ->
+      Error (Printf.sprintf "send failed: %s" (Unix.error_message e))
+  | exception _ -> Error "send failed"
+
+let recv t =
+  match Proto.read_frame t.reader with
+  | `Eof -> Error "connection closed by server"
+  | `Oversized -> Error "oversized frame from server"
+  | `Frame line -> (
+      match Proto.server_of_line line with
+      | Ok msg -> Ok msg
+      | Error msg -> Error (Printf.sprintf "bad server frame: %s" msg))
+
+let close t = try Unix.close t.fd with _ -> ()
+
+let connect ?(tenant = "anonymous") ?(priority = Proto.Normal)
+    ?max_frame addr =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ());
+  let sock () =
+    match addr with
+    | Unix_path path ->
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_UNIX path);
+        fd
+    | Tcp (host, port) ->
+        let ip =
+          try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+          with Not_found -> Unix.inet_addr_of_string host
+        in
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_INET (ip, port));
+        fd
+  in
+  match sock () with
+  | exception Unix.Unix_error (e, _, _) ->
+      Error (Printf.sprintf "connect failed: %s" (Unix.error_message e))
+  | fd -> (
+      let t0 = { fd; reader = Proto.reader ?max_frame fd; session = 0 } in
+      let hello =
+        Proto.Hello { version = Proto.version; tenant; priority }
+      in
+      match send t0 hello with
+      | Error e ->
+          close t0;
+          Error e
+      | Ok () -> (
+          match recv t0 with
+          | Ok (Proto.Welcome { version = _; session; server = _ }) ->
+              Ok { t0 with session }
+          | Ok (Proto.Error { code; msg }) ->
+              close t0;
+              Error
+                (Printf.sprintf "server rejected hello: %s: %s"
+                   (Proto.code_string code) msg)
+          | Ok _ ->
+              close t0;
+              Error "server did not answer hello with welcome"
+          | Error e ->
+              close t0;
+              Error e))
+
+let session t = t.session
+
+(* Wait for a reply satisfying [want], handing every other frame to
+   [other] (reports and trace events keep streaming while we wait for a
+   stats or drain reply). *)
+let recv_until t ~other want =
+  let rec loop () =
+    match recv t with
+    | Error e -> Error e
+    | Ok msg -> (
+        match want msg with
+        | Some v -> Ok v
+        | None ->
+            other msg;
+            loop ())
+  in
+  loop ()
+
+let stats ?(other = fun _ -> ()) t =
+  match send t Proto.Stats with
+  | Error e -> Error e
+  | Ok () ->
+      recv_until t ~other (function
+        | Proto.Stats_reply j -> Some j
+        | _ -> None)
+
+let drain ?(other = fun _ -> ()) t =
+  match send t Proto.Drain with
+  | Error e -> Error e
+  | Ok () ->
+      recv_until t ~other (function
+        | Proto.Draining { in_flight } -> Some in_flight
+        | _ -> None)
+
+let set_trace ?(other = fun _ -> ()) t enable =
+  match send t (Proto.Trace enable) with
+  | Error e -> Error e
+  | Ok () ->
+      recv_until t ~other (function
+        | Proto.Trace_reply on -> Some on
+        | _ -> None)

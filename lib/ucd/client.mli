@@ -1,0 +1,44 @@
+(** Client side of the serve protocol: connect + handshake, then a thin
+    blocking send/recv surface over {!Proto}.  One request pipeline per
+    connection — callers wanting concurrency open more connections.
+    Used by [ucc submit], the loopback tests, and the bench load
+    generator. *)
+
+type addr = Unix_path of string | Tcp of string * int
+
+type t
+
+(** Connect, send [hello], await [welcome].  Ignores [SIGPIPE]
+    process-wide.  Errors are human-readable strings (connect failure,
+    version mismatch, protocol rejection). *)
+val connect :
+  ?tenant:string ->
+  ?priority:Proto.priority ->
+  ?max_frame:int ->
+  addr ->
+  (t, string) result
+
+(** Session id granted by the server's [welcome]. *)
+val session : t -> int
+
+val send : t -> Proto.client_msg -> (unit, string) result
+
+(** Next server frame, blocking.  [Error] on EOF, oversized or
+    unparseable frames. *)
+val recv : t -> (Proto.server_msg, string) result
+
+(** Request/await helpers.  [other] receives any interleaved frames
+    (reports, trace events) that arrive before the awaited reply;
+    default drops them. *)
+
+val stats :
+  ?other:(Proto.server_msg -> unit) -> t -> (Jsonu.t, string) result
+
+(** Returns the server's in-flight count; the server begins a graceful
+    shutdown. *)
+val drain : ?other:(Proto.server_msg -> unit) -> t -> (int, string) result
+
+val set_trace :
+  ?other:(Proto.server_msg -> unit) -> t -> bool -> (bool, string) result
+
+val close : t -> unit

@@ -1,0 +1,23 @@
+(** JSON for batch reports, bench rows, trace lines and the `ucc serve`
+    wire protocol.  The implementation is {!Obs.Json} (shared with the
+    telemetry spine); this interface pins down the properties the wire
+    protocol depends on:
+
+    - {b String transparency.}  [to_string (Str s)] followed by
+      [of_string] recovers [s] byte for byte for {e every} OCaml string:
+      ["\""], ["\\"] and ASCII control bytes (< 0x20) are escaped
+      (["\\n"], ["\\u0007"], …) and everything else — including DEL and
+      non-ASCII bytes 0x80–0xFF — passes through raw.  The protocol
+      treats strings as byte sequences; no UTF-8 validation is performed
+      at either end.  [test/test_serve.ml] holds a QCheck round-trip
+      property over arbitrary strings to this contract.
+    - {b Emission determinism.}  Field order is preserved as given, and
+      floats render via {!float_repr} so a printed line re-parses and
+      re-prints byte-identically (the cache and the byte-identical
+      serve-vs-batch gate both lean on this).
+    - {b Strict framing.}  [of_string] rejects trailing garbage, so one
+      JSON-lines frame is exactly one document. *)
+
+include module type of struct
+  include Obs.Json
+end

@@ -1,19 +1,92 @@
-(** A fixed-size domain pool fed through a bounded work queue.
+(** A fixed-size domain pool fed through a bounded work queue, in two
+    flavours: the one-shot batch {!map}, and a persistent {!service}
+    with a non-blocking admission path for the `ucc serve` daemon.
 
-    [map ~domains f items] applies [f] to every item, running up to
+    Both flavours share the same instrumented queue, so pool health —
+    queue depth, busy/idle workers, blocked and rejected pushes, the
+    depth high-water mark — is observable either as a {!stats} snapshot
+    or mirrored into a telemetry scope as ["ucd.pool."] counters. *)
+
+val default_domains : unit -> int
+
+(** Pool health.  [blocked_pushes] counts blocking submissions that had
+    to wait for room (the {!map} path); [rejected_pushes] counts
+    non-blocking submissions refused because the queue was full (the
+    {!try_submit} admission path).  [submitted] is accepted work over
+    the pool's lifetime; [completed] is finished tasks. *)
+type stats = {
+  domains : int;
+  queue_bound : int;
+  queue_depth : int;
+  busy : int;
+  idle : int;
+  submitted : int;
+  completed : int;
+  blocked_pushes : int;
+  rejected_pushes : int;
+  max_depth : int;
+}
+
+(** The stats as JSON object fields, in a stable order (the server's
+    [stats] reply and bench rows). *)
+val stats_fields : stats -> (string * Obs.Json.t) list
+
+(** Mirror cumulative counters into [obs] as ["ucd.pool."] counts.
+    Counters are monotonic on the scope side: publish once per pool
+    lifetime (same contract as [Cache.publish]). *)
+val publish_stats : stats -> Obs.t -> unit
+
+(** [map ~domains f items] applies [f] to every item, running up to
     [domains] applications concurrently on OCaml 5 domains, and returns
     the results in submission order.  An [f] that raises is isolated to
     its own slot ([Error exn]); it never takes the pool down.
 
     The queue is bounded ([queue_bound], default [4 * domains]): the
     submitting thread blocks when the workers fall behind, so a huge
-    batch never materializes entirely in memory. *)
-
-val default_domains : unit -> int
-
+    batch never materializes entirely in memory.  [obs] receives the
+    pool-health counters after the batch ({!publish_stats}). *)
 val map :
   ?domains:int ->
   ?queue_bound:int ->
+  ?obs:Obs.t ->
   ('a -> 'b) ->
   'a list ->
   ('b, exn) Stdlib.result list
+
+(** {1 Persistent service pool}
+
+    The long-running flavour the daemon sits on: worker domains started
+    once, task thunks submitted over time, and an admission path that
+    {e rejects} instead of blocking when the queue is full — the caller
+    turns [`Overloaded] into a typed wire reply rather than stalling a
+    client connection. *)
+
+type service
+
+type submit_outcome = [ `Accepted | `Overloaded | `Closed ]
+
+(** [service ?domains ?queue_bound ()] spawns the workers immediately.
+    A task that raises is swallowed (tasks are expected to do their own
+    result delivery); it never takes a worker down. *)
+val service : ?domains:int -> ?queue_bound:int -> unit -> service
+
+(** Non-blocking admission: [`Overloaded] when the queue is at its
+    bound (counted in [rejected_pushes]), [`Closed] after {!close}. *)
+val try_submit : service -> (unit -> unit) -> submit_outcome
+
+val service_stats : service -> stats
+
+(** Stop accepting; queued tasks still run. *)
+val close : service -> unit
+
+(** [drain ?timeout svc] waits until the queue is empty and every
+    worker is idle; [false] if [timeout] (seconds, default infinite)
+    expired first.  Callable from any thread; typically after {!close}
+    so the drained state is final. *)
+val drain : ?timeout:float -> ?poll:float -> service -> bool
+
+(** {!close} then join the worker domains (idempotent). *)
+val shutdown : service -> unit
+
+(** {!publish_stats} of the current {!service_stats}. *)
+val publish : service -> Obs.t -> unit

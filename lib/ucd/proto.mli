@@ -1,0 +1,115 @@
+(** The `ucc serve` wire protocol: versioned JSON-lines messages plus a
+    bounded frame reader.
+
+    {b Framing.}  One frame = one JSON object on one LF-terminated
+    line, at most [max_frame] bytes.  Strings are byte-transparent (see
+    {!Jsonu}), so UC sources and report rows cross the wire unmodified.
+
+    {b Versioning.}  The first client frame must be [hello] carrying
+    {!version}; the server answers [welcome] on an exact match, or a
+    [version_mismatch] error and closes.  Within a version, unknown
+    {e fields} are ignored (additive evolution); an unknown message
+    {e type} is a [protocol] error. *)
+
+val version : int
+
+val default_max_frame : int
+(** 1 MiB. *)
+
+(** Typed failure vocabulary, used both in [rejected] (per-submission)
+    and [error] (connection-level) frames. *)
+type error_code =
+  | Protocol  (** malformed frame: not JSON, no "type", unknown type *)
+  | Oversized  (** frame exceeded the size bound *)
+  | Version_mismatch
+  | Bad_request  (** well-formed but unusable (bad fault plan, unknown corpus name …) *)
+  | Overloaded  (** admission control: the pool queue is at its bound *)
+  | Quota  (** the tenant's in-flight quota is exhausted *)
+  | Shutting_down  (** the server is draining; no new work *)
+  | Unknown_job
+
+val code_string : error_code -> string
+val code_of_string : string -> error_code option
+
+type priority = Low | Normal | High
+
+val priority_string : priority -> string
+val priority_of_string : string -> priority option
+
+type source = Inline of string | Corpus of string
+
+(** The full [Job] option surface, flags spelled like the batch
+    manifest; the server resolves them against its compile-option
+    defaults. *)
+type submit = {
+  client_ref : string option;  (** echoed back in accepted/rejected *)
+  name : string;
+  source : source;
+  seed : int option;
+  fuel : int option;
+  deadline : float option;
+  faults : string option;  (** fault-plan text; parsed server-side *)
+  retries : int option;
+  no_news : bool;
+  no_procopt : bool;
+  no_mappings : bool;
+  no_cse : bool;
+  ir_opt : string option;  (** pass subset, e.g. ["constprop,dce"]; ["off"] disables *)
+}
+
+val submit_defaults : name:string -> source:source -> submit
+
+type client_msg =
+  | Hello of { version : int; tenant : string; priority : priority }
+  | Submit of submit
+  | Status of int  (** server-assigned job id *)
+  | Cancel of int
+  | Trace of bool  (** subscribe/unsubscribe to this session's trace stream *)
+  | Stats
+  | Drain  (** ask the server to stop accepting, drain and exit *)
+  | Bye
+
+type server_msg =
+  | Welcome of { version : int; session : int; server : string }
+  | Accepted of { client_ref : string option; job : int; digest : string }
+  | Rejected of { client_ref : string option; code : error_code; msg : string }
+  | Report of { job : int; row : Jsonu.t }
+      (** the full [Report.json_line] object for the finished job *)
+  | Status_reply of { job : int; state : string; row : Jsonu.t option }
+      (** state is ["queued"], ["running"], ["done"] (with [row]) or
+          ["cancelled"] *)
+  | Cancel_reply of { job : int; ok : bool }
+      (** [ok = false]: the job was already running, done or unknown *)
+  | Trace_reply of bool
+  | Trace_event of { job : int; event : Jsonu.t }  (** one {!Obs.event} *)
+  | Stats_reply of Jsonu.t
+  | Draining of { in_flight : int }
+  | Shutdown of { msg : string }  (** server-initiated goodbye *)
+  | Error of { code : error_code; msg : string }
+
+val client_json : client_msg -> Jsonu.t
+val server_json : server_msg -> Jsonu.t
+
+val client_line : client_msg -> string
+(** One frame, no newline. *)
+
+val server_line : server_msg -> string
+
+val client_of_line : string -> (client_msg, error_code * string) result
+(** Decode one frame from a client.  The error carries the typed code
+    the server should answer with ([Protocol] for malformed frames,
+    [Bad_request] for missing/mistyped required fields). *)
+
+val server_of_line : string -> (server_msg, string) result
+
+(** {1 Framing} *)
+
+type reader
+
+val reader : ?max_frame:int -> Unix.file_descr -> reader
+
+val read_frame : reader -> [ `Frame of string | `Oversized | `Eof ]
+(** Blocking.  [`Oversized] is returned once per offending frame (its
+    bytes are discarded as they stream in), so the caller can reply
+    with a typed error and close without buffering an unbounded line.
+    A reset/closed peer reads as [`Eof]. *)

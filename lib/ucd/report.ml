@@ -58,14 +58,115 @@ let canonical_obj r =
 
 let canonical_json r = Jsonu.to_string (Jsonu.Obj (canonical_obj r))
 
-let json_line r =
-  Jsonu.to_string
-    (Jsonu.Obj
-       (canonical_obj r
-       @ [
-           ("wall_seconds", Jsonu.Float r.wall_seconds);
-           ("cache", Jsonu.Str (if r.from_cache then "hit" else "miss"));
-         ]))
+let to_json r =
+  Jsonu.Obj
+    (canonical_obj r
+    @ [
+        ("wall_seconds", Jsonu.Float r.wall_seconds);
+        ("cache", Jsonu.Str (if r.from_cache then "hit" else "miss"));
+      ])
+
+let json_line r = Jsonu.to_string (to_json r)
+
+(* Inverse of [to_json], for the wire: a served report row re-renders
+   byte-identically on the client side ([canonical_json] included), so
+   `ucc submit` can prove its rows equal `ucc batch`'s. *)
+let of_json j =
+  let ( let* ) r f = match r with Ok v -> f v | Error e -> Error e in
+  match j with
+  | Jsonu.Obj kvs ->
+      let str k =
+        match List.assoc_opt k kvs with
+        | Some (Jsonu.Str s) -> Ok s
+        | _ -> Error (Printf.sprintf "report row: missing %S" k)
+      in
+      let num k =
+        match List.assoc_opt k kvs with
+        | Some (Jsonu.Float f) -> Ok f
+        | Some (Jsonu.Int i) -> Ok (float_of_int i)
+        | _ -> Error (Printf.sprintf "report row: missing %S" k)
+      in
+      let int k =
+        match List.assoc_opt k kvs with
+        | Some (Jsonu.Int i) -> Ok i
+        | _ -> Error (Printf.sprintf "report row: missing %S" k)
+      in
+      let str_list k =
+        match List.assoc_opt k kvs with
+        | None -> Ok []
+        | Some (Jsonu.List xs) ->
+            List.fold_left
+              (fun acc x ->
+                let* acc = acc in
+                match x with
+                | Jsonu.Str s -> Ok (s :: acc)
+                | _ -> Error (Printf.sprintf "report row: %S not strings" k))
+              (Ok []) xs
+            |> Result.map List.rev
+        | Some _ -> Error (Printf.sprintf "report row: %S not a list" k)
+      in
+      let* job_name = str "job" in
+      let* digest = str "digest" in
+      let* options = str "options" in
+      let* seed = int "seed" in
+      let* status =
+        let* s = str "status" in
+        match s with
+        | "ok" -> Ok Done
+        | "failed" ->
+            let* e = str "error" in
+            Ok (Failed e)
+        | "timeout" ->
+            let* d = num "deadline" in
+            Ok (Timeout d)
+        | "faulted" ->
+            let* e = str "error" in
+            Ok (Faulted e)
+        | s -> Error ("report row: unknown status " ^ s)
+      in
+      let* simulated_seconds = num "simulated_seconds" in
+      let* metrics =
+        match List.assoc_opt "metrics" kvs with
+        | None -> Ok []
+        | Some (Jsonu.Obj ms) ->
+            List.fold_left
+              (fun acc (k, v) ->
+                let* acc = acc in
+                match v with
+                | Jsonu.Float f -> Ok ((k, f) :: acc)
+                | Jsonu.Int i -> Ok ((k, float_of_int i) :: acc)
+                | _ -> Error "report row: non-numeric metric")
+              (Ok []) ms
+            |> Result.map List.rev
+        | Some _ -> Error "report row: metrics not an object"
+      in
+      let* output = str_list "output" in
+      let* attempts = int "attempts" in
+      let* fault_trace = str_list "fault_trace" in
+      let* wall_seconds = num "wall_seconds" in
+      let* from_cache =
+        let* c = str "cache" in
+        match c with
+        | "hit" -> Ok true
+        | "miss" -> Ok false
+        | c -> Error ("report row: bad cache tag " ^ c)
+      in
+      Ok
+        {
+          job_name;
+          digest;
+          options;
+          seed;
+          status;
+          simulated_seconds;
+          metrics;
+          output;
+          wall_seconds;
+          from_cache;
+          attempts;
+          fault_trace;
+        }
+  | _ -> Error "report row: not an object"
 
 type summary = {
   total : int;

@@ -37,6 +37,15 @@ val canonical_json : result -> string
     and [cache] provenance. *)
 val json_line : result -> string
 
+(** The {!json_line} object as a JSON value (the wire representation a
+    serve [report] frame carries). *)
+val to_json : result -> Jsonu.t
+
+(** Inverse of {!to_json}: a served row re-renders byte-identically on
+    the client side ({!canonical_json} included), so `ucc submit` can
+    prove its rows equal `ucc batch`'s. *)
+val of_json : Jsonu.t -> (result, string) Stdlib.result
+
 type summary = {
   total : int;
   ok : int;

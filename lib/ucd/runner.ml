@@ -237,7 +237,7 @@ let run_jobs ?domains ?queue_bound ?policy ?obs ~cache jobs =
             fault_trace = [];
           })
     jobs
-    (Pool.map ?domains ?queue_bound (run_job ?policy ?obs ~cache) jobs)
+    (Pool.map ?domains ?queue_bound ?obs (run_job ?policy ?obs ~cache) jobs)
 
 let corpus_jobs ?options ?seed ?fuel ?deadline ?faults ?retries () =
   List.map

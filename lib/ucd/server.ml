@@ -1,0 +1,633 @@
+(* The `ucc serve` daemon: a compile-and-run service over Unix-domain
+   (and optionally TCP) sockets speaking the Proto JSON-lines protocol.
+
+   Thread/domain architecture:
+
+   - one accept thread multiplexing the listeners and a self-pipe (the
+     shutdown wakeup);
+   - two threads per connection: a reader (parses frames, runs the
+     dispatch loop) and a writer (drains the session outbox to the
+     socket) — one writer per socket means reply and trace lines never
+     interleave mid-frame;
+   - a Pool.service of worker domains executing jobs through the
+     ordinary Runner, so caching, fault quarantine, checkpoint slicing
+     and deadline enforcement apply to served jobs unchanged.
+
+   Admission control happens on the reader thread, before the queue:
+   a draining server answers [shutting_down], a tenant past its
+   in-flight quota [quota], a low-priority submission past the 3/4
+   queue watermark [overloaded], and a full queue [overloaded] (the
+   non-blocking Pool.try_submit path) — a client is never blocked by
+   someone else's backlog, it gets a typed reply instead.
+
+   Graceful shutdown (signal handler or a [drain] frame): stop
+   accepting, reject new submissions, drain in-flight jobs bounded by
+   [drain_timeout], flush every outbox, notify clients, exit 0 (1 if
+   the timeout expired with jobs still running). *)
+
+type config = {
+  socket_path : string option;
+  tcp_port : int option;
+  domains : int;
+  queue_bound : int;
+  quotas : (string * int) list;
+  default_quota : int option;
+  drain_timeout : float;
+  policy : Runner.policy;
+  max_frame : int;
+  outbox_capacity : int;
+  verbose : bool;
+}
+
+let default_config =
+  {
+    socket_path = Some "ucd.sock";
+    tcp_port = None;
+    domains = 2;
+    queue_bound = 16;
+    quotas = [];
+    default_quota = None;
+    drain_timeout = 30.;
+    policy = Runner.default_policy;
+    max_frame = Proto.default_max_frame;
+    outbox_capacity = 4096;
+    verbose = false;
+  }
+
+type job_state = Queued | Running | Done of Report.result | Cancelled
+
+type job_entry = {
+  job_id : int;
+  owner : Session.t;
+  job : Job.t;
+  mutable state : job_state;
+}
+
+type conn = {
+  conn_fd : Unix.file_descr;
+  mutable conn_session : Session.t option;
+  mutable conn_writer : Thread.t option;
+}
+
+type t = {
+  cfg : config;
+  cache : Cache.t;
+  pool : Pool.service;
+  registry : Session.registry;
+  obs : Obs.t;  (* daemon-side scope (ucc serve --trace/--metrics) *)
+  jobs : (int, job_entry) Hashtbl.t;
+  jobs_lock : Mutex.t;
+  mutable next_job : int;
+  mutable jobs_done : int;
+  mutable jobs_cancelled : int;
+  listeners : Unix.file_descr list;
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  state_lock : Mutex.t;
+  exit_cond : Condition.t;
+  mutable draining : bool;
+  mutable shutdown_reason : string;
+  mutable exit_code : int option;
+  conns_lock : Mutex.t;
+  mutable conns : (conn * Thread.t) list;  (* connection, reader thread *)
+  mutable accept_thread : Thread.t option;
+}
+
+let locked lock f =
+  Mutex.lock lock;
+  match f () with
+  | v ->
+      Mutex.unlock lock;
+      v
+  | exception e ->
+      Mutex.unlock lock;
+      raise e
+
+let logf t fmt =
+  Printf.ksprintf
+    (fun msg -> if t.cfg.verbose then Printf.eprintf "ucd: %s\n%!" msg)
+    fmt
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off = if off < n then go (off + Unix.write fd b off (n - off)) in
+  go 0
+
+(* pre-session replies (hello errors) go straight to the socket: the
+   writer thread does not exist yet *)
+let write_msg fd msg =
+  try write_all fd (Proto.server_line msg ^ "\n") with _ -> ()
+
+let is_draining t = locked t.state_lock (fun () -> t.draining)
+
+(* ---- job execution ---- *)
+
+let deliver_report t (entry : job_entry) r =
+  locked t.jobs_lock (fun () ->
+      entry.state <- Done r;
+      t.jobs_done <- t.jobs_done + 1);
+  ignore
+    (Session.send entry.owner
+       (Proto.Report { job = entry.job_id; row = Report.to_json r }));
+  Session.finished t.registry entry.owner ~completed:true
+
+let job_task t (entry : job_entry) () =
+  let run_it =
+    locked t.jobs_lock (fun () ->
+        match entry.state with
+        | Queued ->
+            entry.state <- Running;
+            true
+        | _ -> false)
+  in
+  if run_it then begin
+    (* live trace subscription: a dedicated scope whose sink forwards
+       each event to the owner's droppable outbox lane; otherwise the
+       job runs against the daemon's own scope (Obs.null by default) *)
+    let job_obs =
+      if Session.trace_enabled entry.owner then begin
+        let scope = Obs.create ~clock:Unix.gettimeofday () in
+        Obs.add_sink scope (fun ev ->
+            ignore
+              (Session.send_trace entry.owner ~job:entry.job_id
+                 (Obs.event_json ev)));
+        scope
+      end
+      else t.obs
+    in
+    let r =
+      Runner.run_job ~policy:t.cfg.policy ~obs:job_obs ~cache:t.cache entry.job
+    in
+    deliver_report t entry r
+  end
+
+(* ---- submission ---- *)
+
+let job_of_submit (s : Proto.submit) =
+  let ( let* ) r f = match r with Ok v -> f v | Error e -> Error e in
+  let* source =
+    match s.Proto.source with
+    | Proto.Inline text -> Ok text
+    | Proto.Corpus n -> (
+        match List.assoc_opt n Uc_programs.Programs.all_named with
+        | Some src -> Ok src
+        | None -> Error (Printf.sprintf "unknown corpus program %S" n))
+  in
+  let* faults =
+    match s.Proto.faults with
+    | None -> Ok None
+    | Some plan -> (
+        match Cm.Fault.parse plan with
+        | Ok spec -> Ok (Some spec)
+        | Error msg -> Error (Printf.sprintf "bad fault plan %S: %s" plan msg))
+  in
+  let* ir_opt =
+    match s.Proto.ir_opt with
+    | None -> Ok Cm.Iropt.default
+    | Some passes -> (
+        match Cm.Iropt.config_of_string passes with
+        | Ok c -> Ok c
+        | Error msg -> Error (Printf.sprintf "bad ir_opt %S: %s" passes msg))
+  in
+  let options =
+    {
+      Uc.Codegen.news_opt = not s.Proto.no_news;
+      procopt = not s.Proto.no_procopt;
+      use_mappings = not s.Proto.no_mappings;
+      cse = not s.Proto.no_cse;
+      ir_opt;
+    }
+  in
+  Ok
+    (Job.make ~options
+       ?seed:s.Proto.seed ?fuel:s.Proto.fuel ?deadline:s.Proto.deadline
+       ?faults ?retries:s.Proto.retries ~name:s.Proto.name ~source ())
+
+let reject t sess ~client_ref code msg =
+  Session.note_rejected sess;
+  Obs.count t.obs ("serve.rejected." ^ Proto.code_string code) 1;
+  ignore (Session.send sess (Proto.Rejected { client_ref; code; msg }))
+
+let handle_submit t sess (s : Proto.submit) =
+  let client_ref = s.Proto.client_ref in
+  if is_draining t then
+    reject t sess ~client_ref Proto.Shutting_down "server is draining"
+  else
+    match job_of_submit s with
+    | Error msg -> reject t sess ~client_ref Proto.Bad_request msg
+    | Ok job -> (
+        (* low-priority watermark: the last quarter of the queue is
+           reserved for normal/high traffic, so background tenants
+           shed first under pressure *)
+        let st = Pool.service_stats t.pool in
+        if
+          sess.Session.priority = Proto.Low
+          && st.Pool.queue_depth >= st.Pool.queue_bound * 3 / 4
+        then
+          reject t sess ~client_ref Proto.Overloaded
+            (Printf.sprintf
+               "low-priority watermark: queue %d/%d" st.Pool.queue_depth
+               st.Pool.queue_bound)
+        else
+          match Session.admit t.registry sess with
+          | Error msg -> reject t sess ~client_ref Proto.Quota msg
+          | Ok () -> (
+              let entry =
+                locked t.jobs_lock (fun () ->
+                    let id = t.next_job in
+                    t.next_job <- id + 1;
+                    let e = { job_id = id; owner = sess; job; state = Queued } in
+                    Hashtbl.replace t.jobs id e;
+                    e)
+              in
+              match Pool.try_submit t.pool (job_task t entry) with
+              | `Accepted ->
+                  Obs.count t.obs "serve.accepted" 1;
+                  ignore
+                    (Session.send sess
+                       (Proto.Accepted
+                          {
+                            client_ref;
+                            job = entry.job_id;
+                            digest = Job.digest job;
+                          }))
+              | `Overloaded ->
+                  locked t.jobs_lock (fun () -> Hashtbl.remove t.jobs entry.job_id);
+                  Session.finished t.registry sess ~completed:false;
+                  reject t sess ~client_ref Proto.Overloaded
+                    (Printf.sprintf "queue full (%d/%d)" st.Pool.queue_bound
+                       st.Pool.queue_bound)
+              | `Closed ->
+                  locked t.jobs_lock (fun () -> Hashtbl.remove t.jobs entry.job_id);
+                  Session.finished t.registry sess ~completed:false;
+                  reject t sess ~client_ref Proto.Shutting_down
+                    "server is draining"))
+
+(* ---- the rest of the dispatch surface ---- *)
+
+let owned_entry t sess job =
+  locked t.jobs_lock (fun () ->
+      match Hashtbl.find_opt t.jobs job with
+      | Some e when e.owner.Session.id = sess.Session.id -> Some e
+      | _ -> None)
+
+let handle_status t sess job =
+  match owned_entry t sess job with
+  | None ->
+      ignore
+        (Session.send sess
+           (Proto.Error
+              {
+                code = Proto.Unknown_job;
+                msg = Printf.sprintf "job %d is not yours or does not exist" job;
+              }))
+  | Some e ->
+      let state, row =
+        locked t.jobs_lock (fun () ->
+            match e.state with
+            | Queued -> ("queued", None)
+            | Running -> ("running", None)
+            | Cancelled -> ("cancelled", None)
+            | Done r -> ("done", Some (Report.to_json r)))
+      in
+      ignore (Session.send sess (Proto.Status_reply { job; state; row }))
+
+let handle_cancel t sess job =
+  match owned_entry t sess job with
+  | None -> ignore (Session.send sess (Proto.Cancel_reply { job; ok = false }))
+  | Some e ->
+      let ok =
+        locked t.jobs_lock (fun () ->
+            match e.state with
+            | Queued ->
+                e.state <- Cancelled;
+                t.jobs_cancelled <- t.jobs_cancelled + 1;
+                true
+            | _ -> false)
+      in
+      (* the queued thunk still runs, sees Cancelled, and does nothing;
+         release the admission slot now *)
+      if ok then Session.finished t.registry sess ~completed:false;
+      ignore (Session.send sess (Proto.Cancel_reply { job; ok }))
+
+let stats_json t =
+  let cache = Cache.stats t.cache in
+  let jobs_total, done_, cancelled =
+    locked t.jobs_lock (fun () ->
+        (t.next_job - 1, t.jobs_done, t.jobs_cancelled))
+  in
+  Jsonu.Obj
+    [
+      ( "server",
+        Jsonu.Obj
+          [
+            ("version", Jsonu.Int Proto.version);
+            ("draining", Jsonu.Bool (is_draining t));
+            ("jobs_submitted", Jsonu.Int jobs_total);
+            ("jobs_done", Jsonu.Int done_);
+            ("jobs_cancelled", Jsonu.Int cancelled);
+          ] );
+      ("pool", Jsonu.Obj (Pool.stats_fields (Pool.service_stats t.pool)));
+      ("sessions", Jsonu.Obj (Session.registry_fields t.registry));
+      ( "cache",
+        Jsonu.Obj
+          [
+            ("ast_hits", Jsonu.Int cache.Cache.ast_hits);
+            ("ast_misses", Jsonu.Int cache.Cache.ast_misses);
+            ("ir_hits", Jsonu.Int cache.Cache.ir_hits);
+            ("ir_misses", Jsonu.Int cache.Cache.ir_misses);
+            ("run_hits", Jsonu.Int cache.Cache.run_hits);
+            ("run_misses", Jsonu.Int cache.Cache.run_misses);
+            ("corruptions", Jsonu.Int cache.Cache.corruptions);
+            ("write_failures", Jsonu.Int cache.Cache.write_failures);
+          ] );
+    ]
+
+(* ---- shutdown ---- *)
+
+let request_shutdown ?(reason = "shutdown requested") t =
+  let first =
+    locked t.state_lock (fun () ->
+        if t.draining then false
+        else begin
+          t.draining <- true;
+          t.shutdown_reason <- reason;
+          true
+        end)
+  in
+  if first then (try ignore (Unix.write t.wake_w (Bytes.of_string "x") 0 1) with _ -> ());
+  first
+
+let handle_drain t sess =
+  let st = Pool.service_stats t.pool in
+  ignore
+    (Session.send sess
+       (Proto.Draining { in_flight = st.Pool.queue_depth + st.Pool.busy }));
+  ignore (request_shutdown ~reason:"drain requested by client" t)
+
+(* ---- per-connection threads ---- *)
+
+let writer_thread sess fd =
+  let rec loop () =
+    match Session.outbox_pop sess with
+    | None -> ()
+    | Some line -> (
+        match write_all fd (line ^ "\n") with
+        | () -> loop ()
+        | exception _ ->
+            (* client gone: close the lane so producers stop, and keep
+               draining so a blocked push can never deadlock *)
+            Session.close_outbox sess;
+            loop ())
+  in
+  loop ();
+  (* flushing done (or futile): end the conversation; the reader sees
+     EOF, cleans up, and owns the close *)
+  try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> ()
+
+let dispatch t sess = function
+  | Proto.Submit s -> handle_submit t sess s
+  | Proto.Status job -> handle_status t sess job
+  | Proto.Cancel job -> handle_cancel t sess job
+  | Proto.Trace enable ->
+      Session.set_trace sess enable;
+      ignore (Session.send sess (Proto.Trace_reply enable))
+  | Proto.Stats ->
+      ignore (Session.send sess (Proto.Stats_reply (stats_json t)))
+  | Proto.Drain -> handle_drain t sess
+  | Proto.Hello _ ->
+      ignore
+        (Session.send sess
+           (Proto.Error
+              { code = Proto.Protocol; msg = "hello after handshake" }))
+  | Proto.Bye -> ()  (* handled by the loop *)
+
+let reader_thread t conn =
+  let fd = conn.conn_fd in
+  let r = Proto.reader ~max_frame:t.cfg.max_frame fd in
+  (* handshake: the first frame must be a version-matching hello *)
+  let handshake () =
+    match Proto.read_frame r with
+    | `Eof -> None
+    | `Oversized ->
+        write_msg fd
+          (Proto.Error { code = Proto.Oversized; msg = "hello frame too large" });
+        None
+    | `Frame line -> (
+        match Proto.client_of_line line with
+        | Ok (Proto.Hello { version; tenant; priority }) ->
+            if version <> Proto.version then begin
+              write_msg fd
+                (Proto.Error
+                   {
+                     code = Proto.Version_mismatch;
+                     msg =
+                       Printf.sprintf "server speaks version %d, client %d"
+                         Proto.version version;
+                   });
+              None
+            end
+            else begin
+              let sess =
+                Session.attach t.registry ~tenant ~priority
+                  ~outbox_capacity:t.cfg.outbox_capacity
+              in
+              conn.conn_session <- Some sess;
+              let w = Thread.create (fun () -> writer_thread sess fd) () in
+              conn.conn_writer <- Some w;
+              ignore
+                (Session.send sess
+                   (Proto.Welcome
+                      {
+                        version = Proto.version;
+                        session = sess.Session.id;
+                        server = "ucd/1";
+                      }));
+              Some sess
+            end
+        | Ok _ ->
+            write_msg fd
+              (Proto.Error
+                 { code = Proto.Protocol; msg = "first frame must be hello" });
+            None
+        | Error (code, msg) ->
+            write_msg fd (Proto.Error { code; msg });
+            None)
+  in
+  (match handshake () with
+  | None -> ()
+  | Some sess ->
+      Obs.count t.obs "serve.sessions" 1;
+      logf t "session %d: tenant %s connected" sess.Session.id
+        sess.Session.tenant;
+      let rec loop () =
+        match Proto.read_frame r with
+        | `Eof -> ()
+        | `Oversized ->
+            (* the offending frame was discarded at a newline boundary,
+               so the stream stays in sync; reject and carry on *)
+            ignore
+              (Session.send sess
+                 (Proto.Error
+                    {
+                      code = Proto.Oversized;
+                      msg =
+                        Printf.sprintf "frame exceeds %d bytes" t.cfg.max_frame;
+                    }));
+            loop ()
+        | `Frame line -> (
+            match Proto.client_of_line line with
+            | Ok Proto.Bye -> ()
+            | Ok msg ->
+                dispatch t sess msg;
+                loop ()
+            | Error (code, msg) ->
+                ignore (Session.send sess (Proto.Error { code; msg }));
+                loop ())
+      in
+      loop ();
+      logf t "session %d: disconnected" sess.Session.id;
+      Session.detach t.registry sess);
+  (* reap the writer (detach closed the outbox, so it terminates after
+     flushing), then own the close *)
+  Option.iter Thread.join conn.conn_writer;
+  (try Unix.close fd with _ -> ());
+  locked t.conns_lock (fun () ->
+      t.conns <- List.filter (fun (c, _) -> c != conn) t.conns)
+
+(* ---- accept loop and lifecycle ---- *)
+
+let accept_loop t =
+  let rec loop () =
+    match Unix.select (t.wake_r :: t.listeners) [] [] (-1.) with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+    | ready, _, _ ->
+        if List.mem t.wake_r ready then ()  (* shutdown *)
+        else begin
+          List.iter
+            (fun lfd ->
+              if List.mem lfd ready then
+                match Unix.accept lfd with
+                | fd, _ ->
+                    Obs.count t.obs "serve.connections" 1;
+                    let conn =
+                      { conn_fd = fd; conn_session = None; conn_writer = None }
+                    in
+                    let th = Thread.create (fun () -> reader_thread t conn) () in
+                    locked t.conns_lock (fun () ->
+                        t.conns <- (conn, th) :: t.conns)
+                | exception Unix.Unix_error (_, _, _) -> ())
+            t.listeners;
+          loop ()
+        end
+  in
+  loop ();
+  (* ---- graceful drain ---- *)
+  logf t "%s: draining" t.shutdown_reason;
+  List.iter (fun fd -> try Unix.close fd with _ -> ()) t.listeners;
+  (match t.cfg.socket_path with
+  | Some p -> ( try Unix.unlink p with _ -> ())
+  | None -> ());
+  Pool.close t.pool;
+  let drained = Pool.drain ~timeout:t.cfg.drain_timeout t.pool in
+  if not drained then
+    logf t "drain timeout (%.1fs) expired with jobs still running"
+      t.cfg.drain_timeout;
+  (* every in-flight report has been pushed; say goodbye and flush *)
+  List.iter
+    (fun sess ->
+      ignore (Session.send sess (Proto.Shutdown { msg = t.shutdown_reason }));
+      Session.close_outbox sess)
+    (Session.all t.registry);
+  (* wake pre-handshake connections stuck in read *)
+  locked t.conns_lock (fun () ->
+      List.iter
+        (fun (c, _) ->
+          if c.conn_session = None then
+            try Unix.shutdown c.conn_fd Unix.SHUTDOWN_ALL with _ -> ())
+        t.conns);
+  let conns = locked t.conns_lock (fun () -> t.conns) in
+  List.iter (fun (_, th) -> Thread.join th) conns;
+  Pool.publish t.pool t.obs;
+  Cache.publish t.cache t.obs;
+  locked t.state_lock (fun () ->
+      t.exit_code <- Some (if drained then 0 else 1);
+      Condition.broadcast t.exit_cond)
+
+let listen_unix path =
+  (* a stale socket file from a dead daemon would make bind fail;
+     replace it (two live daemons on one path is an operator error the
+     second bind cannot detect portably) *)
+  (try if Sys.file_exists path then Unix.unlink path with _ -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 64;
+  fd
+
+let listen_tcp port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen fd 64;
+  fd
+
+let start ?(obs = Obs.null) ?cache_dir cfg =
+  (* a dead client's socket must never kill the daemon *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ());
+  let listeners =
+    (match cfg.socket_path with Some p -> [ listen_unix p ] | None -> [])
+    @ (match cfg.tcp_port with Some p -> [ listen_tcp p ] | None -> [])
+  in
+  if listeners = [] then
+    invalid_arg "Server.start: no socket_path and no tcp_port";
+  let wake_r, wake_w = Unix.pipe () in
+  let t =
+    {
+      cfg;
+      cache =
+        (match cache_dir with
+        | Some dir -> Cache.create ~dir ()
+        | None -> Cache.create ());
+      pool = Pool.service ~domains:cfg.domains ~queue_bound:cfg.queue_bound ();
+      registry =
+        Session.registry ~quotas:cfg.quotas ?default_quota:cfg.default_quota ();
+      obs;
+      jobs = Hashtbl.create 64;
+      jobs_lock = Mutex.create ();
+      next_job = 1;
+      jobs_done = 0;
+      jobs_cancelled = 0;
+      listeners;
+      wake_r;
+      wake_w;
+      state_lock = Mutex.create ();
+      exit_cond = Condition.create ();
+      draining = false;
+      shutdown_reason = "";
+      exit_code = None;
+      conns_lock = Mutex.create ();
+      conns = [];
+      accept_thread = None;
+    }
+  in
+  t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+  t
+
+let wait t =
+  locked t.state_lock (fun () ->
+      while t.exit_code = None do
+        Condition.wait t.exit_cond t.state_lock
+      done;
+      Option.get t.exit_code)
+
+let stop ?reason t =
+  ignore (request_shutdown ?reason t);
+  let code = wait t in
+  Option.iter Thread.join t.accept_thread;
+  (try Unix.close t.wake_r with _ -> ());
+  (try Unix.close t.wake_w with _ -> ());
+  Pool.shutdown t.pool;
+  code
+
+let stats t = stats_json t

@@ -1,0 +1,64 @@
+(** The [ucc serve] daemon: a long-running compile-and-run service over
+    Unix-domain (and optionally TCP loopback) sockets speaking the
+    {!Proto} JSON-lines protocol.
+
+    One accept thread multiplexes the listeners; each connection gets a
+    reader thread (frame parsing, dispatch, admission control) and a
+    writer thread (drains the session outbox — one writer per socket
+    keeps frames whole).  Jobs execute on a {!Pool.service} of worker
+    domains through the ordinary {!Runner}, so caching, fault
+    quarantine, checkpoint slicing and deadline enforcement apply to
+    served jobs unchanged.
+
+    Admission happens before the queue and never blocks a client:
+    draining → [shutting_down], tenant over in-flight quota → [quota],
+    low-priority past the 3/4 queue watermark → [overloaded], queue
+    full → [overloaded] (non-blocking {!Pool.try_submit}). *)
+
+type config = {
+  socket_path : string option;  (** Unix-domain listener (stale file replaced) *)
+  tcp_port : int option;  (** loopback TCP listener *)
+  domains : int;  (** pool worker domains *)
+  queue_bound : int;  (** pool queue capacity; overflow is rejected *)
+  quotas : (string * int) list;  (** tenant → max in-flight jobs *)
+  default_quota : int option;  (** quota for unlisted tenants (None = unlimited) *)
+  drain_timeout : float;  (** seconds to wait for in-flight jobs on shutdown *)
+  policy : Runner.policy;
+  max_frame : int;  (** inbound frame size bound (bytes) *)
+  outbox_capacity : int;  (** per-session outbox frames *)
+  verbose : bool;  (** log connections/drain progress to stderr *)
+}
+
+(** Unix socket ["ucd.sock"], no TCP, 2 domains, queue 16, no quotas,
+    30 s drain, default runner policy, 1 MiB frames, quiet. *)
+val default_config : config
+
+type t
+
+(** Bind the listeners, spawn the pool and the accept thread, return
+    immediately.  [obs] is the daemon's own telemetry scope ([ucc serve
+    --metrics/--trace]); pool and cache counters are published to it at
+    shutdown.  Ignores [SIGPIPE] process-wide (a dead client must not
+    kill the daemon).
+
+    @raise Invalid_argument when neither [socket_path] nor [tcp_port]
+    is set.
+    @raise Unix.Unix_error when a listener cannot bind. *)
+val start : ?obs:Obs.t -> ?cache_dir:string -> config -> t
+
+(** Begin graceful shutdown (idempotent; [true] on the first call):
+    stop accepting, reject new submissions with [shutting_down], drain
+    in-flight jobs bounded by [drain_timeout], flush every session
+    outbox, notify clients, then release {!wait}. *)
+val request_shutdown : ?reason:string -> t -> bool
+
+(** Block until shutdown completes.  [0] when the drain finished
+    cleanly, [1] when the timeout expired with jobs still running. *)
+val wait : t -> int
+
+(** {!request_shutdown} + {!wait} + reap the accept thread and the
+    pool.  The in-process form used by tests and the bench harness. *)
+val stop : ?reason:string -> t -> int
+
+(** The [stats] reply body: server / pool / sessions / cache objects. *)
+val stats : t -> Jsonu.t

@@ -1,0 +1,179 @@
+(* Per-connection sessions for the serve daemon.
+
+   Each accepted connection gets one session: a tenant identity, a
+   priority class, admission counters, and an outbox — a bounded
+   Obs.Stream drained by the connection's writer thread.  Protocol
+   replies and report rows use the blocking lane (backpressure lands on
+   the producer, typically a pool worker finishing a job for a slow
+   client); trace events use the droppable lane (a slow subscriber
+   loses events, counted, never progress).
+
+   Tenant quotas bound *in-flight* jobs (queued or running) per tenant
+   across all of that tenant's sessions, so one tenant cannot occupy
+   the whole queue no matter how many connections it opens. *)
+
+type t = {
+  id : int;
+  tenant : string;
+  priority : Proto.priority;
+  outbox : Obs.Stream.t;
+  lock : Mutex.t;
+  mutable trace : bool;
+  mutable submitted : int;
+  mutable completed : int;
+  mutable rejected : int;
+  mutable in_flight : int;
+  mutable closed : bool;
+}
+
+type registry = {
+  reg_lock : Mutex.t;
+  sessions : (int, t) Hashtbl.t;
+  tenant_in_flight : (string, int ref) Hashtbl.t;
+  quotas : (string * int) list;
+  default_quota : int option;
+  mutable next_id : int;
+  mutable lifetime_sessions : int;
+}
+
+let registry ?(quotas = []) ?default_quota () =
+  {
+    reg_lock = Mutex.create ();
+    sessions = Hashtbl.create 16;
+    tenant_in_flight = Hashtbl.create 16;
+    quotas;
+    default_quota;
+    next_id = 1;
+    lifetime_sessions = 0;
+  }
+
+let locked lock f =
+  Mutex.lock lock;
+  match f () with
+  | v ->
+      Mutex.unlock lock;
+      v
+  | exception e ->
+      Mutex.unlock lock;
+      raise e
+
+let attach reg ~tenant ~priority ~outbox_capacity =
+  locked reg.reg_lock (fun () ->
+      let id = reg.next_id in
+      reg.next_id <- id + 1;
+      reg.lifetime_sessions <- reg.lifetime_sessions + 1;
+      let s =
+        {
+          id;
+          tenant;
+          priority;
+          outbox = Obs.Stream.create ~capacity:outbox_capacity ();
+          lock = Mutex.create ();
+          trace = false;
+          submitted = 0;
+          completed = 0;
+          rejected = 0;
+          in_flight = 0;
+          closed = false;
+        }
+      in
+      Hashtbl.replace reg.sessions id s;
+      s)
+
+let detach reg s =
+  locked reg.reg_lock (fun () -> Hashtbl.remove reg.sessions s.id);
+  locked s.lock (fun () -> s.closed <- true);
+  Obs.Stream.close s.outbox
+
+let quota_of reg tenant =
+  match List.assoc_opt tenant reg.quotas with
+  | Some q -> Some q
+  | None -> reg.default_quota
+
+(* Tenant-quota admission.  On success the tenant's and the session's
+   in-flight counts are already incremented — pair every [Ok] with a
+   {!finished} once the job leaves the system (done, cancelled, or
+   failed to enqueue). *)
+let admit reg s =
+  locked reg.reg_lock (fun () ->
+      let counter =
+        match Hashtbl.find_opt reg.tenant_in_flight s.tenant with
+        | Some r -> r
+        | None ->
+            let r = ref 0 in
+            Hashtbl.add reg.tenant_in_flight s.tenant r;
+            r
+      in
+      match quota_of reg s.tenant with
+      | Some q when !counter >= q ->
+          Error
+            (Printf.sprintf "tenant %s has %d job(s) in flight (quota %d)"
+               s.tenant !counter q)
+      | _ ->
+          incr counter;
+          locked s.lock (fun () ->
+              s.in_flight <- s.in_flight + 1;
+              s.submitted <- s.submitted + 1);
+          Ok ())
+
+(* A previously admitted job left the system. *)
+let finished reg s ~completed =
+  locked reg.reg_lock (fun () ->
+      match Hashtbl.find_opt reg.tenant_in_flight s.tenant with
+      | Some r -> if !r > 0 then decr r
+      | None -> ());
+  locked s.lock (fun () ->
+      s.in_flight <- max 0 (s.in_flight - 1);
+      if completed then s.completed <- s.completed + 1)
+
+let note_rejected s = locked s.lock (fun () -> s.rejected <- s.rejected + 1)
+let set_trace s enable = locked s.lock (fun () -> s.trace <- enable)
+let trace_enabled s = locked s.lock (fun () -> s.trace)
+
+(* ---- outbox ---- *)
+
+let send s msg = Obs.Stream.push s.outbox (Proto.server_line msg)
+
+(* droppable lane: trace events for [job], only when subscribed *)
+let send_trace s ~job event_json =
+  trace_enabled s
+  && Obs.Stream.offer s.outbox
+       (Proto.server_line (Proto.Trace_event { job; event = event_json }))
+
+let outbox_pop s = Obs.Stream.pop s.outbox
+let close_outbox s = Obs.Stream.close s.outbox
+
+(* ---- introspection ---- *)
+
+let all reg =
+  locked reg.reg_lock (fun () ->
+      Hashtbl.fold (fun _ s acc -> s :: acc) reg.sessions [])
+
+let session_fields s =
+  locked s.lock (fun () ->
+      [
+        ("session", Jsonu.Int s.id);
+        ("tenant", Jsonu.Str s.tenant);
+        ("priority", Jsonu.Str (Proto.priority_string s.priority));
+        ("submitted", Jsonu.Int s.submitted);
+        ("completed", Jsonu.Int s.completed);
+        ("rejected", Jsonu.Int s.rejected);
+        ("in_flight", Jsonu.Int s.in_flight);
+        ("trace", Jsonu.Bool s.trace);
+        ("trace_dropped", Jsonu.Int (Obs.Stream.dropped s.outbox));
+      ])
+
+let registry_fields reg =
+  let sessions = all reg in
+  let lifetime =
+    locked reg.reg_lock (fun () -> reg.lifetime_sessions)
+  in
+  [
+    ("connected", Jsonu.Int (List.length sessions));
+    ("lifetime", Jsonu.Int lifetime);
+    ( "sessions",
+      Jsonu.List
+        (List.map
+           (fun s -> Jsonu.Obj (session_fields s))
+           (List.sort (fun a b -> compare a.id b.id) sessions)) );
+  ]

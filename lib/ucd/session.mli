@@ -1,0 +1,73 @@
+(** Per-connection sessions for the serve daemon.
+
+    Each accepted connection gets one session: a tenant identity, a
+    priority class, admission counters, and an outbox — a bounded
+    {!Obs.Stream} drained by the connection's writer thread.  Protocol
+    replies and report rows use the blocking lane (backpressure lands
+    on the producer); trace events use the droppable lane (a slow
+    subscriber loses events, counted, never progress).
+
+    Tenant quotas bound {e in-flight} jobs (queued or running) per
+    tenant across all of that tenant's sessions, so one tenant cannot
+    occupy the whole queue no matter how many connections it opens. *)
+
+type t = private {
+  id : int;
+  tenant : string;
+  priority : Proto.priority;
+  outbox : Obs.Stream.t;
+  lock : Mutex.t;
+  mutable trace : bool;
+  mutable submitted : int;
+  mutable completed : int;
+  mutable rejected : int;
+  mutable in_flight : int;
+  mutable closed : bool;
+}
+
+type registry
+
+(** [quotas] maps tenant name to its in-flight bound; [default_quota]
+    applies to tenants not listed (default: unlimited). *)
+val registry :
+  ?quotas:(string * int) list -> ?default_quota:int -> unit -> registry
+
+val attach :
+  registry -> tenant:string -> priority:Proto.priority -> outbox_capacity:int -> t
+
+(** Remove from the registry and close the outbox (the writer thread
+    drains what remains, then sees [None]). *)
+val detach : registry -> t -> unit
+
+(** Tenant-quota admission.  On [Ok] the tenant's and session's
+    in-flight counts are already incremented — pair every [Ok] with a
+    {!finished} once the job leaves the system (done, cancelled, or
+    failed to enqueue). *)
+val admit : registry -> t -> (unit, string) result
+
+val finished : registry -> t -> completed:bool -> unit
+
+val note_rejected : t -> unit
+val set_trace : t -> bool -> unit
+val trace_enabled : t -> bool
+
+(** Blocking enqueue of a protocol frame; [false] once the outbox is
+    closed (client gone — the caller just drops the message). *)
+val send : t -> Proto.server_msg -> bool
+
+(** Droppable enqueue of one trace event for [job]; [false] when not
+    subscribed, dropped (outbox full) or closed. *)
+val send_trace : t -> job:int -> Jsonu.t -> bool
+
+(** Writer-thread side: next frame line, or [None] once closed and
+    drained. *)
+val outbox_pop : t -> string option
+
+val close_outbox : t -> unit
+
+val all : registry -> t list
+val session_fields : t -> (string * Jsonu.t) list
+
+(** For the server's [stats] reply: connected count, lifetime count,
+    and per-session rows sorted by id. *)
+val registry_fields : registry -> (string * Jsonu.t) list

@@ -159,6 +159,74 @@ grep -q '"name":"job"' batch_trace.jsonl
 grep -q '"name":"job.cache"' batch_trace.jsonl
 grep -q "ucd.cache.run_misses" batch_metrics.txt
 
+# a parallel batch publishes pool health counters through the same spine
+$UCC batch manifest.txt --cache-dir none --jobs 2 --metrics \
+  > /dev/null 2>pool_metrics.txt
+grep -q "ucd.pool.completed" pool_metrics.txt
+grep -q "ucd.pool.max_depth" pool_metrics.txt
+
+# ---- serve / submit ----
+
+# socket paths must stay short (sun_path limit); the sandbox cwd is deep
+SOCK=$(mktemp -u "${TMPDIR:-/tmp}/ucc_cli_XXXXXX.sock")
+SOCK2=$(mktemp -u "${TMPDIR:-/tmp}/ucc_cli_XXXXXX.sock")
+SERVE_PID= ; SERVE2_PID=
+trap 'kill $SERVE_PID $SERVE2_PID 2>/dev/null || true' EXIT
+
+wait_sock() {
+  for _ in $(seq 1 200); do [ -S "$1" ] && return 0; sleep 0.05; done
+  return 1
+}
+
+$UCC serve --socket "$SOCK" --cache-dir none --jobs 2 --max-queue 64 \
+  2> serve.log &
+SERVE_PID=$!
+wait_sock "$SOCK"
+
+# the daemon's corpus rows are byte-identical to batch's once wall time
+# and cache provenance are dropped
+$UCC batch --cache-dir none > serve_batch.jsonl 2>/dev/null
+$UCC submit --socket "$SOCK" --corpus --wait > serve_submit.jsonl 2>submit.log
+[ "$(strip serve_batch.jsonl)" = "$(strip serve_submit.jsonl)" ]
+
+# --stats answers with the pool and session tables on stderr
+$UCC submit --socket "$SOCK" --stats 2> serve_stats.txt
+grep -q '"pool"' serve_stats.txt
+grep -q '"sessions"' serve_stats.txt
+
+# SIGTERM drains, logs a clean exit, removes the socket, exits 0
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+SERVE_PID=
+grep -q "drained cleanly" serve.log
+[ ! -e "$SOCK" ]
+
+# admission control: a tiny queue sheds pipelined corpus load with a
+# typed `overloaded` rejection (exit 2), never a hang or a crash
+$UCC serve --socket "$SOCK2" --cache-dir none --jobs 1 --max-queue 1 \
+  2> serve2.log &
+SERVE2_PID=$!
+wait_sock "$SOCK2"
+if $UCC submit --socket "$SOCK2" --corpus --wait \
+     > overload.jsonl 2> overload.log; then
+  exit 1
+else
+  [ "$?" = 2 ]
+fi
+grep -q "rejected (overloaded)" overload.log
+# the daemon stays healthy afterwards: a follow-up submit still runs
+$UCC submit --socket "$SOCK2" ../examples/uc/quickstart.uc --wait \
+  > after_overload.jsonl 2>/dev/null
+grep -q '"status":"ok"' after_overload.jsonl
+
+# --drain asks the server to finish in-flight work and exit cleanly
+$UCC submit --socket "$SOCK2" --drain 2> drain.log
+grep -q "server draining" drain.log
+wait "$SERVE2_PID"
+SERVE2_PID=
+grep -q "drained cleanly" serve2.log
+trap - EXIT
+
 # ---- bench snapshot comparison ----
 
 COMPARE=../bench/compare.exe

@@ -336,6 +336,28 @@ let corpus_case (name, src) =
 
 let test_uc_corpus () = List.iter corpus_case Uc_programs.Programs.all_named
 
+(* Regression: constprop must never propagate a staged copy into a
+   communication instruction so that it reads the field it writes.
+   The codegen emits `pmov f', f; psend f[addr], f'` for a permuted
+   parallel assignment precisely because the send updates the
+   destination in place; substituting f for f' let it read cells it
+   had already overwritten (found by the differential fuzzer). *)
+let test_send_copy_not_aliased () =
+  corpus_case
+    ( "send-alias",
+      "#define N 8\n\
+       index-set I:i = {0..N-1};\n\
+       int a[N];\n\
+       void main() {\n\
+      \  par (I) a[i] = i;\n\
+      \  par (I) st ((i) % 2 == 0) {\n\
+      \    int t;\n\
+      \    t = i;\n\
+      \    a[i] = t + 1;\n\
+      \  }\n\
+      \  par (I) a[(i + 3) % 8] = a[i];\n\
+       }\n" )
+
 let test_cstar_corpus () =
   List.iter
     (fun (name, (prog_on, fld_on), (prog_off, fld_off)) ->
@@ -385,6 +407,8 @@ let () =
           Alcotest.test_case "jump threading" `Quick test_jump_threading;
           Alcotest.test_case "config parsing" `Quick test_config_of_string;
           Alcotest.test_case "off is identity" `Quick test_off_is_identity;
+          Alcotest.test_case "staged send copy never aliased" `Quick
+            test_send_copy_not_aliased;
         ] );
       ( "corpus",
         [

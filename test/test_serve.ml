@@ -1,0 +1,677 @@
+(* The serve subsystem: wire protocol codec (round trips, typed errors,
+   oversized-frame rejection), the Jsonu byte-transparency property the
+   protocol depends on, pool admission, tenant quotas, and loopback
+   servers exercised over real sockets — including the acceptance
+   criterion that a corpus submitted through a socket yields reports
+   canonically identical to the Runner-based batch path, cold and
+   warm. *)
+
+let check = Alcotest.check
+
+let proto_err = function
+  | Ok _ -> Alcotest.fail "frame should have been rejected"
+  | Error (code, _) -> Ucd.Proto.code_string code
+
+(* ---------------- proto: encode/decode ---------------- *)
+
+let test_client_round_trip () =
+  let samples =
+    [
+      Ucd.Proto.Hello
+        { version = 1; tenant = "alice"; priority = Ucd.Proto.High };
+      Ucd.Proto.Submit
+        {
+          (Ucd.Proto.submit_defaults ~name:"j1"
+             ~source:(Ucd.Proto.Inline "void main() {}"))
+          with
+          Ucd.Proto.client_ref = Some "r-1";
+          seed = Some 7;
+          fuel = Some 1000;
+          deadline = Some 0.25;
+          faults = Some "seed=7;horizon=100;router=2";
+          retries = Some 3;
+          no_news = true;
+          no_cse = true;
+          ir_opt = Some "constprop,dce";
+        };
+      Ucd.Proto.Submit
+        (Ucd.Proto.submit_defaults ~name:"matmul"
+           ~source:(Ucd.Proto.Corpus "matmul"));
+      Ucd.Proto.Status 3;
+      Ucd.Proto.Cancel 4;
+      Ucd.Proto.Trace true;
+      Ucd.Proto.Trace false;
+      Ucd.Proto.Stats;
+      Ucd.Proto.Drain;
+      Ucd.Proto.Bye;
+    ]
+  in
+  List.iter
+    (fun msg ->
+      let line = Ucd.Proto.client_line msg in
+      match Ucd.Proto.client_of_line line with
+      | Error (_, e) -> Alcotest.failf "decode of %s failed: %s" line e
+      | Ok back ->
+          check Alcotest.string "client frame round trip" line
+            (Ucd.Proto.client_line back))
+    samples
+
+let test_server_round_trip () =
+  let row =
+    Ucd.Jsonu.Obj [ ("job", Ucd.Jsonu.Str "x"); ("seed", Ucd.Jsonu.Int 1) ]
+  in
+  let samples =
+    [
+      Ucd.Proto.Welcome { version = 1; session = 9; server = "ucd/1" };
+      Ucd.Proto.Accepted { client_ref = Some "r"; job = 2; digest = "abcd" };
+      Ucd.Proto.Rejected
+        {
+          client_ref = None;
+          code = Ucd.Proto.Overloaded;
+          msg = "queue full";
+        };
+      Ucd.Proto.Report { job = 2; row };
+      Ucd.Proto.Status_reply { job = 2; state = "running"; row = None };
+      Ucd.Proto.Status_reply { job = 2; state = "done"; row = Some row };
+      Ucd.Proto.Cancel_reply { job = 2; ok = false };
+      Ucd.Proto.Trace_reply true;
+      Ucd.Proto.Trace_event { job = 2; event = row };
+      Ucd.Proto.Stats_reply row;
+      Ucd.Proto.Draining { in_flight = 5 };
+      Ucd.Proto.Shutdown { msg = "bye" };
+      Ucd.Proto.Error { code = Ucd.Proto.Version_mismatch; msg = "v9" };
+    ]
+  in
+  List.iter
+    (fun msg ->
+      let line = Ucd.Proto.server_line msg in
+      match Ucd.Proto.server_of_line line with
+      | Error e -> Alcotest.failf "decode of %s failed: %s" line e
+      | Ok back ->
+          check Alcotest.string "server frame round trip" line
+            (Ucd.Proto.server_line back))
+    samples
+
+let test_malformed_frames () =
+  check Alcotest.string "not json" "protocol"
+    (proto_err (Ucd.Proto.client_of_line "this is not json"));
+  check Alcotest.string "trailing garbage" "protocol"
+    (proto_err (Ucd.Proto.client_of_line "{\"type\":\"stats\"} tail"));
+  check Alcotest.string "not an object" "protocol"
+    (proto_err (Ucd.Proto.client_of_line "[1,2,3]"));
+  check Alcotest.string "no type field" "protocol"
+    (proto_err (Ucd.Proto.client_of_line "{\"job\":1}"));
+  check Alcotest.string "unknown type" "protocol"
+    (proto_err (Ucd.Proto.client_of_line "{\"type\":\"zap\"}"));
+  check Alcotest.string "submit without name" "bad_request"
+    (proto_err
+       (Ucd.Proto.client_of_line "{\"type\":\"submit\",\"source\":\"x\"}"));
+  check Alcotest.string "submit without source" "bad_request"
+    (proto_err (Ucd.Proto.client_of_line "{\"type\":\"submit\",\"name\":\"x\"}"));
+  check Alcotest.string "submit with source AND corpus" "bad_request"
+    (proto_err
+       (Ucd.Proto.client_of_line
+          "{\"type\":\"submit\",\"name\":\"x\",\"source\":\"s\",\"corpus\":\"c\"}"));
+  check Alcotest.string "hello without version" "bad_request"
+    (proto_err (Ucd.Proto.client_of_line "{\"type\":\"hello\"}"));
+  check Alcotest.string "hello with bad priority" "bad_request"
+    (proto_err
+       (Ucd.Proto.client_of_line
+          "{\"type\":\"hello\",\"version\":1,\"priority\":\"urgent\"}"));
+  (* unknown fields are ignored: additive protocol evolution *)
+  (match
+     Ucd.Proto.client_of_line
+       "{\"type\":\"status\",\"job\":7,\"future_field\":true}"
+   with
+  | Ok (Ucd.Proto.Status 7) -> ()
+  | _ -> Alcotest.fail "unknown fields must be ignored")
+
+let test_oversized_framing () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with _ -> ());
+      try Unix.close b with _ -> ())
+  @@ fun () ->
+  let r = Ucd.Proto.reader ~max_frame:64 a in
+  let send s = ignore (Unix.write b (Bytes.of_string s) 0 (String.length s)) in
+  (* an oversized line, delivered in pieces, then a healthy frame: the
+     reader must report Oversized exactly once, stay in sync, and parse
+     the next frame *)
+  send (String.make 100 'x');
+  send (String.make 100 'y');
+  send "\n";
+  send "{\"type\":\"stats\"}\n";
+  (match Ucd.Proto.read_frame r with
+  | `Oversized -> ()
+  | `Frame f -> Alcotest.failf "expected oversized, got frame %s" f
+  | `Eof -> Alcotest.fail "expected oversized, got eof");
+  (match Ucd.Proto.read_frame r with
+  | `Frame "{\"type\":\"stats\"}" -> ()
+  | `Frame f -> Alcotest.failf "wrong frame after oversized: %s" f
+  | _ -> Alcotest.fail "expected a frame after the oversized one");
+  Unix.close b;
+  match Ucd.Proto.read_frame r with
+  | `Eof -> ()
+  | _ -> Alcotest.fail "expected eof"
+
+(* ---------------- jsonu: byte transparency (satellite) ------------- *)
+
+let test_jsonu_hostile_strings () =
+  List.iter
+    (fun s ->
+      let rendered = Ucd.Jsonu.to_string (Ucd.Jsonu.Str s) in
+      match Ucd.Jsonu.of_string rendered with
+      | Ok (Ucd.Jsonu.Str back) ->
+          check Alcotest.string ("round trip of " ^ String.escaped s) s back
+      | Ok _ -> Alcotest.fail "parsed to a non-string"
+      | Error e -> Alcotest.failf "%s did not parse: %s" rendered e)
+    [
+      "";
+      "\x00\x01\x02\x1f";
+      "tab\there\nand newline";
+      "quote\"and\\backslash";
+      "\x7f";
+      "\x80\xff\xfe";
+      "h\xc3\xa9llo utf-8";
+      String.init 256 Char.chr;
+    ]
+
+let qcheck_jsonu_string_round_trip =
+  QCheck.Test.make ~count:500 ~name:"jsonu string round trip (all bytes)"
+    (QCheck.make
+       ~print:String.escaped
+       QCheck.Gen.(string_size ~gen:(map Char.chr (int_bound 255)) (0 -- 80)))
+    (fun s ->
+      match Ucd.Jsonu.of_string (Ucd.Jsonu.to_string (Ucd.Jsonu.Str s)) with
+      | Ok (Ucd.Jsonu.Str back) -> String.equal s back
+      | _ -> false)
+
+let qcheck_report_round_trip =
+  (* the report wire codec: to_json → of_json preserves the canonical
+     identity for arbitrary output lines and metrics *)
+  QCheck.Test.make ~count:200 ~name:"report row wire round trip"
+    QCheck.(
+      triple (small_list string)
+        (small_list (pair string (map float_of_int small_nat)))
+        small_nat)
+    (fun (output, metrics, attempts) ->
+      let r =
+        {
+          Ucd.Report.job_name = "t";
+          digest = "d";
+          options = "o";
+          seed = 42;
+          status = Ucd.Report.Done;
+          simulated_seconds = 0.125;
+          metrics;
+          output;
+          wall_seconds = 1.5;
+          from_cache = false;
+          attempts;
+          fault_trace = [];
+        }
+      in
+      match Ucd.Report.of_json (Ucd.Report.to_json r) with
+      | Ok back ->
+          String.equal (Ucd.Report.canonical_json r)
+            (Ucd.Report.canonical_json back)
+      | Error _ -> false)
+
+(* ---------------- pool + sessions ---------------- *)
+
+let test_pool_try_submit_overload () =
+  let svc = Ucd.Pool.service ~domains:1 ~queue_bound:1 () in
+  let gate = Mutex.create () and go = Condition.create () in
+  let release = ref false in
+  let blocker () =
+    Mutex.lock gate;
+    while not !release do
+      Condition.wait go gate
+    done;
+    Mutex.unlock gate
+  in
+  (* first task occupies the only domain... *)
+  (match Ucd.Pool.try_submit svc blocker with
+  | `Accepted -> ()
+  | _ -> Alcotest.fail "first submit must be accepted");
+  (* wait until the worker actually picked it up *)
+  let rec until_busy n =
+    if n = 0 then Alcotest.fail "worker never started the blocker";
+    let st = Ucd.Pool.service_stats svc in
+    if st.Ucd.Pool.busy = 0 then begin
+      Thread.delay 0.01;
+      until_busy (n - 1)
+    end
+  in
+  until_busy 500;
+  (* ...second fills the queue... *)
+  (match Ucd.Pool.try_submit svc (fun () -> ()) with
+  | `Accepted -> ()
+  | _ -> Alcotest.fail "second submit must be accepted (queued)");
+  (* ...third must be rejected, not block *)
+  (match Ucd.Pool.try_submit svc (fun () -> ()) with
+  | `Overloaded -> ()
+  | `Accepted -> Alcotest.fail "third submit must be rejected"
+  | `Closed -> Alcotest.fail "pool is not closed");
+  Mutex.lock gate;
+  release := true;
+  Condition.broadcast go;
+  Mutex.unlock gate;
+  Ucd.Pool.close svc;
+  check Alcotest.bool "drained" true (Ucd.Pool.drain ~timeout:5. svc);
+  Ucd.Pool.shutdown svc;
+  let st = Ucd.Pool.service_stats svc in
+  check Alcotest.int "rejected count" 1 st.Ucd.Pool.rejected_pushes;
+  check Alcotest.int "completed" 2 st.Ucd.Pool.completed;
+  match Ucd.Pool.try_submit svc (fun () -> ()) with
+  | `Closed -> ()
+  | _ -> Alcotest.fail "submit after close must report closed"
+
+let test_session_quota () =
+  let reg = Ucd.Session.registry ~quotas:[ ("small", 1) ] () in
+  let s =
+    Ucd.Session.attach reg ~tenant:"small" ~priority:Ucd.Proto.Normal
+      ~outbox_capacity:8
+  in
+  (match Ucd.Session.admit reg s with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "first admit refused: %s" e);
+  (match Ucd.Session.admit reg s with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "second admit must exceed the quota");
+  (* the quota spans every session of the tenant *)
+  let s2 =
+    Ucd.Session.attach reg ~tenant:"small" ~priority:Ucd.Proto.Normal
+      ~outbox_capacity:8
+  in
+  (match Ucd.Session.admit reg s2 with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "quota must span sessions of one tenant");
+  Ucd.Session.finished reg s ~completed:true;
+  (match Ucd.Session.admit reg s2 with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "slot freed but admit refused: %s" e);
+  (* unlisted tenants are unlimited by default *)
+  let other =
+    Ucd.Session.attach reg ~tenant:"other" ~priority:Ucd.Proto.Low
+      ~outbox_capacity:8
+  in
+  for _ = 1 to 50 do
+    match Ucd.Session.admit reg other with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "unlimited tenant refused: %s" e
+  done
+
+let test_stream_two_lanes () =
+  let s = Obs.Stream.create ~capacity:2 () in
+  check Alcotest.bool "push 1" true (Obs.Stream.push s "a");
+  check Alcotest.bool "offer fills" true (Obs.Stream.offer s "b");
+  (* full: offer drops and counts, never blocks *)
+  check Alcotest.bool "offer drops" false (Obs.Stream.offer s "c");
+  check Alcotest.int "dropped counted" 1 (Obs.Stream.dropped s);
+  check (Alcotest.option Alcotest.string) "fifo" (Some "a") (Obs.Stream.pop s);
+  Obs.Stream.close s;
+  check Alcotest.bool "push after close" false (Obs.Stream.push s "d");
+  check (Alcotest.option Alcotest.string) "drains after close" (Some "b")
+    (Obs.Stream.pop s);
+  check (Alcotest.option Alcotest.string) "then none" None (Obs.Stream.pop s)
+
+(* ---------------- loopback servers ---------------- *)
+
+let next_sock =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Printf.sprintf "%s/ucd_test_%d_%d.sock"
+      (Filename.get_temp_dir_name ())
+      (Unix.getpid ()) !n
+
+let base_cfg socket =
+  {
+    Ucd.Server.default_config with
+    Ucd.Server.socket_path = Some socket;
+    domains = 2;
+    queue_bound = 64;
+    drain_timeout = 30.;
+  }
+
+let slow_source =
+  "int i, acc;\nvoid main() { for (i = 0; i < 100000000; i = i + 1) acc = acc \
+   + 1; }\n"
+
+let slow_submit ?(deadline = 0.5) name =
+  {
+    (Ucd.Proto.submit_defaults ~name ~source:(Ucd.Proto.Inline slow_source))
+    with
+    Ucd.Proto.deadline = Some deadline;
+  }
+
+let connect_exn ?tenant ?priority socket =
+  match Ucd.Client.connect ?tenant ?priority (Ucd.Client.Unix_path socket) with
+  | Ok c -> c
+  | Error e -> Alcotest.failf "connect: %s" e
+
+(* submit the whole corpus by name over [c]; returns rows in submission
+   order as parsed results *)
+let submit_corpus_wait c =
+  let names = List.map fst Uc_programs.Programs.all_named in
+  List.iteri
+    (fun i n ->
+      match
+        Ucd.Client.send c
+          (Ucd.Proto.Submit
+             {
+               (Ucd.Proto.submit_defaults ~name:n
+                  ~source:(Ucd.Proto.Corpus n))
+               with
+               Ucd.Proto.client_ref = Some (string_of_int i);
+             })
+      with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "send: %s" e)
+    names;
+  let n = List.length names in
+  let rows = Array.make n None in
+  let job_index = Hashtbl.create 16 in
+  let orphans = ref [] in
+  let acks = ref 0 and reports = ref 0 in
+  while !acks < n || !reports < !acks do
+    match Ucd.Client.recv c with
+    | Error e -> Alcotest.failf "recv: %s" e
+    | Ok (Ucd.Proto.Accepted { client_ref = Some r; job; _ }) ->
+        incr acks;
+        Hashtbl.replace job_index job (int_of_string r)
+    | Ok (Ucd.Proto.Rejected { msg; _ }) -> Alcotest.failf "rejected: %s" msg
+    | Ok (Ucd.Proto.Report { job; row }) -> (
+        incr reports;
+        match Hashtbl.find_opt job_index job with
+        | Some i -> rows.(i) <- Some row
+        | None -> orphans := (job, row) :: !orphans)
+    | Ok _ -> ()
+  done;
+  List.iter
+    (fun (job, row) ->
+      match Hashtbl.find_opt job_index job with
+      | Some i -> rows.(i) <- Some row
+      | None -> Alcotest.fail "report for an unknown job")
+    !orphans;
+  Array.to_list rows
+  |> List.map (function
+       | None -> Alcotest.fail "missing report row"
+       | Some row -> (
+           match Ucd.Report.of_json row with
+           | Ok r -> r
+           | Error e -> Alcotest.failf "bad report row: %s" e))
+
+let test_loopback_corpus_identical () =
+  (* the acceptance criterion: a corpus submitted over the socket
+     yields reports canonically identical to the Runner-based batch
+     path — cold, then warm from the server's cache *)
+  let reference =
+    let cache = Ucd.Cache.create () in
+    Ucd.Runner.run_jobs ~domains:2 ~cache (Ucd.Runner.corpus_jobs ())
+  in
+  let socket = next_sock () in
+  let srv = Ucd.Server.start (base_cfg socket) in
+  Fun.protect ~finally:(fun () -> ignore (Ucd.Server.stop srv)) @@ fun () ->
+  let compare_run tag expect_warm =
+    let c = connect_exn ~tenant:"ci" socket in
+    Fun.protect ~finally:(fun () -> Ucd.Client.close c) @@ fun () ->
+    let served = submit_corpus_wait c in
+    check Alcotest.int (tag ^ ": row count") (List.length reference)
+      (List.length served);
+    List.iter2
+      (fun (a : Ucd.Report.result) (b : Ucd.Report.result) ->
+        check Alcotest.string
+          (Printf.sprintf "%s: canonical row for %s" tag a.Ucd.Report.job_name)
+          (Ucd.Report.canonical_json a)
+          (Ucd.Report.canonical_json b))
+      reference served;
+    if expect_warm then
+      check Alcotest.bool (tag ^ ": served from cache") true
+        (List.for_all (fun (r : Ucd.Report.result) -> r.Ucd.Report.from_cache)
+           served)
+  in
+  compare_run "cold" false;
+  compare_run "warm" true
+
+let test_version_mismatch () =
+  let socket = next_sock () in
+  let srv = Ucd.Server.start (base_cfg socket) in
+  Fun.protect ~finally:(fun () -> ignore (Ucd.Server.stop srv)) @@ fun () ->
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with _ -> ()) @@ fun () ->
+  Unix.connect fd (Unix.ADDR_UNIX socket);
+  let line = "{\"type\":\"hello\",\"version\":99}\n" in
+  ignore (Unix.write fd (Bytes.of_string line) 0 (String.length line));
+  let r = Ucd.Proto.reader fd in
+  (match Ucd.Proto.read_frame r with
+  | `Frame l -> (
+      match Ucd.Proto.server_of_line l with
+      | Ok (Ucd.Proto.Error { code = Ucd.Proto.Version_mismatch; _ }) -> ()
+      | Ok m ->
+          Alcotest.failf "expected version_mismatch, got %s"
+            (Ucd.Proto.server_line m)
+      | Error e -> Alcotest.failf "bad reply: %s" e)
+  | _ -> Alcotest.fail "expected an error frame");
+  (* and the server hangs up on us *)
+  match Ucd.Proto.read_frame r with
+  | `Eof -> ()
+  | _ -> Alcotest.fail "expected eof after version mismatch"
+
+let test_hello_required_first () =
+  let socket = next_sock () in
+  let srv = Ucd.Server.start (base_cfg socket) in
+  Fun.protect ~finally:(fun () -> ignore (Ucd.Server.stop srv)) @@ fun () ->
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with _ -> ()) @@ fun () ->
+  Unix.connect fd (Unix.ADDR_UNIX socket);
+  let line = "{\"type\":\"stats\"}\n" in
+  ignore (Unix.write fd (Bytes.of_string line) 0 (String.length line));
+  let r = Ucd.Proto.reader fd in
+  match Ucd.Proto.read_frame r with
+  | `Frame l -> (
+      match Ucd.Proto.server_of_line l with
+      | Ok (Ucd.Proto.Error { code = Ucd.Proto.Protocol; _ }) -> ()
+      | _ -> Alcotest.failf "expected a protocol error, got %s" l)
+  | _ -> Alcotest.fail "expected an error frame"
+
+let recv_replies c ~n =
+  (* collect exactly [n] accepted/rejected replies, ignoring reports *)
+  let replies = ref [] in
+  while List.length !replies < n do
+    match Ucd.Client.recv c with
+    | Error e -> Alcotest.failf "recv: %s" e
+    | Ok (Ucd.Proto.Accepted _ as m) | Ok (Ucd.Proto.Rejected _ as m) ->
+        replies := m :: !replies
+    | Ok _ -> ()
+  done;
+  List.rev !replies
+
+let test_overload_rejection () =
+  let socket = next_sock () in
+  let cfg =
+    { (base_cfg socket) with Ucd.Server.domains = 1; queue_bound = 1 }
+  in
+  let srv = Ucd.Server.start cfg in
+  Fun.protect ~finally:(fun () -> ignore (Ucd.Server.stop srv)) @@ fun () ->
+  let c = connect_exn socket in
+  Fun.protect ~finally:(fun () -> Ucd.Client.close c) @@ fun () ->
+  let submit name =
+    match Ucd.Client.send c (Ucd.Proto.Submit (slow_submit name)) with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "send: %s" e
+  in
+  (* first job occupies the single domain; wait until it is running *)
+  submit "s1";
+  (match recv_replies c ~n:1 with
+  | [ Ucd.Proto.Accepted _ ] -> ()
+  | _ -> Alcotest.fail "s1 must be accepted");
+  let rec until_busy n =
+    if n = 0 then Alcotest.fail "s1 never started";
+    match Ucd.Client.stats c with
+    | Error e -> Alcotest.failf "stats: %s" e
+    | Ok (Ucd.Jsonu.Obj fields) -> (
+        match List.assoc_opt "pool" fields with
+        | Some (Ucd.Jsonu.Obj pool)
+          when List.assoc_opt "busy" pool = Some (Ucd.Jsonu.Int 1) ->
+            ()
+        | _ ->
+            Thread.delay 0.01;
+            until_busy (n - 1))
+    | Ok _ -> Alcotest.fail "stats reply is not an object"
+  in
+  until_busy 500;
+  (* second fills the queue, third must get a typed overloaded reply *)
+  submit "s2";
+  submit "s3";
+  (match recv_replies c ~n:2 with
+  | [ Ucd.Proto.Accepted _;
+      Ucd.Proto.Rejected { code = Ucd.Proto.Overloaded; _ } ] ->
+      ()
+  | [ a; b ] ->
+      Alcotest.failf "expected accept then overloaded, got %s / %s"
+        (Ucd.Proto.server_line a) (Ucd.Proto.server_line b)
+  | _ -> Alcotest.fail "expected two replies")
+
+let test_quota_rejection () =
+  let socket = next_sock () in
+  let cfg = { (base_cfg socket) with Ucd.Server.quotas = [ ("small", 1) ] } in
+  let srv = Ucd.Server.start cfg in
+  Fun.protect ~finally:(fun () -> ignore (Ucd.Server.stop srv)) @@ fun () ->
+  let c = connect_exn ~tenant:"small" socket in
+  Fun.protect ~finally:(fun () -> Ucd.Client.close c) @@ fun () ->
+  (match Ucd.Client.send c (Ucd.Proto.Submit (slow_submit "q1")) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "send: %s" e);
+  (match Ucd.Client.send c (Ucd.Proto.Submit (slow_submit "q2")) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "send: %s" e);
+  match recv_replies c ~n:2 with
+  | [ Ucd.Proto.Accepted _; Ucd.Proto.Rejected { code = Ucd.Proto.Quota; _ } ]
+    ->
+      ()
+  | [ a; b ] ->
+      Alcotest.failf "expected accept then quota, got %s / %s"
+        (Ucd.Proto.server_line a) (Ucd.Proto.server_line b)
+  | _ -> Alcotest.fail "expected two replies"
+
+let test_trace_streaming () =
+  let socket = next_sock () in
+  let srv = Ucd.Server.start (base_cfg socket) in
+  Fun.protect ~finally:(fun () -> ignore (Ucd.Server.stop srv)) @@ fun () ->
+  let c = connect_exn socket in
+  Fun.protect ~finally:(fun () -> Ucd.Client.close c) @@ fun () ->
+  (match Ucd.Client.set_trace c true with
+  | Ok true -> ()
+  | Ok false -> Alcotest.fail "trace not enabled"
+  | Error e -> Alcotest.failf "set_trace: %s" e);
+  (match
+     Ucd.Client.send c
+       (Ucd.Proto.Submit
+          (Ucd.Proto.submit_defaults ~name:"matmul"
+             ~source:(Ucd.Proto.Corpus "matmul")))
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "send: %s" e);
+  let traces = ref 0 and my_job = ref (-1) and report = ref None in
+  while !report = None do
+    match Ucd.Client.recv c with
+    | Error e -> Alcotest.failf "recv: %s" e
+    | Ok (Ucd.Proto.Accepted { job; _ }) -> my_job := job
+    | Ok (Ucd.Proto.Trace_event { job; event }) ->
+        incr traces;
+        check Alcotest.int "trace events carry the job id" !my_job job;
+        (* events round-trip through the generic event codec *)
+        (match Obs.event_of_json event with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "bad trace event: %s" e)
+    | Ok (Ucd.Proto.Report { row; _ }) -> report := Some row
+    | Ok (Ucd.Proto.Rejected { msg; _ }) -> Alcotest.failf "rejected: %s" msg
+    | Ok _ -> ()
+  done;
+  check Alcotest.bool "saw live trace events" true (!traces > 0)
+
+let test_drain_flushes_reports () =
+  (* a drain request with a job still running: the report must still be
+     delivered, then a shutdown notice, then EOF; the server exits 0 *)
+  let socket = next_sock () in
+  let srv =
+    Ucd.Server.start
+      { (base_cfg socket) with Ucd.Server.domains = 1; drain_timeout = 30. }
+  in
+  let c = connect_exn socket in
+  Fun.protect ~finally:(fun () -> Ucd.Client.close c) @@ fun () ->
+  (match Ucd.Client.send c (Ucd.Proto.Submit (slow_submit ~deadline:0.3 "d1"))
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "send: %s" e);
+  (match recv_replies c ~n:1 with
+  | [ Ucd.Proto.Accepted _ ] -> ()
+  | _ -> Alcotest.fail "d1 must be accepted");
+  (match Ucd.Client.drain c with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "drain: %s" e);
+  let got_report = ref false and got_shutdown = ref false in
+  let rec pump () =
+    match Ucd.Client.recv c with
+    | Error _ -> ()  (* eof after shutdown *)
+    | Ok (Ucd.Proto.Report _) ->
+        got_report := true;
+        pump ()
+    | Ok (Ucd.Proto.Shutdown _) ->
+        got_shutdown := true;
+        pump ()
+    | Ok _ -> pump ()
+  in
+  pump ();
+  check Alcotest.bool "report flushed during drain" true !got_report;
+  check Alcotest.bool "shutdown notice delivered" true !got_shutdown;
+  check Alcotest.int "clean drain exits 0" 0 (Ucd.Server.stop srv)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "proto",
+        [
+          Alcotest.test_case "client frames round trip" `Quick
+            test_client_round_trip;
+          Alcotest.test_case "server frames round trip" `Quick
+            test_server_round_trip;
+          Alcotest.test_case "malformed frames → typed errors" `Quick
+            test_malformed_frames;
+          Alcotest.test_case "oversized frame rejection" `Quick
+            test_oversized_framing;
+        ] );
+      ( "jsonu",
+        [
+          Alcotest.test_case "hostile strings round trip" `Quick
+            test_jsonu_hostile_strings;
+          QCheck_alcotest.to_alcotest qcheck_jsonu_string_round_trip;
+          QCheck_alcotest.to_alcotest qcheck_report_round_trip;
+        ] );
+      ( "admission",
+        [
+          Alcotest.test_case "pool try_submit overload" `Quick
+            test_pool_try_submit_overload;
+          Alcotest.test_case "tenant quotas" `Quick test_session_quota;
+          Alcotest.test_case "stream lanes" `Quick test_stream_two_lanes;
+        ] );
+      ( "loopback",
+        [
+          Alcotest.test_case "corpus over socket ≡ batch (cold+warm)" `Quick
+            test_loopback_corpus_identical;
+          Alcotest.test_case "version mismatch in hello" `Quick
+            test_version_mismatch;
+          Alcotest.test_case "hello required first" `Quick
+            test_hello_required_first;
+          Alcotest.test_case "overloaded rejection" `Quick
+            test_overload_rejection;
+          Alcotest.test_case "quota rejection" `Quick test_quota_rejection;
+          Alcotest.test_case "live trace streaming" `Quick
+            test_trace_streaming;
+          Alcotest.test_case "drain flushes reports" `Quick
+            test_drain_flushes_reports;
+        ] );
+    ]
