@@ -757,9 +757,12 @@ let serve_cmd =
         quotas;
         default_quota;
         drain_timeout;
+        flush_timeout = Ucd.Server.default_config.Ucd.Server.flush_timeout;
         policy = { Ucd.Runner.default_policy with retries; fuel_slice };
         max_frame = Ucd.Proto.default_max_frame;
         outbox_capacity = 4096;
+        recent_results =
+          Ucd.Server.default_config.Ucd.Server.recent_results;
         verbose = true;
       }
     in

@@ -86,11 +86,15 @@ let session t = t.session
 
 (* Wait for a reply satisfying [want], handing every other frame to
    [other] (reports and trace events keep streaming while we wait for a
-   stats or drain reply). *)
+   stats or drain reply).  An [error] frame is the server's answer to
+   the pending request (the pipeline is single-threaded), so it ends
+   the wait instead of looping forever. *)
 let recv_until t ~other want =
   let rec loop () =
     match recv t with
     | Error e -> Error e
+    | Ok (Proto.Error { code; msg }) ->
+        Error (Printf.sprintf "%s: %s" (Proto.code_string code) msg)
     | Ok msg -> (
         match want msg with
         | Some v -> Ok v

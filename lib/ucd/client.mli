@@ -29,13 +29,15 @@ val recv : t -> (Proto.server_msg, string) result
 
 (** Request/await helpers.  [other] receives any interleaved frames
     (reports, trace events) that arrive before the awaited reply;
-    default drops them. *)
+    default drops them.  A server [error] frame answers the pending
+    request and surfaces as [Error "code: msg"]. *)
 
 val stats :
   ?other:(Proto.server_msg -> unit) -> t -> (Jsonu.t, string) result
 
 (** Returns the server's in-flight count; the server begins a graceful
-    shutdown. *)
+    shutdown.  Operator-only: a TCP connection gets [Error "denied: …"]
+    and the server keeps running. *)
 val drain : ?other:(Proto.server_msg -> unit) -> t -> (int, string) result
 
 val set_trace :

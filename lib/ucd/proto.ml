@@ -26,6 +26,7 @@ type error_code =
   | Quota  (** the tenant's in-flight quota is exhausted *)
   | Shutting_down  (** the server is draining; no new work *)
   | Unknown_job
+  | Denied  (** operator-only operation refused on this connection *)
 
 let code_string = function
   | Protocol -> "protocol"
@@ -36,6 +37,7 @@ let code_string = function
   | Quota -> "quota"
   | Shutting_down -> "shutting_down"
   | Unknown_job -> "unknown_job"
+  | Denied -> "denied"
 
 let code_of_string = function
   | "protocol" -> Some Protocol
@@ -46,6 +48,7 @@ let code_of_string = function
   | "quota" -> Some Quota
   | "shutting_down" -> Some Shutting_down
   | "unknown_job" -> Some Unknown_job
+  | "denied" -> Some Denied
   | _ -> None
 
 (* ---- message types ---- *)

@@ -27,6 +27,9 @@ type error_code =
   | Quota  (** the tenant's in-flight quota is exhausted *)
   | Shutting_down  (** the server is draining; no new work *)
   | Unknown_job
+  | Denied
+      (** operator-only operation ([drain]) refused on this connection
+          (TCP clients may not shut the daemon down) *)
 
 val code_string : error_code -> string
 val code_of_string : string -> error_code option

@@ -214,28 +214,31 @@ let run_job ?(policy = default_policy) ?(obs = Obs.null) ~cache (job : Job.t) =
             ];
       r)
 
+(* a worker-level surprise (Out_of_memory, Stack_overflow …) rendered
+   as a report row, so a crashing job never kills a batch or leaks a
+   serve admission slot *)
+let crash_result (job : Job.t) exn =
+  {
+    Report.job_name = job.Job.name;
+    digest = Job.digest job;
+    options = Job.options_summary job.Job.options;
+    seed = job.Job.seed;
+    status = Report.Failed (Printexc.to_string exn);
+    simulated_seconds = 0.;
+    metrics = [];
+    output = [];
+    wall_seconds = 0.;
+    from_cache = false;
+    attempts = 1;
+    fault_trace = [];
+  }
+
 let run_jobs ?domains ?queue_bound ?policy ?obs ~cache jobs =
   List.map2
     (fun (job : Job.t) outcome ->
       match outcome with
       | Ok r -> r
-      | Error exn ->
-          (* a worker-level surprise (Out_of_memory, Stack_overflow …)
-             still yields a result instead of killing the batch *)
-          {
-            Report.job_name = job.Job.name;
-            digest = Job.digest job;
-            options = Job.options_summary job.Job.options;
-            seed = job.Job.seed;
-            status = Report.Failed (Printexc.to_string exn);
-            simulated_seconds = 0.;
-            metrics = [];
-            output = [];
-            wall_seconds = 0.;
-            from_cache = false;
-            attempts = 1;
-            fault_trace = [];
-          })
+      | Error exn -> crash_result job exn)
     jobs
     (Pool.map ?domains ?queue_bound ?obs (run_job ?policy ?obs ~cache) jobs)
 

@@ -49,6 +49,13 @@ val default_policy : policy
 val run_job :
   ?policy:policy -> ?obs:Obs.t -> cache:Cache.t -> Job.t -> Report.result
 
+(** The [Report.Failed] row for a job whose execution raised something
+    {!run_job} does not absorb ([Out_of_memory], [Stack_overflow] …).
+    {!run_jobs} and the serve daemon use it so a crashing job still
+    yields a result — and releases its admission slot — instead of
+    vanishing. *)
+val crash_result : Job.t -> exn -> Report.result
+
 (** Run a batch on a domain pool ({!Pool.map}); results are returned in
     submission order.  [obs] is shared by all workers. *)
 val run_jobs :

@@ -33,9 +33,11 @@ type config = {
   quotas : (string * int) list;
   default_quota : int option;
   drain_timeout : float;
+  flush_timeout : float;
   policy : Runner.policy;
   max_frame : int;
   outbox_capacity : int;
+  recent_results : int;
   verbose : bool;
 }
 
@@ -48,9 +50,11 @@ let default_config =
     quotas = [];
     default_quota = None;
     drain_timeout = 30.;
+    flush_timeout = 5.;
     policy = Runner.default_policy;
     max_frame = Proto.default_max_frame;
     outbox_capacity = 4096;
+    recent_results = 256;
     verbose = false;
   }
 
@@ -63,8 +67,18 @@ type job_entry = {
   mutable state : job_state;
 }
 
+(* a job that left the live table: only its outcome and its owner's
+   session id survive, so completed jobs retain neither their source
+   nor their Session.t (a disconnected session must be collectable) *)
+type finished = {
+  fin_owner : int;
+  fin_state : string;  (* "done" | "cancelled" *)
+  fin_row : Jsonu.t option;
+}
+
 type conn = {
   conn_fd : Unix.file_descr;
+  conn_privileged : bool;  (* accepted on the unix socket, not TCP *)
   mutable conn_session : Session.t option;
   mutable conn_writer : Thread.t option;
 }
@@ -75,12 +89,14 @@ type t = {
   pool : Pool.service;
   registry : Session.registry;
   obs : Obs.t;  (* daemon-side scope (ucc serve --trace/--metrics) *)
-  jobs : (int, job_entry) Hashtbl.t;
+  jobs : (int, job_entry) Hashtbl.t;  (* queued/running only *)
+  recent : (int, finished) Hashtbl.t;  (* last [recent_results] outcomes *)
+  recent_order : int Queue.t;
   jobs_lock : Mutex.t;
   mutable next_job : int;
   mutable jobs_done : int;
   mutable jobs_cancelled : int;
-  listeners : Unix.file_descr list;
+  listeners : (Unix.file_descr * bool) list;  (* fd, privileged *)
   wake_r : Unix.file_descr;
   wake_w : Unix.file_descr;
   state_lock : Mutex.t;
@@ -123,13 +139,25 @@ let is_draining t = locked t.state_lock (fun () -> t.draining)
 
 (* ---- job execution ---- *)
 
+(* jobs_lock held: move a job out of the live table into the bounded
+   recent window backing status queries, evicting the oldest outcome
+   once the window is full *)
+let retire t (entry : job_entry) ~state ~row =
+  Hashtbl.remove t.jobs entry.job_id;
+  Hashtbl.replace t.recent entry.job_id
+    { fin_owner = entry.owner.Session.id; fin_state = state; fin_row = row };
+  Queue.push entry.job_id t.recent_order;
+  while Queue.length t.recent_order > t.cfg.recent_results do
+    Hashtbl.remove t.recent (Queue.pop t.recent_order)
+  done
+
 let deliver_report t (entry : job_entry) r =
+  let row = Report.to_json r in
   locked t.jobs_lock (fun () ->
       entry.state <- Done r;
-      t.jobs_done <- t.jobs_done + 1);
-  ignore
-    (Session.send entry.owner
-       (Proto.Report { job = entry.job_id; row = Report.to_json r }));
+      t.jobs_done <- t.jobs_done + 1;
+      retire t entry ~state:"done" ~row:(Some row));
+  ignore (Session.send entry.owner (Proto.Report { job = entry.job_id; row }));
   Session.finished t.registry entry.owner ~completed:true
 
 let job_task t (entry : job_entry) () =
@@ -157,7 +185,15 @@ let job_task t (entry : job_entry) () =
       else t.obs
     in
     let r =
-      Runner.run_job ~policy:t.cfg.policy ~obs:job_obs ~cache:t.cache entry.job
+      try
+        Runner.run_job ~policy:t.cfg.policy ~obs:job_obs ~cache:t.cache
+          entry.job
+      with exn ->
+        (* the pool worker swallows exceptions, so a crash that escaped
+           run_job (Out_of_memory, Stack_overflow …) must still turn
+           into a report here — otherwise the job stays Running forever
+           and the tenant's in-flight slot leaks *)
+        Runner.crash_result entry.job exn
     in
     deliver_report t entry r
   end
@@ -255,8 +291,10 @@ let handle_submit t sess (s : Proto.submit) =
               | `Overloaded ->
                   locked t.jobs_lock (fun () -> Hashtbl.remove t.jobs entry.job_id);
                   Session.finished t.registry sess ~completed:false;
+                  (* re-sample: [st] predates admission *)
+                  let st = Pool.service_stats t.pool in
                   reject t sess ~client_ref Proto.Overloaded
-                    (Printf.sprintf "queue full (%d/%d)" st.Pool.queue_bound
+                    (Printf.sprintf "queue full (%d/%d)" st.Pool.queue_depth
                        st.Pool.queue_bound)
               | `Closed ->
                   locked t.jobs_lock (fun () -> Hashtbl.remove t.jobs entry.job_id);
@@ -273,25 +311,38 @@ let owned_entry t sess job =
       | _ -> None)
 
 let handle_status t sess job =
-  match owned_entry t sess job with
+  let reply =
+    locked t.jobs_lock (fun () ->
+        match Hashtbl.find_opt t.jobs job with
+        | Some e when e.owner.Session.id = sess.Session.id ->
+            Some
+              (match e.state with
+              | Queued -> ("queued", None)
+              | Running -> ("running", None)
+              | Cancelled -> ("cancelled", None)
+              | Done r -> ("done", Some (Report.to_json r)))
+        | Some _ -> None
+        | None -> (
+            match Hashtbl.find_opt t.recent job with
+            | Some f when f.fin_owner = sess.Session.id ->
+                Some (f.fin_state, f.fin_row)
+            | _ -> None))
+  in
+  match reply with
+  | Some (state, row) ->
+      ignore (Session.send sess (Proto.Status_reply { job; state; row }))
   | None ->
       ignore
         (Session.send sess
            (Proto.Error
               {
                 code = Proto.Unknown_job;
-                msg = Printf.sprintf "job %d is not yours or does not exist" job;
+                msg =
+                  Printf.sprintf
+                    "job %d is not yours, never existed or was evicted \
+                     (server keeps the last %d outcomes)"
+                    job t.cfg.recent_results;
               }))
-  | Some e ->
-      let state, row =
-        locked t.jobs_lock (fun () ->
-            match e.state with
-            | Queued -> ("queued", None)
-            | Running -> ("running", None)
-            | Cancelled -> ("cancelled", None)
-            | Done r -> ("done", Some (Report.to_json r)))
-      in
-      ignore (Session.send sess (Proto.Status_reply { job; state; row }))
 
 let handle_cancel t sess job =
   match owned_entry t sess job with
@@ -303,6 +354,7 @@ let handle_cancel t sess job =
             | Queued ->
                 e.state <- Cancelled;
                 t.jobs_cancelled <- t.jobs_cancelled + 1;
+                retire t e ~state:"cancelled" ~row:None;
                 true
             | _ -> false)
       in
@@ -360,11 +412,27 @@ let request_shutdown ?(reason = "shutdown requested") t =
   first
 
 let handle_drain t sess =
-  let st = Pool.service_stats t.pool in
-  ignore
-    (Session.send sess
-       (Proto.Draining { in_flight = st.Pool.queue_depth + st.Pool.busy }));
-  ignore (request_shutdown ~reason:"drain requested by client" t)
+  (* quotas isolate tenants for submission, but drain terminates the
+     whole daemon: only connections on the unix socket (operator-owned
+     by filesystem permissions) may request it — any TCP client could
+     otherwise shut the server down for everyone *)
+  if not sess.Session.privileged then begin
+    Obs.count t.obs "serve.rejected.denied" 1;
+    ignore
+      (Session.send sess
+         (Proto.Error
+            {
+              code = Proto.Denied;
+              msg = "drain is operator-only: connect over the unix socket";
+            }))
+  end
+  else begin
+    let st = Pool.service_stats t.pool in
+    ignore
+      (Session.send sess
+         (Proto.Draining { in_flight = st.Pool.queue_depth + st.Pool.busy }));
+    ignore (request_shutdown ~reason:"drain requested by client" t)
+  end
 
 (* ---- per-connection threads ---- *)
 
@@ -430,8 +498,8 @@ let reader_thread t conn =
             end
             else begin
               let sess =
-                Session.attach t.registry ~tenant ~priority
-                  ~outbox_capacity:t.cfg.outbox_capacity
+                Session.attach ~privileged:conn.conn_privileged t.registry
+                  ~tenant ~priority ~outbox_capacity:t.cfg.outbox_capacity
               in
               conn.conn_session <- Some sess;
               let w = Thread.create (fun () -> writer_thread sess fd) () in
@@ -500,19 +568,26 @@ let reader_thread t conn =
 
 let accept_loop t =
   let rec loop () =
-    match Unix.select (t.wake_r :: t.listeners) [] [] (-1.) with
+    match
+      Unix.select (t.wake_r :: List.map fst t.listeners) [] [] (-1.)
+    with
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
     | ready, _, _ ->
         if List.mem t.wake_r ready then ()  (* shutdown *)
         else begin
           List.iter
-            (fun lfd ->
+            (fun (lfd, privileged) ->
               if List.mem lfd ready then
                 match Unix.accept lfd with
                 | fd, _ ->
                     Obs.count t.obs "serve.connections" 1;
                     let conn =
-                      { conn_fd = fd; conn_session = None; conn_writer = None }
+                      {
+                        conn_fd = fd;
+                        conn_privileged = privileged;
+                        conn_session = None;
+                        conn_writer = None;
+                      }
                     in
                     let th = Thread.create (fun () -> reader_thread t conn) () in
                     locked t.conns_lock (fun () ->
@@ -525,7 +600,7 @@ let accept_loop t =
   loop ();
   (* ---- graceful drain ---- *)
   logf t "%s: draining" t.shutdown_reason;
-  List.iter (fun fd -> try Unix.close fd with _ -> ()) t.listeners;
+  List.iter (fun (fd, _) -> try Unix.close fd with _ -> ()) t.listeners;
   (match t.cfg.socket_path with
   | Some p -> ( try Unix.unlink p with _ -> ())
   | None -> ());
@@ -540,13 +615,37 @@ let accept_loop t =
       ignore (Session.send sess (Proto.Shutdown { msg = t.shutdown_reason }));
       Session.close_outbox sess)
     (Session.all t.registry);
-  (* wake pre-handshake connections stuck in read *)
+  (* wake pre-handshake connections stuck in read (no outbox, no
+     goodbye owed to them) *)
   locked t.conns_lock (fun () ->
       List.iter
         (fun (c, _) ->
           if c.conn_session = None then
             try Unix.shutdown c.conn_fd Unix.SHUTDOWN_ALL with _ -> ())
         t.conns);
+  (* bounded flush: give every writer [flush_timeout] to push its
+     goodbye, then force-disconnect the stragglers — a client that
+     stopped reading leaves its writer blocked in write and its reader
+     blocked in read, and must not wedge shutdown (the shutdown wakes
+     both with an error) *)
+  let flush_deadline = Unix.gettimeofday () +. t.cfg.flush_timeout in
+  let rec await_flush () =
+    if locked t.conns_lock (fun () -> t.conns <> []) then
+      if Unix.gettimeofday () < flush_deadline then begin
+        Thread.delay 0.05;
+        await_flush ()
+      end
+      else begin
+        logf t "flush timeout (%.1fs): force-disconnecting stalled clients"
+          t.cfg.flush_timeout;
+        locked t.conns_lock (fun () ->
+            List.iter
+              (fun (c, _) ->
+                try Unix.shutdown c.conn_fd Unix.SHUTDOWN_ALL with _ -> ())
+              t.conns)
+      end
+  in
+  await_flush ();
   let conns = locked t.conns_lock (fun () -> t.conns) in
   List.iter (fun (_, th) -> Thread.join th) conns;
   Pool.publish t.pool t.obs;
@@ -575,9 +674,15 @@ let listen_tcp port =
 let start ?(obs = Obs.null) ?cache_dir cfg =
   (* a dead client's socket must never kill the daemon *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ());
+  (* unix-socket connections are operator-trusted (the path's
+     filesystem permissions gate them); TCP ones are not *)
   let listeners =
-    (match cfg.socket_path with Some p -> [ listen_unix p ] | None -> [])
-    @ (match cfg.tcp_port with Some p -> [ listen_tcp p ] | None -> [])
+    (match cfg.socket_path with
+    | Some p -> [ (listen_unix p, true) ]
+    | None -> [])
+    @ (match cfg.tcp_port with
+      | Some p -> [ (listen_tcp p, false) ]
+      | None -> [])
   in
   if listeners = [] then
     invalid_arg "Server.start: no socket_path and no tcp_port";
@@ -594,6 +699,8 @@ let start ?(obs = Obs.null) ?cache_dir cfg =
         Session.registry ~quotas:cfg.quotas ?default_quota:cfg.default_quota ();
       obs;
       jobs = Hashtbl.create 64;
+      recent = Hashtbl.create 64;
+      recent_order = Queue.create ();
       jobs_lock = Mutex.create ();
       next_job = 1;
       jobs_done = 0;

@@ -13,7 +13,11 @@
     Admission happens before the queue and never blocks a client:
     draining → [shutting_down], tenant over in-flight quota → [quota],
     low-priority past the 3/4 queue watermark → [overloaded], queue
-    full → [overloaded] (non-blocking {!Pool.try_submit}). *)
+    full → [overloaded] (non-blocking {!Pool.try_submit}).
+
+    The [drain] frame is operator-only: honoured on unix-socket
+    connections (gated by the socket path's filesystem permissions),
+    answered with a [denied] error over TCP. *)
 
 type config = {
   socket_path : string option;  (** Unix-domain listener (stale file replaced) *)
@@ -23,14 +27,22 @@ type config = {
   quotas : (string * int) list;  (** tenant → max in-flight jobs *)
   default_quota : int option;  (** quota for unlisted tenants (None = unlimited) *)
   drain_timeout : float;  (** seconds to wait for in-flight jobs on shutdown *)
+  flush_timeout : float;
+      (** seconds a shutdown waits for connection threads to flush
+          their goodbyes before force-disconnecting stalled clients *)
   policy : Runner.policy;
   max_frame : int;  (** inbound frame size bound (bytes) *)
   outbox_capacity : int;  (** per-session outbox frames *)
+  recent_results : int;
+      (** finished (done/cancelled) outcomes kept for [status] queries;
+          older ones are evicted so a long-running daemon's memory
+          stays bounded *)
   verbose : bool;  (** log connections/drain progress to stderr *)
 }
 
 (** Unix socket ["ucd.sock"], no TCP, 2 domains, queue 16, no quotas,
-    30 s drain, default runner policy, 1 MiB frames, quiet. *)
+    30 s drain, 5 s flush, default runner policy, 1 MiB frames, 256
+    recent outcomes, quiet. *)
 val default_config : config
 
 type t

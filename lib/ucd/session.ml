@@ -16,6 +16,7 @@ type t = {
   id : int;
   tenant : string;
   priority : Proto.priority;
+  privileged : bool;
   outbox : Obs.Stream.t;
   lock : Mutex.t;
   mutable trace : bool;
@@ -57,7 +58,7 @@ let locked lock f =
       Mutex.unlock lock;
       raise e
 
-let attach reg ~tenant ~priority ~outbox_capacity =
+let attach ?(privileged = true) reg ~tenant ~priority ~outbox_capacity =
   locked reg.reg_lock (fun () ->
       let id = reg.next_id in
       reg.next_id <- id + 1;
@@ -67,6 +68,7 @@ let attach reg ~tenant ~priority ~outbox_capacity =
           id;
           tenant;
           priority;
+          privileged;
           outbox = Obs.Stream.create ~capacity:outbox_capacity ();
           lock = Mutex.create ();
           trace = false;
@@ -155,6 +157,7 @@ let session_fields s =
         ("session", Jsonu.Int s.id);
         ("tenant", Jsonu.Str s.tenant);
         ("priority", Jsonu.Str (Proto.priority_string s.priority));
+        ("privileged", Jsonu.Bool s.privileged);
         ("submitted", Jsonu.Int s.submitted);
         ("completed", Jsonu.Int s.completed);
         ("rejected", Jsonu.Int s.rejected);

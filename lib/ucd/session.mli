@@ -15,6 +15,7 @@ type t = private {
   id : int;
   tenant : string;
   priority : Proto.priority;
+  privileged : bool;  (** may issue operator-only requests ([drain]) *)
   outbox : Obs.Stream.t;
   lock : Mutex.t;
   mutable trace : bool;
@@ -32,8 +33,16 @@ type registry
 val registry :
   ?quotas:(string * int) list -> ?default_quota:int -> unit -> registry
 
+(** [privileged] (default [true], the trust level of in-process and
+    unix-socket callers) gates operator-only requests; the server
+    passes [false] for TCP connections. *)
 val attach :
-  registry -> tenant:string -> priority:Proto.priority -> outbox_capacity:int -> t
+  ?privileged:bool ->
+  registry ->
+  tenant:string ->
+  priority:Proto.priority ->
+  outbox_capacity:int ->
+  t
 
 (** Remove from the registry and close the outbox (the writer thread
     drains what remains, then sees [None]). *)

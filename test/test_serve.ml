@@ -630,6 +630,195 @@ let test_drain_flushes_reports () =
   check Alcotest.bool "shutdown notice delivered" true !got_shutdown;
   check Alcotest.int "clean drain exits 0" 0 (Ucd.Server.stop srv)
 
+(* ---------------- hardening: crash, eviction, privilege, flush ----- *)
+
+let test_crash_result_row () =
+  (* the row a crashing job (escaped Out_of_memory/Stack_overflow)
+     turns into — both run_jobs and the serve daemon rely on it *)
+  let job = Ucd.Job.make ~name:"boom" ~source:"void main() {}" () in
+  let r = Ucd.Runner.crash_result job Stack_overflow in
+  check Alcotest.string "name" "boom" r.Ucd.Report.job_name;
+  (match r.Ucd.Report.status with
+  | Ucd.Report.Failed _ -> ()
+  | _ -> Alcotest.fail "crash must render as Failed");
+  check Alcotest.bool "not cached" false r.Ucd.Report.from_cache;
+  check Alcotest.int "one attempt" 1 r.Ucd.Report.attempts;
+  match Ucd.Report.of_json (Ucd.Report.to_json r) with
+  | Ok back ->
+      check Alcotest.string "wire round trip"
+        (Ucd.Report.canonical_json r)
+        (Ucd.Report.canonical_json back)
+  | Error e -> Alcotest.failf "bad row: %s" e
+
+let submit_inline c ~name source =
+  match
+    Ucd.Client.send c
+      (Ucd.Proto.Submit
+         (Ucd.Proto.submit_defaults ~name ~source:(Ucd.Proto.Inline source)))
+  with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "send: %s" e
+
+let test_failed_job_releases_quota () =
+  (* a job that fails must still deliver a report and release the
+     tenant's in-flight slot — a failure path that skipped
+     Session.finished would wedge the tenant at its quota forever *)
+  let socket = next_sock () in
+  let cfg = { (base_cfg socket) with Ucd.Server.quotas = [ ("small", 1) ] } in
+  let srv = Ucd.Server.start cfg in
+  Fun.protect ~finally:(fun () -> ignore (Ucd.Server.stop srv)) @@ fun () ->
+  let c = connect_exn ~tenant:"small" socket in
+  Fun.protect ~finally:(fun () -> Ucd.Client.close c) @@ fun () ->
+  submit_inline c ~name:"broken" "this is not a uc program";
+  let got_report = ref false in
+  while not !got_report do
+    match Ucd.Client.recv c with
+    | Error e -> Alcotest.failf "recv: %s" e
+    | Ok (Ucd.Proto.Report { row; _ }) -> (
+        got_report := true;
+        match Ucd.Report.of_json row with
+        | Ok { Ucd.Report.status = Ucd.Report.Failed _; _ } -> ()
+        | Ok _ -> Alcotest.fail "broken job must report failed"
+        | Error e -> Alcotest.failf "bad row: %s" e)
+    | Ok (Ucd.Proto.Rejected { msg; _ }) -> Alcotest.failf "rejected: %s" msg
+    | Ok _ -> ()
+  done;
+  submit_inline c ~name:"after-failure" "void main() {}";
+  match recv_replies c ~n:1 with
+  | [ Ucd.Proto.Accepted _ ] -> ()
+  | [ m ] -> Alcotest.failf "quota slot leaked: %s" (Ucd.Proto.server_line m)
+  | _ -> Alcotest.fail "expected one reply"
+
+let test_status_eviction () =
+  (* finished jobs leave the live table; only the most recent
+     [recent_results] outcomes stay queryable (bounded memory) *)
+  let socket = next_sock () in
+  let cfg =
+    { (base_cfg socket) with Ucd.Server.domains = 1; recent_results = 2 }
+  in
+  let srv = Ucd.Server.start cfg in
+  Fun.protect ~finally:(fun () -> ignore (Ucd.Server.stop srv)) @@ fun () ->
+  let c = connect_exn socket in
+  Fun.protect ~finally:(fun () -> Ucd.Client.close c) @@ fun () ->
+  (* one at a time, so completion (= retirement) order is submission
+     order *)
+  let run_one name =
+    submit_inline c ~name "void main() {}";
+    let id = ref (-1) and got_report = ref false in
+    while not (!got_report && !id >= 0) do
+      match Ucd.Client.recv c with
+      | Error e -> Alcotest.failf "recv: %s" e
+      | Ok (Ucd.Proto.Accepted { job; _ }) -> id := job
+      | Ok (Ucd.Proto.Report _) -> got_report := true
+      | Ok (Ucd.Proto.Rejected { msg; _ }) -> Alcotest.failf "rejected: %s" msg
+      | Ok _ -> ()
+    done;
+    !id
+  in
+  let j1 = run_one "e1" in
+  let _ = run_one "e2" in
+  let j3 = run_one "e3" in
+  let status job =
+    (match Ucd.Client.send c (Ucd.Proto.Status job) with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "send: %s" e);
+    match Ucd.Client.recv c with
+    | Ok m -> m
+    | Error e -> Alcotest.failf "recv: %s" e
+  in
+  (match status j1 with
+  | Ucd.Proto.Error { code = Ucd.Proto.Unknown_job; _ } -> ()
+  | m ->
+      Alcotest.failf "evicted job must be unknown, got %s"
+        (Ucd.Proto.server_line m));
+  match status j3 with
+  | Ucd.Proto.Status_reply { state = "done"; row = Some _; _ } -> ()
+  | m ->
+      Alcotest.failf "recent job must still be done-with-row, got %s"
+        (Ucd.Proto.server_line m)
+
+let test_drain_denied_over_tcp () =
+  (* drain terminates the daemon for everyone: only unix-socket
+     (operator) connections may request it *)
+  let socket = next_sock () in
+  let rec start_with_port tries port =
+    match
+      Ucd.Server.start
+        { (base_cfg socket) with Ucd.Server.tcp_port = Some port }
+    with
+    | srv -> (srv, port)
+    | exception Unix.Unix_error (Unix.EADDRINUSE, _, _) when tries > 0 ->
+        start_with_port (tries - 1) (port + 1)
+  in
+  let srv, port = start_with_port 20 (20000 + (Unix.getpid () mod 20000)) in
+  Fun.protect ~finally:(fun () -> ignore (Ucd.Server.stop srv)) @@ fun () ->
+  let c =
+    match Ucd.Client.connect (Ucd.Client.Tcp ("127.0.0.1", port)) with
+    | Ok c -> c
+    | Error e -> Alcotest.failf "tcp connect: %s" e
+  in
+  Fun.protect ~finally:(fun () -> Ucd.Client.close c) @@ fun () ->
+  (match Ucd.Client.drain c with
+  | Error msg ->
+      check Alcotest.bool
+        (Printf.sprintf "typed denied error (got %S)" msg)
+        true
+        (String.length msg >= 6 && String.sub msg 0 6 = "denied")
+  | Ok _ -> Alcotest.fail "drain over TCP must be denied");
+  (* and the daemon is still serving *)
+  submit_inline c ~name:"after-denied-drain" "void main() {}";
+  match recv_replies c ~n:1 with
+  | [ Ucd.Proto.Accepted _ ] -> ()
+  | _ -> Alcotest.fail "server must keep serving after a denied drain"
+
+let chatty_source =
+  (* ~660 KB of print output: the report frame dwarfs any socket
+     buffer, so a client that stops reading leaves the server's writer
+     blocked mid-frame *)
+  "int i;\n\
+   void main() { for (i = 0; i < 30000; i = i + 1) \
+   print(\"xxxxxxxxxxxxxxxx \", i); }\n"
+
+let test_stalled_client_cannot_wedge_shutdown () =
+  let socket = next_sock () in
+  let cfg =
+    {
+      (base_cfg socket) with
+      Ucd.Server.domains = 1;
+      drain_timeout = 10.;
+      flush_timeout = 1.;
+    }
+  in
+  let srv = Ucd.Server.start cfg in
+  let c = connect_exn socket in
+  Fun.protect ~finally:(fun () -> Ucd.Client.close c) @@ fun () ->
+  submit_inline c ~name:"chatty" chatty_source;
+  (* ...and never read again.  Wait until the job is done server-side
+     (its huge report now sits in our unread socket), then shut down:
+     the bounded flush must force-disconnect us, not hang forever *)
+  let rec until_done n =
+    if n = 0 then Alcotest.fail "chatty job never finished";
+    let done_ =
+      match Ucd.Server.stats srv with
+      | Ucd.Jsonu.Obj fields -> (
+          match List.assoc_opt "server" fields with
+          | Some (Ucd.Jsonu.Obj server) ->
+              List.assoc_opt "jobs_done" server = Some (Ucd.Jsonu.Int 1)
+          | _ -> false)
+      | _ -> false
+    in
+    if not done_ then begin
+      Thread.delay 0.05;
+      until_done (n - 1)
+    end
+  in
+  until_done 600;
+  let t0 = Unix.gettimeofday () in
+  let code = Ucd.Server.stop srv in
+  check Alcotest.int "clean exit despite stalled client" 0 code;
+  check Alcotest.bool "shutdown bounded by the flush timeout" true
+    (Unix.gettimeofday () -. t0 < 8.)
+
 let () =
   Alcotest.run "serve"
     [
@@ -673,5 +862,18 @@ let () =
             test_trace_streaming;
           Alcotest.test_case "drain flushes reports" `Quick
             test_drain_flushes_reports;
+        ] );
+      ( "hardening",
+        [
+          Alcotest.test_case "crash renders as a failed row" `Quick
+            test_crash_result_row;
+          Alcotest.test_case "failed job releases its quota slot" `Quick
+            test_failed_job_releases_quota;
+          Alcotest.test_case "finished jobs are evicted, window queryable"
+            `Quick test_status_eviction;
+          Alcotest.test_case "drain denied over TCP" `Quick
+            test_drain_denied_over_tcp;
+          Alcotest.test_case "stalled client cannot wedge shutdown" `Quick
+            test_stalled_client_cannot_wedge_shutdown;
         ] );
     ]
