@@ -3,7 +3,7 @@
 # a CLI sanity check, and the whole corpus run under a canned fault
 # plan with retries; it stops loudly at the first failing step.
 
-.PHONY: all build test ci ci-faultgate ci-iropt ci-obs ci-serve bench bench-compare batch clean
+.PHONY: all build test ci ci-faultgate ci-iropt ci-obs ci-serve ci-sharded bench bench-compare batch clean
 
 all: build
 
@@ -13,7 +13,7 @@ build:
 test:
 	dune runtest
 
-ci: ci-faultgate ci-iropt ci-obs ci-serve
+ci: ci-faultgate ci-iropt ci-obs ci-serve ci-sharded
 	dune build
 	dune exec test/test_engine.exe -- test corpus
 	dune runtest
@@ -49,6 +49,14 @@ ci-faultgate: build
 	@grep -q '"summary":true' _ci_faultgate.jsonl
 	@echo "fault gate: every job ended Done or Faulted"
 	@rm -f _ci_faultgate.jsonl
+
+# Sharded-engine gate: the whole corpus bit-identical between
+# --engine fast and --engine sharded at 1 and 4 shards, traced and
+# untraced (rows compared minus digest/engine labels and wall-clock
+# provenance; output, simulated seconds and all deterministic metrics
+# must agree byte for byte).
+ci-sharded: build
+	timeout 300 bash test/ci_sharded.sh
 
 # Serve gate: boot the daemon, push the whole corpus from two
 # concurrent clients, require their rows bit-identical to `ucc batch`,

@@ -58,7 +58,9 @@ let is_bechamel line =
     String.length line >= String.length prefix
     && String.sub line 0 (String.length prefix) = prefix
   in
-  has_prefix {|{"section":"bechamel"|} || has_prefix {|{"section":"serve"|}
+  has_prefix {|{"section":"bechamel"|}
+  || has_prefix {|{"section":"serve"|}
+  || has_prefix {|{"section":"scaling"|}
 
 (* minimal extraction: the bench writer emits flat objects with string
    keys, no escapes inside the values we care about *)

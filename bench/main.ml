@@ -570,6 +570,79 @@ let bechamel_bench () =
       | _ -> Printf.printf "%-32s %12s\n" name "n/a")
     (List.sort compare rows)
 
+(* ---------------- S2: sharded-engine scaling ---------------- *)
+
+(* The multicore engine measured as wall-clock: the three figure
+   programs at their largest sweep size, executed once per engine
+   configuration on a pre-compiled program (compile time excluded — the
+   engine only changes execution).  Rows are wall-clock, so they carry
+   section "scaling" and compare.ml reports them like bechamel/serve
+   rows instead of requiring identity; the simulated results themselves
+   are engine-identical (ci-sharded enforces that bit for bit). *)
+let scaling_shards = [ 1; 2; 4; 8 ]
+
+let s2_scaling () =
+  section "S2"
+    "Scaling: sharded engine wall-clock at 1/2/4/8 shards (per run)";
+  let ncores = Domain.recommended_domain_count () in
+  (* the row compare.ml ignores (no ms_per_run) but readers need: the
+     shard sweep only shows parallel speedup when the host has cores to
+     run the worker team on.  On a 1-core host every borrow is denied
+     and the chunks run inline — the sweep then measures the engine's
+     overhead and its pre-decoded stream, not parallelism. *)
+  emit_row "scaling" [ ("host_cores", Ucd.Jsonu.Int ncores) ];
+  Printf.printf "host cores: %d%s\n\n" ncores
+    (if ncores < 2 then
+       "  (single core: worker borrows are denied, chunks run inline;\n\
+       \   expect engine overhead, not parallel speedup)"
+     else "");
+  let time f =
+    (* best of 3: scheduling noise dominates a mean at these run times *)
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      f ();
+      best := Float.min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best
+  in
+  let progs =
+    [
+      ( "fig6:uc-n2 N=64",
+        Uc_programs.Programs.shortest_path_n2 ~deterministic:false ~n:64 () );
+      ( "fig7:uc-n3 N=25",
+        Uc_programs.Programs.shortest_path_n3 ~deterministic:false ~n:25 () );
+      ("fig8:uc-obstacle N=120", Uc_programs.Programs.obstacle_grid ~n:120);
+    ]
+  in
+  Printf.printf "%-26s %-12s %12s %9s\n" "program" "engine" "ms/run"
+    "vs fast";
+  List.iter
+    (fun (name, src) ->
+      let compiled = Uc.Compile.compile_source src in
+      let run engine =
+        time (fun () ->
+            ignore (Uc.Compile.run_compiled ~seed ~engine compiled))
+      in
+      let fast = run `Fast in
+      let line engine t =
+        let label = Ucd.Job.engine_string engine in
+        Printf.printf "%-26s %-12s %12.3f %8.2fx\n" name label (1000. *. t)
+          (fast /. t);
+        emit_row "scaling"
+          [
+            ("test", Ucd.Jsonu.Str (name ^ " " ^ label));
+            ("ms_per_run", Ucd.Jsonu.Float (1000. *. t));
+            ("speedup_vs_fast", Ucd.Jsonu.Float (fast /. t));
+          ]
+      in
+      (* the reference→fast→sharded ladder, then the shard-count sweep *)
+      line `Reference (run `Reference);
+      line `Fast fast;
+      List.iter (fun s -> line (`Sharded s) (run (`Sharded s))) scaling_shards;
+      print_newline ())
+    progs
+
 (* ---------------- parallel prefetch ---------------- *)
 
 (* ---------------- S1: the serve daemon under load ---------------- *)
@@ -788,6 +861,7 @@ let sections =
     ("recovery", r1_recovery);
     ("obs", o1_obs_overhead);
     ("serve", s1_serve);
+    ("scaling", s2_scaling);
     ("bechamel", bechamel_bench);
   ]
 

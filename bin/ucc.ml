@@ -185,16 +185,40 @@ let profile_arg =
           "Print simulated time per region (the compiler emits one region \
            marker per source line)")
 
-let engine_arg =
+(* The engine name list lives in Ucd.Job (it also keys digests and
+   reports), so the help text, the validator and the error message can
+   never drift apart. *)
+let engine_doc =
+  Printf.sprintf
+    "Execution engine: %s.  $(b,fast) (the default) runs pre-decoded \
+     instruction kernels; $(b,sharded) fans the kernels out across \
+     $(b,--shards) worker domains; $(b,reference) is the tree-walking \
+     interpreter.  All engines produce bit-identical results, statistics \
+     and simulated time; only wall-clock speed differs."
+    (String.concat ", "
+       (List.map (Printf.sprintf "$(b,%s)") Ucd.Job.engine_names))
+
+let engine_name_arg =
+  Arg.(value & opt string "fast" & info [ "engine" ] ~docv:"ENGINE" ~doc:engine_doc)
+
+let default_shards = max 1 (Domain.recommended_domain_count ())
+
+let shards_arg =
   Arg.(
-    value
-    & opt (enum [ ("fast", `Fast); ("reference", `Reference) ]) `Fast
-    & info [ "engine" ] ~docv:"ENGINE"
+    value & opt int default_shards
+    & info [ "shards" ] ~docv:"N"
         ~doc:
-          "Execution engine: $(b,fast) (pre-decoded instruction kernels, the \
-           default) or $(b,reference) (the tree-walking interpreter). Both \
-           produce bit-identical results, statistics and simulated time; \
-           only wall-clock speed differs.")
+          "Chunk count for $(b,--engine sharded) (default: this host's \
+           recommended domain count).  Results depend only on N, never on \
+           how many worker domains are actually available.")
+
+(* one-line rejection, exit 1, naming the valid engines *)
+let resolve_engine ~shards name k =
+  match Ucd.Job.engine_of_name ~shards name with
+  | Ok engine -> k engine
+  | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
 
 let faults_arg =
   Arg.(
@@ -326,8 +350,9 @@ let print_int_array name dims a =
       print_newline ())
 
 let run_cmd =
-  let run path options seed stats profile engine arrays scalars faults retries
-      fuel_slice ir_opt_stats trace metrics =
+  let run path options seed stats profile engine_name shards arrays scalars
+      faults retries fuel_slice ir_opt_stats trace metrics =
+    resolve_engine ~shards engine_name @@ fun engine ->
     with_source path (fun src ->
         let fspec = parse_faults_opt faults in
         let obs, finish_obs = make_obs ~trace ~metrics ~ir_opt_stats in
@@ -391,8 +416,9 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Compile and execute on the simulated Connection Machine")
     Term.(
       const run $ file_arg $ options_args $ seed_arg $ stats_arg $ profile_arg
-      $ engine_arg $ arrays_arg $ scalars_arg $ faults_arg $ retries_arg
-      $ fuel_slice_arg $ ir_opt_stats_arg $ trace_arg $ metrics_arg)
+      $ engine_name_arg $ shards_arg $ arrays_arg $ scalars_arg $ faults_arg
+      $ retries_arg $ fuel_slice_arg $ ir_opt_stats_arg $ trace_arg
+      $ metrics_arg)
 
 (* ---- interp ---- *)
 
@@ -454,11 +480,14 @@ let show_cmd =
 
      <corpus-name-or-path.uc> [seed=N] [fuel=N] [deadline=SECS]
                               [retries=N] [faults=PLAN] [ir-opt=PASSES]
+                              [engine=fast|reference|sharded] [shards=N]
                               [no-news] [no-procopt] [no-mappings] [no-cse]
                               [no-ir-opt]
 
    A bare name is looked up in the built-in corpus; anything containing
-   a '/' or ending in .uc is read as a file. *)
+   a '/' or ending in .uc is read as a file.  The engine participates in
+   the job digest, so rows that differ only in engine= never share a
+   cache entry. *)
 
 let parse_manifest_line ~defaults lineno line =
   match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
@@ -466,13 +495,18 @@ let parse_manifest_line ~defaults lineno line =
   | target :: opts ->
       if String.length target > 0 && target.[0] = '#' then None
       else
-        let seed, fuel, deadline, faults, retries, options = defaults in
+        let seed, fuel, deadline, faults, retries, options, engine_name, shards
+            =
+          defaults
+        in
         let seed = ref seed
         and fuel = ref fuel
         and deadline = ref deadline
         and faults = ref faults
         and retries = ref retries
-        and options = ref options in
+        and options = ref options
+        and engine_name = ref engine_name
+        and shards = ref shards in
         List.iter
           (fun tok ->
             let intval key v =
@@ -490,6 +524,8 @@ let parse_manifest_line ~defaults lineno line =
                 match key with
                 | "seed" -> seed := intval "seed" v
                 | "fuel" -> fuel := Some (intval "fuel" v)
+                | "engine" -> engine_name := v
+                | "shards" -> shards := intval "shards" v
                 | "deadline" -> (
                     match float_of_string_opt v with
                     | Some f -> deadline := Some f
@@ -547,10 +583,16 @@ let parse_manifest_line ~defaults lineno line =
                         readable file (%s)"
                        lineno target msg))
         in
+        let engine =
+          match Ucd.Job.engine_of_name ~shards:!shards !engine_name with
+          | Ok e -> e
+          | Error msg ->
+              failwith (Printf.sprintf "manifest line %d: %s" lineno msg)
+        in
         Some
           (Ucd.Job.make ~options:!options ~seed:!seed ?fuel:!fuel
-             ?deadline:!deadline ?faults:!faults ?retries:!retries ~name:target
-             ~source ())
+             ?deadline:!deadline ?faults:!faults ?retries:!retries ~engine
+             ~name:target ~source ())
 
 let batch_cmd =
   let manifest_arg =
@@ -594,7 +636,8 @@ let batch_cmd =
           ~doc:"Write the JSON-lines report here instead of stdout")
   in
   let run manifest jobs cache_dir options seed fuel deadline report stats faults
-      retries fuel_slice trace metrics =
+      retries fuel_slice engine_name shards trace metrics =
+    resolve_engine ~shards engine_name @@ fun engine ->
     try
       let obs, finish_obs =
         make_obs ~trace ~metrics ~ir_opt_stats:false
@@ -603,13 +646,13 @@ let batch_cmd =
       let fspec = parse_faults_opt faults in
       let defaults =
         (seed, fuel, deadline, fspec, (if retries = 0 then None else Some retries),
-         options)
+         options, engine_name, shards)
       in
       let job_list =
         match manifest with
         | None ->
             Ucd.Runner.corpus_jobs ~options ~seed ?fuel ?deadline ?faults:fspec
-              ?retries:(if retries = 0 then None else Some retries) ()
+              ?retries:(if retries = 0 then None else Some retries) ~engine ()
         | Some path -> (
             match read_source path with
             | Error msg -> failwith msg
@@ -666,7 +709,8 @@ let batch_cmd =
     Term.(
       const run $ manifest_arg $ jobs_arg $ cache_dir_arg $ options_args
       $ seed_arg $ fuel_arg $ deadline_arg $ report_arg $ stats_arg
-      $ faults_arg $ retries_arg $ fuel_slice_arg $ trace_arg $ metrics_arg)
+      $ faults_arg $ retries_arg $ fuel_slice_arg $ engine_name_arg
+      $ shards_arg $ trace_arg $ metrics_arg)
 
 (* ---- serve / submit ---- *)
 

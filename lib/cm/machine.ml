@@ -7,7 +7,7 @@ let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
 
 type fdata = FInt of int array | FFloat of float array
 
-type engine = [ `Fast | `Reference ]
+type engine = [ `Fast | `Reference | `Sharded of int ]
 
 (* Live state of a fault plan: a cursor into the serial-sorted event
    array plus per-kind FIFO queues of armed transient faults (an armed
@@ -44,6 +44,8 @@ type t = {
   mutable region_name : string;  (* name region_acc accumulates into *)
   regions : (string, float ref) Hashtbl.t;  (* region -> elapsed ns *)
   mutable kernels : (unit -> unit) array option;  (* fast engine, lazy *)
+  mutable skernels : (unit -> unit) array option;  (* sharded engine, lazy *)
+  mutable steam : Shard.team option;  (* borrowed for the current exec *)
   mutable icount : int;  (* executed instruction serial, both engines *)
   fstate : fstate option;
   mutable fault_log : string list;  (* reversed, like output *)
@@ -80,8 +82,14 @@ let resolve_labels prog =
     prog.code;
   labels
 
+let check_engine = function
+  | `Sharded s when s < 1 ->
+      invalid_arg "Machine: shard count must be at least 1"
+  | _ -> ()
+
 let create ?(cost = Cost.cm2_16k) ?(seed = 12345) ?(fuel = 50_000_000)
     ?(engine = `Fast) ?faults ?(obs = Obs.null) prog =
+  check_engine engine;
   let fields =
     Array.map
       (fun (vp, kind) ->
@@ -115,6 +123,8 @@ let create ?(cost = Cost.cm2_16k) ?(seed = 12345) ?(fuel = 50_000_000)
     region_name = "(startup)";
     regions;
     kernels = None;
+    skernels = None;
+    steam = None;
     icount = 0;
     fstate = Option.map (fstate_of_plan ~from:0) faults;
     fault_log = [];
@@ -936,125 +946,135 @@ let fget r p =
   | FIArr a -> float_of_int (Array.unsafe_get a p)
   | FVal v -> v
 
-(* Index safety: every loop below runs p over [0, nv) where nv is the
-   VP-set size, and decode only admits field arrays of exactly that
-   length, so the unsafe accesses are in bounds by construction. *)
+(* Index safety: every loop below runs p over [lo, hi) with 0 <= lo <=
+   hi <= nv where nv is the VP-set size, and decode only admits field
+   arrays of exactly that length, so the unsafe accesses are in bounds
+   by construction.  The fast engine passes the whole range [0, nv);
+   the sharded engine passes one chunk per call, with disjoint chunks
+   covering [0, nv), so the union of the writes is identical. *)
 
-let mov_int ctx nv (out : int array) r =
+let mov_int ctx lo hi (out : int array) r =
   if Context.all_active ctx then
     match r with
-    | IArr a -> Array.blit a 0 out 0 nv
-    | IVal v -> Array.fill out 0 nv v
+    | IArr a -> Array.blit a lo out lo (hi - lo)
+    | IVal v -> Array.fill out lo (hi - lo) v
   else
     let mask = Context.active ctx in
     match r with
     | IArr a ->
-        for p = 0 to nv - 1 do
+        for p = lo to hi - 1 do
           if Array.unsafe_get mask p then
             Array.unsafe_set out p (Array.unsafe_get a p)
         done
     | IVal v ->
-        for p = 0 to nv - 1 do
+        for p = lo to hi - 1 do
           if Array.unsafe_get mask p then Array.unsafe_set out p v
         done
 
-let mov_float ctx nv (out : float array) r =
+let mov_float ctx lo hi (out : float array) r =
   if Context.all_active ctx then
     match r with
-    | FArr a -> Array.blit a 0 out 0 nv
-    | FVal v -> Array.fill out 0 nv v
+    | FArr a -> Array.blit a lo out lo (hi - lo)
+    | FVal v -> Array.fill out lo (hi - lo) v
     | FIArr a ->
-        for p = 0 to nv - 1 do
+        for p = lo to hi - 1 do
           Array.unsafe_set out p (float_of_int (Array.unsafe_get a p))
         done
   else
     let mask = Context.active ctx in
-    for p = 0 to nv - 1 do
+    for p = lo to hi - 1 do
       if Array.unsafe_get mask p then Array.unsafe_set out p (fget r p)
     done
 
-let bin_int ctx nv (out : int array) (f : int -> int -> int) ra rb =
+let bin_int ctx lo hi (out : int array) (f : int -> int -> int) ra rb =
   if Context.all_active ctx then
     match ra, rb with
     | IArr a, IArr b ->
-        for p = 0 to nv - 1 do
+        for p = lo to hi - 1 do
           Array.unsafe_set out p
             (f (Array.unsafe_get a p) (Array.unsafe_get b p))
         done
     | IArr a, IVal k ->
-        for p = 0 to nv - 1 do
+        for p = lo to hi - 1 do
           Array.unsafe_set out p (f (Array.unsafe_get a p) k)
         done
     | IVal k, IArr b ->
-        for p = 0 to nv - 1 do
+        for p = lo to hi - 1 do
           Array.unsafe_set out p (f k (Array.unsafe_get b p))
         done
     | IVal x, IVal y ->
-        for p = 0 to nv - 1 do Array.unsafe_set out p (f x y) done
+        for p = lo to hi - 1 do Array.unsafe_set out p (f x y) done
   else
     let mask = Context.active ctx in
-    for p = 0 to nv - 1 do
+    for p = lo to hi - 1 do
       if Array.unsafe_get mask p then
         Array.unsafe_set out p (f (iget ra p) (iget rb p))
     done
 
-let bin_float ctx nv (out : float array) (f : float -> float -> float) ra rb =
+let bin_float ctx lo hi (out : float array) (f : float -> float -> float) ra rb
+    =
   if Context.all_active ctx then
     match ra, rb with
     | FArr a, FArr b ->
-        for p = 0 to nv - 1 do
+        for p = lo to hi - 1 do
           Array.unsafe_set out p
             (f (Array.unsafe_get a p) (Array.unsafe_get b p))
         done
-    | _ -> for p = 0 to nv - 1 do Array.unsafe_set out p (f (fget ra p) (fget rb p)) done
+    | _ ->
+        for p = lo to hi - 1 do
+          Array.unsafe_set out p (f (fget ra p) (fget rb p))
+        done
   else
     let mask = Context.active ctx in
-    for p = 0 to nv - 1 do
+    for p = lo to hi - 1 do
       if Array.unsafe_get mask p then
         Array.unsafe_set out p (f (fget ra p) (fget rb p))
     done
 
-let cmp_float ctx nv (out : int array) (cmp : float -> float -> bool) ra rb =
+let cmp_float ctx lo hi (out : int array) (cmp : float -> float -> bool) ra rb
+    =
   if Context.all_active ctx then
-    for p = 0 to nv - 1 do
+    for p = lo to hi - 1 do
       Array.unsafe_set out p (if cmp (fget ra p) (fget rb p) then 1 else 0)
     done
   else
     let mask = Context.active ctx in
-    for p = 0 to nv - 1 do
+    for p = lo to hi - 1 do
       if Array.unsafe_get mask p then
         Array.unsafe_set out p (if cmp (fget ra p) (fget rb p) then 1 else 0)
     done
 
-let un_int ctx nv (out : int array) (f : int -> int) r =
+let un_int ctx lo hi (out : int array) (f : int -> int) r =
   if Context.all_active ctx then
     match r with
     | IArr a ->
-        for p = 0 to nv - 1 do
+        for p = lo to hi - 1 do
           Array.unsafe_set out p (f (Array.unsafe_get a p))
         done
-    | IVal v -> for p = 0 to nv - 1 do Array.unsafe_set out p (f v) done
+    | IVal v -> for p = lo to hi - 1 do Array.unsafe_set out p (f v) done
   else
     let mask = Context.active ctx in
-    for p = 0 to nv - 1 do
+    for p = lo to hi - 1 do
       if Array.unsafe_get mask p then Array.unsafe_set out p (f (iget r p))
     done
 
-let un_float ctx nv (out : float array) (f : float -> float) r =
+let un_float ctx lo hi (out : float array) (f : float -> float) r =
   if Context.all_active ctx then
-    for p = 0 to nv - 1 do Array.unsafe_set out p (f (fget r p)) done
+    for p = lo to hi - 1 do Array.unsafe_set out p (f (fget r p)) done
   else
     let mask = Context.active ctx in
-    for p = 0 to nv - 1 do
+    for p = lo to hi - 1 do
       if Array.unsafe_get mask p then Array.unsafe_set out p (f (fget r p))
     done
 
-let toint_loop ctx nv (out : int array) r =
+let toint_loop ctx lo hi (out : int array) r =
   if Context.all_active ctx then
-    for p = 0 to nv - 1 do Array.unsafe_set out p (int_of_float (fget r p)) done
+    for p = lo to hi - 1 do
+      Array.unsafe_set out p (int_of_float (fget r p))
+    done
   else
     let mask = Context.active ctx in
-    for p = 0 to nv - 1 do
+    for p = lo to hi - 1 do
       if Array.unsafe_get mask p then
         Array.unsafe_set out p (int_of_float (fget r p))
     done
@@ -1065,29 +1085,53 @@ let sel_test rc p =
   | FIArr c -> Array.unsafe_get c p <> 0
   | FVal v -> v <> 0.0
 
-let sel_int ctx nv (out : int array) rc ra rb =
+let sel_int ctx lo hi (out : int array) rc ra rb =
   if Context.all_active ctx then
-    for p = 0 to nv - 1 do
+    for p = lo to hi - 1 do
       Array.unsafe_set out p (if sel_test rc p then iget ra p else iget rb p)
     done
   else
     let mask = Context.active ctx in
-    for p = 0 to nv - 1 do
+    for p = lo to hi - 1 do
       if Array.unsafe_get mask p then
         Array.unsafe_set out p (if sel_test rc p then iget ra p else iget rb p)
     done
 
-let sel_float ctx nv (out : float array) rc ra rb =
+let sel_float ctx lo hi (out : float array) rc ra rb =
   if Context.all_active ctx then
-    for p = 0 to nv - 1 do
+    for p = lo to hi - 1 do
       Array.unsafe_set out p (if sel_test rc p then fget ra p else fget rb p)
     done
   else
     let mask = Context.active ctx in
-    for p = 0 to nv - 1 do
+    for p = lo to hi - 1 do
       if Array.unsafe_get mask p then
         Array.unsafe_set out p (if sel_test rc p then fget ra p else fget rb p)
     done
+
+(* Ranged coordinate fill (Pcoord's loop body, shared with the sharded
+   engine). *)
+let coord_loop ctx lo hi (out : int array) ~stride ~extent =
+  if Context.all_active ctx then
+    for p = lo to hi - 1 do
+      Array.unsafe_set out p (p / stride mod extent)
+    done
+  else
+    let mask = Context.active ctx in
+    for p = lo to hi - 1 do
+      if Array.unsafe_get mask p then
+        Array.unsafe_set out p (p / stride mod extent)
+    done
+
+(* Ranged context read (Cread's loop body). *)
+let cread_loop ctx lo hi (out : int array) =
+  if Context.all_active ctx then Array.fill out lo (hi - lo) 1
+  else begin
+    let mask = Context.active ctx in
+    for p = lo to hi - 1 do
+      Array.unsafe_set out p (if Array.unsafe_get mask p then 1 else 0)
+    done
+  end
 
 (* Resolvers for parallel operands.  Decode-time facts (field identity,
    kind, VP set) are burned in; register contents are read per execution.
@@ -1140,19 +1184,21 @@ let static_is_float m = function
       match field_data m f with FFloat _ -> Some true | FInt _ -> Some false)
   | Reg _ -> None
 
+(* Replicates [check_on_current] for a statically known field/VP pair. *)
+let kcheck_cur m vp what f =
+  if m.cur <> vp then
+    if m.cur < 0 then error "no VP set selected (missing Cwith)"
+    else error "%s: field f%d is not on the current VP set vp%d" what f m.cur
+
+(* Static facts about a parallel destination/source field. *)
+let kpfield m f =
+  let vp = field_vpset m f in
+  (vp, Geometry.size m.prog.geoms.(vp), m.contexts.(vp), field_data m f)
+
 let decode m code_len instr : unit -> unit =
   let meter = m.meter in
-  (* Replicates [check_on_current] for a statically known field/VP pair. *)
-  let check_cur vp what f =
-    if m.cur <> vp then
-      if m.cur < 0 then error "no VP set selected (missing Cwith)"
-      else error "%s: field f%d is not on the current VP set vp%d" what f m.cur
-  in
-  (* Static facts about a parallel destination/source field. *)
-  let pfield f =
-    let vp = field_vpset m f in
-    (vp, Geometry.size m.prog.geoms.(vp), m.contexts.(vp), field_data m f)
-  in
+  let check_cur vp what f = kcheck_cur m vp what f in
+  let pfield f = kpfield m f in
   let dec_fe op =
     match op with
     | Reg r -> fun () -> m.regs.(r)
@@ -1272,13 +1318,13 @@ let decode m code_len instr : unit -> unit =
           fun () ->
             check_cur vp "pmov" dst;
             Cost.charge_pe meter ~size:nv;
-            mov_int ctx nv out (ga ())
+            mov_int ctx 0 nv out (ga ())
       | FFloat out ->
           let ga = dec_float m vp a in
           fun () ->
             check_cur vp "pmov" dst;
             Cost.charge_pe meter ~size:nv;
-            mov_float ctx nv out (ga ()))
+            mov_float ctx 0 nv out (ga ()))
   | Pbin (op, dst, a, b) -> (
       let vp, nv, ctx, fd = pfield dst in
       match fd with
@@ -1291,7 +1337,7 @@ let decode m code_len instr : unit -> unit =
             let f = Lazy.force lop in
             let ra = ga () in
             let rb = gb () in
-            bin_float ctx nv out f ra rb
+            bin_float ctx 0 nv out f ra rb
       | FInt out ->
           if is_cmp op then begin
             (* float compare if either operand is float-kinded; decided
@@ -1312,12 +1358,12 @@ let decode m code_len instr : unit -> unit =
               if floatness () then begin
                 let ra = fa () in
                 let rb = fb () in
-                cmp_float ctx nv out cmp ra rb
+                cmp_float ctx 0 nv out cmp ra rb
               end
               else begin
                 let ra = ia () in
                 let rb = ib () in
-                bin_int ctx nv out iop ra rb
+                bin_int ctx 0 nv out iop ra rb
               end
           end
           else
@@ -1329,7 +1375,7 @@ let decode m code_len instr : unit -> unit =
               let f = Lazy.force lop in
               let ra = ia () in
               let rb = ib () in
-              bin_int ctx nv out f ra rb)
+              bin_int ctx 0 nv out f ra rb)
   | Punop (op, dst, a) -> (
       let vp, nv, ctx, fd = pfield dst in
       match fd, op with
@@ -1338,7 +1384,7 @@ let decode m code_len instr : unit -> unit =
           fun () ->
             check_cur vp "punop" dst;
             Cost.charge_pe meter ~size:nv;
-            toint_loop ctx nv out (ga ())
+            toint_loop ctx 0 nv out (ga ())
       | FInt out, _ ->
           let ga = dec_int m vp a in
           let lop =
@@ -1357,7 +1403,7 @@ let decode m code_len instr : unit -> unit =
             (* reference order: operand first, then the operator check *)
             let ra = ga () in
             let f = Lazy.force lop in
-            un_int ctx nv out f ra
+            un_int ctx 0 nv out f ra
       | FFloat out, _ ->
           let ga = dec_float m vp a in
           let lop =
@@ -1373,7 +1419,7 @@ let decode m code_len instr : unit -> unit =
             Cost.charge_pe meter ~size:nv;
             let ra = ga () in
             let f = Lazy.force lop in
-            un_float ctx nv out f ra)
+            un_float ctx 0 nv out f ra)
   | Pcoord (dst, axis) -> (
       let vp, nv, ctx, fd = pfield dst in
       let g = m.prog.geoms.(vp) in
@@ -1386,16 +1432,7 @@ let decode m code_len instr : unit -> unit =
             check_cur vp "pcoord" dst;
             if not axis_ok then error "pcoord: bad axis %d" axis;
             Cost.charge_pe meter ~size:nv;
-            if Context.all_active ctx then
-              for p = 0 to nv - 1 do
-                Array.unsafe_set out p (p / stride mod extent)
-              done
-            else
-              let mask = Context.active ctx in
-              for p = 0 to nv - 1 do
-                if Array.unsafe_get mask p then
-                  Array.unsafe_set out p (p / stride mod extent)
-              done
+            coord_loop ctx 0 nv out ~stride ~extent
       | FFloat _ ->
           fun () ->
             check_cur vp "pcoord" dst;
@@ -1457,7 +1494,7 @@ let decode m code_len instr : unit -> unit =
             let rc = gc () in
             let ra = ga () in
             let rb = gb () in
-            sel_int ctx nv out rc ra rb
+            sel_int ctx 0 nv out rc ra rb
       | FFloat out ->
           let ga = dec_float m vp a and gb = dec_float m vp b in
           fun () ->
@@ -1466,7 +1503,7 @@ let decode m code_len instr : unit -> unit =
             let rc = gc () in
             let ra = ga () in
             let rb = gb () in
-            sel_float ctx nv out rc ra rb)
+            sel_float ctx 0 nv out rc ra rb)
   | Pget (dst, src, addr) ->
       let vp, nv, ctx, fd_dst = pfield dst in
       let fd_src = field_data m src in
@@ -1710,14 +1747,7 @@ let decode m code_len instr : unit -> unit =
           fun () ->
             check_cur vp "cread" fld;
             Cost.charge_context meter ~size:nv;
-            if Context.all_active ctx then Array.fill out 0 nv 1
-            else begin
-              let mask = Context.active ctx in
-              for p = 0 to nv - 1 do
-                Array.unsafe_set out p
-                  (if Array.unsafe_get mask p then 1 else 0)
-              done
-            end
+            cread_loop ctx 0 nv out
       | FFloat _ ->
           fun () ->
             check_cur vp "cread" fld;
@@ -1761,10 +1791,381 @@ let run_fast ?steps m =
     if dt > 0.0 then m.region_acc := !(m.region_acc) +. dt
   done
 
+(* ---- sharded engine: SPMD execution of the pre-decoded stream ---- *)
+
+(* VP sets at least this large fan their chunks out to the worker team;
+   smaller sets run the same chunks inline on the main domain.  Either
+   way the chunk layout alone determines the results (see Shard), so the
+   threshold is a pure scheduling knob. *)
+let shard_fanout_threshold = 2048
+
+(* Whether an int Pbin can fault mid-loop.  The reference semantics
+   leave the partial writes of every element before the faulting one in
+   place, which only a serial ascending sweep reproduces — so division,
+   modulo and shifts stay serial unless the right operand is an
+   immediate that provably never faults. *)
+let int_op_total op b =
+  match op with
+  | Add | Sub | Mul | Min | Max | Land | Lor | Band | Bor | Bxor | Eq | Ne
+  | Lt | Le | Gt | Ge ->
+      true
+  | Div | Mod -> ( match b with Imm (SInt k) -> k <> 0 | _ -> false)
+  | Shl | Shr -> (
+      match b with
+      | Imm (SInt k) -> k >= 0 && k < Sys.int_size
+      | _ -> false)
+  | Any -> false
+
+(* Int reductions whose (operator, identity) pair is an exact monoid on
+   OCaml ints: per-chunk partial folds combined in ascending chunk order
+   reproduce the serial left fold bit-for-bit (63-bit wraparound
+   arithmetic is exactly associative; min/max are idempotent, so the
+   extra per-chunk identity seeds are absorbed; land/lor collapse to the
+   same all/any-nonzero answer under any bracketing).  Floats are NOT
+   here: float addition is not associative, so float reductions stay
+   serial. *)
+let int_reduce_exact = function
+  | Add | Mul | Min | Max | Band | Bor | Bxor | Land | Lor -> true
+  | _ -> false
+
+(* Decode one instruction for the sharded engine.  Local (elementwise)
+   kernels resolve operands and take their checks, charges and faults on
+   the main domain in exactly the fast engine's order, then fan the
+   write loop out over the VP set's chunks; edge kernels (NEWS) fan out
+   per-chunk destination segments; everything order-sensitive falls back
+   to the fast engine's serial kernel ([decode]), executed wholly on the
+   main domain between fan-outs — the barrier the CM's global ops imply. *)
+let decode_sharded m layouts code_len instr : unit -> unit =
+  let meter = m.meter in
+  let serial () = decode m code_len instr in
+  let chunked vp nv =
+    let layout = layouts.(vp) in
+    let nch = Array.length layout in
+    let fan_out = nv >= shard_fanout_threshold in
+    let run body =
+      if fan_out then Shard.run m.steam nch body
+      else for c = 0 to nch - 1 do body c done
+    in
+    (layout, nch, run)
+  in
+  match instr with
+  | Pmov (dst, a) -> (
+      let vp, nv, ctx, fd = kpfield m dst in
+      let layout, _, run = chunked vp nv in
+      match fd with
+      | FInt out ->
+          let ga = dec_int m vp a in
+          fun () ->
+            kcheck_cur m vp "pmov" dst;
+            Cost.charge_pe meter ~size:nv;
+            let r = ga () in
+            run (fun c ->
+                let lo, hi = layout.(c) in
+                mov_int ctx lo hi out r)
+      | FFloat out ->
+          let ga = dec_float m vp a in
+          fun () ->
+            kcheck_cur m vp "pmov" dst;
+            Cost.charge_pe meter ~size:nv;
+            let r = ga () in
+            run (fun c ->
+                let lo, hi = layout.(c) in
+                mov_float ctx lo hi out r))
+  | Pbin (op, dst, a, b) -> (
+      let vp, nv, ctx, fd = kpfield m dst in
+      let layout, _, run = chunked vp nv in
+      match fd with
+      | FFloat out ->
+          let lop = lazy (float_binop op) in
+          let ga = dec_float m vp a and gb = dec_float m vp b in
+          fun () ->
+            kcheck_cur m vp "pbin" dst;
+            Cost.charge_pe meter ~size:nv;
+            let f = Lazy.force lop in
+            let ra = ga () in
+            let rb = gb () in
+            run (fun c ->
+                let lo, hi = layout.(c) in
+                bin_float ctx lo hi out f ra rb)
+      | FInt out ->
+          if is_cmp op then begin
+            let cmp = float_cmp op in
+            let iop = int_binop op in
+            let fa = dec_float m vp a and fb = dec_float m vp b in
+            let ia = dec_int m vp a and ib = dec_int m vp b in
+            let floatness =
+              match static_is_float m a, static_is_float m b with
+              | Some true, _ | _, Some true -> fun () -> true
+              | Some false, Some false -> fun () -> false
+              | _ -> fun () -> operand_is_float m a || operand_is_float m b
+            in
+            fun () ->
+              kcheck_cur m vp "pbin" dst;
+              Cost.charge_pe meter ~size:nv;
+              if floatness () then begin
+                let ra = fa () in
+                let rb = fb () in
+                run (fun c ->
+                    let lo, hi = layout.(c) in
+                    cmp_float ctx lo hi out cmp ra rb)
+              end
+              else begin
+                let ra = ia () in
+                let rb = ib () in
+                run (fun c ->
+                    let lo, hi = layout.(c) in
+                    bin_int ctx lo hi out iop ra rb)
+              end
+          end
+          else if int_op_total op b then
+            let lop = lazy (int_binop op) in
+            let ia = dec_int m vp a and ib = dec_int m vp b in
+            fun () ->
+              kcheck_cur m vp "pbin" dst;
+              Cost.charge_pe meter ~size:nv;
+              let f = Lazy.force lop in
+              let ra = ia () in
+              let rb = ib () in
+              run (fun c ->
+                  let lo, hi = layout.(c) in
+                  bin_int ctx lo hi out f ra rb)
+          else serial ())
+  | Punop (op, dst, a) -> (
+      let vp, nv, ctx, fd = kpfield m dst in
+      let layout, _, run = chunked vp nv in
+      match fd, op with
+      | FInt out, ToInt ->
+          let ga = dec_float m vp a in
+          fun () ->
+            kcheck_cur m vp "punop" dst;
+            Cost.charge_pe meter ~size:nv;
+            let r = ga () in
+            run (fun c ->
+                let lo, hi = layout.(c) in
+                toint_loop ctx lo hi out r)
+      | FInt out, _ ->
+          let ga = dec_int m vp a in
+          let lop =
+            lazy
+              (match op with
+              | Neg -> fun x -> -x
+              | Lnot -> fun x -> if x = 0 then 1 else 0
+              | Bnot -> lnot
+              | Abs -> abs
+              | ToInt -> assert false
+              | ToFloat -> error "tofloat into an int field")
+          in
+          fun () ->
+            kcheck_cur m vp "punop" dst;
+            Cost.charge_pe meter ~size:nv;
+            let ra = ga () in
+            let f = Lazy.force lop in
+            run (fun c ->
+                let lo, hi = layout.(c) in
+                un_int ctx lo hi out f ra)
+      | FFloat out, _ ->
+          let ga = dec_float m vp a in
+          let lop =
+            lazy
+              (match op with
+              | Neg -> ( ~-. )
+              | Abs -> Float.abs
+              | ToFloat -> fun x -> x
+              | Lnot | Bnot | ToInt -> error "integer unop into a float field")
+          in
+          fun () ->
+            kcheck_cur m vp "punop" dst;
+            Cost.charge_pe meter ~size:nv;
+            let ra = ga () in
+            let f = Lazy.force lop in
+            run (fun c ->
+                let lo, hi = layout.(c) in
+                un_float ctx lo hi out f ra))
+  | Pcoord (dst, axis) -> (
+      let vp, nv, ctx, fd = kpfield m dst in
+      let g = m.prog.geoms.(vp) in
+      let axis_ok = axis >= 0 && axis < Geometry.rank g in
+      let stride = if axis_ok then (Geometry.strides g).(axis) else 1 in
+      let extent = if axis_ok then Geometry.dim g axis else 1 in
+      let layout, _, run = chunked vp nv in
+      match fd with
+      | FInt out ->
+          fun () ->
+            kcheck_cur m vp "pcoord" dst;
+            if not axis_ok then error "pcoord: bad axis %d" axis;
+            Cost.charge_pe meter ~size:nv;
+            run (fun c ->
+                let lo, hi = layout.(c) in
+                coord_loop ctx lo hi out ~stride ~extent)
+      | FFloat _ -> serial ())
+  | Psel (dst, cnd, a, b) -> (
+      let vp, nv, ctx, fd = kpfield m dst in
+      let layout, _, run = chunked vp nv in
+      let gc = dec_float m vp cnd in
+      match fd with
+      | FInt out ->
+          let ga = dec_int m vp a and gb = dec_int m vp b in
+          fun () ->
+            kcheck_cur m vp "psel" dst;
+            Cost.charge_pe meter ~size:nv;
+            let rc = gc () in
+            let ra = ga () in
+            let rb = gb () in
+            run (fun c ->
+                let lo, hi = layout.(c) in
+                sel_int ctx lo hi out rc ra rb)
+      | FFloat out ->
+          let ga = dec_float m vp a and gb = dec_float m vp b in
+          fun () ->
+            kcheck_cur m vp "psel" dst;
+            Cost.charge_pe meter ~size:nv;
+            let rc = gc () in
+            let ra = ga () in
+            let rb = gb () in
+            run (fun c ->
+                let lo, hi = layout.(c) in
+                sel_float ctx lo hi out rc ra rb))
+  | Pnews (dst, src, axis, delta) when dst <> src -> (
+      let vp, nv, ctx, fd_dst = kpfield m dst in
+      let vp_src = field_vpset m src in
+      let fd_src = field_data m src in
+      let g = m.prog.geoms.(vp) in
+      let axis_ok = axis >= 0 && axis < Geometry.rank g in
+      let layout, _, run = chunked vp nv in
+      let kinds_ok =
+        match fd_dst, fd_src with
+        | FInt _, FInt _ | FFloat _, FFloat _ -> true
+        | _ -> false
+      in
+      if vp_src = vp && axis_ok && kinds_ok then
+        fun () ->
+          kcheck_cur m vp "pnews" dst;
+          kcheck_cur m vp "pnews" src;
+          (* distinct field ids are distinct arrays, so per-chunk
+             destination writes never race with the shared reads *)
+          (if Context.all_active ctx then
+             run (fun c ->
+                 let lo, hi = layout.(c) in
+                 match fd_dst, fd_src with
+                 | FInt d, FInt s -> News.shift_sub g ~axis ~delta ~lo ~hi s d
+                 | FFloat d, FFloat s ->
+                     News.shift_sub g ~axis ~delta ~lo ~hi s d
+                 | _ -> assert false)
+           else
+             let mask = Context.active ctx in
+             run (fun c ->
+                 let lo, hi = layout.(c) in
+                 match fd_dst, fd_src with
+                 | FInt d, FInt s ->
+                     News.shift_masked_sub g ~axis ~delta ~mask ~lo ~hi s d
+                 | FFloat d, FFloat s ->
+                     News.shift_masked_sub g ~axis ~delta ~mask ~lo ~hi s d
+                 | _ -> assert false));
+          Cost.charge_news meter ~size:nv
+      else serial ())
+  | Preduce (op, r, fld) when int_reduce_exact op -> (
+      let vp, nv, ctx, fd = kpfield m fld in
+      match fd with
+      | FInt a ->
+          let layout, nch, run = chunked vp nv in
+          let lident = lazy (to_int (identity op KInt)) in
+          let lop = lazy (int_binop op) in
+          (* reused across executions; the join edge orders the worker
+             writes before the main-domain combine *)
+          let partials = Array.make nch 0 in
+          fun () ->
+            kcheck_cur m vp "preduce" fld;
+            Cost.charge_reduce meter ~size:nv;
+            let ident = Lazy.force lident in
+            let f = Lazy.force lop in
+            (if Context.all_active ctx then
+               run (fun c ->
+                   let lo, hi = layout.(c) in
+                   let acc = ref ident in
+                   for p = lo to hi - 1 do
+                     acc := f !acc (Array.unsafe_get a p)
+                   done;
+                   Array.unsafe_set partials c !acc)
+             else
+               let mask = Context.active ctx in
+               run (fun c ->
+                   let lo, hi = layout.(c) in
+                   let acc = ref ident in
+                   for p = lo to hi - 1 do
+                     if Array.unsafe_get mask p then
+                       acc := f !acc (Array.unsafe_get a p)
+                   done;
+                   Array.unsafe_set partials c !acc));
+            let acc = ref ident in
+            for c = 0 to nch - 1 do
+              acc := f !acc (Array.unsafe_get partials c)
+            done;
+            m.regs.(r) <- SInt !acc
+      | FFloat _ -> serial ())
+  | Cread fld -> (
+      let vp, nv, ctx, fd = kpfield m fld in
+      let layout, _, run = chunked vp nv in
+      match fd with
+      | FInt out ->
+          fun () ->
+            kcheck_cur m vp "cread" fld;
+            Cost.charge_context meter ~size:nv;
+            run (fun c ->
+                let lo, hi = layout.(c) in
+                cread_loop ctx lo hi out)
+      | FFloat _ -> serial ())
+  | _ -> serial ()
+
+let compile_sharded m shards =
+  match m.skernels with
+  | Some _ -> ()
+  | None ->
+      Obs.with_span m.obs "cm.decode" (fun () ->
+          let code = m.prog.code in
+          let n = Array.length code in
+          let layouts =
+            Array.map
+              (fun g -> Shard.layout ~shards (Geometry.size g))
+              m.prog.geoms
+          in
+          m.skernels <-
+            Some
+              (Array.init n (fun i ->
+                   try decode_sharded m layouts n code.(i)
+                   with e -> fun () -> raise e)))
+
+let run_sharded ?steps m =
+  let kernels = match m.skernels with Some k -> k | None -> assert false in
+  let n = Array.length kernels in
+  let meter = m.meter in
+  let code = m.prog.code in
+  let budget = ref (match steps with None -> max_int | Some s -> s) in
+  while m.pc < n && !budget > 0 do
+    if m.fuel <= 0 then error "fuel exhausted (non-terminating program?)";
+    let i = m.pc in
+    inject m (Array.unsafe_get code i);
+    m.fuel <- m.fuel - 1;
+    m.icount <- m.icount + 1;
+    m.pc <- m.pc + 1;
+    decr budget;
+    let t0 = meter.Cost.elapsed_ns in
+    (Array.unsafe_get kernels i) ();
+    let dt = meter.Cost.elapsed_ns -. t0 in
+    if dt > 0.0 then m.region_acc := !(m.region_acc) +. dt
+  done
+
 let exec ?steps m =
   match m.engine with
   | `Reference -> run_reference ?steps m
   | `Fast -> run_fast ?steps m
+  | `Sharded shards ->
+      compile_sharded m shards;
+      m.steam <- Shard.Pool.borrow ~want:(shards - 1) ();
+      Fun.protect
+        ~finally:(fun () ->
+          Shard.Pool.release m.steam;
+          m.steam <- None)
+        (fun () -> run_sharded ?steps m)
 
 let run m = exec m
 
@@ -1874,6 +2275,7 @@ let checkpoint m =
   ckpt_magic ^ Marshal.to_string ck []
 
 let restore ?(engine = `Fast) ?faults ?(obs = Obs.null) prog data =
+  check_engine engine;
   let mlen = String.length ckpt_magic in
   if String.length data < mlen || String.sub data 0 mlen <> ckpt_magic then
     error "checkpoint: bad magic or unsupported version";
@@ -1954,6 +2356,8 @@ let restore ?(engine = `Fast) ?faults ?(obs = Obs.null) prog data =
     region_name = ck.ck_region;
     regions;
     kernels = None;
+    skernels = None;
+    steam = None;
     icount = ck.ck_icount;
     fstate;
     fault_log = ck.ck_log;

@@ -6,7 +6,7 @@
     fields before {!run}; results are read back from fields or registers
     afterwards.
 
-    Two engines execute the same program:
+    Three engines execute the same program:
 
     - [`Fast] (the default) pre-decodes the program once ({!compile})
       into an array of specialized instruction kernels — operand shapes,
@@ -14,14 +14,23 @@
       resolved at decode time — and runs monomorphic int/float array
       loops, with branch-free fast paths when the activity context is
       fully active.
+    - [`Sharded n] partitions each VP set's element range into [n]
+      contiguous chunks and executes the fast engine's kernels SPMD
+      across a team of worker domains (see {!Shard}): elementwise
+      kernels fan out with zero synchronization, NEWS shifts exchange
+      only per-chunk destination segments, and everything
+      order-sensitive (router traffic, scans, float reductions, the
+      random stream, faults) runs serially on the main domain between
+      fan-outs.  Results depend only on the logical chunk count, never
+      on how many worker domains happen to be available.
     - [`Reference] is the original per-instruction tree-walking
       interpreter, kept as the semantic baseline.
 
-    Both engines are observably identical bit for bit: registers, fields,
-    output, statistics, simulated nanoseconds, error messages and the
-    random stream all agree (enforced differentially by
-    [test/test_engine.ml]).  The fast engine is a wall-clock optimization
-    only. *)
+    All engines are observably identical bit for bit — at every shard
+    count: registers, fields, output, statistics, simulated nanoseconds,
+    error messages and the random stream all agree (enforced
+    differentially by [test/test_engine.ml]).  The fast and sharded
+    engines are wall-clock optimizations only. *)
 
 (** Raised on any dynamic error: kind mismatch, address out of range,
     conflicting parallel assignment, missing [Cwith], division by zero,
@@ -37,7 +46,7 @@ exception Fault of string
 
 type t
 
-type engine = [ `Fast | `Reference ]
+type engine = [ `Fast | `Reference | `Sharded of int ]
 
 (** [create ?cost ?seed ?fuel ?engine ?faults program] allocates storage
     for [program].  [fuel] bounds the number of executed instructions
@@ -47,7 +56,8 @@ type engine = [ `Fast | `Reference ]
     instruction — both engines consult it at the same point, so a plan
     perturbs them bit-identically.  [obs] attaches a telemetry scope
     (default {!Obs.null}); the machine only ever writes into it, so
-    telemetry on or off never changes program results. *)
+    telemetry on or off never changes program results.
+    @raise Invalid_argument if [engine] is [`Sharded n] with [n < 1]. *)
 val create :
   ?cost:Cost.params ->
   ?seed:int ->

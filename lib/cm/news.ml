@@ -72,3 +72,45 @@ let shift_masked g ~axis ~delta ~mask src dst =
     done;
     !updated
   end
+
+(* Range-restricted variants for the sharded engine: write only the
+   destination positions in [lo, hi).  The caller guarantees [src] and
+   [dst] are distinct arrays (the in-place descending case stays on the
+   serial path), so per-chunk writes are disjoint and blit copy
+   semantics are safe at any delta. *)
+
+let shift_sub g ~axis ~delta ~lo ~hi src dst =
+  check g ~axis src dst;
+  let stride = (Geometry.strides g).(axis) in
+  let extent = Geometry.dim g axis in
+  let lo_c, hi_c = bounds ~delta ~extent in
+  if lo_c <= hi_c && lo < hi then begin
+    let block = stride * extent in
+    let off = delta * stride in
+    let seg = (hi_c - lo_c + 1) * stride in
+    for b = lo / block to (hi - 1) / block do
+      let start = (b * block) + (lo_c * stride) in
+      let s = max start lo and e = min (start + seg) hi in
+      if s < e then Array.blit src (s + off) dst s (e - s)
+    done
+  end
+
+let shift_masked_sub g ~axis ~delta ~mask ~lo ~hi src dst =
+  if Array.length mask <> Geometry.size g then
+    invalid_arg "News.shift_masked: mask size mismatch";
+  check g ~axis src dst;
+  let stride = (Geometry.strides g).(axis) in
+  let extent = Geometry.dim g axis in
+  let lo_c, hi_c = bounds ~delta ~extent in
+  if lo_c <= hi_c && lo < hi then begin
+    let block = stride * extent in
+    let off = delta * stride in
+    let seg = (hi_c - lo_c + 1) * stride in
+    for b = lo / block to (hi - 1) / block do
+      let start = (b * block) + (lo_c * stride) in
+      let s = max start lo and e = min (start + seg) hi in
+      for p = s to e - 1 do
+        if mask.(p) then dst.(p) <- src.(p + off)
+      done
+    done
+  end

@@ -25,3 +25,29 @@ val shift_masked :
   'a array ->
   'a array ->
   int
+
+(** [shift_sub] is {!shift} restricted to destination positions in
+    [\[lo, hi)], for the sharded engine's per-chunk execution.  [src]
+    and [dst] must be distinct arrays. *)
+val shift_sub :
+  Geometry.t ->
+  axis:int ->
+  delta:int ->
+  lo:int ->
+  hi:int ->
+  'a array ->
+  'a array ->
+  unit
+
+(** [shift_masked_sub] is {!shift_masked} restricted to destination
+    positions in [\[lo, hi)].  [src] and [dst] must be distinct. *)
+val shift_masked_sub :
+  Geometry.t ->
+  axis:int ->
+  delta:int ->
+  mask:bool array ->
+  lo:int ->
+  hi:int ->
+  'a array ->
+  'a array ->
+  unit

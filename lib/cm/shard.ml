@@ -1,0 +1,280 @@
+(* SPMD sharding support for the machine's `Sharded engine: a chunk
+   layout over VP-set element ranges plus a reusable team of worker
+   domains that execute one ranged task per chunk.
+
+   The contract that keeps the engine bit-identical to `Fast at every
+   shard count: the LOGICAL chunk layout (how [0, n) is partitioned)
+   depends only on the requested shard count, while the PHYSICAL worker
+   count only decides which domain runs which chunk.  Chunk tasks write
+   disjoint destination ranges, so the final arrays are independent of
+   scheduling; anything order-sensitive (partial combines) is finished
+   on the calling domain in ascending chunk order. *)
+
+(* ---- chunk layout ---- *)
+
+let layout ~shards n =
+  let shards = max 1 shards in
+  let k = min shards (max n 1) in
+  let base = n / k and extra = n mod k in
+  Array.init k (fun i ->
+      let lo = (i * base) + min i extra in
+      let hi = lo + base + if i < extra then 1 else 0 in
+      (lo, hi))
+
+(* ---- domain team ---- *)
+
+(* Each published job is one immutable record behind a single atomic, so
+   a worker never observes the closure of one epoch with the task count
+   of another.  Workers track the last generation they executed.  Chunks
+   are CLAIMED from a shared counter rather than statically assigned:
+   which participant runs a chunk never affects the bytes written (the
+   layout alone decides that), and claiming means a descheduled or
+   parked worker can never stall the barrier — the caller just claims
+   the remaining chunks itself.  On a single-core host that degenerates
+   to the caller running everything inline at full speed instead of
+   paying a scheduling round-trip per kernel. *)
+type job = {
+  gen : int;
+  f : int -> unit;
+  ntasks : int;
+  next : int Atomic.t;  (* next unclaimed chunk *)
+  pending : int Atomic.t;  (* chunks not yet finished *)
+  failed : (int * exn) option Atomic.t;  (* lowest-chunk failure wins *)
+}
+
+type team = {
+  size : int;  (* worker domains, excluding the caller *)
+  cur : job Atomic.t;
+  stop : bool Atomic.t;
+  lock : Mutex.t;
+  wake : Condition.t;
+  mutable parked : int;  (* under [lock] *)
+  mutable workers : unit Domain.t list;
+}
+
+let no_job = { gen = 0; f = ignore; ntasks = 0; next = Atomic.make 0;
+               pending = Atomic.make 0; failed = Atomic.make None }
+
+let record_failure job c exn =
+  let rec cas () =
+    let prev = Atomic.get job.failed in
+    let keep = match prev with None -> true | Some (c0, _) -> c < c0 in
+    if keep && not (Atomic.compare_and_set job.failed prev (Some (c, exn)))
+    then cas ()
+  in
+  cas ()
+
+let run_chunks job =
+  let rec claim () =
+    let c = Atomic.fetch_and_add job.next 1 in
+    if c < job.ntasks then begin
+      (try job.f c with exn -> record_failure job c exn);
+      ignore (Atomic.fetch_and_add job.pending (-1));
+      claim ()
+    end
+  in
+  claim ()
+
+let spin_budget = 2000
+
+let worker t () =
+  let last = ref (Atomic.get t.cur).gen in
+  let rec await spins =
+    if Atomic.get t.stop then None
+    else
+      let job = Atomic.get t.cur in
+      if job.gen <> !last then Some job
+      else if spins < spin_budget then begin
+        Domain.cpu_relax ();
+        await (spins + 1)
+      end
+      else begin
+        (* park: re-check under the lock so a publish between the check
+           and the wait cannot be missed (the publisher broadcasts under
+           the same lock whenever anyone is parked) *)
+        Mutex.lock t.lock;
+        t.parked <- t.parked + 1;
+        while
+          (Atomic.get t.cur).gen = !last && not (Atomic.get t.stop)
+        do
+          Condition.wait t.wake t.lock
+        done;
+        t.parked <- t.parked - 1;
+        Mutex.unlock t.lock;
+        await 0
+      end
+  in
+  let rec loop () =
+    match await 0 with
+    | None -> ()
+    | Some job ->
+        run_chunks job;
+        last := job.gen;
+        loop ()
+  in
+  loop ()
+
+let create ~workers =
+  let t =
+    {
+      size = max 0 workers;
+      cur = Atomic.make no_job;
+      stop = Atomic.make false;
+      lock = Mutex.create ();
+      wake = Condition.create ();
+      parked = 0;
+      workers = [];
+    }
+  in
+  t.workers <- List.init t.size (fun _ -> Domain.spawn (worker t));
+  t
+
+let size t = t.size
+
+let shutdown t =
+  if not (Atomic.get t.stop) then begin
+    Atomic.set t.stop true;
+    Mutex.lock t.lock;
+    Condition.broadcast t.wake;
+    Mutex.unlock t.lock;
+    List.iter Domain.join t.workers;
+    t.workers <- []
+  end
+
+(* [run team n f] executes [f c] for every chunk [c] in [0, n), fanning
+   out across the team's workers plus the calling domain, and returns
+   once every chunk has finished.  [None] (no team) or a single chunk
+   runs inline.  A chunk exception is re-raised on the caller after the
+   join, keeping the machine's fail-stop contract. *)
+let run team n f =
+  match team with
+  | None -> for c = 0 to n - 1 do f c done
+  | Some t when t.size = 0 || n <= 1 -> for c = 0 to n - 1 do f c done
+  | Some t ->
+      let prev = Atomic.get t.cur in
+      let job =
+        {
+          gen = prev.gen + 1;
+          f;
+          ntasks = n;
+          next = Atomic.make 0;
+          pending = Atomic.make n;
+          failed = Atomic.make None;
+        }
+      in
+      Atomic.set t.cur job;
+      Mutex.lock t.lock;
+      if t.parked > 0 then Condition.broadcast t.wake;
+      Mutex.unlock t.lock;
+      run_chunks job;
+      (* every chunk is claimed by now; this waits only for chunks a
+         worker claimed and is still running, never for a worker to be
+         scheduled in the first place *)
+      while Atomic.get job.pending > 0 do
+        Domain.cpu_relax ()
+      done;
+      (match Atomic.get job.failed with
+      | Some (_, exn) -> raise exn
+      | None -> ())
+
+(* ---- global worker budget ---- *)
+
+(* Teams are borrowed around a run and parked between runs, so a serve
+   daemon executing many sharded jobs at once reuses a small set of
+   domain teams instead of spawning per machine.  [set_limit] caps the
+   total workers alive across all teams: with a job pool of [J] domains
+   the guard is [recommended - J], so jobs x shards never oversubscribes
+   the host.  A borrow that cannot be served within the budget returns
+   [None] and the machine runs its chunks inline - same results, just
+   unaccelerated. *)
+module Pool = struct
+  type stats = {
+    borrows : int;  (* successful borrows, reuse or spawn *)
+    spawns : int;  (* teams created *)
+    capped : int;  (* team size clipped by the remaining budget *)
+    denied : int;  (* borrows refused outright: budget exhausted *)
+    workers : int;  (* workers alive across all teams, now *)
+    limit : int;  (* current budget *)
+  }
+
+  let lock = Mutex.create ()
+
+  (* all under [lock] *)
+  let idle : team list ref = ref []
+  let live_workers = ref 0
+  let limit = ref (max 0 (Domain.recommended_domain_count () - 1))
+  let borrows = ref 0
+  let spawns = ref 0
+  let capped = ref 0
+  let denied = ref 0
+  let exit_hooked = ref false
+
+  let locked f =
+    Mutex.lock lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+  let set_limit n = locked (fun () -> limit := max 0 n)
+
+  let shutdown_idle () =
+    let teams =
+      locked (fun () ->
+          let ts = !idle in
+          idle := [];
+          live_workers :=
+            List.fold_left (fun acc t -> acc - t.size) !live_workers ts;
+          ts)
+    in
+    List.iter shutdown teams
+
+  let borrow ~want () =
+    let want = max 0 want in
+    if want = 0 then None
+    else
+      let decision =
+        locked (fun () ->
+            match !idle with
+            | t :: rest ->
+                (* reuse any parked team: worker count never affects
+                   results, only how chunks spread across domains *)
+                idle := rest;
+                incr borrows;
+                `Team t
+            | [] ->
+                let room = !limit - !live_workers in
+                if room <= 0 then begin
+                  incr denied;
+                  `Denied
+                end
+                else begin
+                  let size = min want room in
+                  if size < want then incr capped;
+                  live_workers := !live_workers + size;
+                  incr borrows;
+                  incr spawns;
+                  if not !exit_hooked then begin
+                    exit_hooked := true;
+                    at_exit shutdown_idle
+                  end;
+                  `Spawn size
+                end)
+      in
+      match decision with
+      | `Team t -> Some t
+      | `Denied -> None
+      | `Spawn size -> Some (create ~workers:size)
+
+  let release = function
+    | None -> ()
+    | Some t -> locked (fun () -> idle := t :: !idle)
+
+  let stats () =
+    locked (fun () ->
+        {
+          borrows = !borrows;
+          spawns = !spawns;
+          capped = !capped;
+          denied = !denied;
+          workers = !live_workers;
+          limit = !limit;
+        })
+end

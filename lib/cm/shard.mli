@@ -1,0 +1,65 @@
+(** SPMD sharding for the {{!Machine}machine}'s [`Sharded] engine.
+
+    [layout] partitions a VP set's element range into contiguous chunks;
+    [run] executes one task per chunk across a reusable team of worker
+    domains plus the calling domain.  Results are a function of the
+    logical chunk layout only — the physical worker count (including
+    zero, when no team is available) never changes what is computed,
+    which is what keeps the sharded engine bit-identical to the fast
+    engine at every shard count. *)
+
+(** [layout ~shards n] splits [0, n) into [min shards (max n 1)]
+    contiguous [(lo, hi)] chunks, the first [n mod k] one element
+    larger.  Chunks are non-empty unless [n = 0]. *)
+val layout : shards:int -> int -> (int * int) array
+
+type team
+
+(** [create ~workers] spawns a team of [workers] domains, parked until
+    {!run} publishes work. *)
+val create : workers:int -> team
+
+val size : team -> int
+
+(** [run team n f] executes [f c] for every [c] in [0, n) and returns
+    when all have finished.  With [None], a team of zero workers, or a
+    single chunk, the tasks run inline on the caller.  Tasks must write
+    disjoint state.  An exception raised by a task is re-raised on the
+    caller after the join (the one from the lowest-numbered chunk wins). *)
+val run : team option -> int -> (int -> unit) -> unit
+
+(** Stops and joins the team's workers.  Idempotent. *)
+val shutdown : team -> unit
+
+(** A process-wide budget of shard workers, so machines borrow parked
+    teams instead of spawning per run, and so a job pool running many
+    sharded machines at once can cap jobs x shards oversubscription. *)
+module Pool : sig
+  type stats = {
+    borrows : int;  (** successful borrows (reuse or spawn) *)
+    spawns : int;  (** teams created *)
+    capped : int;  (** borrows whose team was clipped by the budget *)
+    denied : int;  (** borrows refused: budget exhausted *)
+    workers : int;  (** workers currently alive across all teams *)
+    limit : int;  (** current worker budget *)
+  }
+
+  (** Cap on total workers across all teams.  Defaults to
+      [Domain.recommended_domain_count () - 1].  Lowering it does not
+      shrink already-spawned teams; it only gates new spawns. *)
+  val set_limit : int -> unit
+
+  (** [borrow ~want ()] returns a parked team, or spawns one with at
+      most [want] workers within the remaining budget, or [None] when
+      [want = 0] or the budget is exhausted (callers then run inline). *)
+  val borrow : want:int -> unit -> team option
+
+  (** Return a borrowed team to the idle list ([None] is a no-op). *)
+  val release : team option -> unit
+
+  val stats : unit -> stats
+
+  (** Shut down every parked team (also installed as an [at_exit] hook
+      the first time a team is spawned). *)
+  val shutdown_idle : unit -> unit
+end

@@ -32,8 +32,9 @@ type t = {
 (* bump when Report.result or the artifact layout changes shape: stale
    artifacts then read as misses instead of Marshal segfault fodder.
    v2: adds a payload checksum (corruption is detected, not guessed).
-   v3: Report.result gains the metrics column. *)
-let artifact_version = 3
+   v3: Report.result gains the metrics column.
+   v4: Report.result gains the engine column. *)
+let artifact_version = 4
 
 let create ?dir () =
   (match dir with

@@ -7,11 +7,34 @@ type t = {
   deadline : float option;
   faults : Cm.Fault.spec option;
   retries : int option;
+  engine : Cm.Machine.engine;
 }
 
 let make ?(options = Uc.Codegen.default_options) ?(seed = 12345) ?fuel ?deadline
-    ?faults ?retries ~name ~source () =
-  { name; source; options; seed; fuel; deadline; faults; retries }
+    ?faults ?retries ?(engine = `Fast) ~name ~source () =
+  { name; source; options; seed; fuel; deadline; faults; retries; engine }
+
+(* The canonical engine rendering used in digests, reports and the CLI;
+   every spelling that can change results gets its own string. *)
+let engine_string : Cm.Machine.engine -> string = function
+  | `Fast -> "fast"
+  | `Reference -> "reference"
+  | `Sharded n -> Printf.sprintf "sharded:%d" n
+
+let engine_names = [ "fast"; "reference"; "sharded" ]
+
+let engine_of_name ~shards name : (Cm.Machine.engine, string) result =
+  match name with
+  | "fast" -> Ok `Fast
+  | "reference" -> Ok `Reference
+  | "sharded" ->
+      if shards < 1 then
+        Error (Printf.sprintf "shard count must be at least 1 (got %d)" shards)
+      else Ok (`Sharded shards)
+  | s ->
+      Error
+        (Printf.sprintf "unknown engine %S (valid: %s)" s
+           (String.concat ", " engine_names))
 
 let options_summary (o : Uc.Codegen.options) =
   (* this string keys the lowered-IR memo (Cache.memo_ir), so it must
@@ -53,6 +76,9 @@ let fields t =
     ("fuel", match t.fuel with None -> "default" | Some n -> string_of_int n);
     (* the canonical spec string, so equivalent spellings share a digest *)
     ("faults", faults_summary t.faults);
+    (* engines are observably identical, but their wall-clock and
+       attempt counts are not: cache entries must never be shared *)
+    ("engine", engine_string t.engine);
   ]
 
 let digest_of_fields kvs =

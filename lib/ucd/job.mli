@@ -19,6 +19,10 @@ type t = {
   faults : Cm.Fault.spec option;  (** fault plan to run under (content) *)
   retries : int option;  (** extra attempts after a transient fault;
                              [None] = the runner policy's default *)
+  engine : Cm.Machine.engine;
+      (** execution engine (content: engines are observably identical,
+          but wall-clock and report metadata are not, so results from
+          different engines never share a cache entry) *)
 }
 
 val make :
@@ -28,10 +32,24 @@ val make :
   ?deadline:float ->
   ?faults:Cm.Fault.spec ->
   ?retries:int ->
+  ?engine:Cm.Machine.engine ->
   name:string ->
   source:string ->
   unit ->
   t
+
+(** Canonical engine rendering used in digests, reports and the CLI:
+    ["fast"], ["reference"] or ["sharded:N"]. *)
+val engine_string : Cm.Machine.engine -> string
+
+(** The engine names the CLI accepts, in display order — the single
+    source for both [--help] and the validator. *)
+val engine_names : string list
+
+(** Parse a CLI/manifest engine name ([shards] applies to ["sharded"]).
+    Errors name the valid engines. *)
+val engine_of_name :
+  shards:int -> string -> (Cm.Machine.engine, string) result
 
 (** The canonical field list the digest is computed from.  Keys are
     sorted before hashing, so the digest is independent of the order in

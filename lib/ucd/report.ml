@@ -8,6 +8,7 @@ type result = {
   job_name : string;
   digest : string;
   options : string;
+  engine : string;  (* canonical Job.engine_string rendering *)
   seed : int;
   status : status;
   simulated_seconds : float;
@@ -34,6 +35,7 @@ let canonical_obj r =
     ("job", Jsonu.Str r.job_name);
     ("digest", Jsonu.Str r.digest);
     ("options", Jsonu.Str r.options);
+    ("engine", Jsonu.Str r.engine);
     ("seed", Jsonu.Int r.seed);
   ]
   @ status_fields r.status
@@ -108,6 +110,7 @@ let of_json j =
       let* job_name = str "job" in
       let* digest = str "digest" in
       let* options = str "options" in
+      let* engine = str "engine" in
       let* seed = int "seed" in
       let* status =
         let* s = str "status" in
@@ -156,6 +159,7 @@ let of_json j =
           job_name;
           digest;
           options;
+          engine;
           seed;
           status;
           simulated_seconds;

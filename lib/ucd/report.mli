@@ -12,6 +12,7 @@ type result = {
   job_name : string;
   digest : string;
   options : string;  (** {!Job.options_summary} of the job's options *)
+  engine : string;  (** {!Job.engine_string} of the job's engine *)
   seed : int;
   status : status;
   simulated_seconds : float;  (** 0 when the job did not finish; partial

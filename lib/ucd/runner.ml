@@ -40,6 +40,7 @@ let compute ~policy ~t0 ~obs cache (job : Job.t) digest =
       Report.job_name = job.Job.name;
       digest;
       options = options_key;
+      engine = Job.engine_string job.Job.engine;
       seed = job.Job.seed;
       status;
       simulated_seconds = simulated;
@@ -83,13 +84,15 @@ let compute ~policy ~t0 ~obs cache (job : Job.t) digest =
       let t =
         match !last_ckpt with
         | Some data when policy.resume -> (
-            try Uc.Compile.restore_compiled ?faults:plan ~obs compiled data
+            try
+              Uc.Compile.restore_compiled ~engine:job.Job.engine ?faults:plan
+                ~obs compiled data
             with Cm.Machine.Error _ ->
               Uc.Compile.start_compiled ~seed:job.Job.seed ?fuel:job.Job.fuel
-                ?faults:plan ~obs compiled)
+                ~engine:job.Job.engine ?faults:plan ~obs compiled)
         | _ ->
             Uc.Compile.start_compiled ~seed:job.Job.seed ?fuel:job.Job.fuel
-              ?faults:plan ~obs compiled
+              ~engine:job.Job.engine ?faults:plan ~obs compiled
       in
       (* the deadline is enforced between fuel slices: a slow job stops
          within one slice of its limit instead of holding the worker *)
@@ -222,6 +225,7 @@ let crash_result (job : Job.t) exn =
     Report.job_name = job.Job.name;
     digest = Job.digest job;
     options = Job.options_summary job.Job.options;
+    engine = Job.engine_string job.Job.engine;
     seed = job.Job.seed;
     status = Report.Failed (Printexc.to_string exn);
     simulated_seconds = 0.;
@@ -242,8 +246,9 @@ let run_jobs ?domains ?queue_bound ?policy ?obs ~cache jobs =
     jobs
     (Pool.map ?domains ?queue_bound ?obs (run_job ?policy ?obs ~cache) jobs)
 
-let corpus_jobs ?options ?seed ?fuel ?deadline ?faults ?retries () =
+let corpus_jobs ?options ?seed ?fuel ?deadline ?faults ?retries ?engine () =
   List.map
     (fun (name, source) ->
-      Job.make ?options ?seed ?fuel ?deadline ?faults ?retries ~name ~source ())
+      Job.make ?options ?seed ?fuel ?deadline ?faults ?retries ?engine ~name
+        ~source ())
     Uc_programs.Programs.all_named

@@ -76,5 +76,6 @@ val corpus_jobs :
   ?deadline:float ->
   ?faults:Cm.Fault.spec ->
   ?retries:int ->
+  ?engine:Cm.Machine.engine ->
   unit ->
   Job.t list

@@ -83,6 +83,49 @@ else
 fi
 grep -q '"status":"failed"' fuel.jsonl
 
+# ---- execution engines ----
+
+# all three engines print byte-identical results (sharded at two chunk
+# counts, including more shards than this host has cores)
+out_fast=$($UCC run ../examples/uc/quickstart.uc --engine fast)
+out_ref=$($UCC run ../examples/uc/quickstart.uc --engine reference)
+out_sh1=$($UCC run ../examples/uc/quickstart.uc --engine sharded --shards 1)
+out_sh7=$($UCC run ../examples/uc/quickstart.uc --engine sharded --shards 7)
+[ "$out_fast" = "$out_ref" ]
+[ "$out_fast" = "$out_sh1" ]
+[ "$out_fast" = "$out_sh7" ]
+
+# an unknown engine is a one-line error: naming the valid set, exit 1
+if $UCC run ../examples/uc/quickstart.uc --engine warp 2>err.txt; then exit 1; fi
+grep -q '^error: unknown engine "warp" (valid: fast, reference, sharded)$' err.txt
+[ "$(wc -l < err.txt)" = 1 ]
+# the same validator backs --shards
+if $UCC run ../examples/uc/quickstart.uc --engine sharded --shards 0 2>err.txt; then exit 1; fi
+grep -q '^error: shard count must be at least 1' err.txt
+# and --help lists the same engines (one source for both)
+$UCC run --help=plain > help.txt
+grep -q "fast, reference, sharded" help.txt
+
+# manifest rows carry engine= and shards= columns; the engine is part of
+# the job digest, so the three rows never share a cache entry ...
+cat > manifest_engine.txt <<'EOF'
+quickstart engine=fast
+quickstart engine=sharded shards=3
+quickstart engine=reference
+EOF
+$UCC batch manifest_engine.txt --cache-dir none > engines.jsonl 2>/dev/null
+grep -q '"engine":"fast"' engines.jsonl
+grep -q '"engine":"sharded:3"' engines.jsonl
+grep -q '"engine":"reference"' engines.jsonl
+[ "$(grep '"job":' engines.jsonl | sed 's/.*"digest":"\([^"]*\)".*/\1/' | sort -u | wc -l)" = 3 ]
+# ... while everything deterministic about the rows agrees byte for byte
+[ "$(strip engines.jsonl | sed 's/"digest":"[^"]*",//;s/"engine":"[^"]*",//' | sort -u | wc -l)" = 1 ]
+
+# an unknown engine name in a manifest is rejected with its line number
+echo "quickstart engine=warp" > manifest_bad.txt
+if $UCC batch manifest_bad.txt --cache-dir none 2>err.txt; then exit 1; fi
+grep -q 'manifest line 1: unknown engine "warp"' err.txt
+
 # ---- fault injection ----
 
 # a hard transient fault aborts the run with a one-line diagnostic

@@ -1,17 +1,25 @@
-(* Differential testing of the two Machine execution engines.
+(* Differential testing of the Machine execution engines.
 
-   The contract (machine.mli) is that `Fast and `Reference are
-   observably identical bit for bit: registers, every field, printed
-   output, meter statistics, simulated nanoseconds, region accounting
-   and — on faulting programs — the error message and the partial state
-   at the fault.  This file enforces the contract three ways:
+   The contract (machine.mli) is that `Fast, `Reference and `Sharded n —
+   at every shard count n — are observably identical bit for bit:
+   registers, every field, printed output, meter statistics, simulated
+   nanoseconds, region accounting and — on faulting programs — the error
+   message and the partial state at the fault.  This file enforces the
+   contract several ways:
 
    - a QCheck harness generating random small Paris programs (including
      deliberately faulting ones: shifts out of range, division by zero,
-     conflicting Ccheck sends, bad axes) and comparing full snapshots;
+     conflicting Ccheck sends, bad axes) and comparing full snapshots
+     across all engines, with shard counts drawn from {1, 2, 3, 7,
+     ncores} so chunk-boundary edge cases (shards > VPs, ragged last
+     chunk) are hit;
    - whole-corpus equivalence over every named UC program in
      lib/uc_programs and the C* baselines in lib/cstar;
-   - targeted unit tests for the shift-range check on both engines. *)
+   - checkpoint-interrupt-resume runs that rotate through all three
+     engines at every slice boundary;
+   - targeted unit tests: the shift-range check on every engine, the
+     shard chunk layout, and a VP set big enough to cross the sharded
+     engine's fan-out threshold so the domain team really runs. *)
 
 open Cm.Paris
 
@@ -65,18 +73,38 @@ let run_engine ~seed ~fuel ?faults engine prog =
   in
   status ^ "\n" ^ snapshot prog m
 
+let ncores = max 1 (Domain.recommended_domain_count ())
+
+(* 1 = degenerate, 2/3 = ragged chunks on most corpus geometries, 7 >
+   the smallest QCheck VP sets (more shards than VPs), ncores = what
+   `ucc run --engine sharded` defaults to on this host. *)
+let shard_counts = List.sort_uniq compare [ 1; 2; 3; 7; ncores ]
+
+let other_engines : (string * Cm.Machine.engine) list =
+  ("reference", `Reference)
+  :: List.map
+       (fun s -> (Printf.sprintf "sharded:%d" s, `Sharded s))
+       shard_counts
+
+(* Compare every engine against `Fast; report the first divergence. *)
 let engines_agree ~seed ~fuel ?faults prog =
   let fast = run_engine ~seed ~fuel ?faults `Fast prog in
-  let reference = run_engine ~seed ~fuel ?faults `Reference prog in
-  if String.equal fast reference then None else Some (fast, reference)
+  let rec check = function
+    | [] -> None
+    | (name, engine) :: rest ->
+        let other = run_engine ~seed ~fuel ?faults engine prog in
+        if String.equal fast other then check rest
+        else Some (name, fast, other)
+  in
+  check other_engines
 
 let assert_agree ~seed ~fuel ?faults name prog =
   match engines_agree ~seed ~fuel ?faults prog with
   | None -> ()
-  | Some (fast, reference) ->
+  | Some (ename, fast, other) ->
       Alcotest.failf
-        "%s: engines disagree@.--- fast ---@.%s--- reference ---@.%s" name fast
-        reference
+        "%s: engines disagree@.--- fast ---@.%s--- %s ---@.%s" name fast
+        ename other
 
 (* ------------------------------------------------------------------ *)
 (* Random Paris programs                                              *)
@@ -515,15 +543,15 @@ let print_program (dims, seed, nodes) =
 
 let differential_test =
   QCheck_alcotest.to_alcotest
-    (Test.make ~count:400 ~name:"random programs: fast == reference"
+    (Test.make ~count:400 ~name:"random programs: all engines agree"
        ~print:print_program gen_program (fun (dims, seed, nodes) ->
          let prog = build dims nodes in
          match engines_agree ~seed ~fuel:500_000 prog with
          | None -> true
-         | Some (fast, reference) ->
+         | Some (ename, fast, other) ->
              Test.fail_reportf
-               "engines disagree@.--- fast ---@.%s@.--- reference ---@.%s" fast
-               reference))
+               "engines disagree@.--- fast ---@.%s@.--- %s ---@.%s" fast ename
+               other))
 
 (* ------------------------------------------------------------------ *)
 (* IR optimizer: optimized == unoptimized, on both engines            *)
@@ -572,7 +600,12 @@ let iropt_equiv ~seed ~fuel ~name prog =
   ignore st;
   List.iter
     (fun engine ->
-      let ename = match engine with `Fast -> "fast" | _ -> "reference" in
+      let ename =
+        match engine with
+        | `Fast -> "fast"
+        | `Reference -> "reference"
+        | `Sharded s -> Printf.sprintf "sharded:%d" s
+      in
       let s0, out0, state0, ns0 = observation ~seed ~fuel engine prog in
       (* an unoptimized run that dies of fuel exhaustion proves nothing:
          the optimized stream may legitimately get further *)
@@ -592,7 +625,7 @@ let iropt_equiv ~seed ~fuel ~name prog =
           Alcotest.failf "%s (%s): simulated time rose %s -> %s ns" name ename
             (hex ns0) (hex ns1)
       end)
-    [ `Fast; `Reference ]
+    [ `Fast; `Reference; `Sharded 3 ]
 
 let iropt_differential_test =
   QCheck_alcotest.to_alcotest
@@ -658,22 +691,26 @@ let fault_differential_test =
          let faults = Cm.Fault.instantiate spec ~attempt:0 in
          match engines_agree ~seed ~fuel:500_000 ~faults prog with
          | None -> true
-         | Some (fast, reference) ->
+         | Some (ename, fast, other) ->
              Test.fail_reportf
-               "engines disagree under %s@.--- fast ---@.%s@.--- reference \
-                ---@.%s"
-               (Cm.Fault.canonical faults) fast reference))
+               "engines disagree under %s@.--- fast ---@.%s@.--- %s ---@.%s"
+               (Cm.Fault.canonical faults) fast ename other))
 
 (* ------------------------------------------------------------------ *)
 (* Checkpoint/restore: sliced == straight, bit for bit                *)
 (* ------------------------------------------------------------------ *)
 
 (* Run in slices, serializing a checkpoint at every slice boundary and
-   restoring into a machine on the OTHER engine, so the round-trip also
-   re-proves engine equivalence at every intermediate state. *)
+   restoring into a machine on ANOTHER engine (rotating through all
+   three, sharded at two different chunk counts), so the round-trip also
+   re-proves engine equivalence — and the shard-count independence of
+   the checkpoint blob — at every intermediate state. *)
+let engine_cycle : Cm.Machine.engine array =
+  [| `Reference; `Sharded 3; `Fast; `Sharded 2 |]
+
 let run_checkpointed ~seed ~fuel ?faults ~slice prog =
   let m = ref (Cm.Machine.create ~seed ~fuel ~engine:`Fast ?faults prog) in
-  let next = ref `Reference in
+  let next = ref 0 in
   let status =
     try
       let rec go () =
@@ -681,8 +718,9 @@ let run_checkpointed ~seed ~fuel ?faults ~slice prog =
         | `Done -> "finished"
         | `More ->
             let data = Cm.Machine.checkpoint !m in
-            m := Cm.Machine.restore ~engine:!next ?faults prog data;
-            next := (if !next = `Fast then `Reference else `Fast);
+            let engine = engine_cycle.(!next mod Array.length engine_cycle) in
+            incr next;
+            m := Cm.Machine.restore ~engine ?faults prog data;
             go ()
       in
       go ()
@@ -801,8 +839,8 @@ let test_shift_range () =
           expect_shift_error engine (shift_prog Shr amount);
           expect_shift_error engine (fe_shift_prog Shl amount))
         [ -1; -63; Sys.int_size; 64; 1000 ])
-    [ `Fast; `Reference ];
-  (* in-range shifts compute normally on both engines *)
+    [ `Fast; `Reference; `Sharded 3 ];
+  (* in-range shifts compute normally on every engine *)
   List.iter
     (fun engine ->
       let m = Cm.Machine.create ~engine (shift_prog Shl 3) in
@@ -815,7 +853,7 @@ let test_shift_range () =
       Alcotest.(check (array int))
         "shr 2" [| 1; 1; 1; 1 |]
         (Cm.Machine.field_ints m 0))
-    [ `Fast; `Reference ]
+    [ `Fast; `Reference; `Sharded 3 ]
 
 (* Pre-compiling is idempotent and does not perturb results. *)
 let test_compile_idempotent () =
@@ -827,6 +865,137 @@ let test_compile_idempotent () =
   Cm.Machine.run m;
   Alcotest.(check (array int)) "result" [| 16; 16; 16; 16 |]
     (Cm.Machine.field_ints m 0)
+
+(* ------------------------------------------------------------------ *)
+(* Sharded engine specifics                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Chunk layouts: full disjoint coverage of [0, n), contiguous and in
+   order, never more chunks than elements, ragged chunks differ by at
+   most one element. *)
+let test_shard_layout () =
+  List.iter
+    (fun (shards, n) ->
+      let chunks = Cm.Shard.layout ~shards n in
+      let k = Array.length chunks in
+      Alcotest.(check bool)
+        (Printf.sprintf "layout %d %d: chunk count" shards n)
+        true
+        (k = min (max shards 1) (max n 1));
+      let pos = ref 0 in
+      Array.iter
+        (fun (lo, hi) ->
+          Alcotest.(check int)
+            (Printf.sprintf "layout %d %d: contiguous at %d" shards n lo)
+            !pos lo;
+          Alcotest.(check bool)
+            (Printf.sprintf "layout %d %d: ordered" shards n)
+            true (hi >= lo);
+          pos := hi)
+        chunks;
+      Alcotest.(check int) (Printf.sprintf "layout %d %d: covers" shards n) n
+        !pos;
+      if n > 0 then begin
+        let sizes = Array.map (fun (lo, hi) -> hi - lo) chunks in
+        let mn = Array.fold_left min max_int sizes in
+        let mx = Array.fold_left max 0 sizes in
+        Alcotest.(check bool)
+          (Printf.sprintf "layout %d %d: balanced" shards n)
+          true
+          (mx - mn <= 1 && mn >= 1)
+      end)
+    [ (1, 10); (3, 10); (4, 8); (7, 6); (8, 2560); (100, 7); (2, 0); (5, 1) ]
+
+let test_bad_shard_count () =
+  let prog = shift_prog Shl 2 in
+  List.iter
+    (fun n ->
+      match Cm.Machine.create ~engine:(`Sharded n) prog with
+      | _ -> Alcotest.failf "`Sharded %d accepted" n
+      | exception Invalid_argument _ -> ())
+    [ 0; -1 ]
+
+(* A VP set big enough to cross the sharded engine's fan-out threshold,
+   so chunks really execute on worker domains: elementwise ops, NEWS on
+   both axes, selects, reductions, scans and router traffic over 2560
+   VPs, checked against `Fast at several shard counts (including more
+   shards than this host has cores). *)
+let big_prog () =
+  let b = Builder.create "big" in
+  let vp = Builder.vpset b (Cm.Geometry.create [ 64; 40 ]) in
+  let x = Builder.field b ~vpset:vp KInt in
+  let y = Builder.field b ~vpset:vp KInt in
+  let addr = Builder.field b ~vpset:vp KInt in
+  let f = Builder.field b ~vpset:vp KFloat in
+  let g = Builder.field b ~vpset:vp KFloat in
+  let r0 = Builder.reg b in
+  let r1 = Builder.reg b in
+  List.iter (Builder.emit b)
+    [
+      Cwith vp;
+      Pcoord (x, 0);
+      Pcoord (y, 1);
+      Pbin (Mul, x, Fld x, Imm (SInt 3));
+      Pbin (Add, x, Fld x, Fld y);
+      Punop (ToFloat, f, Fld x);
+      Pbin (Div, g, Fld f, Imm (SFloat 4.0));
+      Pnews (y, x, 0, 1);
+      Pnews (y, y, 1, -1);
+      Psel (x, Fld y, Fld x, Imm (SInt (-7)));
+      Prand (addr, Imm (SInt 2560));
+      Pget (y, x, addr);
+      Psend (y, x, addr, Cadd);
+      Pscan (Add, y, y, 0);
+      Preduce (Add, r0, x);
+      Preduce (Max, r1, y);
+      Preduce (Min, r0, y);
+      Preduce (Bxor, r1, x);
+      Pbin (Shl, x, Fld x, Imm (SInt 2));
+      Pbin (Mod, y, Fld y, Imm (SInt 97));
+      Punop (Abs, y, Fld y);
+      Pcount r0;
+      Fprint ("n=", Some (Reg r0));
+      Fprint ("r1=", Some (Reg r1));
+    ];
+  Builder.finish b
+
+(* Force real worker domains even on a single-core host (where the
+   default budget of recommended-1 is zero and every borrow is denied):
+   correctness never depends on the physical core count, and without
+   this the cross-domain path — spawn, job publish, park/wake, barrier,
+   failure CAS — would go untested on small CI machines. *)
+let with_forced_workers f () =
+  Cm.Shard.Pool.set_limit 3;
+  Fun.protect
+    ~finally:(fun () ->
+      (* kill the parked teams too: released teams are reused by later
+         borrows regardless of the limit, and these tests should not
+         change how the rest of the suite executes *)
+      Cm.Shard.Pool.shutdown_idle ();
+      Cm.Shard.Pool.set_limit
+        (max 0 (Domain.recommended_domain_count () - 1)))
+    f
+
+let test_sharded_fanout =
+  with_forced_workers (fun () ->
+      assert_agree ~seed:4242 ~fuel:1_000_000 "big [64;40]" (big_prog ()))
+
+(* A chunk that faults mid-fan-out must surface the same error as the
+   serial engines, with the same partial state. *)
+let test_sharded_fault_parity =
+  with_forced_workers (fun () ->
+      let b = Builder.create "bigfault" in
+      let vp = Builder.vpset b (Cm.Geometry.create [ 2560 ]) in
+      let x = Builder.field b ~vpset:vp KInt in
+      List.iter (Builder.emit b)
+        [
+          Cwith vp;
+          Pcoord (x, 0);
+          (* shift amount out of range on every VP: can-fault op *)
+          Pbin (Shl, x, Fld x, Imm (SInt 400));
+        ];
+      assert_agree ~seed:1 ~fuel:1_000_000 "big faulting shl"
+        (Builder.finish b))
 
 let () =
   Alcotest.run "engine"
@@ -840,6 +1009,13 @@ let () =
           Alcotest.test_case "shift range faults" `Quick test_shift_range;
           Alcotest.test_case "compile idempotent" `Quick
             test_compile_idempotent;
+          Alcotest.test_case "shard chunk layout" `Quick test_shard_layout;
+          Alcotest.test_case "invalid shard counts" `Quick
+            test_bad_shard_count;
+          Alcotest.test_case "sharded fan-out over 2560 VPs" `Quick
+            test_sharded_fanout;
+          Alcotest.test_case "sharded fault parity over 2560 VPs" `Quick
+            test_sharded_fault_parity;
         ] );
       ( "corpus",
         [

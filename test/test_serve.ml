@@ -201,6 +201,7 @@ let qcheck_report_round_trip =
           Ucd.Report.job_name = "t";
           digest = "d";
           options = "o";
+          engine = "fast";
           seed = 42;
           status = Ucd.Report.Done;
           simulated_seconds = 0.125;
