@@ -3,7 +3,7 @@
 # a CLI sanity check, and the whole corpus run under a canned fault
 # plan with retries; it stops loudly at the first failing step.
 
-.PHONY: all build test ci ci-faultgate ci-iropt ci-obs ci-serve ci-sharded bench bench-compare batch clean
+.PHONY: all build test ci ci-faultgate ci-iropt ci-obs ci-serve ci-sharded ci-crash bench bench-compare batch clean
 
 all: build
 
@@ -13,7 +13,7 @@ build:
 test:
 	dune runtest
 
-ci: ci-faultgate ci-iropt ci-obs ci-serve ci-sharded
+ci: ci-faultgate ci-iropt ci-obs ci-serve ci-sharded ci-crash
 	dune build
 	dune exec test/test_engine.exe -- test corpus
 	dune runtest
@@ -64,6 +64,13 @@ ci-sharded: build
 # the timeout bounds the gate, so a hang is a failure, not a wait.
 ci-serve: build
 	timeout 300 bash test/ci_serve.sh
+
+# Crash gate: SIGKILL the daemon mid-corpus, restart it over the same
+# cache dir, and require the write-ahead journal to recover every
+# accepted job — zero lost, zero duplicated, report rows byte-identical
+# to an uninterrupted `ucc batch` run.
+ci-crash: build
+	timeout 300 bash test/ci_crash.sh
 
 bench:
 	dune exec bench/main.exe

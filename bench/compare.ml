@@ -61,6 +61,7 @@ let is_bechamel line =
   has_prefix {|{"section":"bechamel"|}
   || has_prefix {|{"section":"serve"|}
   || has_prefix {|{"section":"scaling"|}
+  || has_prefix {|{"section":"durable"|}
 
 (* minimal extraction: the bench writer emits flat objects with string
    keys, no escapes inside the values we care about *)

@@ -764,6 +764,9 @@ let s1_serve () =
                      ~source:(Ucd.Proto.Inline slow_source))
                   with
                   Ucd.Proto.deadline = Some 0.25;
+                  (* distinct digests: identical content would dedup
+                     onto the first job in flight instead of queueing *)
+                  Ucd.Proto.seed = Some k;
                 }))
       done;
       let replies = ref 0 in
@@ -803,6 +806,178 @@ let s1_serve () =
     [
       ("test", Ucd.Jsonu.Str "serve: overload rejection rate % (queue 4)");
       ("ms_per_run", Ucd.Jsonu.Float rate);
+    ]
+
+(* ---------------- S3: durability machinery ---------------- *)
+
+(* What does the write-ahead journal cost on the chaos-free path, and
+   how fast is recovery?  Phase 1 runs the same closed-loop load three
+   times — journal off, journal on (the default), journal on with
+   per-record fsync — against a daemon with a temp cache dir; every job
+   is a distinct-seed cache miss, so the spread is pure journal
+   overhead.  Phase 2 replays a large synthetic journal and times
+   Journal.recover (replay + compaction), the startup cost a crashed
+   daemon pays before accepting work again. *)
+let s3_durable () =
+  section "S3" "Durable serve: journal overhead (chaos-free) and recovery speed";
+  let tmpd tag =
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "ucd_bench_dur_%s_%d" tag (Unix.getpid ()))
+    in
+    (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    d
+  in
+  let names = List.map fst Uc_programs.Programs.all_named in
+  let jobs = List.length names in
+  (* context: what one corpus job costs through the daemon (journal on,
+     the default), so the per-record figures below have a denominator *)
+  let corpus_ms_per_job =
+    let socket =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "ucd_bench_dur_load_%d.sock" (Unix.getpid ()))
+    in
+    let srv =
+      Ucd.Server.start ~cache_dir:(tmpd "load")
+        {
+          Ucd.Server.default_config with
+          Ucd.Server.socket_path = Some socket;
+          domains = 2;
+          queue_bound = 128;
+        }
+    in
+    let t0 = Unix.gettimeofday () in
+    (match Ucd.Client.connect (Ucd.Client.Unix_path socket) with
+    | Error e -> Printf.printf "  load phase failed to connect: %s\n" e
+    | Ok c ->
+        Fun.protect ~finally:(fun () -> Ucd.Client.close c) @@ fun () ->
+        List.iter
+          (fun name ->
+            ignore
+              (Ucd.Client.send c
+                 (Ucd.Proto.Submit
+                    (Ucd.Proto.submit_defaults ~name
+                       ~source:(Ucd.Proto.Corpus name)))))
+          names;
+        let reports = ref 0 in
+        while !reports < jobs do
+          match Ucd.Client.recv c with
+          | Ok (Ucd.Proto.Report _) -> incr reports
+          | Ok (Ucd.Proto.Rejected _) | Error _ -> reports := jobs
+          | Ok _ -> ()
+        done);
+    let elapsed = Unix.gettimeofday () -. t0 in
+    ignore (Ucd.Server.stop srv);
+    1000. *. elapsed /. float_of_int jobs
+  in
+  (* the journal's own cost, measured directly: append the exact
+     accepted/started/done record pattern a job writes.  End-to-end
+     daemon A/B runs drown a ~10 µs/job effect in scheduler noise;
+     timing the appends is stable and is the number that matters *)
+  let appends_per_job = 3 in
+  let append_us ~fsync tag =
+    let dir = tmpd ("app_" ^ tag) in
+    (try Sys.remove (Ucd.Journal.path ~dir) with Sys_error _ -> ());
+    match Ucd.Journal.recover ~fsync ~dir () with
+    | Error e ->
+        Printf.printf "  append phase failed: %s\n" e;
+        nan
+    | Ok (j, _) ->
+        let submit =
+          Ucd.Proto.submit_obj
+            (Ucd.Proto.submit_defaults ~name:"matmul"
+               ~source:(Ucd.Proto.Corpus "matmul"))
+        in
+        let rounds = if fsync then 200 else 2_000 in
+        let t0 = Unix.gettimeofday () in
+        for k = 0 to rounds - 1 do
+          let digest = Printf.sprintf "%032d" k in
+          Ucd.Journal.append j
+            (Ucd.Journal.Accepted
+               { digest; name = "matmul"; tenant = "bench"; submit });
+          Ucd.Journal.append j (Ucd.Journal.Started { digest });
+          Ucd.Journal.append j
+            (Ucd.Journal.Done_ { digest; status = "ok" })
+        done;
+        let elapsed = Unix.gettimeofday () -. t0 in
+        Ucd.Journal.close j;
+        1e6 *. elapsed /. float_of_int (rounds * appends_per_job)
+  in
+  let app = append_us ~fsync:false "plain" in
+  let app_fsync = append_us ~fsync:true "fsync" in
+  let job_us = app *. float_of_int appends_per_job in
+  let job_us_fsync = app_fsync *. float_of_int appends_per_job in
+  Printf.printf "%-52s %12s\n" "quantity" "value";
+  Printf.printf "%-52s %9.2f ms\n" "corpus job through the daemon (journal on)"
+    corpus_ms_per_job;
+  Printf.printf "%-52s %9.2f us\n" "journal append (write-ahead, no fsync)" app;
+  Printf.printf "%-52s %9.2f us\n" "journal append + fsync every record"
+    app_fsync;
+  Printf.printf "\njournal overhead on the chaos-free path (%d records/job): \
+                 %.2f%%; with fsync: %.1f%%\n"
+    appends_per_job
+    (100. *. job_us /. (1000. *. corpus_ms_per_job))
+    (100. *. job_us_fsync /. (1000. *. corpus_ms_per_job));
+  (* phase 2: replay speed on a large crashed-daemon journal *)
+  let dir = tmpd "replay" in
+  let records = 6_000 in
+  (match Ucd.Journal.recover ~dir () with
+  | Error e -> Printf.printf "  replay phase failed: %s\n" e
+  | Ok (j, _) ->
+      let submit =
+        Ucd.Proto.submit_obj
+          (Ucd.Proto.submit_defaults ~name:"matmul"
+             ~source:(Ucd.Proto.Corpus "matmul"))
+      in
+      for k = 0 to (records / 3) - 1 do
+        let digest = Printf.sprintf "%032d" k in
+        Ucd.Journal.append j
+          (Ucd.Journal.Accepted
+             { digest; name = "matmul"; tenant = "bench"; submit });
+        Ucd.Journal.append j (Ucd.Journal.Started { digest });
+        (* half the jobs finished before the crash, half are pending *)
+        if k mod 2 = 0 then
+          Ucd.Journal.append j
+            (Ucd.Journal.Done_ { digest; status = "ok" })
+        else
+          Ucd.Journal.append j
+            (Ucd.Journal.Checkpointed
+               { digest; ckpt = String.make 512 '\xab' })
+      done;
+      Ucd.Journal.close j;
+      let t0 = Unix.gettimeofday () in
+      (match Ucd.Journal.recover ~dir () with
+      | Error e -> Printf.printf "  recover failed: %s\n" e
+      | Ok (j2, rp) ->
+          let recover_s = Unix.gettimeofday () -. t0 in
+          Ucd.Journal.close j2;
+          Printf.printf
+            "recovery: %d records replayed in %.3f s (%.0f records/s), %d \
+             job(s) requeued\n"
+            rp.Ucd.Journal.replayed recover_s
+            (float_of_int rp.Ucd.Journal.replayed /. recover_s)
+            (List.length rp.Ucd.Journal.pending);
+          emit_row "durable"
+            [
+              ("test", Ucd.Jsonu.Str "durable: recovery ms (6k records)");
+              ("ms_per_run", Ucd.Jsonu.Float (1000. *. recover_s));
+            ]));
+  emit_row "durable"
+    [
+      ("test", Ucd.Jsonu.Str "durable: ms/job through daemon (journal on)");
+      ("ms_per_run", Ucd.Jsonu.Float corpus_ms_per_job);
+    ];
+  emit_row "durable"
+    [
+      ("test", Ucd.Jsonu.Str "durable: journal append us/record");
+      ("ms_per_run", Ucd.Jsonu.Float (app /. 1000.));
+    ];
+  emit_row "durable"
+    [
+      ("test", Ucd.Jsonu.Str "durable: journal append us/record + fsync");
+      ("ms_per_run", Ucd.Jsonu.Float (app_fsync /. 1000.));
     ]
 
 (* Every UC execution the cached sections will request, as Ucd jobs with
@@ -861,6 +1036,7 @@ let sections =
     ("recovery", r1_recovery);
     ("obs", o1_obs_overhead);
     ("serve", s1_serve);
+    ("durable", s3_durable);
     ("scaling", s2_scaling);
     ("bechamel", bechamel_bench);
   ]

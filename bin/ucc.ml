@@ -774,8 +774,35 @@ let serve_cmd =
       & info [ "cache-dir" ] ~docv:"DIR"
           ~doc:"On-disk artifact cache ('none' disables persistence)")
   in
-  let run socket tcp jobs max_queue quotas drain_timeout cache_dir retries
-      fuel_slice trace metrics =
+  let no_journal_arg =
+    Arg.(
+      value & flag
+      & info [ "no-journal" ]
+          ~doc:
+            "Disable the write-ahead job journal (accepted jobs no longer \
+             survive a daemon crash)")
+  in
+  let journal_fsync_arg =
+    Arg.(
+      value & flag
+      & info [ "journal-fsync" ]
+          ~doc:
+            "fsync the journal after every record (survives kernel crashes, \
+             at a latency cost)")
+  in
+  let chaos_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chaos" ] ~docv:"PLAN"
+          ~doc:
+            "Seeded service-level fault injection, e.g. \
+             $(b,seed=7;resets=3;frames=2;slow=5;disk=2;crash=3) — socket \
+             resets, torn frames, slow-reader stalls, cache-disk write \
+             failures and simulated worker crashes")
+  in
+  let run socket tcp jobs max_queue quotas drain_timeout cache_dir no_journal
+      journal_fsync chaos_plan retries fuel_slice trace metrics =
     (* block INT/TERM before any thread exists so every thread inherits
        the mask and the signals can only be consumed by the dedicated
        sigwait thread below — a handler would never run while all
@@ -792,6 +819,20 @@ let serve_cmd =
     let default_quota = List.assoc_opt "*" quotas in
     let quotas = List.filter (fun (t, _) -> t <> "*") quotas in
     let socket_path = if socket = "none" then None else Some socket in
+    let chaos =
+      match chaos_plan with
+      | None -> Ok None
+      | Some plan -> (
+          match Ucd.Chaos.parse plan with
+          | Ok spec -> Ok (Some spec)
+          | Error msg ->
+              Error (Printf.sprintf "bad --chaos plan %S: %s" plan msg))
+    in
+    match chaos with
+    | Error msg ->
+        Printf.eprintf "ucc serve: %s\n" msg;
+        1
+    | Ok chaos -> (
     let cfg =
       {
         Ucd.Server.socket_path;
@@ -807,6 +848,9 @@ let serve_cmd =
         outbox_capacity = 4096;
         recent_results =
           Ucd.Server.default_config.Ucd.Server.recent_results;
+        journal = not no_journal;
+        journal_fsync;
+        chaos;
         verbose = true;
       }
     in
@@ -856,19 +900,20 @@ let serve_cmd =
         Printf.eprintf "ucc serve: %s\n%!"
           (if code = 0 then "drained cleanly"
            else "drain timeout expired with jobs in flight");
-        code
+        code)
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run the compile-and-run daemon: sessions, per-tenant admission \
-          control, and live trace streaming over a Unix-domain (or loopback \
-          TCP) socket")
+          control, a write-ahead job journal with crash recovery, and live \
+          trace streaming over a Unix-domain (or loopback TCP) socket")
     Term.(
       const run $ socket_arg
       $ tcp_port_arg ~doc:"Also listen on loopback TCP port $(docv)"
       $ jobs_arg $ max_queue_arg $ quota_arg $ drain_timeout_arg
-      $ cache_dir_arg $ retries_arg $ fuel_slice_arg $ trace_arg $ metrics_arg)
+      $ cache_dir_arg $ no_journal_arg $ journal_fsync_arg $ chaos_arg
+      $ retries_arg $ fuel_slice_arg $ trace_arg $ metrics_arg)
 
 let fuel_arg_submit =
   Arg.(
@@ -951,8 +996,18 @@ let submit_cmd =
       & info [ "drain" ]
           ~doc:"Ask the server to drain and shut down gracefully")
   in
+  let reconnect_flag =
+    Arg.(
+      value & flag
+      & info [ "reconnect" ]
+          ~doc:
+            "Survive daemon restarts and dropped connections: dial again \
+             with capped backoff and resubmit unfinished jobs by content \
+             digest (the server deduplicates in-flight digests, so nothing \
+             runs twice)")
+  in
   let run file socket tcp corpus name wait_for_reports trace tenant priority
-      want_stats want_drain options seed fuel deadline faults retries =
+      want_stats want_drain reconnect options seed fuel deadline faults retries =
     let addr =
       match tcp with
       | Some port -> Ucd.Client.Tcp ("127.0.0.1", port)
@@ -1008,49 +1063,65 @@ let submit_cmd =
     match submits with
     | Error msg -> fail msg
     | Ok submits -> (
-        match Ucd.Client.connect ~tenant ~priority addr with
+        let dial () =
+          if reconnect then
+            Ucd.Client.connect_retry ~attempts:12 ~tenant ~priority addr
+          else Ucd.Client.connect ~tenant ~priority addr
+        in
+        match dial () with
         | Error msg -> fail msg
-        | Ok c -> (
-            let finally () = Ucd.Client.close c in
+        | Ok c0 -> (
+            let conn = ref c0 in
+            let finally () = Ucd.Client.close !conn in
             Fun.protect ~finally @@ fun () ->
             let t0 = Unix.gettimeofday () in
             let n = List.length submits in
             let rows = Array.make (max n 1) None in
             let rejections = Array.make (max n 1) None in
+            let acked = Array.make (max n 1) false in
             let job_index = Hashtbl.create 16 in
-            let acks = ref 0 and reports = ref 0 and accepted = ref 0 in
             (* a fast job's report frame can overtake its accepted frame
                (worker thread vs reader thread); park it and re-match
                once the ack arrives *)
             let orphans = ref [] in
             let protocol_error = ref None in
+            let place job row =
+              match Hashtbl.find_opt job_index job with
+              | Some i when i < Array.length rows -> rows.(i) <- Some row
+              | _ -> orphans := (job, row) :: !orphans
+            in
+            let ack client_ref job =
+              Option.iter
+                (fun r ->
+                  match int_of_string_opt r with
+                  | Some i when i < Array.length acked ->
+                      acked.(i) <- true;
+                      Hashtbl.replace job_index job i;
+                      let mine, rest =
+                        List.partition (fun (j, _) -> j = job) !orphans
+                      in
+                      orphans := rest;
+                      List.iter (fun (j, row) -> place j row) mine
+                  | _ -> ())
+                client_ref
+            in
             (* any frame not awaited by an rpc helper lands here *)
             let on_frame = function
-              | Ucd.Proto.Accepted { client_ref; job; digest = _ } ->
-                  incr acks;
-                  incr accepted;
-                  Option.iter
-                    (fun r ->
-                      match int_of_string_opt r with
-                      | Some i -> Hashtbl.replace job_index job i
-                      | None -> ())
-                    client_ref
+              | Ucd.Proto.Accepted { client_ref; job; digest = _ }
+              | Ucd.Proto.Resumed { client_ref; job; digest = _ } ->
+                  ack client_ref job
               | Ucd.Proto.Rejected { client_ref; code; msg } ->
-                  incr acks;
                   let tag = Ucd.Proto.code_string code in
                   Printf.eprintf "ucc submit: rejected (%s): %s\n%!" tag msg;
                   Option.iter
                     (fun r ->
                       match int_of_string_opt r with
                       | Some i when i < Array.length rejections ->
+                          acked.(i) <- true;
                           rejections.(i) <- Some (tag, msg)
                       | _ -> ())
                     client_ref
-              | Ucd.Proto.Report { job; row } -> (
-                  incr reports;
-                  match Hashtbl.find_opt job_index job with
-                  | Some i when i < Array.length rows -> rows.(i) <- Some row
-                  | _ -> orphans := (job, row) :: !orphans)
+              | Ucd.Proto.Report { job; row } -> place job row
               | Ucd.Proto.Trace_event { job; event } ->
                   Printf.eprintf "%s\n%!"
                     (Ucd.Jsonu.to_string
@@ -1060,59 +1131,105 @@ let submit_cmd =
                   protocol_error :=
                     Some (Printf.sprintf "%s: %s" (Ucd.Proto.code_string code) msg)
               | Ucd.Proto.Shutdown { msg } ->
-                  protocol_error := Some ("server shut down: " ^ msg)
+                  if reconnect then
+                    (* the EOF that follows triggers the reattach *)
+                    Printf.eprintf "ucc submit: server restarting: %s\n%!" msg
+                  else protocol_error := Some ("server shut down: " ^ msg)
               | _ -> ()
+            in
+            let ( let* ) r f =
+              match r with Error e -> Error e | Ok v -> f v
+            in
+            let unfinished i = rows.(i) = None && rejections.(i) = None in
+            let send_submits which =
+              List.fold_left
+                (fun acc (i, s) ->
+                  let* () = acc in
+                  if which i then
+                    Ucd.Client.send !conn
+                      (Ucd.Proto.Submit
+                         {
+                           s with
+                           Ucd.Proto.client_ref = Some (string_of_int i);
+                         })
+                  else Ok ())
+                (Ok ())
+                (List.mapi (fun i s -> (i, s)) submits)
+            in
+            let set_trace_on () =
+              if trace then
+                Result.map ignore
+                  (Ucd.Client.set_trace ~other:on_frame !conn true)
+              else Ok ()
+            in
+            (* the connection died: dial again with backoff and resubmit
+               everything unfinished — the server's digest dedup turns
+               each resubmission into an attach to the still-running job
+               (or a cache hit), never a second run *)
+            let reattach () =
+              Ucd.Client.close !conn;
+              let* c =
+                Ucd.Client.connect_retry ~attempts:12 ~tenant ~priority addr
+              in
+              conn := c;
+              (* job ids do not survive a restart; digests do *)
+              Hashtbl.reset job_index;
+              orphans := [];
+              for i = 0 to n - 1 do
+                if unfinished i then acked.(i) <- false
+              done;
+              let* () = set_trace_on () in
+              send_submits unfinished
             in
             let pump_until done_ =
               let rec go () =
                 if done_ () || !protocol_error <> None then Ok ()
                 else
-                  match Ucd.Client.recv c with
-                  | Error e -> Error e
+                  match Ucd.Client.recv !conn with
                   | Ok msg ->
                       on_frame msg;
                       go ()
+                  | Error e ->
+                      if reconnect then
+                        let* () = reattach () in
+                        go ()
+                      else Error e
               in
               go ()
             in
-            let ( let* ) r f =
-              match r with Error e -> Error e | Ok v -> f v
+            let all_acked () =
+              let ok = ref true in
+              for i = 0 to n - 1 do
+                if not acked.(i) then ok := false
+              done;
+              !ok
+            in
+            let all_finished () =
+              let ok = ref true in
+              for i = 0 to n - 1 do
+                if unfinished i then ok := false
+              done;
+              !ok
             in
             let outcome =
-              let* _ =
-                if trace then
-                  Result.map ignore (Ucd.Client.set_trace ~other:on_frame c true)
-                else Ok ()
-              in
-              let* _ =
-                List.fold_left
-                  (fun acc (i, s) ->
-                    let* () = acc in
-                    Ucd.Client.send c
-                      (Ucd.Proto.Submit
-                         {
-                           s with
-                           Ucd.Proto.client_ref = Some (string_of_int i);
-                         }))
-                  (Ok ())
-                  (List.mapi (fun i s -> (i, s)) submits)
-              in
-              let* () = pump_until (fun () -> !acks >= n) in
+              let* _ = set_trace_on () in
+              let* _ = send_submits (fun _ -> true) in
+              let* () = pump_until all_acked in
               let* () =
                 if wait_for_reports then
-                  pump_until (fun () -> !acks >= n && !reports >= !accepted)
+                  pump_until (fun () -> all_acked () && all_finished ())
                 else Ok ()
               in
               let* () =
                 if want_stats then
-                  let* stats = Ucd.Client.stats ~other:on_frame c in
+                  let* stats = Ucd.Client.stats ~other:on_frame !conn in
                   Printf.eprintf "%s\n%!" (Ucd.Jsonu.to_string stats);
                   Ok ()
                 else Ok ()
               in
               let* () =
                 if want_drain then
-                  let* in_flight = Ucd.Client.drain ~other:on_frame c in
+                  let* in_flight = Ucd.Client.drain ~other:on_frame !conn in
                   Printf.eprintf
                     "ucc submit: server draining (%d job(s) in flight)\n%!"
                     in_flight;
@@ -1121,12 +1238,6 @@ let submit_cmd =
               in
               Ok ()
             in
-            List.iter
-              (fun (job, row) ->
-                match Hashtbl.find_opt job_index job with
-                | Some i when i < Array.length rows -> rows.(i) <- Some row
-                | _ -> ())
-              !orphans;
             match outcome with
             | Error msg -> fail msg
             | Ok () -> (
@@ -1176,13 +1287,75 @@ let submit_cmd =
       const run $ file_arg $ socket_arg
       $ tcp_port_arg ~doc:"Connect to loopback TCP port $(docv) instead"
       $ corpus_arg $ name_arg $ wait_arg $ trace_flag $ tenant_arg
-      $ priority_arg $ server_stats_flag $ drain_flag $ options_args
-      $ seed_arg $ fuel_arg_submit $ deadline_arg_submit $ faults_arg
-      $ retries_arg)
+      $ priority_arg $ server_stats_flag $ drain_flag $ reconnect_flag
+      $ options_args $ seed_arg $ fuel_arg_submit $ deadline_arg_submit
+      $ faults_arg $ retries_arg)
+
+let status_cmd =
+  let digest_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "digest" ] ~docv:"MD5"
+          ~doc:
+            "Instead of the server snapshot, look up one job by its content \
+             digest (prints state, and the report row when available)")
+  in
+  let run socket tcp digest =
+    let addr =
+      match tcp with
+      | Some port -> Ucd.Client.Tcp ("127.0.0.1", port)
+      | None -> Ucd.Client.Unix_path socket
+    in
+    match Ucd.Client.connect addr with
+    | Error msg ->
+        Printf.eprintf "ucc status: error: %s\n" msg;
+        1
+    | Ok c -> (
+        Fun.protect ~finally:(fun () -> Ucd.Client.close c) @@ fun () ->
+        match digest with
+        | Some d -> (
+            match Ucd.Client.status_digest c d with
+            | Error msg ->
+                Printf.eprintf "ucc status: error: %s\n" msg;
+                1
+            | Ok (state, row) ->
+                print_endline
+                  (Ucd.Jsonu.to_string
+                     (Ucd.Jsonu.Obj
+                        ([
+                           ("digest", Ucd.Jsonu.Str d);
+                           ("state", Ucd.Jsonu.Str state);
+                         ]
+                        @
+                        match row with
+                        | Some r -> [ ("row", r) ]
+                        | None -> [])));
+                if state = "unknown" then 1 else 0)
+        | None -> (
+            match Ucd.Client.server_status c with
+            | Error msg ->
+                Printf.eprintf "ucc status: error: %s\n" msg;
+                1
+            | Ok j ->
+                print_endline (Ucd.Jsonu.to_string j);
+                0))
+  in
+  Cmd.v
+    (Cmd.info "status"
+       ~doc:
+         "Query a running $(b,ucc serve) daemon: uptime, pool and queue \
+          depth, journal lag and per-tenant quota usage (JSON to stdout); \
+          or one job's state by content digest")
+    Term.(
+      const run $ socket_arg
+      $ tcp_port_arg ~doc:"Connect to loopback TCP port $(docv) instead"
+      $ digest_arg)
 
 let () =
   let doc = "UC compiler for the simulated Connection Machine" in
   let info = Cmd.info "ucc" ~version:"1.0" ~doc in
   exit (Cmd.eval' (Cmd.group info
     [ check_cmd; ast_cmd; paris_cmd; cstar_cmd; run_cmd; interp_cmd;
-      examples_cmd; show_cmd; batch_cmd; serve_cmd; submit_cmd ]))
+      examples_cmd; show_cmd; batch_cmd; serve_cmd; submit_cmd;
+      status_cmd ]))

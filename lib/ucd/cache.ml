@@ -27,6 +27,10 @@ type t = {
   runs : (string, Report.result) Hashtbl.t;
   dir : string option;
   counters : counters;
+  (* chaos hook: consulted once per disk write; [true] makes the write
+     fail as if the disk were full, through the ordinary
+     write_failures counting/warning path *)
+  mutable write_fault : (unit -> bool) option;
 }
 
 (* bump when Report.result or the artifact layout changes shape: stale
@@ -58,7 +62,10 @@ let create ?dir () =
         c_corruptions = 0;
         c_write_failures = 0;
       };
+    write_fault = None;
   }
+
+let set_write_fault t f = t.write_fault <- Some f
 
 let with_lock t f =
   Mutex.lock t.lock;
@@ -173,7 +180,10 @@ let store_run t digest r =
   with_lock t (fun () -> Hashtbl.replace t.runs digest r);
   match t.dir with
   | Some dir ->
-      if not (write_artifact (artifact_path dir digest) r) then begin
+      let injected =
+        match t.write_fault with Some f -> f () | None -> false
+      in
+      if injected || not (write_artifact (artifact_path dir digest) r) then begin
         let first =
           with_lock t (fun () ->
               let c = t.counters in

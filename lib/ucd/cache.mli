@@ -53,6 +53,13 @@ val find_run : t -> string -> Report.result option
 (** Record a finished run under its job digest. *)
 val store_run : t -> string -> Report.result -> unit
 
+(** Install a chaos hook consulted once per disk write; returning
+    [true] makes that write fail as if the disk were full, exercised
+    through the ordinary write-failure counting/warning path.  The
+    in-memory entry is still stored.  Used by the serve daemon's
+    [--chaos disk=N] injection. *)
+val set_write_fault : t -> (unit -> bool) -> unit
+
 val stats : t -> stats
 val pp_stats : Format.formatter -> stats -> unit
 

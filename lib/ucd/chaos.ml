@@ -1,0 +1,196 @@
+(* Seeded service-level chaos.  See chaos.mli for the grammar. *)
+
+type spec = {
+  seed : int;
+  horizon : int;
+  n_resets : int;
+  n_frames : int;
+  n_slow : int;
+  n_disk : int;
+  n_crash : int;
+}
+
+(* A category is a set of drawn serials plus a trigger counter: the
+   k-th consultation fires iff k is in the set.  IntSet membership is
+   O(log n) and the counter is the only mutable state, so concurrent
+   writers/readers only contend on one mutex per category. *)
+module IntSet = Set.Make (Int)
+
+type category = {
+  lock : Mutex.t;
+  serials : IntSet.t;
+  mutable next : int;
+  mutable hits : int;
+}
+
+type t = {
+  origin : string;
+  resets : category;
+  frames : category;
+  slow : category;
+  disk : category;
+  crash : category;
+  slow_delays : (int, float) Hashtbl.t;  (* serial -> stall seconds *)
+}
+
+let empty =
+  {
+    seed = 1;
+    horizon = 1000;
+    n_resets = 0;
+    n_frames = 0;
+    n_slow = 0;
+    n_disk = 0;
+    n_crash = 0;
+  }
+
+let is_empty s =
+  s.n_resets = 0 && s.n_frames = 0 && s.n_slow = 0 && s.n_disk = 0
+  && s.n_crash = 0
+
+let spec_string s =
+  let parts = ref [] in
+  let add p = parts := p :: !parts in
+  if not (is_empty s) then begin
+    add (Printf.sprintf "seed=%d" s.seed);
+    add (Printf.sprintf "horizon=%d" s.horizon)
+  end;
+  if s.n_resets > 0 then add (Printf.sprintf "resets=%d" s.n_resets);
+  if s.n_frames > 0 then add (Printf.sprintf "frames=%d" s.n_frames);
+  if s.n_slow > 0 then add (Printf.sprintf "slow=%d" s.n_slow);
+  if s.n_disk > 0 then add (Printf.sprintf "disk=%d" s.n_disk);
+  if s.n_crash > 0 then add (Printf.sprintf "crash=%d" s.n_crash);
+  String.concat ";" (List.rev !parts)
+
+let parse_exn text =
+  let spec = ref empty in
+  let token tok =
+    match String.index_opt tok '=' with
+    | None -> failwith (Printf.sprintf "bad chaos token %S" tok)
+    | Some i ->
+        let key = String.sub tok 0 i in
+        let v =
+          match
+            int_of_string_opt (String.sub tok (i + 1) (String.length tok - i - 1))
+          with
+          | Some n -> n
+          | None ->
+              failwith
+                (Printf.sprintf "bad chaos token %S: value is not an integer"
+                   tok)
+        in
+        let count what n =
+          if n < 0 then
+            failwith
+              (Printf.sprintf "bad chaos token %S: negative %s count" tok what);
+          n
+        in
+        (match key with
+        | "seed" -> spec := { !spec with seed = v land 0x3FFFFFFF }
+        | "horizon" ->
+            if v < 1 then
+              failwith
+                (Printf.sprintf "bad chaos token %S: horizon must be >= 1" tok);
+            spec := { !spec with horizon = v }
+        | "resets" -> spec := { !spec with n_resets = count "resets" v }
+        | "frames" -> spec := { !spec with n_frames = count "frames" v }
+        | "slow" -> spec := { !spec with n_slow = count "slow" v }
+        | "disk" -> spec := { !spec with n_disk = count "disk" v }
+        | "crash" -> spec := { !spec with n_crash = count "crash" v }
+        | _ -> failwith (Printf.sprintf "bad chaos token %S: unknown key %S" tok key))
+  in
+  String.split_on_char ';' text
+  |> List.iter (fun part ->
+         String.split_on_char ',' part
+         |> List.iter (fun tok ->
+                let tok = String.trim tok in
+                if tok <> "" then token tok));
+  !spec
+
+let parse text = try Ok (parse_exn text) with Failure msg -> Error msg
+
+(* The machine's LCG recurrence (cf. Cm.Fault), so chaos schedules are
+   as deterministic as the fault plans they mirror. *)
+let lcg state = (state * 1103515245 + 12345) land 0x3FFFFFFF
+
+let instantiate s =
+  let state = ref (lcg ((s.seed * 7 + 3) land 0x3FFFFFFF)) in
+  let draw () =
+    state := lcg !state;
+    !state
+  in
+  let category n =
+    let serials = ref IntSet.empty in
+    for _ = 1 to n do
+      serials := IntSet.add (draw () mod s.horizon) !serials
+    done;
+    { lock = Mutex.create (); serials = !serials; next = 0; hits = 0 }
+  in
+  let resets = category s.n_resets in
+  let frames = category s.n_frames in
+  let slow = category s.n_slow in
+  let slow_delays = Hashtbl.create 8 in
+  IntSet.iter
+    (fun serial ->
+      Hashtbl.replace slow_delays serial
+        (0.01 +. (float_of_int (draw () mod 1000) /. 10_000.)))
+    slow.serials;
+  let disk = category s.n_disk in
+  let crash = category s.n_crash in
+  { origin = spec_string s; resets; frames; slow; disk; crash; slow_delays }
+
+let canonical t = t.origin
+
+let consult cat =
+  Mutex.lock cat.lock;
+  let serial = cat.next in
+  cat.next <- serial + 1;
+  let hit = IntSet.mem serial cat.serials in
+  if hit then cat.hits <- cat.hits + 1;
+  Mutex.unlock cat.lock;
+  (serial, hit)
+
+let fire obs name = if Obs.enabled obs then Obs.count obs ("ucd.chaos." ^ name) 1
+
+let fires_reset t ~obs =
+  let _, hit = consult t.resets in
+  if hit then fire obs "resets";
+  hit
+
+let fires_frame t ~obs =
+  let _, hit = consult t.frames in
+  if hit then fire obs "frames";
+  hit
+
+let fires_slow t ~obs =
+  let serial, hit = consult t.slow in
+  if hit then begin
+    fire obs "slow";
+    Some (try Hashtbl.find t.slow_delays serial with Not_found -> 0.01)
+  end
+  else None
+
+let fires_disk t ~obs =
+  let _, hit = consult t.disk in
+  if hit then fire obs "disk";
+  hit
+
+let fires_crash t ~obs =
+  let _, hit = consult t.crash in
+  if hit then fire obs "crash";
+  hit
+
+let fired t =
+  let get name cat =
+    Mutex.lock cat.lock;
+    let h = cat.hits in
+    Mutex.unlock cat.lock;
+    (name, h)
+  in
+  [
+    get "crash" t.crash;
+    get "disk" t.disk;
+    get "frames" t.frames;
+    get "resets" t.resets;
+    get "slow" t.slow;
+  ]

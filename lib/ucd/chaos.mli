@@ -1,0 +1,64 @@
+(** Seeded service-level chaos plans for the serve daemon — the same
+    plan/digest design as {!Cm.Fault}, lifted from the machine to the
+    service: a spec is a tiny string grammar, instantiation is a pure
+    function of (spec, seed), and the canonical rendering names the
+    run so a chaotic soak is reproducible byte for byte.
+
+    Grammar (tokens separated by [';'] or [','], order-insensitive):
+    {v
+      seed=N      LCG seed (default 1)
+      horizon=N   events are drawn over serials 0..N-1 (default 1000)
+      resets=N    N socket resets: the connection is torn down at a
+                  drawn frame serial, as if the peer vanished
+      frames=N    N truncated frames: the writer emits a partial line
+                  then tears the connection (torn-write simulation)
+      slow=N      N slow-reader stalls: the writer sleeps before a
+                  drawn frame (client backpressure simulation)
+      disk=N      N cache-disk write failures: the next N report
+                  persists fail as if the disk were full
+      crash=N     N worker-crash simulations: a running job is thrown
+                  back on the queue with no report, exercising the
+                  journal's zero-lost / zero-duplicated guarantee
+    v}
+
+    Each category draws its own serial set from the shared LCG stream
+    and keeps its own atomic trigger counter: the k-th frame written,
+    k-th frame dispatched, k-th disk write, k-th job start each
+    consult their category independently, so a plan's behaviour does
+    not depend on scheduling interleavings more than the counters
+    themselves do. *)
+
+type spec
+type t
+
+val empty : spec
+val is_empty : spec -> bool
+
+val parse : string -> (spec, string) result
+(** Parse the grammar above; [Error] names the offending token. *)
+
+val spec_string : spec -> string
+(** Canonical rendering; [parse >> spec_string] is a fixpoint. *)
+
+val instantiate : spec -> t
+(** Draw the per-category serial sets and reset the trigger counters. *)
+
+val canonical : t -> string
+
+(** Each [fires_*] call advances that category's trigger counter by
+    one and reports whether the drawn plan schedules an event at that
+    serial.  Thread-safe; counts [ucd.chaos.<category>] on [obs] when
+    it fires. *)
+
+val fires_reset : t -> obs:Obs.t -> bool
+val fires_frame : t -> obs:Obs.t -> bool
+
+val fires_slow : t -> obs:Obs.t -> float option
+(** The stall length in seconds (drawn in [0.01, 0.11)) when it fires. *)
+
+val fires_disk : t -> obs:Obs.t -> bool
+val fires_crash : t -> obs:Obs.t -> bool
+
+val fired : t -> (string * int) list
+(** Per-category fire counts so far, sorted by name — the soak harness
+    asserts the plan actually did something. *)

@@ -84,6 +84,41 @@ let connect ?(tenant = "anonymous") ?(priority = Proto.Normal)
 
 let session t = t.session
 
+(* Capped exponential backoff with deterministic seeded jitter
+   (Runner.backoff_delay's recipe): attempt [k] sleeps
+   [min cap (base * 2^k)] scaled into [0.5, 1.5), so a fleet of
+   identical clients hammering a restarting daemon spreads out,
+   reproducibly. *)
+let retry_delay ~base ~cap ~seed ~attempt =
+  if base <= 0. then 0.
+  else begin
+    let capped = Float.min cap (base *. (2. ** float_of_int attempt)) in
+    let h = ((seed * 1103515245) + 12345 + (attempt * 40503)) land 0x3FFFFFFF in
+    capped *. (0.5 +. (float_of_int (h land 0xFFFF) /. 65536.))
+  end
+
+let connect_retry ?tenant ?priority ?max_frame ?(attempts = 8)
+    ?(backoff_base = 0.05) ?(backoff_cap = 1.0) ?(seed = 1) addr =
+  let rec go k last =
+    match connect ?tenant ?priority ?max_frame addr with
+    | Ok t -> Ok t
+    | Error e ->
+        let k = k + 1 in
+        if k >= attempts then
+          Error
+            (Printf.sprintf "%s (after %d attempt%s)" e attempts
+               (if attempts = 1 then "" else "s"))
+        else begin
+          let d =
+            retry_delay ~base:backoff_base ~cap:backoff_cap ~seed
+              ~attempt:(k - 1)
+          in
+          if d > 0. then Unix.sleepf d;
+          go k e
+        end
+  in
+  go 0 "never tried"
+
 (* Wait for a reply satisfying [want], handing every other frame to
    [other] (reports and trace events keep streaming while we wait for a
    stats or drain reply).  An [error] frame is the server's answer to
@@ -118,6 +153,23 @@ let drain ?(other = fun _ -> ()) t =
   | Ok () ->
       recv_until t ~other (function
         | Proto.Draining { in_flight } -> Some in_flight
+        | _ -> None)
+
+let status_digest ?(other = fun _ -> ()) t digest =
+  match send t (Proto.Status_digest digest) with
+  | Error e -> Error e
+  | Ok () ->
+      recv_until t ~other (function
+        | Proto.Digest_reply { digest = d; state; row } when d = digest ->
+            Some (state, row)
+        | _ -> None)
+
+let server_status ?(other = fun _ -> ()) t =
+  match send t Proto.Server_status with
+  | Error e -> Error e
+  | Ok () ->
+      recv_until t ~other (function
+        | Proto.Server_status_reply j -> Some j
         | _ -> None)
 
 let set_trace ?(other = fun _ -> ()) t enable =

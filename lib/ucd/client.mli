@@ -18,6 +18,22 @@ val connect :
   addr ->
   (t, string) result
 
+(** {!connect} with capped exponential backoff and deterministic seeded
+    jitter between attempts (default: 8 attempts, 50 ms doubling capped
+    at 1 s) — the reconnect primitive behind [ucc submit --reconnect]
+    and [ucc --wait] surviving a daemon restart.  The final error
+    carries the attempt count. *)
+val connect_retry :
+  ?tenant:string ->
+  ?priority:Proto.priority ->
+  ?max_frame:int ->
+  ?attempts:int ->
+  ?backoff_base:float ->
+  ?backoff_cap:float ->
+  ?seed:int ->
+  addr ->
+  (t, string) result
+
 (** Session id granted by the server's [welcome]. *)
 val session : t -> int
 
@@ -39,6 +55,23 @@ val stats :
     shutdown.  Operator-only: a TCP connection gets [Error "denied: …"]
     and the server keeps running. *)
 val drain : ?other:(Proto.server_msg -> unit) -> t -> (int, string) result
+
+(** Status by content digest: [(state, row)] where [state] is
+    ["queued"/"running"/"done"/"faulted"/"cancelled"/"unknown"] and
+    [row] the report row when the server still has (or cached) it.
+    Digests survive daemon restarts, so this is how [--wait] recovers
+    after a reconnect. *)
+val status_digest :
+  ?other:(Proto.server_msg -> unit) ->
+  t ->
+  string ->
+  (string * Jsonu.t option, string) result
+
+(** The read-only operational snapshot behind [ucc status]: uptime,
+    pool/queue depth, journal lag, per-tenant quota usage.  Allowed on
+    TCP. *)
+val server_status :
+  ?other:(Proto.server_msg -> unit) -> t -> (Jsonu.t, string) result
 
 val set_trace :
   ?other:(Proto.server_msg -> unit) -> t -> bool -> (bool, string) result

@@ -1,0 +1,113 @@
+(** Write-ahead job journal for the serve daemon.
+
+    Every accepted job is appended to [<dir>/journal.jsonl] before the
+    client sees its ack, and every state transition follows it there:
+    [accepted] (with the full wire submit object, so the job can be
+    rebuilt without the client), [started], [checkpointed] (the latest
+    {!Cm.Machine.checkpoint} blob), [done] and [faulted].  On restart
+    {!recover} replays the file, quarantines damaged lines, compacts
+    the journal down to its unfinished entries, and hands the daemon a
+    requeue list — so a SIGKILL'd daemon loses nothing that was ever
+    acknowledged.
+
+    Record framing: one JSON object per line,
+    [{"sum":MD5HEX,"rec":{...}}], where [sum] is the MD5 of the
+    rendered [rec] object.  A line that is torn, truncated, fails its
+    checksum or does not parse is moved to [<file>.corrupt] (appended,
+    evidence preserved) and skipped with a one-line warning — replay
+    never crashes on a damaged journal, mirroring the disk cache's v2
+    quarantine convention.
+
+    Durability policy: [fsync:false] (default) leaves flushing to the
+    OS — a daemon crash loses nothing, a kernel crash may lose the
+    tail; [fsync:true] fsyncs after every appended record.  All
+    appends are thread-safe; append failures (disk full) are counted,
+    warned once, and never raised — the daemon degrades to
+    non-durable rather than dying. *)
+
+type t
+
+(** One journal record.  [submit] is the wire-format submit object
+    ({!Proto.submit_obj}); [status] on [Done_] is the report status
+    string ("ok" | "failed" | "timeout" | "cancelled"). *)
+type entry =
+  | Accepted of {
+      digest : string;
+      name : string;
+      tenant : string;
+      submit : Jsonu.t;
+    }
+  | Started of { digest : string }
+  | Checkpointed of { digest : string; ckpt : string }
+  | Done_ of { digest : string; status : string }
+  | Faulted of { digest : string }
+
+(** A job the replay found accepted but not finished: rebuild it from
+    [p_submit] and requeue, resuming from [p_ckpt] when present. *)
+type pending = {
+  p_digest : string;
+  p_name : string;
+  p_tenant : string;
+  p_submit : Jsonu.t;
+  p_ckpt : string option;
+  p_started : bool;
+}
+
+type replay = {
+  pending : pending list;  (** first-accepted order *)
+  finished : (string * string) list;
+      (** digest → terminal status ("ok"/"failed"/"timeout"/
+          "cancelled"/"faulted") *)
+  replayed : int;  (** records read back successfully *)
+  corrupt : int;  (** lines quarantined to [<file>.corrupt] *)
+}
+
+type stats = {
+  appended : int;  (** records accepted since open *)
+  synced : int;  (** fsyncs performed *)
+  bytes : int;  (** bytes written since open *)
+  write_failures : int;
+  s_replayed : int;
+  s_corrupt : int;
+  s_requeued : int;
+}
+
+val path : dir:string -> string
+(** [<dir>/journal.jsonl]. *)
+
+val recover :
+  ?fsync:bool ->
+  ?keep:(digest:string -> status:string -> bool) ->
+  dir:string ->
+  unit ->
+  (t * replay, string) result
+(** Replay the journal under [dir] (an absent file is an empty
+    replay), compact it to the pending entries (atomic
+    write-then-rename, so a crash mid-recovery keeps the old file),
+    and open it for appending.  [Error] only when the directory is
+    unusable — a damaged journal body is never an error.
+
+    [keep] is consulted for every digest with a terminal record whose
+    [accepted] record is still in the journal: returning [true]
+    resurrects the entry into [replay.pending] (and out of
+    [replay.finished]) so it is requeued — the daemon uses it for
+    [done] jobs whose cached report has vanished.  Default: keep
+    nothing. *)
+
+val append : t -> entry -> unit
+(** Thread-safe; honours the open-time fsync policy. *)
+
+val entry_json : entry -> Jsonu.t
+val entry_of_json : Jsonu.t -> (entry, string) result
+
+val stats : t -> stats
+
+val lag : t -> int
+(** Records appended since the last fsync — 0 under [fsync:true];
+    under the default policy, the tail a kernel crash could lose. *)
+
+val close : t -> unit
+
+val publish : t -> Obs.t -> unit
+(** Mirror the counters as ["ucd.journal.*"] counts; call once per
+    journal lifetime (same contract as {!Cache.publish}). *)

@@ -70,6 +70,8 @@ let q_close q =
   Mutex.lock q.lock;
   q.closed <- true;
   Condition.broadcast q.not_empty;
+  (* a blocking push waiting for room must notice the close too *)
+  Condition.broadcast q.not_full;
   Mutex.unlock q.lock
 
 (* None once the queue is closed and drained *)
@@ -288,6 +290,27 @@ let service ?domains ?queue_bound () =
   }
 
 let try_submit svc task = q_try_push svc.svc_queue task
+
+(* Blocking admission, used by journal recovery at startup: the replay
+   may requeue more jobs than the queue bound, and rejecting them would
+   lose accepted work.  Waits for room; [false] only once closed. *)
+let submit svc task =
+  let q = svc.svc_queue in
+  Mutex.lock q.lock;
+  if Queue.length q.buf >= q.bound && not q.closed then
+    q.blocked <- q.blocked + 1;
+  while Queue.length q.buf >= q.bound && not q.closed do
+    Condition.wait q.not_full q.lock
+  done;
+  let accepted =
+    if q.closed then false
+    else begin
+      q_accept_locked q task;
+      true
+    end
+  in
+  Mutex.unlock q.lock;
+  accepted
 
 let service_stats svc =
   q_stats ~domains:svc.svc_ndomains ~completed:(Atomic.get svc.svc_completed)

@@ -74,6 +74,12 @@ val service : ?domains:int -> ?queue_bound:int -> unit -> service
     bound (counted in [rejected_pushes]), [`Closed] after {!close}. *)
 val try_submit : service -> (unit -> unit) -> submit_outcome
 
+(** Blocking admission — waits for queue room instead of rejecting;
+    [false] only once the service is closed.  Used by journal recovery,
+    where the replay may requeue more jobs than the queue bound and a
+    rejection would lose accepted work. *)
+val submit : service -> (unit -> unit) -> bool
+
 val service_stats : service -> stats
 
 (** Stop accepting; queued tasks still run. *)

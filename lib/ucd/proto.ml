@@ -104,23 +104,30 @@ type client_msg =
   | Hello of { version : int; tenant : string; priority : priority }
   | Submit of submit
   | Status of int  (* server-assigned job id *)
+  | Status_digest of string  (* restart-stable: content digest, not id *)
   | Cancel of int
   | Trace of bool  (* subscribe/unsubscribe to this session's trace *)
   | Stats
+  | Server_status  (* read-only liveness/depth/journal-lag probe *)
   | Drain  (* ask the server to stop accepting, drain and exit *)
   | Bye
 
 type server_msg =
   | Welcome of { version : int; session : int; server : string }
   | Accepted of { client_ref : string option; job : int; digest : string }
+  | Resumed of { client_ref : string option; job : int; digest : string }
+      (* the digest was already in flight (or requeued from the journal);
+         the caller is attached as a watcher of the existing job *)
   | Rejected of { client_ref : string option; code : error_code; msg : string }
   | Report of { job : int; row : Jsonu.t }
       (* the full Report.json_line object for the finished job *)
   | Status_reply of { job : int; state : string; row : Jsonu.t option }
+  | Digest_reply of { digest : string; state : string; row : Jsonu.t option }
   | Cancel_reply of { job : int; ok : bool }
   | Trace_reply of bool
   | Trace_event of { job : int; event : Jsonu.t }  (* one Obs event *)
   | Stats_reply of Jsonu.t
+  | Server_status_reply of Jsonu.t
   | Draining of { in_flight : int }
   | Shutdown of { msg : string }  (* server-initiated goodbye *)
   | Error of { code : error_code; msg : string }
@@ -161,11 +168,15 @@ let client_json = function
   | Submit s -> submit_obj s
   | Status job ->
       Jsonu.Obj [ ("type", Jsonu.Str "status"); ("job", Jsonu.Int job) ]
+  | Status_digest digest ->
+      Jsonu.Obj
+        [ ("type", Jsonu.Str "status_digest"); ("digest", Jsonu.Str digest) ]
   | Cancel job ->
       Jsonu.Obj [ ("type", Jsonu.Str "cancel"); ("job", Jsonu.Int job) ]
   | Trace enable ->
       Jsonu.Obj [ ("type", Jsonu.Str "trace"); ("enable", Jsonu.Bool enable) ]
   | Stats -> Jsonu.Obj [ ("type", Jsonu.Str "stats") ]
+  | Server_status -> Jsonu.Obj [ ("type", Jsonu.Str "server_status") ]
   | Drain -> Jsonu.Obj [ ("type", Jsonu.Str "drain") ]
   | Bye -> Jsonu.Obj [ ("type", Jsonu.Str "bye") ]
 
@@ -183,6 +194,11 @@ let server_json = function
         ([ ("type", Jsonu.Str "accepted") ]
         @ opt_field "ref" (fun r -> Jsonu.Str r) client_ref
         @ [ ("job", Jsonu.Int job); ("digest", Jsonu.Str digest) ])
+  | Resumed { client_ref; job; digest } ->
+      Jsonu.Obj
+        ([ ("type", Jsonu.Str "resumed") ]
+        @ opt_field "ref" (fun r -> Jsonu.Str r) client_ref
+        @ [ ("job", Jsonu.Int job); ("digest", Jsonu.Str digest) ])
   | Rejected { client_ref; code; msg } ->
       Jsonu.Obj
         ([ ("type", Jsonu.Str "rejected") ]
@@ -198,6 +214,14 @@ let server_json = function
         ([
            ("type", Jsonu.Str "status_reply");
            ("job", Jsonu.Int job);
+           ("state", Jsonu.Str state);
+         ]
+        @ opt_field "row" Fun.id row)
+  | Digest_reply { digest; state; row } ->
+      Jsonu.Obj
+        ([
+           ("type", Jsonu.Str "digest_reply");
+           ("digest", Jsonu.Str digest);
            ("state", Jsonu.Str state);
          ]
         @ opt_field "row" Fun.id row)
@@ -220,6 +244,8 @@ let server_json = function
         ]
   | Stats_reply body ->
       Jsonu.Obj [ ("type", Jsonu.Str "stats_reply"); ("stats", body) ]
+  | Server_status_reply body ->
+      Jsonu.Obj [ ("type", Jsonu.Str "server_status_reply"); ("status", body) ]
   | Draining { in_flight } ->
       Jsonu.Obj
         [ ("type", Jsonu.Str "draining"); ("in_flight", Jsonu.Int in_flight) ]
@@ -277,6 +303,44 @@ let require what = function
 let ( let* ) r f =
   match r with Ok v -> f v | Stdlib.Error e -> Stdlib.Error e
 
+(* Shared with the journal: a stored [submit_obj] replays through the
+   same decoder the wire uses, so a recovered job is rebuilt exactly as
+   it was admitted. *)
+let submit_of_fields kvs =
+  let* name = require "name" (str_field kvs "name") in
+  let* source =
+    match (str_field kvs "source", str_field kvs "corpus") with
+    | Some text, None -> Ok (Inline text)
+    | None, Some n -> Ok (Corpus n)
+    | Some _, Some _ ->
+        Stdlib.Error (Bad_request, "submit has both \"source\" and \"corpus\"")
+    | None, None ->
+        Stdlib.Error (Bad_request, "submit needs \"source\" or \"corpus\"")
+  in
+  Ok
+    {
+      client_ref = str_field kvs "ref";
+      name;
+      source;
+      seed = int_field kvs "seed";
+      fuel = int_field kvs "fuel";
+      deadline = num_field kvs "deadline";
+      faults = str_field kvs "faults";
+      retries = int_field kvs "retries";
+      no_news = Option.value (bool_field kvs "no_news") ~default:false;
+      no_procopt = Option.value (bool_field kvs "no_procopt") ~default:false;
+      no_mappings = Option.value (bool_field kvs "no_mappings") ~default:false;
+      no_cse = Option.value (bool_field kvs "no_cse") ~default:false;
+      ir_opt = str_field kvs "ir_opt";
+    }
+
+let submit_of_json = function
+  | Jsonu.Obj kvs -> (
+      match submit_of_fields kvs with
+      | Ok s -> Ok s
+      | Stdlib.Error (_, msg) -> Stdlib.Error msg)
+  | _ -> Stdlib.Error "submit is not a JSON object"
+
 let client_of_line line =
   let* ty, kvs = obj_of_line line in
   match ty with
@@ -293,39 +357,14 @@ let client_of_line line =
       in
       Ok (Hello { version = v; tenant; priority })
   | "submit" ->
-      let* name = require "name" (str_field kvs "name") in
-      let* source =
-        match (str_field kvs "source", str_field kvs "corpus") with
-        | Some text, None -> Ok (Inline text)
-        | None, Some n -> Ok (Corpus n)
-        | Some _, Some _ ->
-            Stdlib.Error
-              (Bad_request, "submit has both \"source\" and \"corpus\"")
-        | None, None ->
-            Stdlib.Error (Bad_request, "submit needs \"source\" or \"corpus\"")
-      in
-      Ok
-        (Submit
-           {
-             client_ref = str_field kvs "ref";
-             name;
-             source;
-             seed = int_field kvs "seed";
-             fuel = int_field kvs "fuel";
-             deadline = num_field kvs "deadline";
-             faults = str_field kvs "faults";
-             retries = int_field kvs "retries";
-             no_news = Option.value (bool_field kvs "no_news") ~default:false;
-             no_procopt =
-               Option.value (bool_field kvs "no_procopt") ~default:false;
-             no_mappings =
-               Option.value (bool_field kvs "no_mappings") ~default:false;
-             no_cse = Option.value (bool_field kvs "no_cse") ~default:false;
-             ir_opt = str_field kvs "ir_opt";
-           })
+      let* s = submit_of_fields kvs in
+      Ok (Submit s)
   | "status" ->
       let* job = require "job" (int_field kvs "job") in
       Ok (Status job)
+  | "status_digest" ->
+      let* digest = require "digest" (str_field kvs "digest") in
+      Ok (Status_digest digest)
   | "cancel" ->
       let* job = require "job" (int_field kvs "job") in
       Ok (Cancel job)
@@ -333,6 +372,7 @@ let client_of_line line =
       let* enable = require "enable" (bool_field kvs "enable") in
       Ok (Trace enable)
   | "stats" -> Ok Stats
+  | "server_status" -> Ok Server_status
   | "drain" -> Ok Drain
   | "bye" -> Ok Bye
   | ty -> Stdlib.Error (Protocol, "unknown message type " ^ ty)
@@ -354,6 +394,11 @@ let server_of_line line =
           | Some job, Some digest ->
               Ok (Accepted { client_ref = str "ref"; job; digest })
           | _ -> fail "job/digest")
+      | "resumed" -> (
+          match (int "job", str "digest") with
+          | Some job, Some digest ->
+              Ok (Resumed { client_ref = str "ref"; job; digest })
+          | _ -> fail "job/digest")
       | "rejected" -> (
           match (str "code", str "msg") with
           | Some code, Some msg -> (
@@ -370,6 +415,11 @@ let server_of_line line =
           | Some job, Some state ->
               Ok (Status_reply { job; state; row = field kvs "row" })
           | _ -> fail "job/state")
+      | "digest_reply" -> (
+          match (str "digest", str "state") with
+          | Some digest, Some state ->
+              Ok (Digest_reply { digest; state; row = field kvs "row" })
+          | _ -> fail "digest/state")
       | "cancel_reply" -> (
           match (int "job", bool_field kvs "ok") with
           | Some job, Some ok -> Ok (Cancel_reply { job; ok })
@@ -386,6 +436,10 @@ let server_of_line line =
           match field kvs "stats" with
           | Some body -> Ok (Stats_reply body)
           | None -> fail "stats")
+      | "server_status_reply" -> (
+          match field kvs "status" with
+          | Some body -> Ok (Server_status_reply body)
+          | None -> fail "status")
       | "draining" -> (
           match int "in_flight" with
           | Some n -> Ok (Draining { in_flight = n })

@@ -62,33 +62,57 @@ type submit = {
 
 val submit_defaults : name:string -> source:source -> submit
 
+val submit_of_json : Jsonu.t -> (submit, string) result
+(** Decode a stored {!submit_obj} rendering (the journal keeps accepted
+    jobs in wire form); same field rules as the live decoder. *)
+
 type client_msg =
   | Hello of { version : int; tenant : string; priority : priority }
   | Submit of submit
   | Status of int  (** server-assigned job id *)
+  | Status_digest of string
+      (** status by content digest — stable across a daemon restart,
+          unlike job ids; answered with [Digest_reply] *)
   | Cancel of int
   | Trace of bool  (** subscribe/unsubscribe to this session's trace stream *)
   | Stats
+  | Server_status
+      (** read-only operational snapshot (uptime, queue depth, journal
+          lag, per-tenant usage); allowed on TCP *)
   | Drain  (** ask the server to stop accepting, drain and exit *)
   | Bye
 
 type server_msg =
   | Welcome of { version : int; session : int; server : string }
   | Accepted of { client_ref : string option; job : int; digest : string }
+  | Resumed of { client_ref : string option; job : int; digest : string }
+      (** the digest was already in flight (submitted on another
+          connection, or requeued from the journal after a restart);
+          the caller is attached as a watcher and will receive the
+          existing job's [Report] — exactly-once semantics for
+          idempotent resubmission *)
   | Rejected of { client_ref : string option; code : error_code; msg : string }
   | Report of { job : int; row : Jsonu.t }
       (** the full [Report.json_line] object for the finished job *)
   | Status_reply of { job : int; state : string; row : Jsonu.t option }
       (** state is ["queued"], ["running"], ["done"] (with [row]) or
           ["cancelled"] *)
+  | Digest_reply of { digest : string; state : string; row : Jsonu.t option }
+      (** state is ["queued"], ["running"], ["done"]/["faulted"] (with
+          [row] when the report is still cached) or ["unknown"] *)
   | Cancel_reply of { job : int; ok : bool }
       (** [ok = false]: the job was already running, done or unknown *)
   | Trace_reply of bool
   | Trace_event of { job : int; event : Jsonu.t }  (** one {!Obs.event} *)
   | Stats_reply of Jsonu.t
+  | Server_status_reply of Jsonu.t
   | Draining of { in_flight : int }
   | Shutdown of { msg : string }  (** server-initiated goodbye *)
   | Error of { code : error_code; msg : string }
+
+val submit_obj : submit -> Jsonu.t
+(** The wire rendering of a submit (what {!client_json} emits for
+    [Submit]); the journal stores accepted jobs in this form. *)
 
 val client_json : client_msg -> Jsonu.t
 val server_json : server_msg -> Jsonu.t

@@ -31,7 +31,7 @@ let backoff_delay policy ~seed ~attempt =
     capped *. (0.5 +. frac)
   end
 
-let compute ~policy ~t0 ~obs cache (job : Job.t) digest =
+let compute ~policy ~t0 ~obs ?ckpt ?on_checkpoint cache (job : Job.t) digest =
   let source_digest = Digest.to_hex (Digest.string job.Job.source) in
   let options_key = Job.options_summary job.Job.options in
   let finish ?(attempts = 1) ?(trace = []) ?(metrics = []) status simulated
@@ -68,8 +68,11 @@ let compute ~policy ~t0 ~obs cache (job : Job.t) digest =
     in
     let retries = Option.value job.Job.retries ~default:policy.retries in
     (* the last checkpoint of a surviving slice, shared across attempts
-       so a retry can resume instead of replaying from scratch *)
-    let last_ckpt = ref None in
+       so a retry can resume instead of replaying from scratch; a
+       caller-supplied blob (journal recovery) seeds it, and the
+       restore path's Machine.Error fallback below covers a stale blob
+       whose program digest no longer matches *)
+    let last_ckpt = ref ckpt in
     let rec attempt_run attempt trace =
       if Obs.enabled obs then
         Obs.point obs "job.attempt"
@@ -103,8 +106,16 @@ let compute ~policy ~t0 ~obs cache (job : Job.t) digest =
           | `Done -> `Finished
           | `More ->
               Obs.count obs "ucd.slices" 1;
-              if policy.resume && job.Job.faults <> None then
-                last_ckpt := Some (Uc.Compile.checkpoint t);
+              if
+                policy.resume
+                && (job.Job.faults <> None || on_checkpoint <> None)
+              then begin
+                let blob = Uc.Compile.checkpoint t in
+                last_ckpt := Some blob;
+                (* durability hook: the serve daemon journals the blob
+                   so a restarted daemon resumes mid-run *)
+                Option.iter (fun f -> f blob) on_checkpoint
+              end;
               slices ()
       in
       let machine_metrics () =
@@ -172,7 +183,8 @@ let status_string = function
   | Report.Timeout _ -> "timeout"
   | Report.Faulted _ -> "faulted"
 
-let run_job ?(policy = default_policy) ?(obs = Obs.null) ~cache (job : Job.t) =
+let run_job ?(policy = default_policy) ?(obs = Obs.null) ?ckpt ?on_checkpoint
+    ~cache (job : Job.t) =
   let t0 = now () in
   let digest = Job.digest job in
   (* fault-bearing runs are policy-dependent (retry budget, resume), so
@@ -198,7 +210,7 @@ let run_job ?(policy = default_policy) ?(obs = Obs.null) ~cache (job : Job.t) =
         | Some r ->
             { r with Report.from_cache = true; wall_seconds = now () -. t0 }
         | None ->
-            let r = compute ~policy ~t0 ~obs cache job digest in
+            let r = compute ~policy ~t0 ~obs ?ckpt ?on_checkpoint cache job digest in
             let wall = now () -. t0 in
             (match r.Report.status with
             | Report.Timeout _ | Report.Faulted _ -> ()
@@ -244,7 +256,9 @@ let run_jobs ?domains ?queue_bound ?policy ?obs ~cache jobs =
       | Ok r -> r
       | Error exn -> crash_result job exn)
     jobs
-    (Pool.map ?domains ?queue_bound ?obs (run_job ?policy ?obs ~cache) jobs)
+    (Pool.map ?domains ?queue_bound ?obs
+       (fun job -> run_job ?policy ?obs ~cache job)
+       jobs)
 
 let corpus_jobs ?options ?seed ?fuel ?deadline ?faults ?retries ?engine () =
   List.map

@@ -45,9 +45,25 @@ val default_policy : policy
     {!Cm.Machine.publish} — the machine's ["cm."] statistics.  One scope
     may be shared by every pool worker; telemetry never changes results
     (the report row, including its [metrics], is identical with a null
-    scope). *)
+    scope).
+
+    [ckpt] seeds the resume point with a previously captured
+    {!Uc.Compile.checkpoint} blob (journal recovery): the first attempt
+    restores from it, falling back to a fresh start when the blob's
+    program digest no longer matches (source changed across the
+    restart).  [on_checkpoint] receives every per-slice checkpoint blob
+    as it is taken — supplying it forces per-slice checkpointing even
+    for fault-free jobs, which is how the serve daemon journals resume
+    points.  Checkpoint-interrupt-resume yields byte-identical rows
+    (PR 3 invariant), so neither parameter can change a result. *)
 val run_job :
-  ?policy:policy -> ?obs:Obs.t -> cache:Cache.t -> Job.t -> Report.result
+  ?policy:policy ->
+  ?obs:Obs.t ->
+  ?ckpt:string ->
+  ?on_checkpoint:(string -> unit) ->
+  cache:Cache.t ->
+  Job.t ->
+  Report.result
 
 (** The [Report.Failed] row for a job whose execution raised something
     {!run_job} does not absorb ([Out_of_memory], [Stack_overflow] …).

@@ -17,7 +17,21 @@
 
     The [drain] frame is operator-only: honoured on unix-socket
     connections (gated by the socket path's filesystem permissions),
-    answered with a [denied] error over TCP. *)
+    answered with a [denied] error over TCP.
+
+    Durability: with a [cache_dir] and [journal:true], every accepted
+    job is written ahead to a {!Journal} before its ack; on start the
+    journal is replayed, unfinished jobs are requeued (resuming from
+    their latest checkpoint blob, with ownerless entries clients
+    reattach to by resubmitting the same digest), and [done] jobs whose
+    cached report vanished are recomputed.  Resubmitting an in-flight
+    digest joins the existing job as a watcher — exactly-once
+    client-visible semantics over at-least-once execution.
+
+    Chaos: a seeded {!Chaos} plan injects socket resets, torn frames,
+    slow-reader stalls, cache-disk write failures and simulated worker
+    crashes, for the crash/soak harnesses; [None] injects nothing and
+    costs nothing. *)
 
 type config = {
   socket_path : string option;  (** Unix-domain listener (stale file replaced) *)
@@ -37,12 +51,17 @@ type config = {
       (** finished (done/cancelled) outcomes kept for [status] queries;
           older ones are evicted so a long-running daemon's memory
           stays bounded *)
+  journal : bool;
+      (** write-ahead job journal under the cache dir (no [cache_dir] →
+          no journal, silently) *)
+  journal_fsync : bool;  (** fsync after every journal record *)
+  chaos : Chaos.spec option;  (** seeded service-level fault injection *)
   verbose : bool;  (** log connections/drain progress to stderr *)
 }
 
 (** Unix socket ["ucd.sock"], no TCP, 2 domains, queue 16, no quotas,
     30 s drain, 5 s flush, default runner policy, 1 MiB frames, 256
-    recent outcomes, quiet. *)
+    recent outcomes, journal on (fsync off), no chaos, quiet. *)
 val default_config : config
 
 type t

@@ -166,6 +166,15 @@ let session_fields s =
         ("trace_dropped", Jsonu.Int (Obs.Stream.dropped s.outbox));
       ])
 
+(* tenant -> (in-flight now, quota if any), sorted by tenant; the
+   server_status reply's per-tenant usage table *)
+let tenant_usage reg =
+  locked reg.reg_lock (fun () ->
+      Hashtbl.fold
+        (fun tenant r acc -> (tenant, !r, quota_of reg tenant) :: acc)
+        reg.tenant_in_flight []
+      |> List.sort (fun (a, _, _) (b, _, _) -> compare a b))
+
 let registry_fields reg =
   let sessions = all reg in
   let lifetime =

@@ -77,6 +77,10 @@ val close_outbox : t -> unit
 val all : registry -> t list
 val session_fields : t -> (string * Jsonu.t) list
 
+(** [(tenant, in-flight now, quota if any)] per known tenant, sorted by
+    tenant — the [server_status] reply's quota-usage table. *)
+val tenant_usage : registry -> (string * int * int option) list
+
 (** For the server's [stats] reply: connected count, lifetime count,
     and per-session rows sorted by id. *)
 val registry_fields : registry -> (string * Jsonu.t) list

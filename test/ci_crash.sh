@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# `make ci-crash` gate: start the daemon on the corpus, SIGKILL it
+# mid-run, restart it over the same cache dir, and require that every
+# accepted job still finishes — zero lost, zero duplicated, report rows
+# byte-identical to `ucc batch`.  The client side rides out the crash
+# with `--reconnect` (resubmit-by-digest after the daemon comes back).
+# Run from the repository root (the Makefile does).
+set -euo pipefail
+trap 'echo "ci_crash.sh: FAILED at line $LINENO: $BASH_COMMAND" >&2' ERR
+
+UCC=${UCC:-_build/default/bin/ucc.exe}
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/ucc_ci_crash.XXXXXX")
+SOCK="$WORK/ucd.sock"
+CACHE="$WORK/cache"
+SERVE_PID=
+cleanup() { kill $SERVE_PID 2>/dev/null || true; rm -rf "$WORK"; }
+trap cleanup EXIT
+
+# deterministic identity: everything but wall time and cache provenance
+strip() { sed 's/,"wall_seconds":[^,]*,"cache":"[a-z]*"}/}/' "$1" | grep '"job":'; }
+
+wait_sock() {
+  for _ in $(seq 1 200); do [ -S "$1" ] && return 0; sleep 0.05; done
+  return 1
+}
+
+$UCC serve --socket "$SOCK" --cache-dir "$CACHE" --jobs 2 --max-queue 64 \
+  2> "$WORK/serve1.log" &
+SERVE_PID=$!
+wait_sock "$SOCK"
+
+# push the whole corpus; the client must survive the daemon dying under it
+$UCC submit --socket "$SOCK" --corpus --wait --reconnect --tenant crash \
+  > "$WORK/crash.jsonl" 2> "$WORK/crash.log" &
+CLIENT=$!
+
+# let some jobs land, then kill the daemon without ceremony
+sleep 0.4
+kill -KILL "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=
+
+# the write-ahead journal is the only thing that survived
+[ -s "$CACHE/journal.jsonl" ]
+
+# restart over the same cache dir: replay, requeue, resume
+$UCC serve --socket "$SOCK" --cache-dir "$CACHE" --jobs 2 --max-queue 64 \
+  2> "$WORK/serve2.log" &
+SERVE_PID=$!
+wait_sock "$SOCK"
+
+# the reconnecting client finishes every job and exits 0
+wait "$CLIENT"
+[ "$(grep -c '"job":' "$WORK/crash.jsonl")" -eq \
+  "$("$UCC" examples | wc -l)" ]
+
+# zero duplicated: every job name appears exactly once
+[ -z "$(grep -o '"job":"[^"]*"' "$WORK/crash.jsonl" | sort | uniq -d)" ]
+
+# zero lost, rows byte-identical to an uninterrupted batch run
+$UCC batch --cache-dir none > "$WORK/batch.jsonl" 2>/dev/null
+[ "$(strip "$WORK/batch.jsonl")" = "$(strip "$WORK/crash.jsonl")" ]
+
+# the operational snapshot over the same socket confirms the recovery
+$UCC status --socket "$SOCK" > "$WORK/status.json"
+grep -q '"journal":{"enabled":true' "$WORK/status.json"
+grep -qv '"replayed":0' "$WORK/status.json"
+
+# and the restarted daemon still drains cleanly
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+SERVE_PID=
+grep -q "drained cleanly" "$WORK/serve2.log"
+[ ! -e "$SOCK" ]
+
+echo "crash gate: SIGKILL mid-corpus, restart recovered every job, rows identical"

@@ -237,6 +237,30 @@ $UCC submit --socket "$SOCK" --stats 2> serve_stats.txt
 grep -q '"pool"' serve_stats.txt
 grep -q '"sessions"' serve_stats.txt
 
+# ucc status: the read-only operational snapshot on stdout
+$UCC status --socket "$SOCK" > status.json
+grep -q '"uptime_seconds"' status.json
+grep -q '"pool"' status.json
+grep -q '"journal"' status.json
+# a digest nobody submitted is state "unknown", exit 1
+if $UCC status --socket "$SOCK" \
+     --digest 00000000000000000000000000000000 > digest.json; then
+  exit 1
+else
+  [ "$?" = 1 ]
+fi
+grep -q '"state":"unknown"' digest.json
+
+# exit-code contract: a quarantined (faulted) job makes `submit --wait`
+# exit 2, exactly like `ucc batch` (see README for the 0/1/2 table)
+if $UCC submit --socket "$SOCK" ../examples/uc/quickstart.uc \
+     --faults chip@0 --wait > faulted.jsonl 2>/dev/null; then
+  exit 1
+else
+  [ "$?" = 2 ]
+fi
+grep -q '"status":"faulted"' faulted.jsonl
+
 # SIGTERM drains, logs a clean exit, removes the socket, exits 0
 kill -TERM "$SERVE_PID"
 wait "$SERVE_PID"

@@ -38,6 +38,8 @@ let test_client_round_trip () =
         (Ucd.Proto.submit_defaults ~name:"matmul"
            ~source:(Ucd.Proto.Corpus "matmul"));
       Ucd.Proto.Status 3;
+      Ucd.Proto.Status_digest "0123456789abcdef0123456789abcdef";
+      Ucd.Proto.Server_status;
       Ucd.Proto.Cancel 4;
       Ucd.Proto.Trace true;
       Ucd.Proto.Trace false;
@@ -71,8 +73,12 @@ let test_server_round_trip () =
           msg = "queue full";
         };
       Ucd.Proto.Report { job = 2; row };
+      Ucd.Proto.Resumed { client_ref = Some "r"; job = 2; digest = "abcd" };
       Ucd.Proto.Status_reply { job = 2; state = "running"; row = None };
       Ucd.Proto.Status_reply { job = 2; state = "done"; row = Some row };
+      Ucd.Proto.Digest_reply { digest = "abcd"; state = "unknown"; row = None };
+      Ucd.Proto.Digest_reply { digest = "abcd"; state = "done"; row = Some row };
+      Ucd.Proto.Server_status_reply row;
       Ucd.Proto.Cancel_reply { job = 2; ok = false };
       Ucd.Proto.Trace_reply true;
       Ucd.Proto.Trace_event { job = 2; event = row };
@@ -342,10 +348,14 @@ let slow_source =
    + 1; }\n"
 
 let slow_submit ?(deadline = 0.5) name =
+  (* distinct names must be distinct jobs: the content digest ignores
+     the display name, so without a per-name seed every slow job would
+     dedup onto the first one in flight *)
   {
     (Ucd.Proto.submit_defaults ~name ~source:(Ucd.Proto.Inline slow_source))
     with
     Ucd.Proto.deadline = Some deadline;
+    Ucd.Proto.seed = Some (Hashtbl.hash name);
   }
 
 let connect_exn ?tenant ?priority socket =
@@ -576,14 +586,17 @@ let test_trace_streaming () =
    with
   | Ok () -> ()
   | Error e -> Alcotest.failf "send: %s" e);
-  let traces = ref 0 and my_job = ref (-1) and report = ref None in
-  while !report = None do
+  (* a fast job can finish — trace events and report row enqueued by
+     the worker — before the reader thread enqueues the [accepted]
+     frame, so pump until both the ack and the report have arrived and
+     compare ids at the end *)
+  let trace_jobs = ref [] and my_job = ref (-1) and report = ref None in
+  while !report = None || !my_job < 0 do
     match Ucd.Client.recv c with
     | Error e -> Alcotest.failf "recv: %s" e
     | Ok (Ucd.Proto.Accepted { job; _ }) -> my_job := job
     | Ok (Ucd.Proto.Trace_event { job; event }) ->
-        incr traces;
-        check Alcotest.int "trace events carry the job id" !my_job job;
+        trace_jobs := job :: !trace_jobs;
         (* events round-trip through the generic event codec *)
         (match Obs.event_of_json event with
         | Ok _ -> ()
@@ -592,7 +605,11 @@ let test_trace_streaming () =
     | Ok (Ucd.Proto.Rejected { msg; _ }) -> Alcotest.failf "rejected: %s" msg
     | Ok _ -> ()
   done;
-  check Alcotest.bool "saw live trace events" true (!traces > 0)
+  check Alcotest.bool "submit was acked" true (!my_job >= 0);
+  check Alcotest.bool "saw live trace events" true (!trace_jobs <> []);
+  List.iter
+    (fun job -> check Alcotest.int "trace events carry the job id" !my_job job)
+    !trace_jobs
 
 let test_drain_flushes_reports () =
   (* a drain request with a job still running: the report must still be
@@ -820,6 +837,475 @@ let test_stalled_client_cannot_wedge_shutdown () =
   check Alcotest.bool "shutdown bounded by the flush timeout" true
     (Unix.gettimeofday () -. t0 < 8.)
 
+(* ---------------- durability: journal, chaos, recovery ------------- *)
+
+let tmpdir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let d =
+      Printf.sprintf "%s/ucd_jtest_%d_%d"
+        (Filename.get_temp_dir_name ())
+        (Unix.getpid ()) !n
+    in
+    (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    d
+
+let recover_exn ?keep dir =
+  match Ucd.Journal.recover ?keep ~dir () with
+  | Ok (j, rp) -> (j, rp)
+  | Error e -> Alcotest.failf "journal recover: %s" e
+
+let corpus_source name =
+  match List.assoc_opt name Uc_programs.Programs.all_named with
+  | Some src -> src
+  | None -> Alcotest.failf "no corpus program %s" name
+
+let corpus_digest name =
+  Ucd.Job.digest (Ucd.Job.make ~name ~source:(corpus_source name) ())
+
+let accepted_entry ?digest name =
+  let digest = match digest with Some d -> d | None -> corpus_digest name in
+  Ucd.Journal.Accepted
+    {
+      digest;
+      name;
+      tenant = "t";
+      submit =
+        Ucd.Proto.submit_obj
+          (Ucd.Proto.submit_defaults ~name ~source:(Ucd.Proto.Corpus name));
+    }
+
+let test_journal_entry_round_trip () =
+  let submit =
+    Ucd.Proto.submit_obj
+      (Ucd.Proto.submit_defaults ~name:"matmul"
+         ~source:(Ucd.Proto.Corpus "matmul"))
+  in
+  List.iter
+    (fun e ->
+      match Ucd.Journal.entry_of_json (Ucd.Journal.entry_json e) with
+      | Ok back ->
+          check Alcotest.string "entry round trip"
+            (Ucd.Jsonu.to_string (Ucd.Journal.entry_json e))
+            (Ucd.Jsonu.to_string (Ucd.Journal.entry_json back))
+      | Error msg -> Alcotest.failf "entry did not round trip: %s" msg)
+    [
+      Ucd.Journal.Accepted
+        { digest = "d1"; name = "matmul"; tenant = "t"; submit };
+      Ucd.Journal.Started { digest = "d1" };
+      (* checkpoint blobs are binary: every byte must survive *)
+      Ucd.Journal.Checkpointed
+        { digest = "d1"; ckpt = String.init 256 Char.chr };
+      Ucd.Journal.Done_ { digest = "d1"; status = "ok" };
+      Ucd.Journal.Faulted { digest = "d1" };
+    ]
+
+let test_journal_replay_and_compaction () =
+  let dir = tmpdir () in
+  let j, rp0 = recover_exn dir in
+  check Alcotest.int "fresh journal replays nothing" 0 rp0.Ucd.Journal.replayed;
+  List.iter (Ucd.Journal.append j)
+    [
+      accepted_entry ~digest:"da" "a";
+      accepted_entry ~digest:"db" "b";
+      accepted_entry ~digest:"dc" "c";
+      Ucd.Journal.Started { digest = "db" };
+      Ucd.Journal.Checkpointed { digest = "db"; ckpt = "BLOB\x00\x01\xff" };
+      Ucd.Journal.Done_ { digest = "da"; status = "ok" };
+    ];
+  Ucd.Journal.close j;
+  let j2, rp = recover_exn dir in
+  Ucd.Journal.close j2;
+  check Alcotest.int "six records replayed" 6 rp.Ucd.Journal.replayed;
+  check Alcotest.int "no corruption" 0 rp.Ucd.Journal.corrupt;
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.string))
+    "finished"
+    [ ("da", "ok") ]
+    rp.Ucd.Journal.finished;
+  (match rp.Ucd.Journal.pending with
+  | [ b; c ] ->
+      check Alcotest.string "pending keeps accept order" "db"
+        b.Ucd.Journal.p_digest;
+      check Alcotest.bool "b was started" true b.Ucd.Journal.p_started;
+      check
+        (Alcotest.option Alcotest.string)
+        "b's checkpoint blob survives verbatim"
+        (Some "BLOB\x00\x01\xff") b.Ucd.Journal.p_ckpt;
+      check Alcotest.string "c pending too" "dc" c.Ucd.Journal.p_digest;
+      check Alcotest.bool "c never started" false c.Ucd.Journal.p_started
+  | l -> Alcotest.failf "expected 2 pending, got %d" (List.length l));
+  (* recovery compacted the file down to the pending entries: b keeps
+     accepted+started+checkpointed, c keeps accepted, da is gone *)
+  let j3, rp3 = recover_exn dir in
+  Ucd.Journal.close j3;
+  check Alcotest.int "compacted to 4 records" 4 rp3.Ucd.Journal.replayed;
+  check Alcotest.int "still 2 pending" 2 (List.length rp3.Ucd.Journal.pending);
+  check Alcotest.int "finished entries are not kept" 0
+    (List.length rp3.Ucd.Journal.finished)
+
+let test_journal_corrupt_quarantine () =
+  let dir = tmpdir () in
+  let j, _ = recover_exn dir in
+  List.iter (Ucd.Journal.append j)
+    [
+      accepted_entry ~digest:"da" "a";
+      accepted_entry ~digest:"db" "b";
+      Ucd.Journal.Done_ { digest = "da"; status = "ok" };
+    ];
+  Ucd.Journal.close j;
+  let file = Ucd.Journal.path ~dir in
+  (* append a checksum-divergent record and a torn tail (no newline) —
+     exactly what a SIGKILL mid-write leaves behind *)
+  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 file in
+  output_string oc
+    "{\"sum\":\"00000000000000000000000000000000\",\"rec\":{\"t\":\"done\",\"digest\":\"db\",\"status\":\"ok\"}}\n";
+  output_string oc "{\"sum\":\"torn mid-wri";
+  close_out oc;
+  let j2, rp = recover_exn dir in
+  Ucd.Journal.close j2;
+  check Alcotest.int "good records replayed" 3 rp.Ucd.Journal.replayed;
+  check Alcotest.int "both damaged lines quarantined" 2 rp.Ucd.Journal.corrupt;
+  (* the forged done(db) was rejected, so db is still pending *)
+  (match rp.Ucd.Journal.pending with
+  | [ p ] -> check Alcotest.string "db still pending" "db" p.Ucd.Journal.p_digest
+  | l -> Alcotest.failf "expected 1 pending, got %d" (List.length l));
+  check Alcotest.bool "evidence preserved in .corrupt" true
+    (Sys.file_exists (file ^ ".corrupt"))
+
+let test_journal_keep_resurrects_done () =
+  (* recovery compacts the journal in place, so each recover reads a
+     fresh copy of the same crashed-daemon state *)
+  let write_state dir =
+    let j, _ = recover_exn dir in
+    List.iter (Ucd.Journal.append j)
+      [
+        accepted_entry ~digest:"da" "a";
+        Ucd.Journal.Done_ { digest = "da"; status = "ok" };
+      ];
+    Ucd.Journal.close j
+  in
+  (* default: a done job stays done *)
+  let d1 = tmpdir () in
+  write_state d1;
+  let j2, rp = recover_exn d1 in
+  Ucd.Journal.close j2;
+  check Alcotest.int "not resurrected by default" 0
+    (List.length rp.Ucd.Journal.pending);
+  (* but the daemon resurrects a done job whose cached report vanished *)
+  let d2 = tmpdir () in
+  write_state d2;
+  let j3, rp3 =
+    recover_exn ~keep:(fun ~digest:_ ~status -> status = "ok") d2
+  in
+  Ucd.Journal.close j3;
+  (match rp3.Ucd.Journal.pending with
+  | [ p ] ->
+      check Alcotest.string "resurrected into pending" "da"
+        p.Ucd.Journal.p_digest
+  | l -> Alcotest.failf "expected 1 resurrected, got %d" (List.length l));
+  check Alcotest.int "and out of finished" 0
+    (List.length rp3.Ucd.Journal.finished)
+
+let test_chaos_parse_and_determinism () =
+  let plan = "seed=9;horizon=50;resets=3;frames=1;slow=2;disk=1;crash=2" in
+  let spec =
+    match Ucd.Chaos.parse plan with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "parse: %s" e
+  in
+  (* parse >> spec_string is a fixpoint *)
+  (match Ucd.Chaos.parse (Ucd.Chaos.spec_string spec) with
+  | Ok s2 ->
+      check Alcotest.string "canonical fixpoint" (Ucd.Chaos.spec_string spec)
+        (Ucd.Chaos.spec_string s2)
+  | Error e -> Alcotest.failf "reparse: %s" e);
+  (match Ucd.Chaos.parse "resets=oops" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad value must be rejected");
+  (match Ucd.Chaos.parse "zaps=3" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown key must be rejected");
+  (* same spec, two instantiations: identical fire serials *)
+  let trace () =
+    let c = Ucd.Chaos.instantiate spec in
+    let fires = ref [] in
+    for i = 1 to 50 do
+      if Ucd.Chaos.fires_reset c ~obs:Obs.null then fires := i :: !fires
+    done;
+    for i = 1 to 50 do
+      if Ucd.Chaos.fires_crash c ~obs:Obs.null then fires := (100 + i) :: !fires
+    done;
+    (List.rev !fires, Ucd.Chaos.fired c)
+  in
+  let f1, hits1 = trace () in
+  let f2, hits2 = trace () in
+  check (Alcotest.list Alcotest.int) "deterministic fire serials" f1 f2;
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+    "deterministic hit counts" hits1 hits2;
+  check Alcotest.int "all scheduled resets fired within the horizon" 3
+    (List.assoc "resets" hits1);
+  check Alcotest.int "all scheduled crashes fired within the horizon" 2
+    (List.assoc "crash" hits1)
+
+(* write a journal by hand under [dir], as a crashed daemon would have
+   left it, then start a server over it *)
+let with_recovered_server ~dir entries f =
+  let j, _ = recover_exn dir in
+  List.iter (Ucd.Journal.append j) entries;
+  Ucd.Journal.close j;
+  let socket = next_sock () in
+  let srv =
+    Ucd.Server.start ~cache_dir:dir
+      { (base_cfg socket) with Ucd.Server.domains = 1 }
+  in
+  Fun.protect ~finally:(fun () -> ignore (Ucd.Server.stop srv)) @@ fun () ->
+  f socket
+
+let await_digest_done c digest =
+  let rec go n =
+    if n = 0 then Alcotest.failf "digest %s never reached done" digest
+    else
+      match Ucd.Client.status_digest c digest with
+      | Error e -> Alcotest.failf "status_digest: %s" e
+      | Ok ("done", Some row) -> row
+      | Ok _ ->
+          Thread.delay 0.05;
+          go (n - 1)
+  in
+  go 200
+
+let reference_row name =
+  let cache = Ucd.Cache.create () in
+  Ucd.Runner.run_job ~cache
+    (Ucd.Job.make ~name ~source:(corpus_source name) ())
+
+let test_recovery_requeues_accepted_job () =
+  (* an accepted-but-unfinished journal entry: the restarted daemon
+     requeues it and the recomputed row equals the batch path's *)
+  let dir = tmpdir () in
+  let digest = corpus_digest "matmul" in
+  with_recovered_server ~dir
+    [ accepted_entry "matmul"; Ucd.Journal.Started { digest } ]
+  @@ fun socket ->
+  let c = connect_exn socket in
+  Fun.protect ~finally:(fun () -> Ucd.Client.close c) @@ fun () ->
+  let row = await_digest_done c digest in
+  match Ucd.Report.of_json row with
+  | Error e -> Alcotest.failf "bad recovered row: %s" e
+  | Ok r ->
+      check Alcotest.string "recovered row ≡ batch row"
+        (Ucd.Report.canonical_json (reference_row "matmul"))
+        (Ucd.Report.canonical_json { r with Ucd.Report.from_cache = false })
+
+let test_recovery_survives_stale_checkpoint () =
+  (* the journaled checkpoint blob belongs to a different program (the
+     source changed across the restart): the digest guard must reject
+     it and the job must restart from scratch, not crash or resume into
+     the wrong machine *)
+  let stale_blob =
+    let compiled = Uc.Compile.lower (Uc.Compile.parse_source (corpus_source "reciprocal")) in
+    let t = Uc.Compile.start_compiled compiled in
+    ignore (Uc.Compile.step t ~fuel_slice:50);
+    Uc.Compile.checkpoint t
+  in
+  let dir = tmpdir () in
+  let digest = corpus_digest "matmul" in
+  with_recovered_server ~dir
+    [
+      accepted_entry "matmul";
+      Ucd.Journal.Started { digest };
+      Ucd.Journal.Checkpointed { digest; ckpt = stale_blob };
+    ]
+  @@ fun socket ->
+  let c = connect_exn socket in
+  Fun.protect ~finally:(fun () -> Ucd.Client.close c) @@ fun () ->
+  let row = await_digest_done c digest in
+  match Ucd.Report.of_json row with
+  | Error e -> Alcotest.failf "bad recovered row: %s" e
+  | Ok r ->
+      check Alcotest.string "fresh-start row ≡ batch row"
+        (Ucd.Report.canonical_json (reference_row "matmul"))
+        (Ucd.Report.canonical_json { r with Ucd.Report.from_cache = false })
+
+let test_recovery_recomputes_missing_report () =
+  (* a done record whose cached report artifact is gone: replay must
+     resurrect and recompute it, not answer "done" with nothing *)
+  let dir = tmpdir () in
+  let digest = corpus_digest "matmul" in
+  with_recovered_server ~dir
+    [ accepted_entry "matmul"; Ucd.Journal.Done_ { digest; status = "ok" } ]
+  @@ fun socket ->
+  let c = connect_exn socket in
+  Fun.protect ~finally:(fun () -> Ucd.Client.close c) @@ fun () ->
+  let row = await_digest_done c digest in
+  match Ucd.Report.of_json row with
+  | Error e -> Alcotest.failf "bad recovered row: %s" e
+  | Ok r ->
+      check Alcotest.string "recomputed row ≡ batch row"
+        (Ucd.Report.canonical_json (reference_row "matmul"))
+        (Ucd.Report.canonical_json { r with Ucd.Report.from_cache = false })
+
+let test_resubmit_in_flight_digest_joins () =
+  (* resubmitting an in-flight digest must not run the job twice: both
+     resubmissions get a [resumed] frame naming the same job id, and
+     each watcher ack yields exactly one report frame *)
+  let socket = next_sock () in
+  let srv =
+    Ucd.Server.start { (base_cfg socket) with Ucd.Server.domains = 1 }
+  in
+  Fun.protect ~finally:(fun () -> ignore (Ucd.Server.stop srv)) @@ fun () ->
+  let c1 = connect_exn socket in
+  Fun.protect ~finally:(fun () -> Ucd.Client.close c1) @@ fun () ->
+  let sub = slow_submit ~deadline:5. "dup" in
+  (match Ucd.Client.send c1 (Ucd.Proto.Submit sub) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "send: %s" e);
+  let owner_id =
+    match recv_replies c1 ~n:1 with
+    | [ Ucd.Proto.Accepted { job; _ } ] -> job
+    | _ -> Alcotest.fail "owner submit must be accepted"
+  in
+  let c2 = connect_exn socket in
+  Fun.protect ~finally:(fun () -> Ucd.Client.close c2) @@ fun () ->
+  (match Ucd.Client.send c2 (Ucd.Proto.Submit sub) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "send: %s" e);
+  (match Ucd.Client.send c2 (Ucd.Proto.Submit sub) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "send: %s" e);
+  let resumed = ref [] and reports = ref 0 in
+  while List.length !resumed < 2 || !reports < 2 do
+    match Ucd.Client.recv c2 with
+    | Error e -> Alcotest.failf "recv: %s" e
+    | Ok (Ucd.Proto.Resumed { job; _ }) -> resumed := job :: !resumed
+    | Ok (Ucd.Proto.Accepted _) ->
+        Alcotest.fail "in-flight resubmit must resume, not accept"
+    | Ok (Ucd.Proto.Report _) -> incr reports
+    | Ok (Ucd.Proto.Rejected { msg; _ }) -> Alcotest.failf "rejected: %s" msg
+    | Ok _ -> ()
+  done;
+  (match !resumed with
+  | [ a; b ] ->
+      check Alcotest.int "both resubmits name the owner's job id" owner_id a;
+      check Alcotest.int "and the same id twice" a b
+  | _ -> Alcotest.fail "expected two resumed frames");
+  check Alcotest.int "one report frame per watcher ack" 2 !reports;
+  (* the owner still gets exactly one *)
+  let owner_reports = ref 0 in
+  (try
+     while !owner_reports < 1 do
+       match Ucd.Client.recv c1 with
+       | Error e -> Alcotest.failf "owner recv: %s" e
+       | Ok (Ucd.Proto.Report _) -> incr owner_reports
+       | Ok _ -> ()
+     done
+   with _ -> ());
+  check Alcotest.int "owner got its report" 1 !owner_reports
+
+let test_server_status_over_socket () =
+  let dir = tmpdir () in
+  let socket = next_sock () in
+  let srv = Ucd.Server.start ~cache_dir:dir (base_cfg socket) in
+  Fun.protect ~finally:(fun () -> ignore (Ucd.Server.stop srv)) @@ fun () ->
+  let c = connect_exn ~tenant:"ops" socket in
+  Fun.protect ~finally:(fun () -> Ucd.Client.close c) @@ fun () ->
+  submit_inline c ~name:"s1" "void main() {}";
+  (match recv_replies c ~n:1 with
+  | [ Ucd.Proto.Accepted _ ] -> ()
+  | _ -> Alcotest.fail "submit must be accepted");
+  match Ucd.Client.server_status c with
+  | Error e -> Alcotest.failf "server_status: %s" e
+  | Ok (Ucd.Jsonu.Obj fields) ->
+      let has k = List.mem_assoc k fields in
+      List.iter
+        (fun k ->
+          check Alcotest.bool (Printf.sprintf "status has %S" k) true (has k))
+        [ "version"; "uptime_seconds"; "jobs"; "pool"; "journal"; "chaos"; "tenants" ];
+      (match List.assoc "journal" fields with
+      | Ucd.Jsonu.Obj j ->
+          check Alcotest.bool "journal enabled with a cache dir" true
+            (List.assoc_opt "enabled" j = Some (Ucd.Jsonu.Bool true))
+      | _ -> Alcotest.fail "journal field is not an object");
+      (match List.assoc "tenants" fields with
+      | Ucd.Jsonu.List (_ :: _) -> ()
+      | Ucd.Jsonu.List [] ->
+          Alcotest.fail "tenant usage must list the in-flight tenant"
+      | _ -> Alcotest.fail "tenants field is not a list")
+  | Ok _ -> Alcotest.fail "server_status reply is not an object"
+
+let test_chaos_soak_no_lost_jobs () =
+  (* a chaotic server: resets, torn frames, stalls, disk failures and
+     worker crashes — a persistent client that reconnects and resubmits
+     by digest still lands every job, with rows identical to the
+     batch path *)
+  let spec =
+    match
+      Ucd.Chaos.parse "seed=5;horizon=120;resets=4;frames=3;slow=3;disk=2;crash=3"
+    with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "chaos parse: %s" e
+  in
+  let dir = tmpdir () in
+  let socket = next_sock () in
+  let srv =
+    Ucd.Server.start ~cache_dir:dir
+      { (base_cfg socket) with Ucd.Server.chaos = Some spec }
+  in
+  Fun.protect ~finally:(fun () -> ignore (Ucd.Server.stop srv)) @@ fun () ->
+  let names =
+    List.filteri (fun i _ -> i < 10)
+      (List.map fst Uc_programs.Programs.all_named)
+  in
+  let run_one name =
+    let rec attempt tries =
+      if tries = 0 then Alcotest.failf "%s never completed under chaos" name
+      else
+        match
+          Ucd.Client.connect_retry ~attempts:8 (Ucd.Client.Unix_path socket)
+        with
+        | Error e -> Alcotest.failf "connect under chaos: %s" e
+        | Ok c -> (
+            let outcome =
+              match
+                Ucd.Client.send c
+                  (Ucd.Proto.Submit
+                     (Ucd.Proto.submit_defaults ~name
+                        ~source:(Ucd.Proto.Corpus name)))
+              with
+              | Error _ -> None
+              | Ok () ->
+                  let rec pump () =
+                    match Ucd.Client.recv c with
+                    | Error _ -> None  (* reset or torn frame: resubmit *)
+                    | Ok (Ucd.Proto.Report { row; _ }) -> Some row
+                    | Ok (Ucd.Proto.Rejected { msg; _ }) ->
+                        Alcotest.failf "rejected under chaos: %s" msg
+                    | Ok _ -> pump ()
+                  in
+                  pump ()
+            in
+            Ucd.Client.close c;
+            match outcome with
+            | Some row -> row
+            | None -> attempt (tries - 1))
+    in
+    attempt 30
+  in
+  List.iter
+    (fun name ->
+      let row = run_one name in
+      match Ucd.Report.of_json row with
+      | Error e -> Alcotest.failf "bad row under chaos: %s" e
+      | Ok r ->
+          check Alcotest.string
+            (Printf.sprintf "chaos row for %s ≡ batch row" name)
+            (Ucd.Report.canonical_json (reference_row name))
+            (Ucd.Report.canonical_json { r with Ucd.Report.from_cache = false }))
+    names
+
 let () =
   Alcotest.run "serve"
     [
@@ -876,5 +1362,30 @@ let () =
             test_drain_denied_over_tcp;
           Alcotest.test_case "stalled client cannot wedge shutdown" `Quick
             test_stalled_client_cannot_wedge_shutdown;
+        ] );
+      ( "durability",
+        [
+          Alcotest.test_case "journal entries round trip" `Quick
+            test_journal_entry_round_trip;
+          Alcotest.test_case "replay + compaction" `Quick
+            test_journal_replay_and_compaction;
+          Alcotest.test_case "corrupt lines quarantined, never a crash" `Quick
+            test_journal_corrupt_quarantine;
+          Alcotest.test_case "keep resurrects done-without-artifact" `Quick
+            test_journal_keep_resurrects_done;
+          Alcotest.test_case "chaos plans parse + fire deterministically"
+            `Quick test_chaos_parse_and_determinism;
+          Alcotest.test_case "restart requeues accepted job" `Quick
+            test_recovery_requeues_accepted_job;
+          Alcotest.test_case "stale checkpoint falls back to fresh start"
+            `Quick test_recovery_survives_stale_checkpoint;
+          Alcotest.test_case "done record with missing report recomputes"
+            `Quick test_recovery_recomputes_missing_report;
+          Alcotest.test_case "in-flight resubmit joins the same job" `Quick
+            test_resubmit_in_flight_digest_joins;
+          Alcotest.test_case "ucc status snapshot over socket" `Quick
+            test_server_status_over_socket;
+          Alcotest.test_case "chaos soak: zero lost, rows ≡ batch" `Slow
+            test_chaos_soak_no_lost_jobs;
         ] );
     ]
