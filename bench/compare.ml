@@ -61,7 +61,12 @@ let is_bechamel line =
   has_prefix {|{"section":"bechamel"|}
   || has_prefix {|{"section":"serve"|}
   || has_prefix {|{"section":"scaling"|}
+  || has_prefix {|{"section":"native"|}
   || has_prefix {|{"section":"durable"|}
+  (* r1 (recovery overhead) and obs (tracing cost) time the host too:
+     their seconds move with the machine, not the cost model *)
+  || has_prefix {|{"section":"r1"|}
+  || has_prefix {|{"section":"obs"|}
 
 (* minimal extraction: the bench writer emits flat objects with string
    keys, no escapes inside the values we care about *)

@@ -643,6 +643,112 @@ let s2_scaling () =
       print_newline ())
     progs
 
+(* ---------------- N1: native-engine wall-clock ---------------- *)
+
+(* The native backend measured as wall-clock: the three figure programs
+   at their largest sweep size on the reference → fast → native ladder,
+   per-run times with a warm in-process code cache (a Dynlink'd module
+   cannot be unloaded, so steady state is what any long-lived process
+   sees), plus each program's one-time codegen/build cost and the
+   code-cache hit rate of a second sweep over it.  Rows are wall-clock,
+   so they carry section "native" and compare.ml reports them like
+   bechamel/scaling rows; the simulated results are engine-identical
+   (make ci-native enforces that bit for bit, cold and warm). *)
+let n1_native () =
+  section "N1"
+    "Native codegen: wall-clock on the reference/fast/native ladder (per run)";
+  match Cm.Codegen.available () with
+  | Error why ->
+      (* a toolchain-less host degrades, it doesn't fail: record the
+         fact and keep the snapshot comparable *)
+      Printf.printf "native compilation unavailable here (%s); ladder skipped\n"
+        why;
+      emit_row "native" [ ("available", Ucd.Jsonu.Bool false) ]
+  | Ok () ->
+      emit_row "native" [ ("available", Ucd.Jsonu.Bool true) ];
+      let time f =
+        (* best of 3, like the shard sweep: scheduling noise dominates a
+           mean at these run times *)
+        let best = ref infinity in
+        for _ = 1 to 3 do
+          let t0 = Unix.gettimeofday () in
+          f ();
+          best := Float.min !best (Unix.gettimeofday () -. t0)
+        done;
+        !best
+      in
+      let progs =
+        [
+          ( "fig6:uc-n2 N=64",
+            Uc_programs.Programs.shortest_path_n2 ~deterministic:false ~n:64 ()
+          );
+          ( "fig7:uc-n3 N=25",
+            Uc_programs.Programs.shortest_path_n3 ~deterministic:false ~n:25 ()
+          );
+          ("fig8:uc-obstacle N=120", Uc_programs.Programs.obstacle_grid ~n:120);
+        ]
+      in
+      Printf.printf "%-26s %-12s %12s %9s\n" "program" "engine" "ms/run"
+        "vs fast";
+      List.iter
+        (fun (name, src) ->
+          let compiled = Uc.Compile.compile_source src in
+          (* pay the one-shot codegen+build outside the timed region and
+             price it from the process-wide counter deltas *)
+          let s0 = Cm.Codegen.stats () in
+          let pre = Uc.Compile.start_compiled ~seed ~engine:`Native compiled in
+          (match Cm.Machine.compile_native pre.Uc.Compile.machine with
+          | Ok () -> ()
+          | Error why -> Printf.printf "  (%s: fell back: %s)\n" name why);
+          let s1 = Cm.Codegen.stats () in
+          let run engine =
+            time (fun () ->
+                ignore (Uc.Compile.run_compiled ~seed ~engine compiled))
+          in
+          let fast = run `Fast in
+          let line engine t =
+            let label = Ucd.Job.engine_string engine in
+            Printf.printf "%-26s %-12s %12.3f %8.2fx\n" name label
+              (1000. *. t) (fast /. t);
+            emit_row "native"
+              [
+                ("test", Ucd.Jsonu.Str (name ^ " " ^ label));
+                ("ms_per_run", Ucd.Jsonu.Float (1000. *. t));
+                ("speedup_vs_fast", Ucd.Jsonu.Float (fast /. t));
+              ]
+          in
+          line `Reference (run `Reference);
+          line `Fast fast;
+          line `Native (run `Native);
+          (* a second sweep over the same program must be all cache
+             hits: every machine after the first resolves its entry
+             from the per-process memo (or the disk store, in a
+             cache-dir'd batch) without emitting a line of source *)
+          let s2 = Cm.Codegen.stats () in
+          let h2 =
+            (s2.Cm.Codegen.mem_hits - s1.Cm.Codegen.mem_hits)
+            + (s2.Cm.Codegen.disk_hits - s1.Cm.Codegen.disk_hits)
+          in
+          let b2 = s2.Cm.Codegen.builds - s1.Cm.Codegen.builds in
+          let hit_rate =
+            if h2 + b2 = 0 then 1.0 else float_of_int h2 /. float_of_int (h2 + b2)
+          in
+          let codegen_ms = s1.Cm.Codegen.codegen_ms -. s0.Cm.Codegen.codegen_ms
+          and build_ms = s1.Cm.Codegen.build_ms -. s0.Cm.Codegen.build_ms in
+          Printf.printf
+            "%-26s %-12s codegen %.1f ms, build %.1f ms, warm sweep %.0f%% \
+             cache hit\n"
+            name "native" codegen_ms build_ms (100. *. hit_rate);
+          emit_row "native"
+            [
+              ("test", Ucd.Jsonu.Str (name ^ " codegen"));
+              ("codegen_ms", Ucd.Jsonu.Float codegen_ms);
+              ("build_ms", Ucd.Jsonu.Float build_ms);
+              ("warm_hit_rate", Ucd.Jsonu.Float hit_rate);
+            ];
+          print_newline ())
+        progs
+
 (* ---------------- parallel prefetch ---------------- *)
 
 (* ---------------- S1: the serve daemon under load ---------------- *)
@@ -1038,6 +1144,7 @@ let sections =
     ("serve", s1_serve);
     ("durable", s3_durable);
     ("scaling", s2_scaling);
+    ("native", n1_native);
     ("bechamel", bechamel_bench);
   ]
 

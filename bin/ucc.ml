@@ -192,9 +192,12 @@ let engine_doc =
   Printf.sprintf
     "Execution engine: %s.  $(b,fast) (the default) runs pre-decoded \
      instruction kernels; $(b,sharded) fans the kernels out across \
-     $(b,--shards) worker domains; $(b,reference) is the tree-walking \
-     interpreter.  All engines produce bit-identical results, statistics \
-     and simulated time; only wall-clock speed differs."
+     $(b,--shards) worker domains; $(b,native) compiles the Paris IR to \
+     machine code via $(b,ocamlopt) (content-addressed-cached; falls back \
+     to $(b,fast) with a one-line warning when no native toolchain is \
+     available); $(b,reference) is the tree-walking interpreter.  All \
+     engines produce bit-identical results, statistics and simulated \
+     time; only wall-clock speed differs."
     (String.concat ", "
        (List.map (Printf.sprintf "$(b,%s)") Ucd.Job.engine_names))
 
@@ -314,6 +317,26 @@ let paris_cmd =
            vs off) can be compared without running anything *)
         Format.printf "%a@." (Cm.Iropt.pp_static_summary ?params:None)
           compiled.Uc.Codegen.prog;
+        (* codegen coverage: which instruction classes `--engine native`
+           open-codes vs routes back through the fast kernels — static,
+           so codegen tuning is observable without running anything *)
+        let pp_census ppf classes =
+          Format.pp_print_list
+            ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+            (fun ppf (mn, n) -> Format.fprintf ppf "%s:%d" mn n)
+            ppf classes
+        in
+        let native, fallback = Cm.Codegen.coverage compiled.Uc.Codegen.prog in
+        Format.printf "@[<v>native codegen: @[%a@]@,"
+          (fun ppf -> function
+            | [] -> Format.pp_print_string ppf "(nothing)"
+            | cs -> pp_census ppf cs)
+          native;
+        Format.printf "kernel fallback: @[%a@]@]@."
+          (fun ppf -> function
+            | [] -> Format.pp_print_string ppf "(nothing)"
+            | cs -> pp_census ppf cs)
+          fallback;
         finish ();
         0)
   in

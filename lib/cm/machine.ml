@@ -7,7 +7,15 @@ let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
 
 type fdata = FInt of int array | FFloat of float array
 
-type engine = [ `Fast | `Reference | `Sharded of int ]
+type engine = [ `Fast | `Reference | `Sharded of int | `Native ]
+
+(* Outcome of the one native-compilation attempt a machine makes: the
+   Dynlink'd entry point, or the typed reason we fell back to the fast
+   kernels (reported as [engine_effective] upstream). *)
+type native_code =
+  | NUnknown
+  | NReady of Codegen.entry
+  | NFallback of string
 
 (* Live state of a fault plan: a cursor into the serial-sorted event
    array plus per-kind FIFO queues of armed transient faults (an armed
@@ -45,6 +53,7 @@ type t = {
   regions : (string, float ref) Hashtbl.t;  (* region -> elapsed ns *)
   mutable kernels : (unit -> unit) array option;  (* fast engine, lazy *)
   mutable skernels : (unit -> unit) array option;  (* sharded engine, lazy *)
+  mutable native : native_code;  (* native engine, lazy *)
   mutable steam : Shard.team option;  (* borrowed for the current exec *)
   mutable icount : int;  (* executed instruction serial, both engines *)
   fstate : fstate option;
@@ -124,6 +133,7 @@ let create ?(cost = Cost.cm2_16k) ?(seed = 12345) ?(fuel = 50_000_000)
     regions;
     kernels = None;
     skernels = None;
+    native = NUnknown;
     steam = None;
     icount = 0;
     fstate = Option.map (fstate_of_plan ~from:0) faults;
@@ -2154,10 +2164,122 @@ let run_sharded ?steps m =
     if dt > 0.0 then m.region_acc := !(m.region_acc) +. dt
   done
 
+(* ---- native engine: Dynlink'd code generated by Codegen ---- *)
+
+(* Warn at most once per process: batch sweeps and the serve daemon run
+   thousands of jobs, and a degraded host should say so exactly once. *)
+let native_warned = ref false
+
+let native_warn why =
+  if not !native_warned then begin
+    native_warned := true;
+    Printf.eprintf
+      "cm: native engine unavailable (%s); falling back to fast kernels\n%!" why
+  end
+
+let compile_native m =
+  match m.native with
+  | NReady _ -> Ok ()
+  | NFallback why -> Error why
+  | NUnknown -> (
+      match m.fstate with
+      | Some _ ->
+          (* fault injection hooks the fast engine's dispatch loop; run
+             there quietly — this is policy, not a degraded host *)
+          let why = "fault injection runs on the fast kernels" in
+          m.native <- NFallback why;
+          Error why
+      | None -> (
+          match Codegen.entry_for ~obs:m.obs m.prog with
+          | e ->
+              m.native <- NReady e;
+              Ok ()
+          | exception Codegen.Unavailable r ->
+              let why = Codegen.describe r in
+              m.native <- NFallback why;
+              native_warn why;
+              Error why))
+
+(* The engine that will actually execute: [`Native] resolves to itself
+   or to [`Fast] depending on the compile outcome. *)
+let effective_engine m =
+  match m.engine with
+  | `Native -> (
+      match compile_native m with Ok () -> `Native | Error _ -> `Fast)
+  | e -> e
+
+let run_native ?steps m entry =
+  (* the fast kernels back every instruction the generated code does not
+     open-code, and bottle up decode-time errors exactly like run_fast *)
+  compile m;
+  let kernels = match m.kernels with Some k -> k | None -> assert false in
+  let ctx =
+    {
+      Codegen.c_regs = m.regs;
+      c_ints =
+        Array.map (function FInt a -> a | FFloat _ -> [||]) m.fields;
+      c_floats =
+        Array.map (function FFloat a -> a | FInt _ -> [||]) m.fields;
+      c_ctxs = m.contexts;
+      c_sizes = Array.map Geometry.size m.prog.geoms;
+      c_meter = m.meter;
+      c_pc = m.pc;
+      c_fuel = m.fuel;
+      c_icount = m.icount;
+      c_rand = m.rand_state;
+      c_cur = m.cur;
+      c_racc = m.region_acc;
+      c_fail = (fun s -> Error s);
+      c_not_cur =
+        (fun what f curv ->
+          if curv < 0 then Error "no VP set selected (missing Cwith)"
+          else
+            Error
+              (Printf.sprintf "%s: field f%d is not on the current VP set vp%d"
+                 what f curv));
+      c_emit = (fun line -> m.output <- line :: m.output);
+      c_region =
+        (fun name ic ->
+          m.icount <- ic;
+          set_region m name;
+          m.region_acc);
+      c_kernel =
+        (fun i curv ->
+          m.cur <- curv;
+          (Array.unsafe_get kernels i) ());
+      c_fe_bin = fe_bin;
+      c_fe_unop = fe_unop;
+      c_to_int = to_int;
+      c_to_float = to_float;
+      c_truthy = truthy;
+    }
+  in
+  let sync () =
+    m.pc <- ctx.Codegen.c_pc;
+    m.fuel <- ctx.Codegen.c_fuel;
+    m.icount <- ctx.Codegen.c_icount;
+    m.rand_state <- ctx.Codegen.c_rand;
+    m.cur <- ctx.Codegen.c_cur;
+    m.region_acc <- ctx.Codegen.c_racc
+  in
+  let budget = match steps with None -> max_int | Some s -> s in
+  (try entry ctx budget
+   with e ->
+     sync ();
+     raise e);
+  sync ()
+
 let exec ?steps m =
   match m.engine with
   | `Reference -> run_reference ?steps m
   | `Fast -> run_fast ?steps m
+  | `Native -> (
+      match compile_native m with
+      | Ok () -> (
+          match m.native with
+          | NReady e -> run_native ?steps m e
+          | NUnknown | NFallback _ -> assert false)
+      | Error _ -> run_fast ?steps m)
   | `Sharded shards ->
       compile_sharded m shards;
       m.steam <- Shard.Pool.borrow ~want:(shards - 1) ();
@@ -2357,6 +2479,7 @@ let restore ?(engine = `Fast) ?faults ?(obs = Obs.null) prog data =
     regions;
     kernels = None;
     skernels = None;
+    native = NUnknown;
     steam = None;
     icount = ck.ck_icount;
     fstate;

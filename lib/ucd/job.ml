@@ -20,8 +20,9 @@ let engine_string : Cm.Machine.engine -> string = function
   | `Fast -> "fast"
   | `Reference -> "reference"
   | `Sharded n -> Printf.sprintf "sharded:%d" n
+  | `Native -> "native"
 
-let engine_names = [ "fast"; "reference"; "sharded" ]
+let engine_names = [ "fast"; "reference"; "sharded"; "native" ]
 
 let engine_of_name ~shards name : (Cm.Machine.engine, string) result =
   match name with
@@ -31,6 +32,7 @@ let engine_of_name ~shards name : (Cm.Machine.engine, string) result =
       if shards < 1 then
         Error (Printf.sprintf "shard count must be at least 1 (got %d)" shards)
       else Ok (`Sharded shards)
+  | "native" -> Ok `Native
   | s ->
       Error
         (Printf.sprintf "unknown engine %S (valid: %s)" s

@@ -9,6 +9,11 @@ type result = {
   digest : string;
   options : string;
   engine : string;  (* canonical Job.engine_string rendering *)
+  engine_effective : string;
+      (* the engine that actually executed: differs from [engine] only
+         when `native` degraded to `fast` (no toolchain, build failure,
+         fault-injection policy).  "" for rows that never ran a machine
+         (front-end failures); rendered as [engine] in that case. *)
   seed : int;
   status : status;
   simulated_seconds : float;
@@ -36,6 +41,9 @@ let canonical_obj r =
     ("digest", Jsonu.Str r.digest);
     ("options", Jsonu.Str r.options);
     ("engine", Jsonu.Str r.engine);
+    ( "engine_effective",
+      Jsonu.Str (if r.engine_effective = "" then r.engine else r.engine_effective)
+    );
     ("seed", Jsonu.Int r.seed);
   ]
   @ status_fields r.status
@@ -111,6 +119,12 @@ let of_json j =
       let* digest = str "digest" in
       let* options = str "options" in
       let* engine = str "engine" in
+      (* absent only in pre-v5 rows: the engine then executed as named *)
+      let engine_effective =
+        match List.assoc_opt "engine_effective" kvs with
+        | Some (Jsonu.Str s) -> s
+        | _ -> engine
+      in
       let* seed = int "seed" in
       let* status =
         let* s = str "status" in
@@ -160,6 +174,7 @@ let of_json j =
           digest;
           options;
           engine;
+          engine_effective;
           seed;
           status;
           simulated_seconds;

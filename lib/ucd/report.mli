@@ -13,6 +13,10 @@ type result = {
   digest : string;
   options : string;  (** {!Job.options_summary} of the job's options *)
   engine : string;  (** {!Job.engine_string} of the job's engine *)
+  engine_effective : string;
+      (** the engine that actually executed ({!Cm.Machine.effective_engine}):
+          differs from [engine] only when [native] degraded to [fast].
+          [""] (rendered as [engine]) for rows that never ran a machine *)
   seed : int;
   status : status;
   simulated_seconds : float;  (** 0 when the job did not finish; partial

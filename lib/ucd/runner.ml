@@ -34,13 +34,16 @@ let backoff_delay policy ~seed ~attempt =
 let compute ~policy ~t0 ~obs ?ckpt ?on_checkpoint cache (job : Job.t) digest =
   let source_digest = Digest.to_hex (Digest.string job.Job.source) in
   let options_key = Job.options_summary job.Job.options in
-  let finish ?(attempts = 1) ?(trace = []) ?(metrics = []) status simulated
-      output =
+  let finish ?(attempts = 1) ?(trace = []) ?(metrics = []) ?(effective = "")
+      status simulated output =
     {
       Report.job_name = job.Job.name;
       digest;
       options = options_key;
       engine = Job.engine_string job.Job.engine;
+      (* "" = no machine ever ran (front-end failures); Report renders
+         that as [engine] *)
+      engine_effective = effective;
       seed = job.Job.seed;
       status;
       simulated_seconds = simulated;
@@ -122,6 +125,12 @@ let compute ~policy ~t0 ~obs ?ckpt ?on_checkpoint cache (job : Job.t) digest =
         Cm.Machine.publish t.Uc.Compile.machine;
         Cm.Cost.metrics (Uc.Compile.meter t)
       in
+      (* which engine actually executed: `native` resolves to itself or
+         to `fast` (sticky per machine), every other engine to itself *)
+      let effective () =
+        Job.engine_string
+          (Cm.Machine.effective_engine t.Uc.Compile.machine)
+      in
       match slices () with
       | `Finished ->
           if deadline_over () then
@@ -129,28 +138,36 @@ let compute ~policy ~t0 ~obs ?ckpt ?on_checkpoint cache (job : Job.t) digest =
                verdict so a deadline is never beaten by luck *)
             let limit = Option.get job.Job.deadline in
             finish ~attempts:(attempt + 1) ~trace:(List.rev trace)
-              ~metrics:(machine_metrics ())
+              ~metrics:(machine_metrics ()) ~effective:(effective ())
               (Report.Timeout limit)
               (Uc.Compile.elapsed_seconds t)
               (Uc.Compile.output t)
           else
             finish ~attempts:(attempt + 1) ~trace:(List.rev trace)
-              ~metrics:(machine_metrics ()) Report.Done
+              ~metrics:(machine_metrics ()) ~effective:(effective ())
+              Report.Done
               (Uc.Compile.elapsed_seconds t)
               (Uc.Compile.output t)
       | `Deadline ->
           let limit = Option.get job.Job.deadline in
           finish ~attempts:(attempt + 1) ~trace:(List.rev trace)
-            ~metrics:(machine_metrics ())
+            ~metrics:(machine_metrics ()) ~effective:(effective ())
             (Report.Timeout limit)
             (Uc.Compile.elapsed_seconds t)
             (Uc.Compile.output t)
+      | exception Cm.Machine.Error msg ->
+          (* same rendering as the outer handler, but [t] is in scope
+             here so the row records which engine actually errored *)
+          finish ~attempts:(attempt + 1) ~trace:(List.rev trace)
+            ~effective:(effective ())
+            (Report.Failed ("machine: " ^ msg))
+            0. []
       | exception Cm.Machine.Fault msg ->
           let trace = msg :: trace in
           if attempt >= retries then
             (* quarantined: the fault outlived its retry budget *)
             finish ~attempts:(attempt + 1) ~trace:(List.rev trace)
-              (Report.Faulted msg) 0. []
+              ~effective:(effective ()) (Report.Faulted msg) 0. []
           else begin
             Obs.count obs "ucd.retries" 1;
             if Obs.enabled obs then
@@ -238,6 +255,7 @@ let crash_result (job : Job.t) exn =
     digest = Job.digest job;
     options = Job.options_summary job.Job.options;
     engine = Job.engine_string job.Job.engine;
+    engine_effective = "";
     seed = job.Job.seed;
     status = Report.Failed (Printexc.to_string exn);
     simulated_seconds = 0.;

@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# `make ci-native` gate: the whole built-in corpus must be bit-identical
+# between --engine fast and --engine native, on a cold .cmxs cache
+# (every program freshly compiled through ocamlopt + Dynlink) and on a
+# warm one (a fresh process over the same cache dir, different seed so
+# run results miss — the seed is in the job digest — but compiled code
+# hits — the IR digest doesn't see seeds).  With a native toolchain the
+# warm sweep must be served 100% from the code cache; without one every
+# row must degrade to the fast kernels with a one-line warning, still
+# bit-identical, still exit 0.  Run from the repository root (the
+# Makefile does).
+set -euo pipefail
+trap 'echo "ci_native.sh: FAILED at line $LINENO: $BASH_COMMAND" >&2' ERR
+
+UCC=${UCC:-_build/default/bin/ucc.exe}
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/ucc_ci_native.XXXXXX")
+trap 'rm -rf "$WORK"' EXIT
+
+# deterministic identity: drop wall time, cache provenance and the
+# engine labels (the job digest covers the engine, so it differs too)
+norm() {
+  sed -e 's/,"wall_seconds":[^,]*,"cache":"[a-z]*"}/}/' \
+      -e 's/"digest":"[^"]*",//' \
+      -e 's/"engine":"[^"]*",//' \
+      -e 's/"engine_effective":"[^"]*",//' "$1" | grep '"job":'
+}
+
+# fast baselines at both seeds, no disk cache
+$UCC batch --cache-dir none --engine fast \
+  --report "$WORK/fast_a.jsonl" 2>/dev/null
+$UCC batch --cache-dir none --engine fast --seed 777 \
+  --report "$WORK/fast_b.jsonl" 2>/dev/null
+
+# cold sweep: fresh cache dir, every program's .cmxs built from source
+$UCC batch --cache-dir "$WORK/cache" --engine native --stats \
+  --report "$WORK/native_cold.jsonl" 2>"$WORK/cold.err"
+diff <(norm "$WORK/fast_a.jsonl") <(norm "$WORK/native_cold.jsonl")
+
+# warm sweep: fresh process, same cache dir, different seed
+$UCC batch --cache-dir "$WORK/cache" --engine native --seed 777 --stats \
+  --report "$WORK/native_warm.jsonl" 2>"$WORK/warm.err"
+diff <(norm "$WORK/fast_b.jsonl") <(norm "$WORK/native_warm.jsonl")
+
+if grep -q '"engine_effective":"native"' "$WORK/native_cold.jsonl"; then
+  # toolchain present: no row may have fallen back, no warning printed
+  ! grep '"job":' "$WORK/native_cold.jsonl" | grep -q '"engine_effective":"fast"'
+  ! grep '"job":' "$WORK/native_warm.jsonl" | grep -q '"engine_effective":"fast"'
+  ! grep -q 'native engine unavailable' "$WORK/cold.err"
+  # the cold sweep compiled everything (0 code-cache hits) ...
+  grep -q 'native 0/' "$WORK/cold.err"
+  # ... and the warm sweep must be 100% code-cache hits
+  read -r h t <<<"$(sed -n 's/.*native \([0-9]*\)\/\([0-9]*\) hit.*/\1 \2/p' "$WORK/warm.err")"
+  test -n "${h:-}" && test "$h" -gt 0 && test "$h" -eq "$t"
+  echo "ci-native: corpus bit-identical fast vs native, cold ($t programs compiled) and warm ($h/$t code-cache hits)"
+else
+  # no usable toolchain: every row degraded to fast, warned once
+  ! grep '"job":' "$WORK/native_cold.jsonl" | grep -qv '"engine_effective":"fast"'
+  grep -q 'native engine unavailable' "$WORK/cold.err"
+  echo "ci-native: no native toolchain; corpus degraded to fast kernels bit-identically"
+fi

@@ -13,12 +13,14 @@ UCC=${UCC:-_build/default/bin/ucc.exe}
 WORK=$(mktemp -d "${TMPDIR:-/tmp}/ucc_ci_sharded.XXXXXX")
 trap 'rm -rf "$WORK"' EXIT
 
-# deterministic identity: drop wall time, cache provenance, and the two
-# fields that name the engine (digest covers engine, so it differs too)
+# deterministic identity: drop wall time, cache provenance, and the
+# fields that name the engine (digest covers engine, so it differs too;
+# engine_effective records which engine actually ran)
 norm() {
   sed -e 's/,"wall_seconds":[^,]*,"cache":"[a-z]*"}/}/' \
       -e 's/"digest":"[^"]*",//' \
-      -e 's/"engine":"[^"]*",//' "$1" | grep '"job":'
+      -e 's/"engine":"[^"]*",//' \
+      -e 's/"engine_effective":"[^"]*",//' "$1" | grep '"job":'
 }
 
 $UCC batch --cache-dir none --engine fast \

@@ -97,7 +97,7 @@ out_sh7=$($UCC run ../examples/uc/quickstart.uc --engine sharded --shards 7)
 
 # an unknown engine is a one-line error: naming the valid set, exit 1
 if $UCC run ../examples/uc/quickstart.uc --engine warp 2>err.txt; then exit 1; fi
-grep -q '^error: unknown engine "warp" (valid: fast, reference, sharded)$' err.txt
+grep -q '^error: unknown engine "warp" (valid: fast, reference, sharded, native)$' err.txt
 [ "$(wc -l < err.txt)" = 1 ]
 # the same validator backs --shards
 if $UCC run ../examples/uc/quickstart.uc --engine sharded --shards 0 2>err.txt; then exit 1; fi
@@ -119,7 +119,7 @@ grep -q '"engine":"sharded:3"' engines.jsonl
 grep -q '"engine":"reference"' engines.jsonl
 [ "$(grep '"job":' engines.jsonl | sed 's/.*"digest":"\([^"]*\)".*/\1/' | sort -u | wc -l)" = 3 ]
 # ... while everything deterministic about the rows agrees byte for byte
-[ "$(strip engines.jsonl | sed 's/"digest":"[^"]*",//;s/"engine":"[^"]*",//' | sort -u | wc -l)" = 1 ]
+[ "$(strip engines.jsonl | sed 's/"digest":"[^"]*",//;s/"engine":"[^"]*",//;s/"engine_effective":"[^"]*",//' | sort -u | wc -l)" = 1 ]
 
 # an unknown engine name in a manifest is rejected with its line number
 echo "quickstart engine=warp" > manifest_bad.txt

@@ -553,6 +553,24 @@ let differential_test =
                "engines disagree@.--- fast ---@.%s@.--- %s ---@.%s" fast ename
                other))
 
+(* Native rotates through the same differential harness with a smaller
+   count: every distinct random program costs one [ocamlopt -shared]
+   build (amortized only across this process's memo).  On a host without
+   a native toolchain the machine falls back to the fast kernels, so
+   these tests stay green (and trivially true) everywhere. *)
+let native_differential_test =
+  QCheck_alcotest.to_alcotest
+    (Test.make ~count:25 ~name:"random programs: native == fast"
+       ~print:print_program gen_program (fun (dims, seed, nodes) ->
+         let prog = build dims nodes in
+         let fast = run_engine ~seed ~fuel:500_000 `Fast prog in
+         let native = run_engine ~seed ~fuel:500_000 `Native prog in
+         if String.equal fast native then true
+         else
+           Test.fail_reportf
+             "engines disagree@.--- fast ---@.%s@.--- native ---@.%s" fast
+             native))
+
 (* ------------------------------------------------------------------ *)
 (* IR optimizer: optimized == unoptimized, on both engines            *)
 (* ------------------------------------------------------------------ *)
@@ -605,6 +623,7 @@ let iropt_equiv ~seed ~fuel ~name prog =
         | `Fast -> "fast"
         | `Reference -> "reference"
         | `Sharded s -> Printf.sprintf "sharded:%d" s
+        | `Native -> "native"
       in
       let s0, out0, state0, ns0 = observation ~seed ~fuel engine prog in
       (* an unoptimized run that dies of fuel exhaustion proves nothing:
@@ -708,7 +727,12 @@ let fault_differential_test =
 let engine_cycle : Cm.Machine.engine array =
   [| `Reference; `Sharded 3; `Fast; `Sharded 2 |]
 
-let run_checkpointed ~seed ~fuel ?faults ~slice prog =
+(* the native rotation (used by the smaller-count test below so the
+   per-program ocamlopt builds stay cheap) *)
+let native_cycle : Cm.Machine.engine array =
+  [| `Native; `Fast; `Native; `Reference |]
+
+let run_checkpointed ?(cycle = engine_cycle) ~seed ~fuel ?faults ~slice prog =
   let m = ref (Cm.Machine.create ~seed ~fuel ~engine:`Fast ?faults prog) in
   let next = ref 0 in
   let status =
@@ -718,7 +742,7 @@ let run_checkpointed ~seed ~fuel ?faults ~slice prog =
         | `Done -> "finished"
         | `More ->
             let data = Cm.Machine.checkpoint !m in
-            let engine = engine_cycle.(!next mod Array.length engine_cycle) in
+            let engine = cycle.(!next mod Array.length cycle) in
             incr next;
             m := Cm.Machine.restore ~engine ?faults prog data;
             go ()
@@ -761,6 +785,26 @@ let checkpoint_roundtrip_test =
            Test.fail_reportf
              "checkpointed run diverged@.--- straight ---@.%s@.--- sliced \
               (slice=%d) ---@.%s"
+             straight slice sliced))
+
+let native_checkpoint_test =
+  QCheck_alcotest.to_alcotest
+    (Test.make ~count:20
+       ~name:"checkpoint slices alternating through native == straight run"
+       ~print:print_ckpt_case gen_ckpt_case
+       (fun (dims, seed, nodes, spec, slice) ->
+         let prog = build dims nodes in
+         let faults = Option.map (Cm.Fault.instantiate ~attempt:0) spec in
+         let straight = run_engine ~seed ~fuel:500_000 ?faults `Fast prog in
+         let sliced =
+           run_checkpointed ~cycle:native_cycle ~seed ~fuel:500_000 ?faults
+             ~slice prog
+         in
+         if String.equal straight sliced then true
+         else
+           Test.fail_reportf
+             "native-checkpointed run diverged@.--- straight ---@.%s@.--- \
+              sliced (slice=%d) ---@.%s"
              straight slice sliced))
 
 (* ------------------------------------------------------------------ *)
@@ -1003,9 +1047,11 @@ let () =
       ( "differential",
         [
           differential_test;
+          native_differential_test;
           iropt_differential_test;
           fault_differential_test;
           checkpoint_roundtrip_test;
+          native_checkpoint_test;
           Alcotest.test_case "shift range faults" `Quick test_shift_range;
           Alcotest.test_case "compile idempotent" `Quick
             test_compile_idempotent;

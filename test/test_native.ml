@@ -1,0 +1,240 @@
+(* Unit tests for the native compilation backend (Cm.Codegen +
+   `--engine native`).
+
+   Everything here must pass on a host WITHOUT a native toolchain: the
+   emitter and key tests are pure, and every execution test compares
+   native against fast — on a degraded host native silently runs the
+   fast kernels, so the comparisons hold trivially.  Only the warm-hit
+   assertions in test/ci_native.sh require a real toolchain, and that
+   script probes for one first. *)
+
+open Cm.Paris
+
+let hex (f : float) = Printf.sprintf "%h" f
+
+(* A little program exercising both kinds, activity contexts, the LCG,
+   output, front-end reads and a kernel-fallback op (preduce-axis,
+   which needs an outer VP set to reduce into). *)
+let sample_prog ?(dims = [ 4; 4 ]) () =
+  let b = Builder.create "native-sample" in
+  let vp = Builder.vpset b (Cm.Geometry.create dims) in
+  let rows = Builder.vpset b (Cm.Geometry.create [ List.hd dims ]) in
+  let x = Builder.field b ~vpset:vp KInt in
+  let y = Builder.field b ~vpset:vp KFloat in
+  let rowmax = Builder.field b ~vpset:rows KInt in
+  let r0 = Builder.reg b in
+  let r1 = Builder.reg b in
+  Builder.emit b (Cwith vp);
+  Builder.emit b (Region "init");
+  Builder.emit b (Pcoord (x, 0));
+  Builder.emit b (Pbin (Mul, x, Fld x, Imm (SInt 3)));
+  Builder.emit b (Punop (ToFloat, y, Fld x));
+  Builder.emit b (Pbin (Add, y, Fld y, Imm (SFloat 0.5)));
+  Builder.emit b (Prand (x, Imm (SInt 100)));
+  Builder.emit b (Region "mask");
+  Builder.emit b Cpush;
+  Builder.emit b (Pbin (Lt, x, Fld x, Imm (SInt 50)));
+  Builder.emit b (Cand x);
+  Builder.emit b (Pmov (x, Imm (SInt 7)));
+  Builder.emit b Cpop;
+  Builder.emit b (Region "reduce");
+  Builder.emit b (Preduce (Add, r0, x));
+  Builder.emit b (Preduce_axis (Max, rowmax, x));
+  Builder.emit b (Fread (r1, rowmax, Imm (SInt 0)));
+  Builder.emit b (Fprint ("sum=", Some (Reg r0)));
+  Builder.emit b (Fprint ("rowmax0=", Some (Reg r1)));
+  Builder.emit b Halt;
+  Builder.finish b
+
+(* Full observable snapshot of an already-run machine: status, every
+   register, every field element, output log, region profile and
+   simulated time, floats in %h so the comparison is bit-exact. *)
+let snapshot (prog : program) status m =
+  let b = Buffer.create 256 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "%s\n" status;
+  for r = 0 to prog.nregs - 1 do
+    match Cm.Machine.reg m r with
+    | SInt i -> add "r%d=%d\n" r i
+    | SFloat f -> add "r%d=%s\n" r (hex f)
+  done;
+  Array.iteri
+    (fun f (_, kind) ->
+      match kind with
+      | KInt ->
+          Array.iter (fun v -> add " %d" v) (Cm.Machine.field_ints m f);
+          add "\n"
+      | KFloat ->
+          Array.iter (fun v -> add " %s" (hex v)) (Cm.Machine.field_floats m f);
+          add "\n")
+    prog.fields;
+  List.iter (fun l -> add "out %s\n" l) (Cm.Machine.output m);
+  List.iter
+    (fun (n, s) -> add "region %s=%s\n" n (hex s))
+    (Cm.Machine.regions m);
+  add "ns=%s\n" (hex (Cm.Machine.meter m).Cm.Cost.elapsed_ns);
+  Buffer.contents b
+
+let run_status m =
+  match Cm.Machine.run m with
+  | () -> "finished"
+  | exception Cm.Machine.Error msg -> "error: " ^ msg
+  | exception Invalid_argument msg -> "invalid_arg: " ^ msg
+
+let observation ?obs engine prog =
+  let m = Cm.Machine.create ~seed:7 ~fuel:1_000_000 ~engine ?obs prog in
+  snapshot prog (run_status m) m
+
+(* ---- emitter ---- *)
+
+let test_source_deterministic () =
+  let p1 = sample_prog () in
+  let p2 = sample_prog () in
+  let s1 = Cm.Codegen.source p1 and s1' = Cm.Codegen.source p1 in
+  Alcotest.(check string) "same value, same source" s1 s1';
+  (* structurally equal programs built independently: byte-identical
+     source and therefore the same content address *)
+  Alcotest.(check string) "equal IR, same source" s1 (Cm.Codegen.source p2);
+  Alcotest.(check string) "equal IR, same key" (Cm.Codegen.key p1)
+    (Cm.Codegen.key p2)
+
+let test_distinct_keys () =
+  let p1 = sample_prog () in
+  let p2 = sample_prog ~dims:[ 8; 2 ] () in
+  if Cm.Codegen.key p1 = Cm.Codegen.key p2 then
+    Alcotest.fail "distinct programs share a cache key";
+  if Cm.Codegen.source p1 = Cm.Codegen.source p2 then
+    Alcotest.fail "distinct programs share generated source"
+
+let test_coverage () =
+  let native, fallback = Cm.Codegen.coverage (sample_prog ()) in
+  let has mn l = List.mem_assoc mn l in
+  Alcotest.(check bool) "pbin is native" true (has "pbin" native);
+  Alcotest.(check bool) "pcoord is native" true (has "pcoord" native);
+  Alcotest.(check bool)
+    "preduce-axis falls back" true
+    (has "preduce-axis" fallback);
+  Alcotest.(check bool)
+    "preduce-axis not native" false
+    (has "preduce-axis" native)
+
+(* ---- execution ---- *)
+
+let test_native_matches_fast () =
+  let prog = sample_prog () in
+  Alcotest.(check string)
+    "native == fast" (observation `Fast prog)
+    (observation `Native prog)
+
+let test_uc_corpus () =
+  List.iter
+    (fun (name, src) ->
+      let compiled = Uc.Compile.compile_source src in
+      let prog = compiled.Uc.Codegen.prog in
+      let fast = observation `Fast prog and native = observation `Native prog in
+      if fast <> native then
+        Alcotest.failf "%s: native diverges@.--- fast ---@.%s--- native ---@.%s"
+          name fast native)
+    Uc_programs.Programs.all_named
+
+(* traced-vs-untraced: attaching a telemetry scope must not change one
+   observable bit of a native run (same contract the other engines
+   honor, test_obs.ml) *)
+let test_traced_untraced () =
+  let prog = sample_prog () in
+  let untraced = observation `Native prog in
+  let obs = Obs.create ~clock:(fun () -> 0.0) () in
+  Alcotest.(check string) "traced == untraced" untraced
+    (observation ~obs `Native prog)
+
+let test_checkpoint_alternation () =
+  let prog = sample_prog () in
+  let straight = observation `Fast prog in
+  let engines = [| `Fast; `Native; `Native |] in
+  let m = ref (Cm.Machine.create ~seed:7 ~fuel:1_000_000 ~engine:`Native prog) in
+  let i = ref 0 in
+  let status =
+    try
+      while Cm.Machine.run_slice !m ~fuel_slice:3 = `More do
+        let data = Cm.Machine.checkpoint !m in
+        m := Cm.Machine.restore ~engine:engines.(!i mod 3) prog data;
+        incr i
+      done;
+      "finished"
+    with Cm.Machine.Error msg -> "error: " ^ msg
+  in
+  Alcotest.(check string) "sliced native == straight fast" straight
+    (snapshot prog status !m)
+
+(* ---- degradation ---- *)
+
+let test_forced_unavailable () =
+  let prog = sample_prog () in
+  let fast = observation `Fast prog in
+  Cm.Codegen.force_unavailable (Some "simulated toolchain-less host");
+  Fun.protect ~finally:(fun () -> Cm.Codegen.force_unavailable None)
+  @@ fun () ->
+  (match Cm.Codegen.available () with
+  | Ok () -> Alcotest.fail "available despite force_unavailable"
+  | Error msg ->
+      Alcotest.(check bool)
+        "reason surfaces" true
+        (Astring.String.is_infix ~affix:"simulated toolchain-less host" msg));
+  let m = Cm.Machine.create ~seed:7 ~fuel:1_000_000 ~engine:`Native prog in
+  (match Cm.Machine.compile_native m with
+  | Ok () -> Alcotest.fail "compile_native succeeded despite force_unavailable"
+  | Error why ->
+      Alcotest.(check bool)
+        "typed reason" true
+        (Astring.String.is_infix ~affix:"disabled" why));
+  Alcotest.(check bool)
+    "degrades to fast" true
+    (Cm.Machine.effective_engine m = `Fast);
+  (* and the run still produces bit-identical results *)
+  Alcotest.(check string) "degraded native == fast" fast
+    (observation `Native prog)
+
+let test_fault_injection_policy () =
+  (* fault plans hook the fast dispatch loop: native machines carrying a
+     plan must degrade (quietly) rather than diverge *)
+  let prog = sample_prog () in
+  let spec =
+    match Cm.Fault.parse "seed=1;horizon=40;router=1" with
+    | Ok s -> s
+    | Error m -> Alcotest.fail m
+  in
+  let faults = Cm.Fault.instantiate spec ~attempt:0 in
+  let m = Cm.Machine.create ~seed:7 ~engine:`Native ~faults prog in
+  Alcotest.(check bool)
+    "fault plans run on fast" true
+    (Cm.Machine.effective_engine m = `Fast)
+
+let () =
+  Alcotest.run "native"
+    [
+      ( "emitter",
+        [
+          Alcotest.test_case "source is deterministic" `Quick
+            test_source_deterministic;
+          Alcotest.test_case "distinct IR, distinct keys" `Quick
+            test_distinct_keys;
+          Alcotest.test_case "coverage census" `Quick test_coverage;
+        ] );
+      ( "execution",
+        [
+          Alcotest.test_case "native == fast (sample)" `Quick
+            test_native_matches_fast;
+          Alcotest.test_case "native == fast (uc corpus)" `Quick
+            test_uc_corpus;
+          Alcotest.test_case "traced == untraced" `Quick test_traced_untraced;
+          Alcotest.test_case "checkpoint alternation" `Quick
+            test_checkpoint_alternation;
+        ] );
+      ( "degradation",
+        [
+          Alcotest.test_case "force_unavailable degrades to fast" `Quick
+            test_forced_unavailable;
+          Alcotest.test_case "fault plans stay on fast" `Quick
+            test_fault_injection_policy;
+        ] );
+    ]

@@ -208,6 +208,7 @@ let qcheck_report_round_trip =
           digest = "d";
           options = "o";
           engine = "fast";
+          engine_effective = "fast";
           seed = 42;
           status = Ucd.Report.Done;
           simulated_seconds = 0.125;
