@@ -3,7 +3,7 @@
 # a CLI sanity check, and the whole corpus run under a canned fault
 # plan with retries; it stops loudly at the first failing step.
 
-.PHONY: all build test ci ci-faultgate ci-iropt ci-obs ci-serve ci-sharded ci-native ci-crash bench bench-compare batch clean
+.PHONY: all build test ci ci-faultgate ci-iropt ci-obs ci-serve ci-sharded ci-native ci-crash ci-tune bench bench-compare batch clean
 
 all: build
 
@@ -13,7 +13,7 @@ build:
 test:
 	dune runtest
 
-ci: ci-faultgate ci-iropt ci-obs ci-serve ci-sharded ci-native ci-crash
+ci: ci-faultgate ci-iropt ci-obs ci-serve ci-sharded ci-native ci-crash ci-tune
 	dune build
 	dune exec test/test_engine.exe -- test corpus
 	dune runtest
@@ -66,6 +66,14 @@ ci-sharded: build
 # kernels with a one-line warning and stay green.
 ci-native: build
 	timeout 300 bash test/ci_native.sh
+
+# Layout-tuner gate: `ucc tune` over the whole corpus (every emitted
+# map section re-parses and --apply is idempotent, predicted chosen
+# cost never above predicted default), then a tuned batch sweep that
+# must be observably bit-identical to the untuned one with every tuned
+# row stamped.
+ci-tune: build
+	timeout 300 bash test/ci_tune.sh
 
 # Serve gate: boot the daemon, push the whole corpus from two
 # concurrent clients, require their rows bit-identical to `ucc batch`,

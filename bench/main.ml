@@ -238,6 +238,50 @@ let a1_mapping () =
   Printf.printf "\nmap-section speedup over the default: %.2fx\n"
     (t_router /. t_mapped)
 
+(* ---------------- T2: auto-tuned layouts (ucc tune) ---------------- *)
+
+let t2_autotune () =
+  section "T2"
+    "Auto-layout search: `ucc tune` vs hand-tuned vs default (a1 stencil)";
+  let n = 4096 and steps = 32 in
+  let src = Uc_programs.Programs.stencil ~n ~steps () in
+  let run ?layouts ~news () =
+    let options = { Uc.Codegen.default_options with news_opt = news } in
+    let prog = Uc.Compile.parse_source src in
+    let t =
+      Uc.Compile.run_compiled ~seed (Uc.Compile.lower ?layouts ~options prog)
+    in
+    (Uc.Compile.elapsed_seconds t, Uc.Compile.meter t)
+  in
+  let r = Uc.Layoutsel.search_source src in
+  let auto = r.Uc.Layoutsel.table in
+  let hand = [ ("b", Uc.Mapping.Shifted [| 1 |]) ] in
+  let t_default, m_default = run ~news:true () in
+  let t_hand, m_hand = run ~layouts:hand ~news:false () in
+  let t_auto, m_auto = run ~layouts:auto ~news:false () in
+  Printf.printf "%-42s %10s %8s %8s\n" "configuration" "seconds" "router" "news";
+  let line label t (m : Cm.Cost.meter) =
+    Printf.printf "%-42s %10.4f %8d %8d\n" label t m.Cm.Cost.router_ops
+      m.Cm.Cost.news_ops;
+    emit_row "t2"
+      [
+        ("configuration", Ucd.Jsonu.Str label);
+        ("seconds", Ucd.Jsonu.Float t);
+        ("router_ops", Ucd.Jsonu.Int m.Cm.Cost.router_ops);
+        ("news_ops", Ucd.Jsonu.Int m.Cm.Cost.news_ops);
+      ]
+  in
+  line "default layout (best options)" t_default m_default;
+  line "hand-tuned map section" t_hand m_hand;
+  line (Printf.sprintf "auto-tuned: %s" (Uc.Mapping.table_to_string auto))
+    t_auto m_auto;
+  Printf.printf
+    "\npredicted: default %.3f ms, tuned %.3f ms; measured auto/hand gap: \
+     %+.1f%%\n"
+    (r.Uc.Layoutsel.default_ns /. 1e6)
+    (r.Uc.Layoutsel.chosen_ns /. 1e6)
+    (100. *. ((t_auto /. t_hand) -. 1.))
+
 (* ---------------- ablation A2: processor optimization ---------------- *)
 
 let a2_n = 2048
@@ -1134,6 +1178,7 @@ let sections =
     ("fig8", fig8);
     ("table-conciseness", table_conciseness);
     ("a1", a1_mapping);
+    ("t2", t2_autotune);
     ("a2", a2_procopt);
     ("a3", a3_solve);
     ("a4", a4_cse);

@@ -108,6 +108,14 @@ let options_args =
 let stats_arg =
   Arg.(value & flag & info [ "stats" ] ~doc:"Print machine statistics")
 
+let tune_flag =
+  Arg.(
+    value & flag
+    & info [ "tune" ]
+        ~doc:
+          "Auto-tune the data layout before lowering (see $(b,ucc tune)); \
+           the synthesized map section replaces any in the source")
+
 let ir_opt_stats_arg =
   Arg.(
     value & flag
@@ -505,7 +513,7 @@ let show_cmd =
                               [retries=N] [faults=PLAN] [ir-opt=PASSES]
                               [engine=fast|reference|sharded] [shards=N]
                               [no-news] [no-procopt] [no-mappings] [no-cse]
-                              [no-ir-opt]
+                              [no-ir-opt] [tune | tune=BOOL]
 
    A bare name is looked up in the built-in corpus; anything containing
    a '/' or ending in .uc is read as a file.  The engine participates in
@@ -518,8 +526,15 @@ let parse_manifest_line ~defaults lineno line =
   | target :: opts ->
       if String.length target > 0 && target.[0] = '#' then None
       else
-        let seed, fuel, deadline, faults, retries, options, engine_name, shards
-            =
+        let ( seed,
+              fuel,
+              deadline,
+              faults,
+              retries,
+              options,
+              engine_name,
+              shards,
+              tune ) =
           defaults
         in
         let seed = ref seed
@@ -529,7 +544,8 @@ let parse_manifest_line ~defaults lineno line =
         and retries = ref retries
         and options = ref options
         and engine_name = ref engine_name
-        and shards = ref shards in
+        and shards = ref shards
+        and tune = ref tune in
         List.iter
           (fun tok ->
             let intval key v =
@@ -548,6 +564,16 @@ let parse_manifest_line ~defaults lineno line =
                 | "seed" -> seed := intval "seed" v
                 | "fuel" -> fuel := Some (intval "fuel" v)
                 | "engine" -> engine_name := v
+                | "tune" -> (
+                    match v with
+                    | "true" | "1" | "on" -> tune := true
+                    | "false" | "0" | "off" -> tune := false
+                    | _ ->
+                        failwith
+                          (Printf.sprintf
+                             "manifest line %d: bad tune value %S (use \
+                              true/false)"
+                             lineno v))
                 | "shards" -> shards := intval "shards" v
                 | "deadline" -> (
                     match float_of_string_opt v with
@@ -588,6 +614,7 @@ let parse_manifest_line ~defaults lineno line =
                 | "no-ir-opt" ->
                     options :=
                       { !options with Uc.Codegen.ir_opt = Cm.Iropt.off }
+                | "tune" -> tune := true
                 | _ ->
                     failwith
                       (Printf.sprintf "manifest line %d: unknown flag %S" lineno
@@ -615,7 +642,7 @@ let parse_manifest_line ~defaults lineno line =
         Some
           (Ucd.Job.make ~options:!options ~seed:!seed ?fuel:!fuel
              ?deadline:!deadline ?faults:!faults ?retries:!retries ~engine
-             ~name:target ~source ())
+             ~tune:!tune ~name:target ~source ())
 
 let batch_cmd =
   let manifest_arg =
@@ -659,7 +686,7 @@ let batch_cmd =
           ~doc:"Write the JSON-lines report here instead of stdout")
   in
   let run manifest jobs cache_dir options seed fuel deadline report stats faults
-      retries fuel_slice engine_name shards trace metrics =
+      retries fuel_slice engine_name shards trace metrics tune =
     resolve_engine ~shards engine_name @@ fun engine ->
     try
       let obs, finish_obs =
@@ -669,13 +696,14 @@ let batch_cmd =
       let fspec = parse_faults_opt faults in
       let defaults =
         (seed, fuel, deadline, fspec, (if retries = 0 then None else Some retries),
-         options, engine_name, shards)
+         options, engine_name, shards, tune)
       in
       let job_list =
         match manifest with
         | None ->
             Ucd.Runner.corpus_jobs ~options ~seed ?fuel ?deadline ?faults:fspec
-              ?retries:(if retries = 0 then None else Some retries) ~engine ()
+              ?retries:(if retries = 0 then None else Some retries) ~engine
+              ~tune ()
         | Some path -> (
             match read_source path with
             | Error msg -> failwith msg
@@ -733,7 +761,7 @@ let batch_cmd =
       const run $ manifest_arg $ jobs_arg $ cache_dir_arg $ options_args
       $ seed_arg $ fuel_arg $ deadline_arg $ report_arg $ stats_arg
       $ faults_arg $ retries_arg $ fuel_slice_arg $ engine_name_arg
-      $ shards_arg $ trace_arg $ metrics_arg)
+      $ shards_arg $ trace_arg $ metrics_arg $ tune_flag)
 
 (* ---- serve / submit ---- *)
 
@@ -1030,7 +1058,8 @@ let submit_cmd =
              runs twice)")
   in
   let run file socket tcp corpus name wait_for_reports trace tenant priority
-      want_stats want_drain reconnect options seed fuel deadline faults retries =
+      want_stats want_drain reconnect options seed fuel deadline faults retries
+      tune =
     let addr =
       match tcp with
       | Some port -> Ucd.Client.Tcp ("127.0.0.1", port)
@@ -1058,6 +1087,7 @@ let submit_cmd =
         ir_opt =
           (if options.Uc.Codegen.ir_opt = Cm.Iropt.default then None
            else Some (Cm.Iropt.config_summary options.Uc.Codegen.ir_opt));
+        tune;
       }
     in
     let submits =
@@ -1312,7 +1342,207 @@ let submit_cmd =
       $ corpus_arg $ name_arg $ wait_arg $ trace_flag $ tenant_arg
       $ priority_arg $ server_stats_flag $ drain_flag $ reconnect_flag
       $ options_args $ seed_arg $ fuel_arg_submit $ deadline_arg_submit
-      $ faults_arg $ retries_arg)
+      $ faults_arg $ retries_arg $ tune_flag)
+
+(* ---- tune ---- *)
+
+(* Blank every map section out of [src] (spaces, newlines preserved so
+   line numbers stay stable), using the token stream so comments and
+   strings can't fool the scan. *)
+let strip_map_sections src =
+  let toks = Uc.Lexer.tokenize src in
+  (* byte offset of each (line, col) *)
+  let line_starts =
+    let starts = ref [ 0 ] in
+    String.iteri (fun i c -> if c = '\n' then starts := (i + 1) :: !starts) src;
+    Array.of_list (List.rev !starts)
+  in
+  let offset_of (loc : Uc.Loc.t) =
+    let line = min (max loc.Uc.Loc.line 1) (Array.length line_starts) in
+    min (String.length src - 1) (line_starts.(line - 1) + loc.Uc.Loc.col - 1)
+  in
+  let buf = Bytes.of_string src in
+  let n = Array.length toks in
+  let stripped = ref false in
+  let i = ref 0 in
+  while !i < n do
+    (match toks.(!i) with
+    | Uc.Token.KW_MAP, start ->
+        let j = ref (!i + 1) in
+        while !j < n && fst toks.(!j) <> Uc.Token.LBRACE do incr j done;
+        let depth = ref 0 and stop = ref None in
+        while !j < n && !stop = None do
+          (match fst toks.(!j) with
+          | Uc.Token.LBRACE -> incr depth
+          | Uc.Token.RBRACE ->
+              decr depth;
+              if !depth = 0 then stop := Some (snd toks.(!j))
+          | _ -> ());
+          incr j
+        done;
+        (match !stop with
+        | Some close ->
+            stripped := true;
+            for k = offset_of start to offset_of close do
+              if Bytes.get buf k <> '\n' then Bytes.set buf k ' '
+            done
+        | None -> ());
+        i := !j
+    | _ -> incr i)
+  done;
+  (Bytes.to_string buf, !stripped)
+
+let layout_json = function
+  | Uc.Mapping.Default -> Ucd.Jsonu.Str "default"
+  | l -> Ucd.Jsonu.Str (Uc.Mapping.to_string l)
+
+let tune_cmd =
+  let apply_arg =
+    Arg.(
+      value & flag
+      & info [ "apply" ]
+          ~doc:
+            "Rewrite $(docv) in place: existing map sections are removed \
+             and the inferred one is appended")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable JSON output")
+  in
+  let run path options apply json =
+    with_source path (fun src ->
+        let r = Uc.Layoutsel.search_source ~options src in
+        let raw_prog = Uc.Compile.parse_source src in
+        let section = Uc.Mapping.emit_map_section raw_prog r.Uc.Layoutsel.table in
+        (* the emitted section must re-parse to the same table before we
+           print it, let alone write it back *)
+        (match section with
+        | Some text ->
+            let stripped, _ = strip_map_sections src in
+            let reparsed =
+              Uc.Mapping.of_program
+                (Uc.Parser.parse_program (stripped ^ "\n" ^ text))
+            in
+            if
+              Uc.Mapping.table_to_string (Uc.Mapping.canonical reparsed)
+              <> Uc.Mapping.table_to_string r.Uc.Layoutsel.table
+            then
+              failwith
+                "internal error: emitted map section does not round-trip"
+        | None -> ());
+        if json then begin
+          let open Ucd.Jsonu in
+          let dp = r.Uc.Layoutsel.default_prediction in
+          let cp = r.Uc.Layoutsel.chosen_prediction in
+          print_endline
+            (to_string
+               (Obj
+                  [
+                    ("file", Str path);
+                    ("digest", Str (Uc.Mapping.digest r.Uc.Layoutsel.table));
+                    ("default_ns", Float r.Uc.Layoutsel.default_ns);
+                    ("chosen_ns", Float r.Uc.Layoutsel.chosen_ns);
+                    ( "default_ops",
+                      Obj
+                        [
+                          ("router", Int dp.Uc.Commpat.p_router_ops);
+                          ("news", Int dp.Uc.Commpat.p_news_ops);
+                          ("exact", Bool dp.Uc.Commpat.p_exact);
+                        ] );
+                    ( "chosen_ops",
+                      Obj
+                        [
+                          ("router", Int cp.Uc.Commpat.p_router_ops);
+                          ("news", Int cp.Uc.Commpat.p_news_ops);
+                          ("exact", Bool cp.Uc.Commpat.p_exact);
+                        ] );
+                    ( "arrays",
+                      List
+                        (List.map
+                           (fun c ->
+                             Obj
+                               [
+                                 ("name", Str c.Uc.Layoutsel.cname);
+                                 ("layout", layout_json c.Uc.Layoutsel.clayout);
+                                 ( "default_ns",
+                                   Float c.Uc.Layoutsel.cdefault_ns );
+                                 ("chosen_ns", Float c.Uc.Layoutsel.cchosen_ns);
+                                 ("rationale", Str c.Uc.Layoutsel.crationale);
+                               ])
+                           r.Uc.Layoutsel.choices) );
+                    ( "map_section",
+                      match section with Some s -> Str s | None -> Str "" );
+                  ]))
+        end
+        else begin
+          let dp = r.Uc.Layoutsel.default_prediction in
+          let cp = r.Uc.Layoutsel.chosen_prediction in
+          Printf.printf "%s: predicted communication cost\n" path;
+          Printf.printf "  default: %10.3f ms  (router %d, news %d%s)\n"
+            (r.Uc.Layoutsel.default_ns /. 1e6)
+            dp.Uc.Commpat.p_router_ops dp.Uc.Commpat.p_news_ops
+            (if dp.Uc.Commpat.p_exact then "" else ", estimated");
+          Printf.printf "  tuned:   %10.3f ms  (router %d, news %d%s)"
+            (r.Uc.Layoutsel.chosen_ns /. 1e6)
+            cp.Uc.Commpat.p_router_ops cp.Uc.Commpat.p_news_ops
+            (if cp.Uc.Commpat.p_exact then "" else ", estimated");
+          if r.Uc.Layoutsel.default_ns > 0. then
+            Printf.printf "  [%.2fx]"
+              (r.Uc.Layoutsel.default_ns
+              /. Float.max r.Uc.Layoutsel.chosen_ns 1.);
+          print_newline ();
+          print_newline ();
+          let w =
+            List.fold_left
+              (fun w c -> max w (String.length c.Uc.Layoutsel.cname))
+              5 r.Uc.Layoutsel.choices
+          in
+          Printf.printf "  %-*s %-16s %s\n" w "array" "layout" "rationale";
+          List.iter
+            (fun c ->
+              Printf.printf "  %-*s %-16s %s\n" w c.Uc.Layoutsel.cname
+                (Uc.Mapping.to_string c.Uc.Layoutsel.clayout)
+                c.Uc.Layoutsel.crationale)
+            r.Uc.Layoutsel.choices;
+          print_newline ();
+          match section with
+          | Some text -> print_string text
+          | None ->
+              print_endline
+                "every array keeps the default layout; no map section needed"
+        end;
+        if apply then begin
+          let stripped, had = strip_map_sections src in
+          let new_src =
+            match section with
+            | Some text ->
+                (* drop trailing blanks, keep one blank line before the
+                   appended section *)
+                String.concat ""
+                  [ String.trim stripped; "\n\n"; text ]
+            | None -> String.trim stripped ^ "\n"
+          in
+          if new_src <> src then begin
+            let oc = open_out_bin path in
+            output_string oc new_src;
+            close_out oc;
+            if not json then
+              Printf.printf "%s: rewritten (%s%s)\n" path
+                (match section with
+                | Some _ -> "map section applied"
+                | None -> "no map section")
+                (if had then ", previous map sections removed" else "")
+          end
+          else if not json then Printf.printf "%s: already up to date\n" path
+        end;
+        0)
+  in
+  Cmd.v
+    (Cmd.info "tune"
+       ~doc:
+         "Infer a data layout: analyze every parallel access statically, \
+          search candidate layouts per array against the calibrated cost \
+          model, and print the best map section with a predicted-cost table")
+    Term.(const run $ file_arg $ options_args $ apply_arg $ json_arg)
 
 let status_cmd =
   let digest_arg =
@@ -1380,5 +1610,5 @@ let () =
   let info = Cmd.info "ucc" ~version:"1.0" ~doc in
   exit (Cmd.eval' (Cmd.group info
     [ check_cmd; ast_cmd; paris_cmd; cstar_cmd; run_cmd; interp_cmd;
-      examples_cmd; show_cmd; batch_cmd; serve_cmd; submit_cmd;
+      examples_cmd; show_cmd; tune_cmd; batch_cmd; serve_cmd; submit_cmd;
       status_cmd ]))

@@ -1821,9 +1821,16 @@ and declare_fe ctx d =
 
 (* ---------------- program ---------------- *)
 
-let compile ?(options = default_options) ?(obs = Obs.null) prog =
+let compile ?layouts ?(options = default_options) ?(obs = Obs.null) prog =
   let b = P.Builder.create "uc" in
-  let layouts = if options.use_mappings then Mapping.of_program prog else [] in
+  (* the one seam through which layout information enters lowering: an
+     explicit table (the tuner's choice) wins, otherwise the program's
+     own map sections, gated by the use_mappings ablation flag *)
+  let layouts =
+    match layouts with
+    | Some t -> List.map (fun (n, l) -> (n, Mapping.normalize l)) t
+    | None -> if options.use_mappings then Mapping.of_program prog else []
+  in
   let ctx =
     {
       b;

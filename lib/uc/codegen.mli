@@ -52,9 +52,19 @@ type compiled = {
   cscalars : (string * scalar_meta) list;
 }
 
-(** [compile program] lowers a checked, transformed program.  [obs]
+(** [compile program] lowers a checked, transformed program.  [layouts]
+    is the single seam through which layout information enters
+    lowering: when given (normalized on entry), it replaces the
+    program's own map sections — this is how [ucc tune] lowers with a
+    synthesized {!Mapping.table}; when absent, the table comes from
+    {!Mapping.of_program} unless [use_mappings] is off.  [obs]
     (default {!Obs.null}) is passed to the IR optimizer, which reports
     its per-pass statistics as ["iropt."]-prefixed counters (the
     surface behind [ucc --ir-opt-stats]).
     @raise Loc.Error on unsupported constructs. *)
-val compile : ?options:options -> ?obs:Obs.t -> Ast.program -> compiled
+val compile :
+  ?layouts:Mapping.table ->
+  ?options:options ->
+  ?obs:Obs.t ->
+  Ast.program ->
+  compiled

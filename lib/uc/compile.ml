@@ -12,13 +12,14 @@ let parse_source ?(obs = Obs.null) src =
   Obs.with_span obs "compile.sema" (fun () -> ignore (Sema.check prog));
   prog
 
-let lower ?options ?(obs = Obs.null) prog =
+let lower ?layouts ?options ?(obs = Obs.null) prog =
   let prog = Obs.with_span obs "compile.transform" (fun () -> Transform.apply prog) in
   let prog = Obs.with_span obs "compile.fold" (fun () -> Optimize.fold_program prog) in
-  Obs.with_span obs "compile.codegen" (fun () -> Codegen.compile ?options ~obs prog)
+  Obs.with_span obs "compile.codegen" (fun () ->
+      Codegen.compile ?layouts ?options ~obs prog)
 
-let compile_source ?options ?obs src =
-  lower ?options ?obs (parse_source ?obs src)
+let compile_source ?layouts ?options ?obs src =
+  lower ?layouts ?options ?obs (parse_source ?obs src)
 
 let start_compiled ?cost ?seed ?fuel ?engine ?faults ?obs compiled =
   let machine =

@@ -20,14 +20,25 @@ type t = {
     may be lowered many times under different option sets). *)
 val parse_source : ?obs:Obs.t -> string -> Ast.program
 
-(** Transform, fold and lower an already-checked program. *)
+(** Transform, fold and lower an already-checked program.  [layouts]
+    overrides the program's own map sections with an explicit layout
+    table (see {!Codegen.compile}) — the hook [ucc tune] and tuned
+    batch jobs lower through. *)
 val lower :
-  ?options:Codegen.options -> ?obs:Obs.t -> Ast.program -> Codegen.compiled
+  ?layouts:Mapping.table ->
+  ?options:Codegen.options ->
+  ?obs:Obs.t ->
+  Ast.program ->
+  Codegen.compiled
 
 (** Parse, check, transform and lower a program without running it.
-    Equivalent to [lower ?options (parse_source src)]. *)
+    Equivalent to [lower ?layouts ?options (parse_source src)]. *)
 val compile_source :
-  ?options:Codegen.options -> ?obs:Obs.t -> string -> Codegen.compiled
+  ?layouts:Mapping.table ->
+  ?options:Codegen.options ->
+  ?obs:Obs.t ->
+  string ->
+  Codegen.compiled
 
 (** Allocate a fresh machine for an already-lowered program without
     running anything: the entry point for sliced execution ({!step}).

@@ -6,6 +6,94 @@ type layout =
   | Folded of int
   | Copied of int
 
+type step =
+  | Permute of int array
+  | Fold of int
+  | Copy of int
+
+type table = (string * layout) list
+
+(* ---------------- layout IR ---------------- *)
+
+let normalize = function
+  | Shifted offs when Array.for_all (fun c -> c = 0) offs -> Default
+  | Folded 1 -> Default
+  | Copied 1 -> Default
+  | l -> l
+
+let equal a b =
+  match normalize a, normalize b with
+  | Default, Default -> true
+  | Shifted x, Shifted y -> x = y
+  | Folded x, Folded y -> x = y
+  | Copied x, Copied y -> x = y
+  | _ -> false
+
+let steps l =
+  match normalize l with
+  | Default -> []
+  | Shifted offs -> [ Permute offs ]
+  | Folded f -> [ Fold f ]
+  | Copied m -> [ Copy m ]
+
+(* compose one more mapping step onto an existing layout.  Same-kind
+   steps merge (shifts add, folds and copies multiply); the backend
+   lays an array out in exactly one way, so cross-kind compositions are
+   rejected rather than silently dropped. *)
+let compose l step =
+  let ok l = Ok (normalize l) in
+  match normalize l, step with
+  | Default, Permute offs -> ok (Shifted offs)
+  | Default, Fold f -> ok (Folded f)
+  | Default, Copy m -> ok (Copied m)
+  | Shifted a, Permute b when Array.length a = Array.length b ->
+      ok (Shifted (Array.mapi (fun k c -> c + b.(k)) a))
+  | Shifted _, Permute _ -> Error "permute ranks differ"
+  | Folded f, Fold g -> ok (Folded (f * g))
+  | Copied m, Copy k -> ok (Copied (m * k))
+  | _ ->
+      Error
+        "unsupported layout composition: an array is permuted, folded or \
+         copied, not a mix"
+
+let of_steps ss =
+  List.fold_left
+    (fun acc s -> Result.bind acc (fun l -> compose l s))
+    (Ok Default) ss
+
+let to_string l =
+  match normalize l with
+  | Default -> "default"
+  | Shifted offs ->
+      let s =
+        Array.to_list offs
+        |> List.map (fun c -> if c > 0 then Printf.sprintf "+%d" c else string_of_int c)
+        |> String.concat ","
+      in
+      Printf.sprintf "permute[%s]" s
+  | Folded f -> Printf.sprintf "fold by %d" f
+  | Copied m -> Printf.sprintf "copy along %d" m
+
+let find table name =
+  match List.assoc_opt name table with
+  | Some l -> normalize l
+  | None -> Default
+
+let canonical table =
+  table
+  |> List.map (fun (n, l) -> (n, normalize l))
+  |> List.filter (fun (_, l) -> l <> Default)
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let table_to_string table =
+  canonical table
+  |> List.map (fun (n, l) -> Printf.sprintf "%s:%s" n (to_string l))
+  |> String.concat ";"
+
+let digest table = Digest.to_hex (Digest.string (table_to_string table))
+
+(* ---------------- from the program's map sections ---------------- *)
+
 (* pull the affine offset out of a permute target subscript: i, i+c, i-c *)
 let affine_offset e =
   match e.e with
@@ -45,12 +133,10 @@ let of_program prog =
         | _ -> [])
       prog
   in
-  let table = ref [] in
-  let add name loc layout =
-    if List.mem_assoc name !table then
-      Loc.error loc "array %s already has a mapping" name;
-    table := (name, layout) :: !table
-  in
+  (* every mapping site, in program order; conflicts are diagnosed after
+     the whole program has been scanned so one error names them all *)
+  let sites = ref [] in
+  let add name loc layout = sites := (name, loc, layout) :: !sites in
   List.iter
     (function
       | Tmap m ->
@@ -93,7 +179,120 @@ let of_program prog =
             m.mmappings
       | Tdecl _ | Tfunc _ -> ())
     prog;
-  !table
+  let sites = List.rev !sites in
+  let conflicting =
+    List.filter_map
+      (fun (name, _, _) ->
+        match List.filter (fun (n, _, _) -> n = name) sites with
+        | _ :: _ :: _ as dups -> Some (name, dups)
+        | _ -> None)
+      sites
+    |> List.sort_uniq (fun (a, _) (b, _) -> compare a b)
+  in
+  (match conflicting with
+  | [] -> ()
+  | conflicts ->
+      (* report every conflicting site in one pass, with the competing
+         layouts, anchored at the first re-mapping site *)
+      let describe (name, dups) =
+        Printf.sprintf "%s <- %s" name
+          (String.concat ", "
+             (List.map
+                (fun (_, loc, l) ->
+                  Format.asprintf "%s at %a" (to_string l) Loc.pp loc)
+                dups))
+      in
+      let first_dup_loc =
+        let seen = Hashtbl.create 8 in
+        let rec go = function
+          | [] -> Loc.dummy
+          | (n, loc, _) :: rest ->
+              if Hashtbl.mem seen n then loc
+              else (Hashtbl.add seen n true; go rest)
+        in
+        go sites
+      in
+      Loc.error first_dup_loc
+        "conflicting mappings for %d array%s: %s"
+        (List.length conflicts)
+        (if List.length conflicts = 1 then "" else "s")
+        (String.concat "; " (List.map describe conflicts)));
+  List.map (fun (name, _, l) -> (name, l)) sites
+
+(* ---------------- back to UC source ---------------- *)
+
+let global_sets prog =
+  List.concat_map
+    (function
+      | Tdecl (Dindexset defs) ->
+          List.map (fun def -> (def.set_name, def.elem_name)) defs
+      | _ -> [])
+    prog
+
+let emit_map_section prog table =
+  match canonical table with
+  | [] -> None
+  | entries ->
+      let sets = global_sets prog in
+      (match sets with
+      | [] ->
+          invalid_arg
+            "Mapping.emit_map_section: program declares no index sets"
+      | _ -> ());
+      let set_for_axis k =
+        (* cosmetic: spread distinct sets over the axes when there are
+           enough, otherwise reuse; any global set is legal here *)
+        List.nth sets (min k (List.length sets - 1))
+      in
+      let dummy_e d = { e = d; eloc = Loc.dummy } in
+      let mappings =
+        List.map
+          (fun (name, l) ->
+            match l with
+            | Default -> assert false
+            | Shifted offs ->
+                let axes = Array.to_list (Array.mapi (fun k c -> (k, c)) offs) in
+                let pmsets =
+                  List.sort_uniq compare
+                    (List.map (fun (k, _) -> fst (set_for_axis k)) axes)
+                in
+                let ptsubs =
+                  List.map
+                    (fun (k, c) ->
+                      let elem = dummy_e (Evar (snd (set_for_axis k))) in
+                      if c = 0 then elem
+                      else if c > 0 then dummy_e (Ebin (Add, elem, dummy_e (Eint c)))
+                      else dummy_e (Ebin (Sub, elem, dummy_e (Eint (-c)))))
+                    axes
+                in
+                let pssubs = List.map (fun (k, _) -> snd (set_for_axis k)) axes in
+                Mpermute
+                  {
+                    pmsets;
+                    ptarget = name;
+                    ptsubs;
+                    psource = name;
+                    pssubs;
+                    mloc = Loc.dummy;
+                  }
+            | Folded f -> Mfold (name, f, Loc.dummy)
+            | Copied m -> Mcopy (name, dummy_e (Eint m), Loc.dummy))
+          entries
+      in
+      let msets =
+        let used =
+          List.concat_map
+            (function Mpermute pm -> pm.pmsets | _ -> []) mappings
+        in
+        match List.sort_uniq compare used with
+        | [] -> [ fst (List.hd sets) ]
+        | us -> us
+      in
+      Some
+        (Format.asprintf "%a" Pretty.pp_program
+           [ Tmap { msets; mmappings = mappings } ])
+
+(* ---------------- physical addressing ---------------- *)
 
 let physical_dims layout dims =
   match layout, dims with

@@ -288,6 +288,34 @@ void main() {
 |}
     n
 
+(* The same histogram over a deterministic sample stream, so a host
+   oracle can predict every count: samples[i] = (i*7 + 3) mod 10.  7 is
+   coprime to 10, so the stream cycles through all ten digits and the
+   expected histogram is computable without running any engine. *)
+let digit_count_det ~n =
+  Printf.sprintf
+    {|
+#define N %d
+index-set I:i = {0..N-1}, J:j = {0..9};
+int samples[N];
+int count[10];
+
+void main() {
+  par (I) samples[i] = (i * 7 + 3) %% 10;
+  par (J)
+    count[j] = $+(I st (samples[i] == j) 1);
+}
+|}
+    n
+
+(* the host-side oracle for [digit_count_det]: expected samples and
+   counts, for differential and CI gates *)
+let digit_count_oracle ~n =
+  let samples = Array.init n (fun i -> ((i * 7) + 3) mod 10) in
+  let count = Array.make 10 0 in
+  Array.iter (fun d -> count.(d) <- count.(d) + 1) samples;
+  (samples, count)
+
 (* ---- figure 11 / figure 8: grid shortest path with an obstacle ---- *)
 
 let obstacle_grid ~n =
@@ -434,6 +462,7 @@ let all_named : (string * string) list =
     ("wavefront", wavefront ~n:7);
     ("odd_even_sort", odd_even_sort ~n:12);
     ("digit_count", digit_count ~n:24);
+    ("digit_count_det", digit_count_det ~n:24);
     ("obstacle_grid", obstacle_grid ~n:10);
     ("stencil", stencil ~n:16 ~steps:4 ());
     ("stencil_mapped", stencil ~mapped:true ~n:16 ~steps:4 ());

@@ -8,11 +8,12 @@ type t = {
   faults : Cm.Fault.spec option;
   retries : int option;
   engine : Cm.Machine.engine;
+  tune : bool;
 }
 
 let make ?(options = Uc.Codegen.default_options) ?(seed = 12345) ?fuel ?deadline
-    ?faults ?retries ?(engine = `Fast) ~name ~source () =
-  { name; source; options; seed; fuel; deadline; faults; retries; engine }
+    ?faults ?retries ?(engine = `Fast) ?(tune = false) ~name ~source () =
+  { name; source; options; seed; fuel; deadline; faults; retries; engine; tune }
 
 (* The canonical engine rendering used in digests, reports and the CLI;
    every spelling that can change results gets its own string. *)
@@ -82,9 +83,14 @@ let fields t =
        attempt counts are not: cache entries must never be shared *)
     ("engine", engine_string t.engine);
   ]
+  (* only present when on, so untuned digests match earlier versions *)
+  @ if t.tune then [ ("tune", "true") ] else []
 
 let digest_of_fields kvs =
-  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) kvs in
+  (* sort whole pairs, not just keys: a key-only sort is order-sensitive
+     for duplicate keys (real field lists have none, but the digest
+     should be a pure function of the multiset either way) *)
+  let sorted = List.sort compare kvs in
   (* length-prefix each component so distinct field lists can't collide
      by concatenation *)
   let buf = Buffer.create 256 in

@@ -23,6 +23,10 @@ type t = {
       (** execution engine (content: engines are observably identical,
           but wall-clock and report metadata are not, so results from
           different engines never share a cache entry) *)
+  tune : bool;
+      (** auto-tune the data layout ({!Uc.Layoutsel}) before lowering
+          (content: the synthesized map section changes the emitted
+          Paris program, though never the observable output) *)
 }
 
 val make :
@@ -33,6 +37,7 @@ val make :
   ?faults:Cm.Fault.spec ->
   ?retries:int ->
   ?engine:Cm.Machine.engine ->
+  ?tune:bool ->
   name:string ->
   source:string ->
   unit ->

@@ -81,6 +81,7 @@ type submit = {
   no_mappings : bool;
   no_cse : bool;
   ir_opt : string option;  (* pass subset, e.g. "constprop,dce"; "off" disables *)
+  tune : bool;  (* auto-tune the data layout before lowering *)
 }
 
 let submit_defaults ~name ~source =
@@ -98,6 +99,7 @@ let submit_defaults ~name ~source =
     no_mappings = false;
     no_cse = false;
     ir_opt = None;
+    tune = false;
   }
 
 type client_msg =
@@ -154,7 +156,8 @@ let submit_obj s =
     @ flag_field "no_procopt" s.no_procopt
     @ flag_field "no_mappings" s.no_mappings
     @ flag_field "no_cse" s.no_cse
-    @ opt_field "ir_opt" (fun v -> Jsonu.Str v) s.ir_opt)
+    @ opt_field "ir_opt" (fun v -> Jsonu.Str v) s.ir_opt
+    @ flag_field "tune" s.tune)
 
 let client_json = function
   | Hello { version; tenant; priority } ->
@@ -332,6 +335,7 @@ let submit_of_fields kvs =
       no_mappings = Option.value (bool_field kvs "no_mappings") ~default:false;
       no_cse = Option.value (bool_field kvs "no_cse") ~default:false;
       ir_opt = str_field kvs "ir_opt";
+      tune = Option.value (bool_field kvs "tune") ~default:false;
     }
 
 let submit_of_json = function

@@ -58,6 +58,7 @@ type submit = {
   no_mappings : bool;
   no_cse : bool;
   ir_opt : string option;  (** pass subset, e.g. ["constprop,dce"]; ["off"] disables *)
+  tune : bool;  (** auto-tune the data layout before lowering *)
 }
 
 val submit_defaults : name:string -> source:source -> submit

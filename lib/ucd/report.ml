@@ -15,6 +15,9 @@ type result = {
          fault-injection policy).  "" for rows that never ran a machine
          (front-end failures); rendered as [engine] in that case. *)
   seed : int;
+  tuned : bool;
+      (* ran under an auto-tuned layout; emitted only when true so
+         untuned rows render byte-identically to earlier versions *)
   status : status;
   simulated_seconds : float;
   metrics : (string * float) list;
@@ -46,6 +49,7 @@ let canonical_obj r =
     );
     ("seed", Jsonu.Int r.seed);
   ]
+  @ (if r.tuned then [ ("tuned", Jsonu.Bool true) ] else [])
   @ status_fields r.status
   @ [ ("simulated_seconds", Jsonu.Float r.simulated_seconds) ]
   @ (if r.metrics = [] then []
@@ -126,6 +130,12 @@ let of_json j =
         | _ -> engine
       in
       let* seed = int "seed" in
+      (* absent in untuned and pre-v6 rows *)
+      let tuned =
+        match List.assoc_opt "tuned" kvs with
+        | Some (Jsonu.Bool b) -> b
+        | _ -> false
+      in
       let* status =
         let* s = str "status" in
         match s with
@@ -176,6 +186,7 @@ let of_json j =
           engine;
           engine_effective;
           seed;
+          tuned;
           status;
           simulated_seconds;
           metrics;

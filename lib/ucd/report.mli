@@ -18,6 +18,10 @@ type result = {
           differs from [engine] only when [native] degraded to [fast].
           [""] (rendered as [engine]) for rows that never ran a machine *)
   seed : int;
+  tuned : bool;
+      (** the job ran under an auto-tuned layout ({!Job.t}[.tune]);
+          emitted in rows only when true, so untuned rows render
+          byte-identically to earlier versions *)
   status : status;
   simulated_seconds : float;  (** 0 when the job did not finish; partial
                                   progress for in-flight timeouts *)

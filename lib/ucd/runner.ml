@@ -33,7 +33,12 @@ let backoff_delay policy ~seed ~attempt =
 
 let compute ~policy ~t0 ~obs ?ckpt ?on_checkpoint cache (job : Job.t) digest =
   let source_digest = Digest.to_hex (Digest.string job.Job.source) in
-  let options_key = Job.options_summary job.Job.options in
+  (* tuned and untuned lowerings of the same source+options emit
+     different Paris programs: they must not share a memo entry *)
+  let options_key =
+    Job.options_summary job.Job.options
+    ^ if job.Job.tune then " tune" else ""
+  in
   let finish ?(attempts = 1) ?(trace = []) ?(metrics = []) ?(effective = "")
       status simulated output =
     {
@@ -45,6 +50,7 @@ let compute ~policy ~t0 ~obs ?ckpt ?on_checkpoint cache (job : Job.t) digest =
          that as [engine] *)
       engine_effective = effective;
       seed = job.Job.seed;
+      tuned = job.Job.tune;
       status;
       simulated_seconds = simulated;
       metrics;
@@ -62,7 +68,15 @@ let compute ~policy ~t0 ~obs ?ckpt ?on_checkpoint cache (job : Job.t) digest =
     in
     let compiled =
       Cache.memo_ir cache ~source_digest ~options_key (fun () ->
-          Uc.Compile.lower ~options:job.Job.options ~obs ast)
+          let layouts =
+            if job.Job.tune then
+              Some
+                (Uc.Layoutsel.search ~options:job.Job.options
+                   (Uc.Optimize.fold_program (Uc.Transform.apply ast)))
+                  .Uc.Layoutsel.table
+            else None
+          in
+          Uc.Compile.lower ?layouts ~options:job.Job.options ~obs ast)
     in
     let deadline_over () =
       match job.Job.deadline with
@@ -257,6 +271,7 @@ let crash_result (job : Job.t) exn =
     engine = Job.engine_string job.Job.engine;
     engine_effective = "";
     seed = job.Job.seed;
+    tuned = job.Job.tune;
     status = Report.Failed (Printexc.to_string exn);
     simulated_seconds = 0.;
     metrics = [];
@@ -278,9 +293,10 @@ let run_jobs ?domains ?queue_bound ?policy ?obs ~cache jobs =
        (fun job -> run_job ?policy ?obs ~cache job)
        jobs)
 
-let corpus_jobs ?options ?seed ?fuel ?deadline ?faults ?retries ?engine () =
+let corpus_jobs ?options ?seed ?fuel ?deadline ?faults ?retries ?engine ?tune ()
+    =
   List.map
     (fun (name, source) ->
-      Job.make ?options ?seed ?fuel ?deadline ?faults ?retries ?engine ~name
-        ~source ())
+      Job.make ?options ?seed ?fuel ?deadline ?faults ?retries ?engine ?tune
+        ~name ~source ())
     Uc_programs.Programs.all_named

@@ -93,5 +93,6 @@ val corpus_jobs :
   ?faults:Cm.Fault.spec ->
   ?retries:int ->
   ?engine:Cm.Machine.engine ->
+  ?tune:bool ->
   unit ->
   Job.t list

@@ -339,7 +339,8 @@ let job_of_submit (s : Proto.submit) =
   Ok
     (Job.make ~options
        ?seed:s.Proto.seed ?fuel:s.Proto.fuel ?deadline:s.Proto.deadline
-       ?faults ?retries:s.Proto.retries ~name:s.Proto.name ~source ())
+       ?faults ?retries:s.Proto.retries ~tune:s.Proto.tune ~name:s.Proto.name
+       ~source ())
 
 let reject t sess ~client_ref code msg =
   Session.note_rejected sess;

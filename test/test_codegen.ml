@@ -100,6 +100,25 @@ let corpus_cases =
     case "odd_even_sort" (differential (odd_even_sort ~n:12) ~arrays:[ "x" ]);
     case "digit_count"
       (differential (digit_count ~n:24) ~arrays:[ "samples"; "count" ]);
+    case "digit_count_det"
+      (differential (digit_count_det ~n:24) ~arrays:[ "samples"; "count" ]);
+    (* the deterministic histogram against its host oracle: both the
+       interpreter and the machine must produce the predicted counts,
+       not merely agree with each other *)
+    case "digit_count_det oracle" (fun () ->
+        let n = 24 in
+        let samples, counts = digit_count_oracle ~n in
+        let src = digit_count_det ~n in
+        let ir = interp_run src in
+        check ints "oracle samples (interp)" samples
+          (Uc.Interp.int_array ir "samples");
+        check ints "oracle counts (interp)" counts
+          (Uc.Interp.int_array ir "count");
+        let mr = machine_run src in
+        check ints "oracle samples (machine)" samples
+          (Uc.Compile.int_array mr "samples");
+        check ints "oracle counts (machine)" counts
+          (Uc.Compile.int_array mr "count"));
     case "obstacle_grid" (differential (obstacle_grid ~n:10) ~arrays:[ "d" ]);
     case "stencil" (differential (stencil ~n:16 ~steps:4 ()) ~arrays:[ "a"; "b" ]);
     case "stencil_mapped"

@@ -203,22 +203,39 @@ let prop_layout_bijection =
       true)
 
 let test_conflicting_mappings () =
+  (* two arrays, each mapped twice: one scan must report both arrays,
+     every site, and the competing layouts *)
   let src =
     {|
 index-set I:i = {0..7};
-int a[8];
+int a[8], b[8];
 map (I) { fold a by 2; copy a along 3; }
+map (I) { permute (I) b[i+1] :- a[i]; fold b by 4; }
 void main() { ; }
 |}
   in
   let prog = Uc.Parser.parse_program src in
   ignore (Uc.Sema.check prog);
+  let contains hay needle =
+    Astring.String.is_infix ~affix:needle hay
+  in
   try
     ignore (Uc.Mapping.of_program prog);
     Alcotest.fail "expected conflict"
   with Uc.Loc.Error (_, msg) ->
-    check Alcotest.bool "mentions mapping" true
-      (String.length msg > 0)
+    List.iter
+      (fun needle ->
+        check Alcotest.bool (Printf.sprintf "message mentions %S" needle) true
+          (contains msg needle))
+      [
+        "2 arrays";
+        "a <- ";
+        "b <- ";
+        "fold by 2";
+        "copy along 3";
+        "permute[+1]";
+        "fold by 4";
+      ]
 
 (* ---------------- end-to-end: fold ---------------- *)
 

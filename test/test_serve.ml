@@ -210,6 +210,7 @@ let qcheck_report_round_trip =
           engine = "fast";
           engine_effective = "fast";
           seed = 42;
+          tuned = false;
           status = Ucd.Report.Done;
           simulated_seconds = 0.125;
           metrics;
